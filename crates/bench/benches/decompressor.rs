@@ -1,0 +1,34 @@
+//! End-to-end decompressor latency: how long one runtime trap takes (host
+//! time), measured by running a squashed program whose input forces a known
+//! number of decompressions, and the full timing-run wall-clock for one
+//! workload at the paper's operating points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squash::pipeline;
+
+fn bench_decompressor(c: &mut Criterion) {
+    let benches = squash_bench::load_benches(Some(&["adpcm"]));
+    let b = &benches[0];
+
+    // θ high enough that the timing run decompresses constantly.
+    let squashed_hot = b.squash(&squash_bench::opts(3e-3));
+    let squashed_cold = b.squash(&squash_bench::opts(0.0));
+    let probe_input = &b.profiling_input;
+
+    c.bench_function("timing_run_theta0", |bch| {
+        bch.iter(|| pipeline::run_squashed(&squashed_cold, probe_input).unwrap())
+    });
+    c.bench_function("timing_run_theta3e-3", |bch| {
+        bch.iter(|| pipeline::run_squashed(&squashed_hot, probe_input).unwrap())
+    });
+    c.bench_function("baseline_run", |bch| {
+        bch.iter(|| pipeline::run_original(&b.program, probe_input).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decompressor
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks for canonical Huffman coding: table construction, and
+//! encode/decode throughput of the paper's `DECODE()` loop. The decoder's
+//! per-symbol speed is what makes software decompression viable (§3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use squash_compress::{BitReader, BitWriter, CanonicalCode};
+use std::collections::HashMap;
+
+/// A Zipf-flavoured frequency map over `n` symbols.
+fn zipf_freqs(n: u32) -> HashMap<u32, u64> {
+    (0..n).map(|v| (v, 1 + 10_000 / (v as u64 + 1))).collect()
+}
+
+/// A message drawn deterministically from the symbol set, skewed toward
+/// small symbols like real field streams.
+fn message(n: u32, len: usize) -> Vec<u32> {
+    let mut state = 0x12345678u64;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (state >> 33) % (n as u64 * (n as u64 + 1) / 2);
+            let mut acc = 0u64;
+            for v in 0..n {
+                acc += (n - v) as u64;
+                if r < acc {
+                    return v;
+                }
+            }
+            0
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let freqs = zipf_freqs(256);
+    c.bench_function("canonical_code_construction_256", |b| {
+        b.iter(|| CanonicalCode::from_frequencies(std::hint::black_box(&freqs)))
+    });
+
+    let code = CanonicalCode::from_frequencies(&freqs);
+    let msg = message(256, 4096);
+    let mut group = c.benchmark_group("huffman_codec");
+    group.throughput(Throughput::Elements(msg.len() as u64));
+    group.bench_function("encode_4096", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &s in &msg {
+                code.encode(s, &mut w).unwrap();
+            }
+            w
+        })
+    });
+    let mut w = BitWriter::new();
+    for &s in &msg {
+        code.encode(s, &mut w).unwrap();
+    }
+    let bytes = w.into_bytes();
+    group.bench_function("decode_4096", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..msg.len() {
+                acc = acc.wrapping_add(code.decode(&mut r).unwrap() as u64);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_huffman);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Region-formation cost: the K-bounded DFS partitioning and the greedy
+//! packing pass (§4), plus the whole squash pipeline, at a permissive θ so
+//! the partitioner sees the most work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squash::{cold, regions};
+
+fn bench_regions(c: &mut Criterion) {
+    let benches = squash_bench::load_benches(Some(&["jpeg_enc"]));
+    let b = &benches[0];
+    let options = squash_bench::opts(1.0);
+    let cs = cold::identify(&b.program, &b.profile, options.theta);
+    let comp = regions::compressible_blocks(&b.program, &cs, &options);
+
+    c.bench_function("form_regions_theta1_packed", |bch| {
+        bch.iter(|| regions::form_regions(&b.program, &comp, &options))
+    });
+    let unpacked = squash::SquashOptions {
+        pack_regions: false,
+        ..options.clone()
+    };
+    c.bench_function("form_regions_theta1_unpacked", |bch| {
+        bch.iter(|| regions::form_regions(&b.program, &comp, &unpacked))
+    });
+    c.bench_function("full_squash_pipeline_theta0", |bch| {
+        let opts0 = squash_bench::opts(0.0);
+        bch.iter(|| b.squash(&opts0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_regions
+}
+criterion_main!(benches);

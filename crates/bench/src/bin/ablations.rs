@@ -1,0 +1,111 @@
+//! Ablations over the design choices the paper discusses: the buffer-safe
+//! call optimization (§6.1), region packing (§4), the region-construction
+//! algorithm (§4/§9), move-to-front coding of displacement streams (§3),
+//! jump-table handling (§6.2), and a decompression cache (`skip_if_current`,
+//! the Lucco-style variant §2.2 contrasts with).
+//!
+//! For each variant: geometric-mean normalized size and time across all
+//! benchmarks at a θ aggressive enough that the runtime matters.
+
+use squash::{JumpTableMode, RegionStrategy, RestoreStubMode, SquashOptions};
+
+fn variant(name: &str, options: SquashOptions, benches: &[squash_bench::Bench]) {
+    let mut sizes = Vec::new();
+    let mut times = Vec::new();
+    let mut regions = 0usize;
+    for b in benches {
+        let squashed = b.squash(&options);
+        let baseline = b.run_baseline();
+        let run = b.run_squashed(&squashed);
+        sizes.push(squashed.stats.footprint.total() as f64 / b.baseline_bytes() as f64);
+        times.push(run.cycles as f64 / baseline.cycles as f64);
+        regions += squashed.stats.regions;
+    }
+    println!(
+        "| {:26} | {:8.4} | {:8.4} | {:7} |",
+        name,
+        squash_bench::geomean(&sizes),
+        squash_bench::geomean(&times),
+        regions,
+    );
+}
+
+fn main() {
+    let benches = squash_bench::load_benches(None);
+    let theta = 3e-3; // the aggressive Figure 7 operating point
+    let base = squash_bench::opts(theta);
+    println!("Design ablations at θ={theta} (geomeans across all benchmarks)");
+    println!();
+    println!("| variant                    | size     | time     | regions |");
+    println!("|----------------------------|---------:|---------:|--------:|");
+    variant("paper defaults", base.clone(), &benches);
+    variant(
+        "no buffer-safe opt (§6.1)",
+        SquashOptions {
+            buffer_safe_opt: false,
+            ..base.clone()
+        },
+        &benches,
+    );
+    variant(
+        "no region packing (§4)",
+        SquashOptions {
+            pack_regions: false,
+            ..base.clone()
+        },
+        &benches,
+    );
+    variant(
+        "layout-greedy regions (§9)",
+        SquashOptions {
+            region_strategy: RegionStrategy::LayoutGreedy,
+            ..base.clone()
+        },
+        &benches,
+    );
+    variant(
+        "MTF displacements (§3)",
+        SquashOptions {
+            mtf_displacements: true,
+            ..base.clone()
+        },
+        &benches,
+    );
+    variant(
+        "unswitch jump tables (§6.2)",
+        SquashOptions {
+            jump_tables: JumpTableMode::Unswitch,
+            ..base.clone()
+        },
+        &benches,
+    );
+    variant(
+        "exclude jump tables (§6.2)",
+        SquashOptions {
+            jump_tables: JumpTableMode::Exclude,
+            ..base.clone()
+        },
+        &benches,
+    );
+    variant(
+        "compile-time stubs (§2.2)",
+        SquashOptions {
+            restore_stubs: RestoreStubMode::CompileTime,
+            ..base.clone()
+        },
+        &benches,
+    );
+    variant(
+        "decompression cache (§2.2)",
+        SquashOptions {
+            skip_if_current: true,
+            ..base.clone()
+        },
+        &benches,
+    );
+    println!();
+    println!("Reading guide: buffer-safety and packing should *reduce* size (that is");
+    println!("why the paper includes them); the cache should cut time at no size cost");
+    println!("(the paper's always-decompress choice is the conservative baseline);");
+    println!("MTF trades a slightly smaller blob for a slower, larger decompressor.");
+}

@@ -1,0 +1,89 @@
+//! §3: the splitting-streams + canonical-Huffman compression ratio.
+//!
+//! The paper: "The total space required by the compressed program is
+//! approximately 66% of its original size." This binary compresses each
+//! program's *entire* text (every function as one corpus, tables included)
+//! and reports compressed/original, plus the per-stream breakdown for one
+//! benchmark.
+
+use squash_compress::StreamModel;
+use squash_isa::Inst;
+
+fn program_instructions(b: &squash_bench::Bench) -> Vec<Vec<Inst>> {
+    // Decode the linked image function by function, giving region-sized
+    // chunks comparable to squash's.
+    let image = squash_cfg::link::link(&b.program, &Default::default()).expect("link");
+    let mut out = Vec::new();
+    for &(start, end) in &image.func_ranges {
+        let mut insts = Vec::new();
+        let mut addr = start;
+        while addr < end {
+            let w = image.text[((addr - image.text_base) / 4) as usize];
+            if let Ok(i) = Inst::decode(w) {
+                insts.push(i);
+            }
+            addr += 4;
+        }
+        if !insts.is_empty() {
+            out.push(insts);
+        }
+    }
+    out
+}
+
+fn main() {
+    let benches = squash_bench::load_benches(None);
+    println!("Compression ratio of splitting-streams + canonical Huffman (paper §3)");
+    println!();
+    println!("| Program   | original (B) | payload (B) | tables (B) | ratio |");
+    println!("|-----------|-------------:|------------:|-----------:|------:|");
+    let mut ratios = Vec::new();
+    for b in &benches {
+        let regions = program_instructions(b);
+        let refs: Vec<&[Inst]> = regions.iter().map(|r| r.as_slice()).collect();
+        let model = StreamModel::train(&refs);
+        let stats = model.stats(&refs).expect("stats");
+        let ratio = stats.ratio();
+        ratios.push(ratio);
+        println!(
+            "| {:9} | {:12} | {:11} | {:10} | {:5.3} |",
+            b.name,
+            stats.original_bytes,
+            stats.payload_bits.div_ceil(8),
+            stats.table_bytes,
+            ratio,
+        );
+    }
+    println!(
+        "| geomean   |              |             |            | {:5.3} |",
+        squash_bench::geomean(&ratios)
+    );
+    println!();
+    println!("(paper: compressed program ≈ 66% of original size)");
+    println!();
+
+    // Per-stream breakdown for the first benchmark.
+    let b = &benches[0];
+    let regions = program_instructions(b);
+    let refs: Vec<&[Inst]> = regions.iter().map(|r| r.as_slice()).collect();
+    let model = StreamModel::train(&refs);
+    let stats = model.stats(&refs).expect("stats");
+    println!("Per-stream breakdown for `{}`:", b.name);
+    println!();
+    println!("| stream    | symbols | distinct | payload bits | table B | bits/sym |");
+    println!("|-----------|--------:|---------:|-------------:|--------:|---------:|");
+    for (kind, symbols, distinct, bits, table) in &stats.per_stream {
+        if *symbols == 0 {
+            continue;
+        }
+        println!(
+            "| {:9} | {:7} | {:8} | {:12} | {:7} | {:8.2} |",
+            kind.name(),
+            symbols,
+            distinct,
+            bits,
+            table,
+            *bits as f64 / *symbols as f64,
+        );
+    }
+}

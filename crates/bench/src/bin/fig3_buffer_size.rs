@@ -1,0 +1,62 @@
+//! Figure 3: effect of the runtime-buffer size bound K on overall code size.
+//!
+//! For each K in {64 … 4096} bytes and several cold-code thresholds θ, the
+//! total squashed footprint is normalized to the squeezed baseline
+//! (geometric mean across benchmarks). The paper finds a minimum around
+//! K = 256–512: small K fragments regions (stub + offset-table overhead),
+//! large K pays for the buffer itself.
+
+use squash::SquashOptions;
+
+const KS: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+const THETAS: [f64; 3] = [0.0, 1e-4, 1e-2];
+
+fn main() {
+    let benches = squash_bench::load_benches(None);
+    println!("Figure 3: normalized code size vs. buffer size bound K");
+    println!();
+    print!("| K (bytes) |");
+    for theta in THETAS {
+        print!(" θ={:>5} |", squash_bench::theta_label(theta));
+    }
+    println!();
+    print!("|-----------|");
+    for _ in THETAS {
+        print!("---------:|");
+    }
+    println!();
+    let mut best: Vec<(f64, u32)> = vec![(f64::MAX, 0); THETAS.len()];
+    for k in KS {
+        print!("| {k:9} |");
+        for (ti, theta) in THETAS.iter().enumerate() {
+            let options = SquashOptions {
+                buffer_limit: k,
+                ..squash_bench::opts(*theta)
+            };
+            let ratios: Vec<f64> = benches
+                .iter()
+                .map(|b| {
+                    let squashed = b.squash(&options);
+                    squashed.stats.footprint.total() as f64 / b.baseline_bytes() as f64
+                })
+                .collect();
+            let g = squash_bench::geomean(&ratios);
+            if g < best[ti].0 {
+                best[ti] = (g, k);
+            }
+            print!(" {g:8.4} |");
+        }
+        println!();
+    }
+    println!();
+    for (ti, theta) in THETAS.iter().enumerate() {
+        println!(
+            "θ={}: minimum at K={} (normalized size {:.4})",
+            squash_bench::theta_label(*theta),
+            best[ti].1,
+            best[ti].0
+        );
+    }
+    println!();
+    println!("(paper: smallest overall code size at K = 256 and K = 512)");
+}

@@ -1,0 +1,23 @@
+//! Figure 5: the inputs used for profiling and timing runs. The synthetic
+//! generators stand in for the MediaBench media files (whose names the rows
+//! keep, for cross-reference with the paper); sizes differ from the paper's
+//! because the inputs are sized for a cycle-accurate interpreter rather
+//! than real hardware.
+
+fn main() {
+    println!("Figure 5: inputs used for profiling and timing runs");
+    println!();
+    println!("| Program   | Profiling input        |  size (KB) | Timing input            |  size (KB) |");
+    println!("|-----------|------------------------|-----------:|-------------------------|-----------:|");
+    for w in squash_workloads::all() {
+        let (pname, psize, tname, tsize) = w.input_table_row();
+        println!(
+            "| {:9} | {:22} | {:10.1} | {:23} | {:10.1} |",
+            w.name,
+            pname,
+            psize as f64 / 1024.0,
+            tname,
+            tsize as f64 / 1024.0,
+        );
+    }
+}

@@ -1,0 +1,566 @@
+//! Lowering assembled modules into the relocatable program form.
+#![allow(clippy::type_complexity)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+use squash_isa::asm::{self, AsmInst, CodeItem, Module, Reloc};
+use squash_isa::{BraOp, Inst, PalOp, Reg};
+
+use crate::ir::{
+    AddrTarget, Block, BlockReloc, DataDef, DataItem, FuncId, Function, JumpTarget, PInst,
+    Program, SymRef, Term,
+};
+
+/// An error produced while lowering a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, BuildError> {
+    Err(BuildError {
+        message: message.into(),
+    })
+}
+
+/// Lowers an assembled module into a [`Program`], discovering basic blocks
+/// and resolving every symbolic reference.
+///
+/// The entry function is `_start` if present, otherwise `main`.
+///
+/// # Errors
+///
+/// Fails on undefined symbols, functions that fall off their end, calls to
+/// non-functions, link-register tricks the IR does not model (`br` with a
+/// non-zero link register, `bsr` to a local label), and missing entry.
+pub fn lower(module: &Module) -> Result<Program, BuildError> {
+    let func_ids: HashMap<&str, FuncId> = module
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), FuncId(i)))
+        .collect();
+    let data_ids: HashMap<&str, usize> = module
+        .data
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.label.as_str(), i))
+        .collect();
+
+    // Map every code label to its function for cross-function references
+    // (jump tables live in data but point at blocks).
+    let mut label_homes: HashMap<&str, FuncId> = HashMap::new();
+    for (fi, f) in module.funcs.iter().enumerate() {
+        for item in &f.items {
+            if let CodeItem::Label(l) = item {
+                if label_homes.insert(l.as_str(), FuncId(fi)).is_some() && l.starts_with(".L") {
+                    return err(format!("label `{l}` defined in more than one function"));
+                }
+            }
+        }
+    }
+
+    let mut funcs = Vec::with_capacity(module.funcs.len());
+    let mut block_of_label: HashMap<(FuncId, String), usize> = HashMap::new();
+    // First pass per function: split into blocks, remember label -> block.
+    let mut pending: Vec<Vec<(Vec<String>, Vec<AsmInst>, Option<AsmInst>)>> = Vec::new();
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi);
+        let blocks = split_blocks(f)?;
+        for (bi, (labels, _, _)) in blocks.iter().enumerate() {
+            for l in labels {
+                block_of_label.insert((fid, l.clone()), bi);
+            }
+        }
+        pending.push(blocks);
+    }
+
+    let resolve_sym = |sym: &str, home: FuncId| -> Result<SymRef, BuildError> {
+        if let Some(&fid) = func_ids.get(sym) {
+            return Ok(SymRef::Func(fid));
+        }
+        if let Some(&di) = data_ids.get(sym) {
+            return Ok(SymRef::Data(di));
+        }
+        if let Some(&bi) = block_of_label.get(&(home, sym.to_string())) {
+            return Ok(SymRef::Block(home, bi));
+        }
+        if let Some(&owner) = label_homes.get(sym) {
+            if let Some(&bi) = block_of_label.get(&(owner, sym.to_string())) {
+                return Ok(SymRef::Block(owner, bi));
+            }
+        }
+        err(format!("undefined symbol `{sym}`"))
+    };
+
+    for (fi, blocks) in pending.into_iter().enumerate() {
+        let fid = FuncId(fi);
+        let fname = &module.funcs[fi].name;
+        let nblocks = blocks.len();
+        let mut out_blocks = Vec::with_capacity(nblocks);
+        for (bi, (labels, body, trailing)) in blocks.into_iter().enumerate() {
+            let mut insts = Vec::with_capacity(body.len());
+            for ai in body {
+                insts.push(lower_inst(&ai, fid, &func_ids, &resolve_sym)?);
+            }
+            let term = match trailing {
+                None => {
+                    if bi + 1 >= nblocks {
+                        return err(format!("function `{fname}` falls off its end"));
+                    }
+                    Term::Fall { next: bi + 1 }
+                }
+                Some(ai) => lower_term(
+                    &ai,
+                    fid,
+                    bi,
+                    nblocks,
+                    fname,
+                    &func_ids,
+                    &data_ids,
+                    &block_of_label,
+                )?,
+            };
+            out_blocks.push(Block {
+                labels,
+                insts,
+                term,
+            });
+        }
+        funcs.push(Function {
+            name: fname.clone(),
+            blocks: out_blocks,
+        });
+    }
+
+    // Data: resolve address words.
+    let mut data = Vec::with_capacity(module.data.len());
+    for d in &module.data {
+        let mut items = Vec::with_capacity(d.items.len());
+        for item in &d.items {
+            items.push(match item {
+                asm::DataItem::Quad(v) => DataItem::Quad(*v),
+                asm::DataItem::Word(v) => DataItem::Word(*v),
+                asm::DataItem::Byte(v) => DataItem::Byte(*v),
+                asm::DataItem::Space(n) => DataItem::Space(*n),
+                asm::DataItem::Addr(sym) => {
+                    let target = if let Some(&fid) = func_ids.get(sym.as_str()) {
+                        AddrTarget::Func(fid)
+                    } else if let Some(&di) = data_ids.get(sym.as_str()) {
+                        AddrTarget::Data(di)
+                    } else if let Some(&owner) = label_homes.get(sym.as_str()) {
+                        let bi = block_of_label
+                            .get(&(owner, sym.clone()))
+                            .copied()
+                            .ok_or_else(|| BuildError {
+                                message: format!("undefined symbol `{sym}` in data"),
+                            })?;
+                        AddrTarget::Block(owner, bi)
+                    } else {
+                        return err(format!("undefined symbol `{sym}` in data"));
+                    };
+                    DataItem::Addr(target)
+                }
+            });
+        }
+        data.push(DataDef {
+            label: d.label.clone(),
+            align: d.align,
+            items,
+        });
+    }
+
+    let entry = func_ids
+        .get("_start")
+        .or_else(|| func_ids.get("main"))
+        .copied()
+        .ok_or_else(|| BuildError {
+            message: "no `_start` or `main` function".into(),
+        })?;
+
+    Ok(Program { funcs, data, entry })
+}
+
+type RawBlock = (Vec<String>, Vec<AsmInst>, Option<AsmInst>);
+
+/// Splits a function's items into raw blocks: (labels, straight-line body,
+/// optional trailing control instruction).
+fn split_blocks(f: &asm::Func) -> Result<Vec<RawBlock>, BuildError> {
+    // A new block starts at: the function head, any label, and after any
+    // block-ending instruction.
+    let mut blocks: Vec<RawBlock> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut body: Vec<AsmInst> = Vec::new();
+    let mut open = false; // whether (labels, body) holds an unfinished block
+    for item in &f.items {
+        match item {
+            CodeItem::Label(l) => {
+                if open && !body.is_empty() {
+                    blocks.push((std::mem::take(&mut labels), std::mem::take(&mut body), None));
+                } else if open && body.is_empty() && !labels.is_empty() {
+                    // Consecutive labels: merge into the same block.
+                } else if open {
+                    blocks.push((std::mem::take(&mut labels), Vec::new(), None));
+                }
+                labels.push(l.clone());
+                open = true;
+            }
+            CodeItem::Inst(ai) => {
+                open = true;
+                if ends_block(&ai.inst) {
+                    blocks.push((
+                        std::mem::take(&mut labels),
+                        std::mem::take(&mut body),
+                        Some(ai.clone()),
+                    ));
+                    open = false;
+                } else {
+                    body.push(ai.clone());
+                }
+            }
+        }
+    }
+    if open {
+        if body.is_empty() && labels.is_empty() {
+            // Nothing pending.
+        } else {
+            blocks.push((labels, body, None));
+        }
+    }
+    if blocks.is_empty() {
+        return err(format!("function `{}` has no instructions", f.name));
+    }
+    Ok(blocks)
+}
+
+/// Whether an instruction ends a basic block. Calls (`bsr` with a link
+/// register) do not; they return.
+fn ends_block(inst: &Inst) -> bool {
+    match inst {
+        Inst::Bra { op: BraOp::Bsr, .. } => false,
+        Inst::Bra { .. } => true,
+        Inst::Jmp { ra, .. } => *ra == Reg::ZERO, // indirect *calls* continue
+        Inst::Pal {
+            func: PalOp::Exit | PalOp::Halt,
+        } => true,
+        Inst::Illegal => true,
+        _ => false,
+    }
+}
+
+fn lower_inst(
+    ai: &AsmInst,
+    home: FuncId,
+    func_ids: &HashMap<&str, FuncId>,
+    resolve_sym: &impl Fn(&str, FuncId) -> Result<SymRef, BuildError>,
+) -> Result<PInst, BuildError> {
+    match (&ai.inst, &ai.reloc) {
+        (Inst::Bra { op: BraOp::Bsr, ra, .. }, Some(Reloc::Branch(sym))) => {
+            let callee = func_ids.get(sym.as_str()).copied().ok_or_else(|| BuildError {
+                message: format!("call to `{sym}`, which is not a function"),
+            })?;
+            Ok(PInst::call(*ra, callee))
+        }
+        (Inst::Bra { op: BraOp::Bsr, .. }, None) => {
+            err("bsr without a target symbol".to_string())
+        }
+        (inst, Some(Reloc::Hi16(sym))) => Ok(PInst {
+            inst: *inst,
+            reloc: Some(BlockReloc::Hi(resolve_sym(sym, home)?)),
+            call: None,
+        }),
+        (inst, Some(Reloc::Lo16(sym))) => Ok(PInst {
+            inst: *inst,
+            reloc: Some(BlockReloc::Lo(resolve_sym(sym, home)?)),
+            call: None,
+        }),
+        (inst, None) => Ok(PInst::plain(*inst)),
+        (_, Some(Reloc::Branch(sym))) => err(format!(
+            "unexpected branch relocation to `{sym}` on a non-call instruction inside a block"
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_term(
+    ai: &AsmInst,
+    fid: FuncId,
+    bi: usize,
+    nblocks: usize,
+    fname: &str,
+    func_ids: &HashMap<&str, FuncId>,
+    data_ids: &HashMap<&str, usize>,
+    block_of_label: &HashMap<(FuncId, String), usize>,
+) -> Result<Term, BuildError> {
+    let target_of = |sym: &str| -> Result<JumpTarget, BuildError> {
+        if let Some(&bi) = block_of_label.get(&(fid, sym.to_string())) {
+            return Ok(JumpTarget::Block(bi));
+        }
+        if let Some(&f) = func_ids.get(sym) {
+            return Ok(JumpTarget::Func(f));
+        }
+        err(format!("undefined branch target `{sym}` in `{fname}`"))
+    };
+    match (&ai.inst, &ai.reloc) {
+        (Inst::Bra { op: BraOp::Br, ra, .. }, Some(Reloc::Branch(sym))) => {
+            if *ra != Reg::ZERO {
+                return err(format!(
+                    "`br` with link register {ra} is not modelled (in `{fname}`)"
+                ));
+            }
+            Ok(Term::Jump {
+                target: target_of(sym)?,
+            })
+        }
+        (Inst::Bra { op, ra, .. }, Some(Reloc::Branch(sym))) if op.is_conditional() => {
+            if bi + 1 >= nblocks {
+                return err(format!(
+                    "conditional branch at end of `{fname}` has no fall-through"
+                ));
+            }
+            Ok(Term::Cond {
+                op: *op,
+                ra: *ra,
+                target: target_of(sym)?,
+                fall: bi + 1,
+            })
+        }
+        (Inst::Jmp { ra, rb, .. }, None) if *ra == Reg::ZERO => {
+            if let Some(tbl) = &ai.jtable {
+                let di = data_ids.get(tbl.as_str()).copied().ok_or_else(|| BuildError {
+                    message: format!("unknown jump table `{tbl}` in `{fname}`"),
+                })?;
+                Ok(Term::IndirectJump {
+                    rb: *rb,
+                    table: Some(di),
+                })
+            } else if *rb == Reg::RA {
+                Ok(Term::Ret { rb: *rb })
+            } else {
+                Ok(Term::IndirectJump {
+                    rb: *rb,
+                    table: None,
+                })
+            }
+        }
+        (Inst::Pal { func: PalOp::Exit }, None) => Ok(Term::Exit),
+        (Inst::Pal { func: PalOp::Halt }, None) => Ok(Term::Halt),
+        (Inst::Illegal, _) => err(format!("sentinel instruction in source of `{fname}`")),
+        other => err(format!("unsupported terminator {other:?} in `{fname}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_src(src: &str) -> Result<Program, BuildError> {
+        let m = squash_isa::asm::assemble(src).expect("assembly failed");
+        lower(&m)
+    }
+
+    #[test]
+    fn straight_line_function_is_one_block() {
+        let p = lower_src(".text\n.func main\nmain:\n li a0, 0\n exit\n.endfunc\n").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].blocks.len(), 1);
+        assert_eq!(p.funcs[0].blocks[0].term, Term::Exit);
+    }
+
+    #[test]
+    fn branches_split_blocks() {
+        let src = r#"
+.text
+.func main
+main:
+    li t0, 10
+.Lloop:
+    sub t0, 1, t0
+    bne t0, .Lloop
+    li a0, 0
+    exit
+.endfunc
+"#;
+        let p = lower_src(src).unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.blocks[0].term, Term::Fall { next: 1 });
+        assert_eq!(
+            f.blocks[1].term,
+            Term::Cond {
+                op: BraOp::Bne,
+                ra: Reg::T0,
+                target: JumpTarget::Block(1),
+                fall: 2
+            }
+        );
+        assert!(f.blocks[1].labels.contains(&".Lloop".to_string()));
+    }
+
+    #[test]
+    fn calls_stay_inside_blocks() {
+        let src = r#"
+.text
+.func main
+main:
+    bsr ra, helper
+    li a0, 0
+    exit
+.endfunc
+.func helper
+helper:
+    ret
+.endfunc
+"#;
+        let p = lower_src(src).unwrap();
+        let main = &p.funcs[0];
+        assert_eq!(main.blocks.len(), 1, "call must not end the block");
+        assert_eq!(main.blocks[0].insts[0].call, Some(FuncId(1)));
+        let helper = &p.funcs[1];
+        assert_eq!(helper.blocks[0].term, Term::Ret { rb: Reg::RA });
+    }
+
+    #[test]
+    fn jump_tables_resolve_to_blocks() {
+        let src = r#"
+.text
+.func main
+main:
+    la   t0, tbl
+    ldl  t0, 0(t0)
+    jmp  (t0) !jtable tbl
+.Lcase0:
+    li a0, 0
+    exit
+.Lcase1:
+    li a0, 1
+    exit
+.endfunc
+.data
+tbl: .word .Lcase0
+     .word .Lcase1
+"#;
+        let p = lower_src(src).unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(
+            f.blocks[0].term,
+            Term::IndirectJump {
+                rb: Reg::T0,
+                table: Some(0)
+            }
+        );
+        assert_eq!(
+            p.data[0].items,
+            vec![
+                DataItem::Addr(AddrTarget::Block(FuncId(0), 1)),
+                DataItem::Addr(AddrTarget::Block(FuncId(0), 2)),
+            ]
+        );
+        // Successors flow through the table.
+        assert_eq!(f.successors(0, &p, FuncId(0)), vec![1, 2]);
+    }
+
+    #[test]
+    fn tail_jump_to_function() {
+        let src = r#"
+.text
+.func main
+main:
+    br other
+.endfunc
+.func other
+other:
+    li a0, 0
+    exit
+.endfunc
+"#;
+        let p = lower_src(src).unwrap();
+        assert_eq!(
+            p.funcs[0].blocks[0].term,
+            Term::Jump {
+                target: JumpTarget::Func(FuncId(1))
+            }
+        );
+    }
+
+    #[test]
+    fn la_relocs_resolve() {
+        let src = ".text\n.func main\nmain:\n la t0, buf\n li a0, 0\n exit\n.endfunc\n.data\nbuf: .quad 7\n";
+        let p = lower_src(src).unwrap();
+        let b = &p.funcs[0].blocks[0];
+        assert_eq!(b.insts[0].reloc, Some(BlockReloc::Hi(SymRef::Data(0))));
+        assert_eq!(b.insts[1].reloc, Some(BlockReloc::Lo(SymRef::Data(0))));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_an_error() {
+        let e = lower_src(".text\n.func main\nmain:\n li a0, 0\n.endfunc\n").unwrap_err();
+        assert!(e.message.contains("falls off"), "{e}");
+    }
+
+    #[test]
+    fn entry_prefers_start_over_main() {
+        let src = "\
+.text
+.func main
+main:
+ li a0, 0
+ exit
+.endfunc
+.func _start
+_start:
+ li a0, 1
+ exit
+.endfunc
+";
+        let p = lower_src(src).unwrap();
+        assert_eq!(p.funcs[p.entry.0].name, "_start");
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let e = lower_src(".text\n.func f\nf:\n li a0, 0\n exit\n.endfunc\n").unwrap_err();
+        assert!(e.message.contains("_start"), "{e}");
+    }
+
+    #[test]
+    fn call_to_data_symbol_is_an_error() {
+        let src = ".text\n.func main\nmain:\n bsr ra, buf\n exit\n.endfunc\n.data\nbuf: .quad 0\n";
+        let e = lower_src(src).unwrap_err();
+        assert!(e.message.contains("not a function"), "{e}");
+    }
+
+    #[test]
+    fn ret_through_non_ra_is_indirect_jump() {
+        let src = ".text\n.func main\nmain:\n jmp (t0)\n.endfunc\n";
+        let p = lower_src(src).unwrap();
+        assert_eq!(
+            p.funcs[0].blocks[0].term,
+            Term::IndirectJump {
+                rb: Reg::T0,
+                table: None
+            }
+        );
+    }
+
+    #[test]
+    fn consecutive_labels_share_a_block() {
+        let src = ".text\n.func main\nmain:\n.La:\n.Lb:\n li a0, 0\n exit\n.endfunc\n";
+        let p = lower_src(src).unwrap();
+        assert_eq!(p.funcs[0].blocks.len(), 1);
+        let labels = &p.funcs[0].blocks[0].labels;
+        assert!(labels.contains(&"main".to_string()));
+        assert!(labels.contains(&".La".to_string()));
+        assert!(labels.contains(&".Lb".to_string()));
+    }
+}

@@ -1,0 +1,343 @@
+//! Call graph and reachability analyses over a [`Program`].
+
+use std::collections::HashSet;
+
+use crate::ir::{AddrTarget, DataItem, FuncId, JumpTarget, Program, Term};
+
+/// The direct callees of every function: `callees[f]` lists the functions
+/// `f` calls directly (via `bsr`) or tail-jumps to.
+pub fn call_graph(program: &Program) -> Vec<Vec<FuncId>> {
+    let mut callees: Vec<HashSet<FuncId>> = vec![HashSet::new(); program.funcs.len()];
+    for (fi, f) in program.funcs.iter().enumerate() {
+        for b in &f.blocks {
+            for pi in &b.insts {
+                if let Some(callee) = pi.call {
+                    callees[fi].insert(callee);
+                }
+            }
+            match &b.term {
+                Term::Jump {
+                    target: JumpTarget::Func(g),
+                }
+                | Term::Cond {
+                    target: JumpTarget::Func(g),
+                    ..
+                } => {
+                    callees[fi].insert(*g);
+                }
+                _ => {}
+            }
+        }
+    }
+    callees
+        .into_iter()
+        .map(|s| {
+            let mut v: Vec<FuncId> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+/// Functions whose address is taken in data (e.g. stored in a dispatch
+/// table); these must be considered reachable and callable from anywhere.
+pub fn address_taken(program: &Program) -> HashSet<FuncId> {
+    let mut taken = HashSet::new();
+    for d in &program.data {
+        for item in &d.items {
+            if let DataItem::Addr(AddrTarget::Func(f)) = item {
+                taken.insert(*f);
+            }
+        }
+    }
+    taken
+}
+
+/// The set of functions reachable from the entry, following direct calls,
+/// tail jumps, and data-taken addresses.
+pub fn reachable_funcs(program: &Program) -> HashSet<FuncId> {
+    let callees = call_graph(program);
+    let mut work: Vec<FuncId> = vec![program.entry];
+    work.extend(address_taken(program));
+    let mut seen: HashSet<FuncId> = HashSet::new();
+    while let Some(f) = work.pop() {
+        if !seen.insert(f) {
+            continue;
+        }
+        work.extend(callees[f.0].iter().copied());
+    }
+    seen
+}
+
+/// Blocks of `func` reachable from its entry block, following intra-function
+/// edges (including known jump tables).
+pub fn reachable_blocks(program: &Program, func: FuncId) -> HashSet<usize> {
+    let f = program.func(func);
+    let mut seen = HashSet::new();
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        work.extend(f.successors(b, program, func));
+    }
+    // Blocks targeted by data address words (jump tables whose dispatch we
+    // did not see, address-taken labels) stay reachable conservatively.
+    for d in &program.data {
+        for item in &d.items {
+            if let DataItem::Addr(AddrTarget::Block(owner, bi)) = item {
+                if *owner == func && seen.insert(*bi) {
+                    let mut extra = vec![*bi];
+                    while let Some(b) = extra.pop() {
+                        for s in f.successors(b, program, func) {
+                            if seen.insert(s) {
+                                extra.push(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Per-block predecessor lists for one function (intra-function edges only,
+/// including jump-table edges).
+pub fn predecessors(program: &Program, func: FuncId) -> Vec<Vec<usize>> {
+    let f = program.func(func);
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for bi in 0..f.blocks.len() {
+        for s in f.successors(bi, program, func) {
+            preds[s].push(bi);
+        }
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::lower;
+
+    fn program(src: &str) -> Program {
+        lower(&squash_isa::asm::assemble(src).unwrap()).unwrap()
+    }
+
+    const THREE_FUNCS: &str = r#"
+.text
+.func main
+main:
+    bsr ra, used
+    li a0, 0
+    exit
+.endfunc
+.func used
+used:
+    ret
+.endfunc
+.func dead
+dead:
+    bsr ra, used
+    ret
+.endfunc
+"#;
+
+    #[test]
+    fn call_graph_edges() {
+        let p = program(THREE_FUNCS);
+        let cg = call_graph(&p);
+        assert_eq!(cg[0], vec![FuncId(1)]);
+        assert!(cg[1].is_empty());
+        assert_eq!(cg[2], vec![FuncId(1)]);
+    }
+
+    #[test]
+    fn unreachable_function_detected() {
+        let p = program(THREE_FUNCS);
+        let r = reachable_funcs(&p);
+        assert!(r.contains(&FuncId(0)));
+        assert!(r.contains(&FuncId(1)));
+        assert!(!r.contains(&FuncId(2)));
+    }
+
+    #[test]
+    fn address_taken_functions_stay_reachable() {
+        let src = r#"
+.text
+.func main
+main:
+    li a0, 0
+    exit
+.endfunc
+.func pointee
+pointee:
+    ret
+.endfunc
+.data
+vtable: .word pointee
+"#;
+        let p = program(src);
+        assert!(reachable_funcs(&p).contains(&FuncId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_detected() {
+        let src = r#"
+.text
+.func main
+main:
+    br .Lend
+.Ldead:
+    li a0, 9
+    exit
+.Lend:
+    li a0, 0
+    exit
+.endfunc
+"#;
+        let p = program(src);
+        let r = reachable_blocks(&p, FuncId(0));
+        assert!(r.contains(&0));
+        assert!(!r.contains(&1), "dead block should be unreachable");
+        assert!(r.contains(&2));
+    }
+
+    #[test]
+    fn jump_table_blocks_reachable() {
+        let src = r#"
+.text
+.func main
+main:
+    la   t0, tbl
+    ldl  t0, 0(t0)
+    jmp  (t0) !jtable tbl
+.Lcase0:
+    li a0, 0
+    exit
+.Lcase1:
+    li a0, 1
+    exit
+.endfunc
+.data
+tbl: .word .Lcase0
+     .word .Lcase1
+"#;
+        let p = program(src);
+        let r = reachable_blocks(&p, FuncId(0));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn predecessors_follow_edges() {
+        let src = r#"
+.text
+.func main
+main:
+    li t0, 3
+.Lloop:
+    sub t0, 1, t0
+    bne t0, .Lloop
+    li a0, 0
+    exit
+.endfunc
+"#;
+        let p = program(src);
+        let preds = predecessors(&p, FuncId(0));
+        assert_eq!(preds[0], Vec::<usize>::new());
+        let mut loop_preds = preds[1].clone();
+        loop_preds.sort_unstable();
+        assert_eq!(loop_preds, vec![0, 1]);
+        assert_eq!(preds[2], vec![1]);
+    }
+
+    #[test]
+    fn tail_jump_counts_as_call_edge() {
+        let src = r#"
+.text
+.func main
+main:
+    br tailee
+.endfunc
+.func tailee
+tailee:
+    li a0, 0
+    exit
+.endfunc
+"#;
+        let p = program(src);
+        assert_eq!(call_graph(&p)[0], vec![FuncId(1)]);
+        assert!(reachable_funcs(&p).contains(&FuncId(1)));
+    }
+}
+
+/// Renders one function's control-flow graph in Graphviz `dot` format —
+/// handy for inspecting what region formation sees.
+pub fn function_to_dot(program: &Program, func: FuncId) -> String {
+    use std::fmt::Write as _;
+    let f = program.func(func);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", f.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=monospace];");
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let label = if b.labels.is_empty() {
+            format!("b{bi}")
+        } else {
+            format!("b{bi}\\n{}", b.labels.join(","))
+        };
+        let _ = writeln!(
+            out,
+            "  b{bi} [label=\"{label}\\n{} instr\"];",
+            b.insts.len()
+        );
+        for s in f.successors(bi, program, func) {
+            let _ = writeln!(out, "  b{bi} -> b{s};");
+        }
+        // Interprocedural edges as dashed notes.
+        use crate::ir::{JumpTarget, Term};
+        if let Term::Jump {
+            target: JumpTarget::Func(g),
+        }
+        | Term::Cond {
+            target: JumpTarget::Func(g),
+            ..
+        } = &b.term
+        {
+            let _ = writeln!(
+                out,
+                "  b{bi} -> \"{}\" [style=dashed];",
+                program.func(*g).name
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::build::lower;
+
+    #[test]
+    fn dot_output_contains_blocks_and_edges() {
+        let src = "\
+.text
+.func main
+main:
+    li t0, 3
+.Lloop:
+    sub t0, 1, t0
+    bne t0, .Lloop
+    li a0, 0
+    exit
+.endfunc
+";
+        let p = lower(&squash_isa::asm::assemble(src).unwrap()).unwrap();
+        let dot = function_to_dot(&p, p.entry);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("b0 -> b1"));
+        assert!(dot.contains("b1 -> b1"), "self loop edge: {dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,476 @@
+//! The relocatable program form.
+
+use squash_isa::{BraOp, Inst, Reg};
+use std::fmt;
+
+/// Identifies a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub usize);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// A symbol reference from code or data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymRef {
+    /// A function's entry address.
+    Func(FuncId),
+    /// A data definition's address (index into [`Program::data`]).
+    Data(usize),
+    /// A basic block's address (jump-table targets).
+    Block(FuncId, usize),
+}
+
+/// Relocation carried by an in-block instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockReloc {
+    /// `ldah`: high 16 (carry-adjusted) bits of the symbol's address.
+    Hi(SymRef),
+    /// `lda`: low 16 bits of the symbol's address.
+    Lo(SymRef),
+}
+
+/// One straight-line instruction inside a block.
+///
+/// Direct calls (`bsr ra, f`) appear in-block (they return), carrying their
+/// callee symbolically in `call`; the encoded displacement is filled at link
+/// time. All other control transfers are block [`Term`]inators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PInst {
+    /// The instruction template. For calls this is the `bsr` with zero
+    /// displacement; for `Hi`/`Lo` relocs the 16-bit field is an addend.
+    pub inst: Inst,
+    /// Address relocation, if any.
+    pub reloc: Option<BlockReloc>,
+    /// Callee for a direct call.
+    pub call: Option<FuncId>,
+}
+
+impl PInst {
+    /// A plain instruction.
+    pub fn plain(inst: Inst) -> PInst {
+        PInst {
+            inst,
+            reloc: None,
+            call: None,
+        }
+    }
+
+    /// A direct call to `callee` linking through `ra`.
+    pub fn call(ra: Reg, callee: FuncId) -> PInst {
+        PInst {
+            inst: Inst::Bra {
+                op: BraOp::Bsr,
+                ra,
+                disp: 0,
+            },
+            reloc: None,
+            call: Some(callee),
+        }
+    }
+
+    /// Whether this is a direct call.
+    pub fn is_call(&self) -> bool {
+        self.call.is_some()
+    }
+}
+
+/// The destination of a direct control transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JumpTarget {
+    /// A block in the same function.
+    Block(usize),
+    /// Another function's entry (a tail jump).
+    Func(FuncId),
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// Fall through to block `next` (no instruction unless the blocks end up
+    /// non-adjacent, in which case the linker materialises a `br`).
+    Fall {
+        /// The next block index.
+        next: usize,
+    },
+    /// Unconditional branch.
+    Jump {
+        /// Where to.
+        target: JumpTarget,
+    },
+    /// Conditional branch; falls through to `fall` when not taken.
+    Cond {
+        /// The branch operation (must be conditional).
+        op: BraOp,
+        /// The tested register.
+        ra: Reg,
+        /// Taken target.
+        target: JumpTarget,
+        /// Fall-through block index.
+        fall: usize,
+    },
+    /// Indirect jump through `rb`. If the jump dispatches through a known
+    /// jump table, `table` is the index of the table's data definition, whose
+    /// [`AddrTarget::Block`] entries are the possible targets; `None` means
+    /// the extent is unknown (such blocks are never compressible, §6.2).
+    IndirectJump {
+        /// Register holding the target address.
+        rb: Reg,
+        /// The jump table's data definition, if known.
+        table: Option<usize>,
+    },
+    /// Return: `jmp zero, (rb)` where `rb` holds a return address.
+    Ret {
+        /// The register holding the return address (usually `ra`).
+        rb: Reg,
+    },
+    /// Program exit (`exit` service).
+    Exit,
+    /// Machine halt (`halt` service).
+    Halt,
+}
+
+impl Term {
+    /// Direct intra-function successor block indices (excludes
+    /// interprocedural edges and indirect-jump targets; see
+    /// [`Function::successors`] for the full set).
+    pub fn direct_successors(&self) -> Vec<usize> {
+        match self {
+            Term::Fall { next } => vec![*next],
+            Term::Jump {
+                target: JumpTarget::Block(b),
+            } => vec![*b],
+            Term::Jump { .. } => vec![],
+            Term::Cond { target, fall, .. } => {
+                let mut v = vec![*fall];
+                if let JumpTarget::Block(b) = target {
+                    if b != fall {
+                        v.push(*b);
+                    }
+                }
+                v
+            }
+            Term::IndirectJump { .. } | Term::Ret { .. } | Term::Exit | Term::Halt => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Source labels attached to this block (used to resolve jump-table
+    /// entries and for diagnostics).
+    pub labels: Vec<String>,
+    /// The straight-line body (may contain calls).
+    pub insts: Vec<PInst>,
+    /// How the block ends.
+    pub term: Term,
+}
+
+impl Block {
+    /// The number of instruction words this block occupies when its
+    /// fall-through successor is laid out immediately after it (the paper's
+    /// `|b|`). A non-adjacent fall-through costs one extra `br` at link time.
+    pub fn size_words(&self) -> u32 {
+        self.insts.len() as u32 + self.term_words(true)
+    }
+
+    /// Terminator size in words given whether the fall-through successor (if
+    /// any) is adjacent in the final layout.
+    pub fn term_words(&self, fall_adjacent: bool) -> u32 {
+        match &self.term {
+            Term::Fall { .. } => u32::from(!fall_adjacent),
+            Term::Jump { .. } => 1,
+            Term::Cond { .. } => 1 + u32::from(!fall_adjacent),
+            Term::IndirectJump { .. } | Term::Ret { .. } | Term::Exit | Term::Halt => 1,
+        }
+    }
+}
+
+/// A function: an entry block (index 0) plus the rest of its blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The function's global name.
+    pub name: String,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// All intra-function successor block indices of `block`, including
+    /// known jump-table targets (which need the [`Program`] for table
+    /// contents).
+    pub fn successors(&self, block: usize, program: &Program, me: FuncId) -> Vec<usize> {
+        let mut succ = self.blocks[block].term.direct_successors();
+        if let Term::IndirectJump {
+            table: Some(t), ..
+        } = &self.blocks[block].term
+        {
+            for item in &program.data[*t].items {
+                if let DataItem::Addr(AddrTarget::Block(f, b)) = item {
+                    if *f == me && !succ.contains(b) {
+                        succ.push(*b);
+                    }
+                }
+            }
+        }
+        succ
+    }
+
+    /// Total instruction words of the function under adjacent layout.
+    pub fn size_words(&self) -> u32 {
+        self.blocks.iter().map(Block::size_words).sum()
+    }
+}
+
+/// The resolved referent of an address word in data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrTarget {
+    /// A function entry.
+    Func(FuncId),
+    /// A basic block (jump-table entry).
+    Block(FuncId, usize),
+    /// Another data definition.
+    Data(usize),
+}
+
+/// An element of a data definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataItem {
+    /// 64-bit constant.
+    Quad(i64),
+    /// 32-bit constant.
+    Word(i32),
+    /// Single byte.
+    Byte(u8),
+    /// 32-bit address word, resolved at link time.
+    Addr(AddrTarget),
+    /// `n` zero bytes.
+    Space(u32),
+}
+
+impl DataItem {
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            DataItem::Quad(_) => 8,
+            DataItem::Word(_) | DataItem::Addr(_) => 4,
+            DataItem::Byte(_) => 1,
+            DataItem::Space(n) => *n,
+        }
+    }
+}
+
+/// A labelled, aligned data definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataDef {
+    /// The data symbol.
+    pub label: String,
+    /// Alignment in bytes.
+    pub align: u32,
+    /// Contents.
+    pub items: Vec<DataItem>,
+}
+
+impl DataDef {
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.items.iter().map(DataItem::size).sum()
+    }
+}
+
+/// A whole relocatable program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// Data definitions.
+    pub data: Vec<DataDef>,
+    /// The entry function (conventionally `_start` or `main`).
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// The function with the given id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0]
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId)
+    }
+
+    /// Total instruction words across all functions (the paper's
+    /// "instructions" code-size metric).
+    pub fn text_words(&self) -> u32 {
+        self.funcs.iter().map(Function::size_words).sum()
+    }
+
+    /// Iterates over `(FuncId, &Function)` pairs.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squash_isa::AluOp;
+
+    fn nop_pinst() -> PInst {
+        PInst::plain(Inst::NOP)
+    }
+
+    #[test]
+    fn block_sizes_account_for_terminators() {
+        let b = Block {
+            labels: vec![],
+            insts: vec![nop_pinst(), nop_pinst()],
+            term: Term::Fall { next: 1 },
+        };
+        assert_eq!(b.size_words(), 2);
+        assert_eq!(b.term_words(false), 1);
+        let b = Block {
+            labels: vec![],
+            insts: vec![nop_pinst()],
+            term: Term::Cond {
+                op: BraOp::Beq,
+                ra: Reg::V0,
+                target: JumpTarget::Block(3),
+                fall: 1,
+            },
+        };
+        assert_eq!(b.size_words(), 2);
+        assert_eq!(b.term_words(false), 2);
+        let b = Block {
+            labels: vec![],
+            insts: vec![],
+            term: Term::Ret { rb: Reg::RA },
+        };
+        assert_eq!(b.size_words(), 1);
+    }
+
+    #[test]
+    fn direct_successors() {
+        let t = Term::Cond {
+            op: BraOp::Bne,
+            ra: Reg::T0,
+            target: JumpTarget::Block(5),
+            fall: 2,
+        };
+        assert_eq!(t.direct_successors(), vec![2, 5]);
+        let t = Term::Cond {
+            op: BraOp::Bne,
+            ra: Reg::T0,
+            target: JumpTarget::Block(2),
+            fall: 2,
+        };
+        assert_eq!(t.direct_successors(), vec![2]);
+        assert!(Term::Ret { rb: Reg::RA }.direct_successors().is_empty());
+        assert_eq!(
+            Term::Jump {
+                target: JumpTarget::Func(FuncId(1))
+            }
+            .direct_successors(),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn jump_table_successors_resolve_through_data() {
+        let f = Function {
+            name: "f".into(),
+            blocks: vec![
+                Block {
+                    labels: vec![],
+                    insts: vec![],
+                    term: Term::IndirectJump {
+                        rb: Reg::T0,
+                        table: Some(0),
+                    },
+                },
+                Block {
+                    labels: vec![".L1".into()],
+                    insts: vec![],
+                    term: Term::Ret { rb: Reg::RA },
+                },
+                Block {
+                    labels: vec![".L2".into()],
+                    insts: vec![],
+                    term: Term::Ret { rb: Reg::RA },
+                },
+            ],
+        };
+        let program = Program {
+            funcs: vec![f],
+            data: vec![DataDef {
+                label: "tbl".into(),
+                align: 8,
+                items: vec![
+                    DataItem::Addr(AddrTarget::Block(FuncId(0), 1)),
+                    DataItem::Addr(AddrTarget::Block(FuncId(0), 2)),
+                ],
+            }],
+            entry: FuncId(0),
+        };
+        let succ = program.funcs[0].successors(0, &program, FuncId(0));
+        assert_eq!(succ, vec![1, 2]);
+    }
+
+    #[test]
+    fn call_pinst_shape() {
+        let c = PInst::call(Reg::RA, FuncId(3));
+        assert!(c.is_call());
+        assert!(matches!(
+            c.inst,
+            Inst::Bra {
+                op: BraOp::Bsr,
+                ra: Reg::RA,
+                disp: 0
+            }
+        ));
+        assert!(!PInst::plain(Inst::Opr {
+            func: AluOp::Add,
+            ra: Reg::V0,
+            rb: Reg::V0,
+            rc: Reg::V0
+        })
+        .is_call());
+    }
+
+    #[test]
+    fn program_lookup_helpers() {
+        let program = Program {
+            funcs: vec![
+                Function {
+                    name: "a".into(),
+                    blocks: vec![Block {
+                        labels: vec![],
+                        insts: vec![nop_pinst()],
+                        term: Term::Exit,
+                    }],
+                },
+                Function {
+                    name: "b".into(),
+                    blocks: vec![Block {
+                        labels: vec![],
+                        insts: vec![],
+                        term: Term::Ret { rb: Reg::RA },
+                    }],
+                },
+            ],
+            data: vec![],
+            entry: FuncId(0),
+        };
+        assert_eq!(program.func_by_name("b"), Some(FuncId(1)));
+        assert_eq!(program.func_by_name("c"), None);
+        assert_eq!(program.text_words(), 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! # squash-cfg — relocatable program form, CFGs and the linker
+//!
+//! The paper's binary-rewriting tools (*squeeze*, *squash*) operate on
+//! statically linked Alpha executables **with relocation information**, which
+//! is what lets them recover symbolic branch targets and move code around.
+//! This crate keeps that same information explicit instead: a [`Program`] is
+//! a set of [`Function`]s, each a list of basic [`Block`]s whose control
+//! transfers are symbolic ([`Term`], [`JumpTarget`]), plus data definitions
+//! whose address words ([`AddrTarget`]) are symbolic too.
+//!
+//! * [`build::lower`] turns an assembled [`squash_isa::asm::Module`] into a
+//!   `Program`, discovering basic-block leaders and jump tables;
+//! * [`link::link`] lays a `Program` out into a concrete [`link::LinkedImage`]
+//!   (text + data bytes, symbol table, per-block addresses) runnable on
+//!   `squash-vm`;
+//! * [`graph`] provides the call graph and reachability used by the
+//!   compactors.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use squash_cfg::{build, link};
+//!
+//! let module = squash_isa::asm::assemble(
+//!     ".text\n.func main\nmain:\n  li a0, 0\n  exit\n.endfunc\n",
+//! )?;
+//! let program = build::lower(&module)?;
+//! let image = link::link(&program, &link::LinkOptions::default())?;
+//! assert!(image.text_words() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod graph;
+mod ir;
+pub mod link;
+
+pub use ir::{
+    AddrTarget, Block, BlockReloc, DataDef, DataItem, FuncId, Function, JumpTarget, PInst,
+    Program, SymRef, Term,
+};

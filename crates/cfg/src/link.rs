@@ -1,0 +1,615 @@
+//! Laying a [`Program`] out into a runnable image.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use squash_isa::{BraOp, Inst, PalOp, Reg};
+
+use crate::ir::{
+    AddrTarget, Block, BlockReloc, DataItem, FuncId, JumpTarget, Program, SymRef, Term,
+};
+
+/// Linker configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkOptions {
+    /// Base address of the text segment (word-aligned).
+    pub text_base: u32,
+}
+
+impl Default for LinkOptions {
+    fn default() -> LinkOptions {
+        LinkOptions { text_base: 0x1000 }
+    }
+}
+
+/// A linking failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// A fully laid-out program: concrete text and data bytes plus the address
+/// maps the rewriting tools need (function extents, per-block addresses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkedImage {
+    /// Base address of text.
+    pub text_base: u32,
+    /// Text segment as instruction words.
+    pub text: Vec<u32>,
+    /// Base address of data.
+    pub data_base: u32,
+    /// Data segment bytes.
+    pub data: Vec<u8>,
+    /// Entry point address.
+    pub entry: u32,
+    /// Per-function `(start, end)` byte addresses (end exclusive).
+    pub func_ranges: Vec<(u32, u32)>,
+    /// Per-function, per-block start addresses.
+    pub block_addrs: Vec<Vec<u32>>,
+    /// Per-data-definition start addresses.
+    pub data_addrs: Vec<u32>,
+}
+
+impl LinkedImage {
+    /// Number of instruction words in the text segment (the code-size metric
+    /// used throughout the evaluation).
+    pub fn text_words(&self) -> usize {
+        self.text.len()
+    }
+
+    /// The loadable segments: `(base_address, bytes)` pairs.
+    pub fn segments(&self) -> Vec<(u32, Vec<u8>)> {
+        let text_bytes: Vec<u8> = self.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        vec![(self.text_base, text_bytes), (self.data_base, self.data.clone())]
+    }
+
+    /// Minimum VM memory size (in bytes) able to hold the image plus
+    /// `headroom` bytes of stack/heap.
+    pub fn min_mem_size(&self, headroom: usize) -> usize {
+        (self.data_base as usize + self.data.len() + headroom).next_power_of_two()
+    }
+
+    /// Maps a PC to the `(function, block)` containing it.
+    pub fn block_of_pc(&self, pc: u32) -> Option<(FuncId, usize)> {
+        let fi = self
+            .func_ranges
+            .iter()
+            .position(|&(s, e)| pc >= s && pc < e)?;
+        let blocks = &self.block_addrs[fi];
+        // Blocks are laid out in order; find the last block starting <= pc.
+        let mut found = None;
+        for (bi, &addr) in blocks.iter().enumerate() {
+            if addr <= pc {
+                found = Some(bi);
+            }
+        }
+        found.map(|bi| (FuncId(fi), bi))
+    }
+}
+
+/// Lays out and encodes a program.
+///
+/// Blocks are emitted in their in-function order; a fall-through to the
+/// lexically next block costs zero instructions, any other fall-through
+/// materialises a `br`.
+///
+/// # Errors
+///
+/// Fails if a branch displacement overflows its 21-bit field or an address
+/// does not fit the `ldah`/`lda` split (neither can occur at the address-
+/// space sizes used here, but the checks are real).
+pub fn link(program: &Program, options: &LinkOptions) -> Result<LinkedImage, LinkError> {
+    if !options.text_base.is_multiple_of(4) {
+        return Err(LinkError {
+            message: "text base must be word-aligned".into(),
+        });
+    }
+    // Pass 1: sizes and addresses.
+    let mut block_addrs: Vec<Vec<u32>> = Vec::with_capacity(program.funcs.len());
+    let mut func_ranges: Vec<(u32, u32)> = Vec::with_capacity(program.funcs.len());
+    let mut cursor = options.text_base;
+    for f in &program.funcs {
+        let start = cursor;
+        let mut addrs = Vec::with_capacity(f.blocks.len());
+        for (bi, b) in f.blocks.iter().enumerate() {
+            addrs.push(cursor);
+            cursor += 4 * block_emitted_words(b, bi);
+        }
+        block_addrs.push(addrs);
+        func_ranges.push((start, cursor));
+    }
+    let text_end = cursor;
+    let data_base = (text_end + 7) & !7;
+
+    // Data addresses.
+    let mut data_addrs = Vec::with_capacity(program.data.len());
+    let mut dcursor = data_base;
+    for d in &program.data {
+        dcursor = align_up(dcursor, d.align.max(1));
+        data_addrs.push(dcursor);
+        dcursor += d.size();
+    }
+
+    let sym_addr = |sym: SymRef| -> u32 {
+        match sym {
+            SymRef::Func(f) => func_ranges[f.0].0,
+            SymRef::Data(d) => data_addrs[d],
+            SymRef::Block(f, b) => block_addrs[f.0][b],
+        }
+    };
+
+    // Pass 2: emit text.
+    let mut text: Vec<u32> = Vec::with_capacity(((text_end - options.text_base) / 4) as usize);
+    for (fi, f) in program.funcs.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut pc = block_addrs[fi][bi];
+            for pi in &b.insts {
+                let word = encode_pinst(pi, pc, &func_ranges, &sym_addr)?;
+                text.push(word);
+                pc += 4;
+            }
+            let target_addr = |t: &JumpTarget| -> u32 {
+                match t {
+                    JumpTarget::Block(b) => block_addrs[fi][*b],
+                    JumpTarget::Func(f) => func_ranges[f.0].0,
+                }
+            };
+            match &b.term {
+                Term::Fall { next } => {
+                    if *next != bi + 1 {
+                        text.push(encode_branch(BraOp::Br, Reg::ZERO, pc, block_addrs[fi][*next])?);
+                    }
+                }
+                Term::Jump { target } => {
+                    text.push(encode_branch(BraOp::Br, Reg::ZERO, pc, target_addr(target))?);
+                }
+                Term::Cond {
+                    op,
+                    ra,
+                    target,
+                    fall,
+                } => {
+                    text.push(encode_branch(*op, *ra, pc, target_addr(target))?);
+                    pc += 4;
+                    if *fall != bi + 1 {
+                        text.push(encode_branch(BraOp::Br, Reg::ZERO, pc, block_addrs[fi][*fall])?);
+                    }
+                }
+                Term::IndirectJump { rb, .. } => {
+                    text.push(
+                        Inst::Jmp {
+                            ra: Reg::ZERO,
+                            rb: *rb,
+                            hint: 0,
+                        }
+                        .encode(),
+                    );
+                }
+                Term::Ret { rb } => {
+                    text.push(
+                        Inst::Jmp {
+                            ra: Reg::ZERO,
+                            rb: *rb,
+                            hint: 0,
+                        }
+                        .encode(),
+                    );
+                }
+                Term::Exit => text.push(Inst::Pal { func: PalOp::Exit }.encode()),
+                Term::Halt => text.push(Inst::Pal { func: PalOp::Halt }.encode()),
+            }
+        }
+    }
+    debug_assert_eq!(text.len() as u32 * 4, text_end - options.text_base);
+
+    // Pass 3: emit data.
+    let mut data = vec![0u8; (dcursor - data_base) as usize];
+    for (di, d) in program.data.iter().enumerate() {
+        let mut off = (data_addrs[di] - data_base) as usize;
+        for item in &d.items {
+            match item {
+                DataItem::Quad(v) => {
+                    data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                DataItem::Word(v) => {
+                    data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+                }
+                DataItem::Byte(v) => data[off] = *v,
+                DataItem::Space(_) => {}
+                DataItem::Addr(t) => {
+                    let addr = match t {
+                        AddrTarget::Func(f) => func_ranges[f.0].0,
+                        AddrTarget::Block(f, b) => block_addrs[f.0][*b],
+                        AddrTarget::Data(d2) => data_addrs[*d2],
+                    };
+                    data[off..off + 4].copy_from_slice(&addr.to_le_bytes());
+                }
+            }
+            off += item.size() as usize;
+        }
+    }
+
+    Ok(LinkedImage {
+        text_base: options.text_base,
+        text,
+        data_base,
+        data,
+        entry: func_ranges[program.entry.0].0,
+        func_ranges,
+        block_addrs,
+        data_addrs,
+    })
+}
+
+/// The number of words a block occupies in the layout (fall-through to the
+/// lexically next block is free).
+pub fn block_emitted_words(b: &Block, bi: usize) -> u32 {
+    let adjacent = match &b.term {
+        Term::Fall { next } => *next == bi + 1,
+        Term::Cond { fall, .. } => *fall == bi + 1,
+        _ => true,
+    };
+    b.insts.len() as u32 + b.term_words(adjacent)
+}
+
+fn align_up(v: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+/// Splits an address into the `(hi, lo)` pair reconstructed by
+/// `ldah rd, hi(zero); lda rd, lo(rd)`: `addr == hi * 65536 + sext(lo)`.
+///
+/// # Panics
+///
+/// Panics for addresses at or above `0x7FFF_8000`, where the carry-adjusted
+/// high half no longer fits 16 signed bits. Linked images live far below
+/// this.
+pub fn hi_lo_split(addr: u32) -> (i16, i16) {
+    assert!(addr < 0x7FFF_8000, "address {addr:#x} outside ldah/lda range");
+    let lo = addr as u16 as i16;
+    let hi = ((addr as i64 - lo as i64) >> 16) as i16;
+    (hi, lo)
+}
+
+fn encode_pinst(
+    pi: &crate::ir::PInst,
+    pc: u32,
+    func_ranges: &[(u32, u32)],
+    sym_addr: &impl Fn(SymRef) -> u32,
+) -> Result<u32, LinkError> {
+    if let Some(callee) = pi.call {
+        let Inst::Bra { op, ra, .. } = pi.inst else {
+            return Err(LinkError {
+                message: "call PInst is not a bsr".into(),
+            });
+        };
+        return encode_branch_word(op, ra, pc, func_ranges[callee.0].0);
+    }
+    match pi.reloc {
+        None => Ok(pi.inst.encode()),
+        Some(BlockReloc::Hi(sym)) => {
+            let (hi, _) = hi_lo_split(sym_addr(sym));
+            patch_mem_disp(pi.inst, hi)
+        }
+        Some(BlockReloc::Lo(sym)) => {
+            let (_, lo) = hi_lo_split(sym_addr(sym));
+            patch_mem_disp(pi.inst, lo)
+        }
+    }
+}
+
+fn patch_mem_disp(inst: Inst, disp: i16) -> Result<u32, LinkError> {
+    match inst {
+        Inst::Mem { op, ra, rb, disp: addend } => {
+            let total = disp as i32 + addend as i32;
+            let disp = i16::try_from(total).map_err(|_| LinkError {
+                message: format!("relocated displacement {total} overflows 16 bits"),
+            })?;
+            Ok(Inst::Mem { op, ra, rb, disp }.encode())
+        }
+        other => Err(LinkError {
+            message: format!("address relocation on non-memory instruction {other:?}"),
+        }),
+    }
+}
+
+fn encode_branch(op: BraOp, ra: Reg, pc: u32, target: u32) -> Result<u32, LinkError> {
+    encode_branch_word(op, ra, pc, target)
+}
+
+fn encode_branch_word(op: BraOp, ra: Reg, pc: u32, target: u32) -> Result<u32, LinkError> {
+    let disp = branch_disp(pc, target)?;
+    Ok(Inst::Bra { op, ra, disp }.encode())
+}
+
+/// The word displacement encoded in a branch at `pc` targeting `target`.
+///
+/// # Errors
+///
+/// Fails if the displacement overflows the 21-bit field.
+pub fn branch_disp(pc: u32, target: u32) -> Result<i32, LinkError> {
+    let delta = (target as i64) - (pc as i64 + 4);
+    if delta % 4 != 0 {
+        return Err(LinkError {
+            message: format!("misaligned branch target {target:#x}"),
+        });
+    }
+    let words = delta / 4;
+    if !(-(1 << 20)..(1 << 20)).contains(&words) {
+        return Err(LinkError {
+            message: format!("branch displacement {words} words out of range"),
+        });
+    }
+    Ok(words as i32)
+}
+
+/// Derives per-block execution frequencies from a per-PC profile: a block's
+/// frequency is the execution count of its first emitted instruction.
+/// Zero-size blocks inherit frequency 0 (they contribute no weight).
+pub fn block_frequencies(
+    image: &LinkedImage,
+    program: &Program,
+    counts: &impl Fn(u32) -> u64,
+) -> Vec<Vec<u64>> {
+    let mut out = Vec::with_capacity(program.funcs.len());
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let mut freqs = Vec::with_capacity(f.blocks.len());
+        for (bi, b) in f.blocks.iter().enumerate() {
+            if block_emitted_words(b, bi) == 0 {
+                freqs.push(0);
+            } else {
+                freqs.push(counts(image.block_addrs[fi][bi]));
+            }
+        }
+        out.push(freqs);
+    }
+    out
+}
+
+/// Convenience: assemble, lower and link source text in one step (used
+/// heavily by tests and examples).
+///
+/// # Errors
+///
+/// Returns the first error from assembly, lowering or linking, stringified.
+pub fn link_source(source: &str) -> Result<(Program, LinkedImage), String> {
+    let module = squash_isa::asm::assemble(source).map_err(|e| e.to_string())?;
+    let program = crate::build::lower(&module).map_err(|e| e.to_string())?;
+    let image = link(&program, &LinkOptions::default()).map_err(|e| e.to_string())?;
+    Ok((program, image))
+}
+
+/// Maps each function name to its id, for test convenience.
+pub fn name_map(program: &Program) -> HashMap<String, FuncId> {
+    program
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), FuncId(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squash_vm::Vm;
+
+    fn run(source: &str, input: &[u8]) -> (i64, Vec<u8>) {
+        let (_, image) = link_source(source).expect("link failed");
+        let mut vm = Vm::new(image.min_mem_size(1 << 16));
+        for (base, bytes) in image.segments() {
+            vm.write_bytes(base, &bytes);
+        }
+        vm.set_pc(image.entry);
+        vm.set_input(input.to_vec());
+        let out = vm.run().expect("program faulted");
+        (out.status, vm.take_output())
+    }
+
+    #[test]
+    fn hi_lo_split_reconstructs() {
+        for addr in [0u32, 1, 0x7FFF, 0x8000, 0xFFFF, 0x10000, 0x12345678, 0x7FFF_7FFF] {
+            let (hi, lo) = hi_lo_split(addr);
+            assert_eq!(hi as i64 * 65536 + lo as i64, addr as i64, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn loop_program_runs() {
+        let src = r#"
+.text
+.func main
+main:
+    li   t0, 5
+    li   t1, 0
+.Lloop:
+    add  t1, t0, t1
+    sub  t0, 1, t0
+    bne  t0, .Lloop
+    mov  t1, a0
+    exit
+.endfunc
+"#;
+        let (status, _) = run(src, &[]);
+        assert_eq!(status, 15);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let src = r#"
+.text
+.func main
+main:
+    lda  sp, -16(sp)
+    stq  ra, 0(sp)
+    li   a0, 20
+    bsr  ra, double
+    mov  v0, a0
+    ldq  ra, 0(sp)
+    lda  sp, 16(sp)
+    exit
+.endfunc
+.func double
+double:
+    add  a0, a0, v0
+    ret
+.endfunc
+"#;
+        let (status, _) = run(src, &[]);
+        assert_eq!(status, 40);
+    }
+
+    #[test]
+    fn globals_load_and_store() {
+        let src = r#"
+.text
+.func main
+main:
+    la   t0, counter
+    ldq  t1, 0(t0)
+    add  t1, 5, t1
+    stq  t1, 0(t0)
+    ldq  a0, 0(t0)
+    exit
+.endfunc
+.data
+counter: .quad 37
+"#;
+        let (status, _) = run(src, &[]);
+        assert_eq!(status, 42);
+    }
+
+    #[test]
+    fn jump_table_dispatch() {
+        let src = r#"
+.text
+.func main
+main:
+    readb                  # selector byte '0'..'2'
+    sub  v0, 48, t0
+    sll  t0, 2, t0         # t0 = idx * 4
+    la   t1, tbl
+    add  t1, t0, t1
+    ldl  t1, 0(t1)
+    jmp  (t1) !jtable tbl
+.Lcase0:
+    li a0, 100
+    exit
+.Lcase1:
+    li a0, 200
+    exit
+.Lcase2:
+    li a0, 300
+    exit
+.endfunc
+.data
+tbl: .word .Lcase0
+     .word .Lcase1
+     .word .Lcase2
+"#;
+        assert_eq!(run(src, b"0").0, 100);
+        assert_eq!(run(src, b"1").0, 200);
+        assert_eq!(run(src, b"2").0, 300);
+    }
+
+    #[test]
+    fn echo_via_io() {
+        let src = r#"
+.text
+.func main
+main:
+.Lloop:
+    readb
+    blt  v0, .Ldone
+    mov  v0, a0
+    writeb
+    br   .Lloop
+.Ldone:
+    li   a0, 0
+    exit
+.endfunc
+"#;
+        let (status, out) = run(src, b"squash");
+        assert_eq!(status, 0);
+        assert_eq!(out, b"squash");
+    }
+
+    #[test]
+    fn block_of_pc_maps_addresses() {
+        let src = r#"
+.text
+.func main
+main:
+    li t0, 1
+.Lb:
+    beq t0, .Lb
+    li a0, 0
+    exit
+.endfunc
+"#;
+        let (program, image) = link_source(src).unwrap();
+        let entry = image.entry;
+        assert_eq!(image.block_of_pc(entry), Some((FuncId(0), 0)));
+        let last = image.func_ranges[0].1 - 4;
+        let (f, b) = image.block_of_pc(last).unwrap();
+        assert_eq!(f, FuncId(0));
+        assert_eq!(b, program.funcs[0].blocks.len() - 1);
+        assert_eq!(image.block_of_pc(0xDEAD_BEEC), None);
+    }
+
+    #[test]
+    fn text_words_matches_program_estimate() {
+        let src = r#"
+.text
+.func main
+main:
+    li t0, 3
+.Lloop:
+    sub t0, 1, t0
+    bne t0, .Lloop
+    li a0, 0
+    exit
+.endfunc
+"#;
+        let (program, image) = link_source(src).unwrap();
+        // All fall-throughs here are adjacent, so the sizes agree exactly.
+        assert_eq!(program.text_words() as usize, image.text_words());
+    }
+
+    #[test]
+    fn block_frequencies_from_profile() {
+        let src = r#"
+.text
+.func main
+main:
+    li   t0, 7
+.Lloop:
+    sub  t0, 1, t0
+    bne  t0, .Lloop
+    li   a0, 0
+    exit
+.endfunc
+"#;
+        let (program, image) = link_source(src).unwrap();
+        let mut vm = Vm::new(image.min_mem_size(1 << 16));
+        for (base, bytes) in image.segments() {
+            vm.write_bytes(base, &bytes);
+        }
+        vm.set_pc(image.entry);
+        vm.enable_profile(image.text_base, image.text_words());
+        vm.run().unwrap();
+        let profile = vm.take_profile().unwrap();
+        let freqs = block_frequencies(&image, &program, &|pc| profile.count_at(pc));
+        assert_eq!(freqs[0], vec![1, 7, 1]);
+    }
+}

@@ -1,0 +1,193 @@
+//! MSB-first bit-level I/O over byte buffers.
+
+/// Accumulates bits most-significant-first into a byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use squash_compress::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xF, 4);
+/// let bytes = w.into_bytes();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert_eq!(r.read_bits(4).unwrap(), 0xF);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final, partial byte (0..8; 0 means byte-aligned).
+    partial: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends a single bit (any nonzero `bit` writes 1).
+    #[inline]
+    pub fn write_bit(&mut self, bit: u32) {
+        if self.partial == 0 {
+            self.bytes.push(0);
+        }
+        if bit != 0 {
+            let last = self.bytes.last_mut().expect("partial byte exists");
+            *last |= 1 << (7 - self.partial);
+        }
+        self.partial = (self.partial + 1) % 8;
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "cannot write more than 32 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1);
+        }
+    }
+
+    /// The number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        let full = self.bytes.len() as u64 * 8;
+        if self.partial == 0 {
+            full
+        } else {
+            full - (8 - self.partial as u64)
+        }
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns the
+    /// bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit position from the start of the slice.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Creates a reader positioned at bit `bit_offset`.
+    pub fn at_bit(bytes: &'a [u8], bit_offset: u64) -> BitReader<'a> {
+        BitReader {
+            bytes,
+            pos: bit_offset,
+        }
+    }
+
+    /// The number of bits consumed so far (relative to the start of the
+    /// slice). The decompressor's cycle cost model charges per bit read.
+    pub fn bits_read(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads one bit. Returns `None` at end of input.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u32> {
+        let byte = self.bytes.get((self.pos / 8) as usize)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit as u32)
+    }
+
+    /// Reads `count` bits into the low bits of the result, MSB-first.
+    /// Returns `None` if the input is exhausted first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn read_bits(&mut self, count: u32) -> Option<u32> {
+        assert!(count <= 32, "cannot read more than 32 bits at once");
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_writer_produces_nothing() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn single_bits_pack_msb_first() {
+        let mut w = BitWriter::new();
+        for b in [1, 0, 1, 1, 0, 0, 0, 1, 1] {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1011_0001, 0b1000_0000]);
+    }
+
+    #[test]
+    fn reader_stops_at_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        for _ in 0..8 {
+            assert_eq!(r.read_bit(), Some(1));
+        }
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.bits_read(), 8);
+    }
+
+    #[test]
+    fn read_bits_partial_failure_is_none() {
+        let mut r = BitReader::new(&[0xAA]);
+        assert_eq!(r.read_bits(9), None);
+    }
+
+    #[test]
+    fn at_bit_offsets_into_stream() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010_1010_1010, 12);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::at_bit(&bytes, 4);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1010);
+        assert_eq!(r.bits_read(), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(values in prop::collection::vec((any::<u32>(), 1u32..=32), 0..64)) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+                w.write_bits(masked, n);
+            }
+            let total: u64 = values.iter().map(|&(_, n)| n as u64).sum();
+            prop_assert_eq!(w.bit_len(), total);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &values {
+                let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+                prop_assert_eq!(r.read_bits(n), Some(masked));
+            }
+        }
+    }
+}

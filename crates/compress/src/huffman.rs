@@ -1,0 +1,541 @@
+//! Canonical Huffman coding (paper §3).
+//!
+//! A canonical Huffman code has the same codeword *lengths* as an ordinary
+//! Huffman code, but assigns the actual codewords by formula: the `N[i]`
+//! codewords of length `i` are the consecutive `i`-bit values
+//! `b_i, b_i+1, …, b_i+N[i]-1` where
+//!
+//! ```text
+//! b_1 = 0,    b_i = 2 (b_{i-1} + N[i-1])   for i ≥ 2.
+//! ```
+//!
+//! Decoding then needs only the `N[i]` array and the value array `D[j]`
+//! (symbols ordered by codeword), which is why the paper picks this scheme:
+//! the decompressor stays small and fast.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Errors from encoding or decoding with a [`CanonicalCode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// Tried to encode a value the code was not trained on.
+    NotInCode {
+        /// The offending value.
+        value: u32,
+    },
+    /// The bit stream ended in the middle of a codeword.
+    UnexpectedEof,
+    /// The bit stream contains a prefix that is no valid codeword.
+    Corrupt,
+}
+
+impl fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HuffmanError::NotInCode { value } => write!(f, "value {value} not in code"),
+            HuffmanError::UnexpectedEof => write!(f, "unexpected end of bit stream"),
+            HuffmanError::Corrupt => write!(f, "corrupt codeword sequence"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// A canonical Huffman code over `u32` symbol values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalCode {
+    /// `counts[i]` = `N[i]`, the number of codewords of length `i`
+    /// (`counts[0]` is always 0). Empty for a code over zero symbols.
+    counts: Vec<u32>,
+    /// `D[j]`: symbol values ordered by codeword value.
+    values: Vec<u32>,
+    /// Encoder side: symbol → (codeword, length).
+    enc: HashMap<u32, (u32, u32)>,
+}
+
+/// Codeword lengths above this trigger frequency rescaling during
+/// construction, keeping every codeword in a `u32`.
+const MAX_CODE_LEN: u32 = 31;
+
+impl CanonicalCode {
+    /// Builds the optimal canonical code for the given symbol frequencies.
+    /// Zero-frequency symbols are excluded from the code.
+    ///
+    /// Construction is deterministic: ties are broken by symbol value, so the
+    /// same frequencies always produce the same tables (a requirement for
+    /// reproducible compressed images).
+    pub fn from_frequencies(freqs: &HashMap<u32, u64>) -> CanonicalCode {
+        let mut symbols: Vec<(u32, u64)> = freqs
+            .iter()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(&v, &f)| (v, f))
+            .collect();
+        symbols.sort_unstable();
+        if symbols.is_empty() {
+            return CanonicalCode {
+                counts: Vec::new(),
+                values: Vec::new(),
+                enc: HashMap::new(),
+            };
+        }
+        let mut lengths = code_lengths(&symbols);
+        // Length-limit by rescaling: astronomically skewed frequencies could
+        // otherwise exceed 31 bits.
+        while lengths.iter().copied().max().unwrap_or(0) > MAX_CODE_LEN {
+            symbols = symbols.iter().map(|&(v, f)| (v, f / 2 + 1)).collect();
+            lengths = code_lengths(&symbols);
+        }
+        Self::from_lengths(symbols.iter().map(|&(v, _)| v).zip(lengths.iter().copied()))
+    }
+
+    /// Builds a canonical code from explicit `(symbol, length)` pairs
+    /// (lengths must satisfy the Kraft equality, as Huffman lengths do).
+    fn from_lengths(pairs: impl IntoIterator<Item = (u32, u32)>) -> CanonicalCode {
+        let mut pairs: Vec<(u32, u32)> = pairs.into_iter().collect();
+        if pairs.is_empty() {
+            return CanonicalCode {
+                counts: Vec::new(),
+                values: Vec::new(),
+                enc: HashMap::new(),
+            };
+        }
+        // Canonical order: by length, then by symbol value.
+        pairs.sort_unstable_by_key(|&(v, len)| (len, v));
+        let max_len = pairs.last().map(|&(_, len)| len).unwrap_or(0);
+        let mut counts = vec![0u32; (max_len + 1) as usize];
+        for &(_, len) in &pairs {
+            counts[len as usize] += 1;
+        }
+        // b_i per the paper's recurrence.
+        let mut first = vec![0u32; (max_len + 2) as usize];
+        for i in 2..=(max_len as usize + 1) {
+            first[i] = 2 * (first[i - 1] + counts.get(i - 1).copied().unwrap_or(0));
+        }
+        let mut enc = HashMap::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut next = first.clone();
+        for &(v, len) in &pairs {
+            let code = next[len as usize];
+            next[len as usize] += 1;
+            enc.insert(v, (code, len));
+            values.push(v);
+        }
+        CanonicalCode { counts, values, enc }
+    }
+
+    /// The number of distinct symbols in the code.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the code contains no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The `N[i]` array (index 0 unused). Exposed for table-size accounting
+    /// and tests of the canonical structure.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The `D[j]` array: symbols in codeword order.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// The codeword for `value` as `(code, length)`, if present.
+    pub fn codeword(&self, value: u32) -> Option<(u32, u32)> {
+        self.enc.get(&value).copied()
+    }
+
+    /// Encodes one symbol into `w`.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::NotInCode`] if the value was not in the training
+    /// frequencies.
+    pub fn encode(&self, value: u32, w: &mut BitWriter) -> Result<(), HuffmanError> {
+        let &(code, len) = self
+            .enc
+            .get(&value)
+            .ok_or(HuffmanError::NotInCode { value })?;
+        w.write_bits(code, len);
+        Ok(())
+    }
+
+    /// Decodes one symbol from `r` using the paper's `DECODE()` loop:
+    ///
+    /// ```text
+    /// v ← 0, b ← 0, j ← 0, i ← 0
+    /// do
+    ///     v ← 2v + NEXTBIT()
+    ///     b ← 2(b + N[i])
+    ///     j ← j + N[i]
+    ///     i ← i + 1
+    /// while (v ≥ b + N[i])
+    /// return D[j + v − b]
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::UnexpectedEof`] if the stream ends mid-codeword,
+    /// [`HuffmanError::Corrupt`] if no codeword matches.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
+        if self.counts.is_empty() {
+            return Err(HuffmanError::Corrupt);
+        }
+        let max_len = self.counts.len() - 1;
+        let mut v: u32 = 0;
+        let mut b: u32 = 0;
+        let mut j: u32 = 0;
+        let mut i: usize = 0;
+        loop {
+            let bit = r.read_bit().ok_or(HuffmanError::UnexpectedEof)?;
+            v = 2 * v + bit;
+            b = 2 * (b + self.counts[i]);
+            j += self.counts[i];
+            i += 1;
+            let n_i = self.counts.get(i).copied().unwrap_or(0);
+            if v < b + n_i {
+                break;
+            }
+            if i >= max_len {
+                return Err(HuffmanError::Corrupt);
+            }
+        }
+        self.values
+            .get((j + v - b) as usize)
+            .copied()
+            .ok_or(HuffmanError::Corrupt)
+    }
+
+    /// Serializes the code tables: the `N[i]` array (LEB128 varints) and the
+    /// `D[j]` array packed at `value_bits` bits per symbol. This is the
+    /// "code representation and value list" the paper counts as part of the
+    /// compressed program's size.
+    pub fn serialize(&self, value_bits: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.counts.len().saturating_sub(1) as u64);
+        for &c in self.counts.iter().skip(1) {
+            write_varint(&mut out, c as u64);
+        }
+        let mut w = BitWriter::new();
+        for &v in &self.values {
+            w.write_bits(v, value_bits);
+        }
+        out.extend_from_slice(&w.into_bytes());
+        out
+    }
+
+    /// Reconstructs a code from [`CanonicalCode::serialize`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::Corrupt`] on malformed input.
+    pub fn deserialize(bytes: &[u8], value_bits: u32) -> Result<CanonicalCode, HuffmanError> {
+        let mut pos = 0usize;
+        let max_len = read_varint(bytes, &mut pos).ok_or(HuffmanError::Corrupt)? as usize;
+        let mut counts = vec![0u32; max_len + 1];
+        let mut total = 0u64;
+        for c in counts.iter_mut().skip(1) {
+            let v = read_varint(bytes, &mut pos).ok_or(HuffmanError::Corrupt)?;
+            *c = u32::try_from(v).map_err(|_| HuffmanError::Corrupt)?;
+            total += v;
+        }
+        let mut r = BitReader::at_bit(&bytes[pos..], 0);
+        let mut pairs = Vec::with_capacity(total as usize);
+        for (len, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                // Value order within a length class is codeword order; the
+                // exact symbols come from the packed D array below.
+                pairs.push(len as u32);
+            }
+        }
+        let mut symbol_lengths = Vec::with_capacity(total as usize);
+        for &len in &pairs {
+            let v = r.read_bits(value_bits).ok_or(HuffmanError::Corrupt)?;
+            symbol_lengths.push((v, len));
+        }
+        // D is stored in codeword order, which from_lengths re-derives by
+        // sorting (length, value); within a length the canonical order is by
+        // value, and serialize wrote them in that same order, so the
+        // round-trip is exact.
+        Ok(CanonicalCode::from_lengths(symbol_lengths))
+    }
+
+    /// The size in bytes of the serialized tables.
+    pub fn table_bytes(&self, value_bits: u32) -> u64 {
+        self.serialize(value_bits).len() as u64
+    }
+
+    /// Total encoded size in bits of a corpus with the given frequencies
+    /// (not counting tables). `None` if some value is absent from the code.
+    pub fn encoded_bits(&self, freqs: &HashMap<u32, u64>) -> Option<u64> {
+        let mut bits = 0u64;
+        for (&v, &f) in freqs {
+            if f == 0 {
+                continue;
+            }
+            let &(_, len) = self.enc.get(&v)?;
+            bits += len as u64 * f;
+        }
+        Some(bits)
+    }
+}
+
+/// Computes Huffman codeword lengths for `(symbol, freq)` pairs (freq > 0),
+/// deterministically (ties by earlier creation, i.e. by symbol order for
+/// leaves).
+fn code_lengths(symbols: &[(u32, u64)]) -> Vec<u32> {
+    let n = symbols.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1];
+    }
+    // Node arena: leaves first, then internal nodes.
+    let mut weight: Vec<u64> = symbols.iter().map(|&(_, f)| f).collect();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n).map(|i| Reverse((weight[i], i))).collect();
+    while heap.len() > 1 {
+        let Reverse((w1, i1)) = heap.pop().expect("heap nonempty");
+        let Reverse((w2, i2)) = heap.pop().expect("heap nonempty");
+        let idx = weight.len();
+        weight.push(w1 + w2);
+        parent.push(usize::MAX);
+        parent[i1] = idx;
+        parent[i2] = idx;
+        heap.push(Reverse((w1 + w2, idx)));
+    }
+    // Depth of each leaf = number of parent hops to the root.
+    (0..n)
+        .map(|leaf| {
+            let mut depth = 0;
+            let mut node = leaf;
+            while parent[node] != usize::MAX {
+                node = parent[node];
+                depth += 1;
+            }
+            depth.max(1)
+        })
+        .collect()
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn freqs(pairs: &[(u32, u64)]) -> HashMap<u32, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // N[2] = 3, N[3] = 1, N[5] = 4 gives codewords
+        // 00, 01, 10, 110, 11100, 11101, 11110, 11111 (paper §3).
+        let code = CanonicalCode::from_lengths(
+            [(0u32, 2), (1, 2), (2, 2), (3, 3), (4, 5), (5, 5), (6, 5), (7, 5)],
+        );
+        let expected = [
+            (0b00, 2),
+            (0b01, 2),
+            (0b10, 2),
+            (0b110, 3),
+            (0b11100, 5),
+            (0b11101, 5),
+            (0b11110, 5),
+            (0b11111, 5),
+        ];
+        for (sym, &(code_bits, len)) in (0u32..8).zip(&expected) {
+            assert_eq!(code.codeword(sym), Some((code_bits, len)), "symbol {sym}");
+        }
+        assert_eq!(code.counts(), &[0, 0, 3, 1, 0, 4]);
+    }
+
+    #[test]
+    fn single_symbol_code() {
+        let code = CanonicalCode::from_frequencies(&freqs(&[(42, 10)]));
+        assert_eq!(code.codeword(42), Some((0, 1)));
+        let mut w = BitWriter::new();
+        code.encode(42, &mut w).unwrap();
+        code.encode(42, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(code.decode(&mut r).unwrap(), 42);
+        assert_eq!(code.decode(&mut r).unwrap(), 42);
+    }
+
+    #[test]
+    fn empty_code_rejects_decode() {
+        let code = CanonicalCode::from_frequencies(&HashMap::new());
+        assert!(code.is_empty());
+        let mut r = BitReader::new(&[0]);
+        assert_eq!(code.decode(&mut r), Err(HuffmanError::Corrupt));
+    }
+
+    #[test]
+    fn encode_unknown_value_fails() {
+        let code = CanonicalCode::from_frequencies(&freqs(&[(1, 5), (2, 5)]));
+        let mut w = BitWriter::new();
+        assert_eq!(
+            code.encode(3, &mut w),
+            Err(HuffmanError::NotInCode { value: 3 })
+        );
+    }
+
+    #[test]
+    fn decode_eof_mid_codeword() {
+        let code = CanonicalCode::from_frequencies(&freqs(&[(1, 1), (2, 1), (3, 2)]));
+        let mut r = BitReader::new(&[]);
+        assert_eq!(code.decode(&mut r), Err(HuffmanError::UnexpectedEof));
+    }
+
+    #[test]
+    fn skewed_frequencies_give_shorter_codes_to_common_symbols() {
+        let code = CanonicalCode::from_frequencies(&freqs(&[(10, 1000), (20, 10), (30, 1)]));
+        let (_, common) = code.codeword(10).unwrap();
+        let (_, rare) = code.codeword(30).unwrap();
+        assert!(common < rare);
+    }
+
+    #[test]
+    fn zero_frequencies_excluded() {
+        let code = CanonicalCode::from_frequencies(&freqs(&[(1, 5), (2, 0)]));
+        assert_eq!(code.len(), 1);
+        assert_eq!(code.codeword(2), None);
+    }
+
+    #[test]
+    fn recurrence_structure_holds() {
+        let code =
+            CanonicalCode::from_frequencies(&freqs(&[(1, 50), (2, 30), (3, 10), (4, 5), (5, 5)]));
+        // Reconstruct b_i and check every codeword of length i lies in
+        // [b_i, b_i + N[i]).
+        let counts = code.counts();
+        let mut b = vec![0u32; counts.len() + 1];
+        for i in 2..=counts.len() {
+            b[i] = 2 * (b[i - 1] + counts.get(i - 1).copied().unwrap_or(0));
+        }
+        for &v in code.values() {
+            let (cw, len) = code.codeword(v).unwrap();
+            let i = len as usize;
+            assert!(cw >= b[i] && cw < b[i] + counts[i], "codeword out of block");
+        }
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let f = freqs(&[(0, 100), (1, 50), (7, 25), (31, 12), (15, 6), (20, 1)]);
+        let code = CanonicalCode::from_frequencies(&f);
+        let bytes = code.serialize(5);
+        let restored = CanonicalCode::deserialize(&bytes, 5).unwrap();
+        assert_eq!(restored, code);
+    }
+
+    #[test]
+    fn encoded_bits_matches_actual_encoding() {
+        let f = freqs(&[(1, 10), (2, 7), (3, 3), (4, 1)]);
+        let code = CanonicalCode::from_frequencies(&f);
+        let predicted = code.encoded_bits(&f).unwrap();
+        let mut w = BitWriter::new();
+        for (&v, &count) in &f {
+            for _ in 0..count {
+                code.encode(v, &mut w).unwrap();
+            }
+        }
+        assert_eq!(w.bit_len(), predicted);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(pairs in prop::collection::hash_map(0u32..1000, 1u64..10_000, 1..50),
+                           msg in prop::collection::vec(any::<prop::sample::Index>(), 0..200)) {
+            let code = CanonicalCode::from_frequencies(&pairs);
+            let symbols: Vec<u32> = pairs.keys().copied().collect();
+            let msg: Vec<u32> = msg.iter().map(|ix| symbols[ix.index(symbols.len())]).collect();
+            let mut w = BitWriter::new();
+            for &s in &msg {
+                code.encode(s, &mut w).unwrap();
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &s in &msg {
+                prop_assert_eq!(code.decode(&mut r).unwrap(), s);
+            }
+        }
+
+        #[test]
+        fn prop_kraft_equality(pairs in prop::collection::hash_map(0u32..500, 1u64..1000, 1..40)) {
+            let code = CanonicalCode::from_frequencies(&pairs);
+            if pairs.len() > 1 {
+                // Huffman codes are complete: Kraft sum is exactly 1.
+                let mut sum = 0f64;
+                for &v in code.values() {
+                    let (_, len) = code.codeword(v).unwrap();
+                    sum += (0.5f64).powi(len as i32);
+                }
+                prop_assert!((sum - 1.0).abs() < 1e-9, "Kraft sum {sum}");
+            }
+        }
+
+        #[test]
+        fn prop_serialize_round_trip(pairs in prop::collection::hash_map(0u32..65536, 1u64..100, 1..60)) {
+            let code = CanonicalCode::from_frequencies(&pairs);
+            let bytes = code.serialize(16);
+            let restored = CanonicalCode::deserialize(&bytes, 16).unwrap();
+            prop_assert_eq!(restored, code);
+        }
+
+        #[test]
+        fn prop_optimality_vs_entropy(pairs in prop::collection::hash_map(0u32..100, 1u64..10_000, 2..30)) {
+            // Huffman is within 1 bit/symbol of the entropy bound.
+            let code = CanonicalCode::from_frequencies(&pairs);
+            let total: u64 = pairs.values().sum();
+            let entropy: f64 = pairs.values().map(|&f| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            }).sum();
+            let bits = code.encoded_bits(&pairs).unwrap() as f64 / total as f64;
+            prop_assert!(bits >= entropy - 1e-9, "below entropy: {bits} < {entropy}");
+            prop_assert!(bits <= entropy + 1.0 + 1e-9, "more than 1 bit over entropy");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # squash-compress — splitting-streams code compression
+//!
+//! The compression scheme of the paper's §3: a machine-code sequence is
+//! *split* into one stream per instruction field type (15 streams for
+//! SRA, matching the paper's Alpha count), each stream is Huffman-coded with
+//! a **canonical Huffman code** built for that stream, and the per-stream
+//! codeword sequences are *merged* back into a single bit sequence driven by
+//! the opcode stream: each instruction contributes its opcode codeword
+//! followed by the codewords of exactly the fields that opcode implies.
+//!
+//! Decompression therefore needs only the tables `N[i]` (number of codewords
+//! of length `i`) and `D[j]` (values ordered by codeword) per stream, and the
+//! tight `DECODE()` loop reproduced verbatim from the paper in
+//! [`CanonicalCode::decode`].
+//!
+//! A [`Mtf`] (move-to-front) pre-transform is available per stream, matching
+//! the paper's observation that MTF can help some streams at the price of a
+//! bigger, slower decompressor; it is off by default.
+//!
+//! # Examples
+//!
+//! ```
+//! use squash_isa::{AluOp, Inst, Reg};
+//! use squash_compress::StreamModel;
+//!
+//! let insts = vec![
+//!     Inst::Imm { func: AluOp::Add, ra: Reg::A0, lit: 1, rc: Reg::A0 },
+//!     Inst::Opr { func: AluOp::Sub, ra: Reg::A0, rb: Reg::A1, rc: Reg::V0 },
+//! ];
+//! let model = StreamModel::train(&[&insts]);
+//! let bits = model.compress_region(&insts).unwrap();
+//! let (decoded, _) = model.decompress_region(&bits, 0).unwrap();
+//! assert_eq!(decoded, insts);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitio;
+mod huffman;
+mod mtf;
+mod streams;
+
+pub use bitio::{BitReader, BitWriter};
+pub use huffman::{CanonicalCode, HuffmanError};
+pub use mtf::Mtf;
+pub use streams::{CompressError, StreamModel, StreamOptions, StreamStats};

@@ -1,0 +1,112 @@
+//! Move-to-front transformation.
+//!
+//! The paper (§3) notes that applying move-to-front coding before Huffman
+//! coding improves compression for some streams, at the cost of a larger and
+//! slower decompressor. The transform maps each value to its current rank in
+//! a recency list and moves it to the front; runs of recently-seen values
+//! become runs of small ranks, which Huffman then codes compactly.
+
+/// A stateful move-to-front coder over `u32` values.
+///
+/// The recency list starts empty; a value never seen before is transparently
+/// appended at the back (its first code is its would-be rank, i.e. the
+/// current list length), so encoder and decoder need no pre-agreed alphabet
+/// beyond the value itself on first use — the decoder learns new values from
+/// a side channel, which in the stream codec is the rank-to-value escape
+/// described at [`Mtf::decode`].
+///
+/// For the stream codec we use the simpler *primed* construction: the list is
+/// initialised with the stream's full alphabet in a canonical order shared by
+/// both sides ([`Mtf::with_alphabet`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Mtf {
+    list: Vec<u32>,
+}
+
+impl Mtf {
+    /// Creates a coder primed with `alphabet` (front of the list first).
+    /// Both sides must use the same alphabet order.
+    pub fn with_alphabet(alphabet: impl IntoIterator<Item = u32>) -> Mtf {
+        Mtf {
+            list: alphabet.into_iter().collect(),
+        }
+    }
+
+    /// Encodes one value as its current rank and moves it to the front.
+    ///
+    /// Returns `None` if the value is not in the list (not in the alphabet).
+    pub fn encode(&mut self, value: u32) -> Option<u32> {
+        let pos = self.list.iter().position(|&v| v == value)?;
+        self.list.remove(pos);
+        self.list.insert(0, value);
+        Some(pos as u32)
+    }
+
+    /// Decodes one rank back to its value and moves it to the front.
+    ///
+    /// Returns `None` if the rank is out of range.
+    pub fn decode(&mut self, rank: u32) -> Option<u32> {
+        let pos = rank as usize;
+        if pos >= self.list.len() {
+            return None;
+        }
+        let value = self.list.remove(pos);
+        self.list.insert(0, value);
+        Some(value)
+    }
+
+    /// The number of values currently in the list.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repeated_values_become_zeros() {
+        let mut m = Mtf::with_alphabet([10, 20, 30]);
+        assert_eq!(m.encode(20), Some(1));
+        assert_eq!(m.encode(20), Some(0));
+        assert_eq!(m.encode(20), Some(0));
+        assert_eq!(m.encode(10), Some(1));
+        assert_eq!(m.encode(30), Some(2));
+    }
+
+    #[test]
+    fn encode_unknown_value_is_none() {
+        let mut m = Mtf::with_alphabet([1, 2]);
+        assert_eq!(m.encode(3), None);
+    }
+
+    #[test]
+    fn decode_out_of_range_is_none() {
+        let mut m = Mtf::with_alphabet([1]);
+        assert_eq!(m.decode(1), None);
+        assert_eq!(m.decode(0), Some(1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(alphabet in prop::collection::hash_set(0u32..100, 1..20),
+                           picks in prop::collection::vec(any::<prop::sample::Index>(), 0..100)) {
+            let mut alphabet: Vec<u32> = alphabet.into_iter().collect();
+            alphabet.sort_unstable();
+            let msg: Vec<u32> = picks.iter().map(|ix| alphabet[ix.index(alphabet.len())]).collect();
+            let mut enc = Mtf::with_alphabet(alphabet.clone());
+            let mut dec = Mtf::with_alphabet(alphabet);
+            for &v in &msg {
+                let rank = enc.encode(v).unwrap();
+                prop_assert_eq!(dec.decode(rank), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Buffer-safe analysis (paper §6.1).
+//!
+//! A callee is *buffer-safe* when neither it nor anything it may transfer
+//! control to can invoke the decompressor. Calls from compressed code to
+//! buffer-safe callees need no restore stub and no expansion: the runtime
+//! buffer provably survives the call.
+//!
+//! The paper seeds the analysis with regions that are "clearly not
+//! buffer-safe" — compressed regions, and regions with indirect calls whose
+//! targets may be unsafe — and propagates unsafety backwards along control
+//! transfers until a fixpoint. We run the same fixpoint at function
+//! granularity (a function is unsafe as soon as any of its blocks is), which
+//! is sound and matches how the optimization is consumed: per call site, by
+//! callee.
+
+use std::collections::HashSet;
+
+use squash_cfg::{FuncId, JumpTarget, Program, Term};
+
+use crate::regions::Region;
+
+/// The set of buffer-safe functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferSafety {
+    safe: Vec<bool>,
+}
+
+impl BufferSafety {
+    /// Whether calls to `f` can leave the runtime buffer untouched.
+    pub fn is_safe(&self, f: FuncId) -> bool {
+        self.safe[f.0]
+    }
+
+    /// Number of buffer-safe functions.
+    pub fn count(&self) -> usize {
+        self.safe.iter().filter(|&&s| s).count()
+    }
+
+    /// Fraction of all functions that are buffer-safe (the §6.1 statistic).
+    pub fn fraction(&self) -> f64 {
+        self.count() as f64 / self.safe.len().max(1) as f64
+    }
+}
+
+/// Runs the analysis for a program partitioned by `regions`.
+pub fn analyze(program: &Program, regions: &[Region]) -> BufferSafety {
+    let n = program.funcs.len();
+    // Functions owning at least one compressed block.
+    let mut has_compressed = vec![false; n];
+    for r in regions {
+        for &(f, _) in &r.blocks {
+            has_compressed[f.0] = true;
+        }
+    }
+    // Seed: compressed functions and functions with indirect calls or
+    // indirect jumps of unknown extent (their continuations are unknown).
+    let mut unsafe_ = vec![false; n];
+    for (fi, f) in program.funcs.iter().enumerate() {
+        if has_compressed[fi] {
+            unsafe_[fi] = true;
+        }
+        for b in &f.blocks {
+            for pi in &b.insts {
+                if let squash_isa::Inst::Jmp { ra, .. } = pi.inst {
+                    if ra != squash_isa::Reg::ZERO {
+                        unsafe_[fi] = true; // indirect call, unknown target
+                    }
+                }
+            }
+            if matches!(b.term, Term::IndirectJump { table: None, .. }) {
+                unsafe_[fi] = true;
+            }
+        }
+    }
+    // Propagate backwards: a function that can transfer control into an
+    // unsafe function is unsafe.
+    let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); n]; // callee -> callers
+    for (fi, f) in program.funcs.iter().enumerate() {
+        for b in &f.blocks {
+            for pi in &b.insts {
+                if let Some(c) = pi.call {
+                    edges[c.0].insert(fi);
+                }
+            }
+            if let Term::Jump {
+                target: JumpTarget::Func(g),
+            }
+            | Term::Cond {
+                target: JumpTarget::Func(g),
+                ..
+            } = &b.term
+            {
+                edges[g.0].insert(fi);
+            }
+        }
+    }
+    let mut work: Vec<usize> = (0..n).filter(|&i| unsafe_[i]).collect();
+    while let Some(callee) = work.pop() {
+        for &caller in &edges[callee] {
+            if !unsafe_[caller] {
+                unsafe_[caller] = true;
+                work.push(caller);
+            }
+        }
+    }
+    BufferSafety {
+        safe: unsafe_.iter().map(|&u| !u).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        minicc::build_program(&[r#"
+            int leaf(int x) { return x * 2; }
+            int wraps_leaf(int x) { return leaf(x) + 1; }
+            int cold_fn(int x) { return x - 1; }
+            int calls_cold(int x) { return cold_fn(x); }
+            int main() { return wraps_leaf(getb()) + calls_cold(1); }
+        "#])
+        .unwrap()
+    }
+
+    fn region_over(program: &Program, name: &str) -> Region {
+        let f = program.func_by_name(name).unwrap();
+        Region {
+            blocks: (0..program.func(f).blocks.len()).map(|b| (f, b)).collect(),
+        }
+    }
+
+    #[test]
+    fn compressed_functions_are_unsafe() {
+        let p = program();
+        let regions = vec![region_over(&p, "cold_fn")];
+        let safety = analyze(&p, &regions);
+        assert!(!safety.is_safe(p.func_by_name("cold_fn").unwrap()));
+    }
+
+    #[test]
+    fn unsafety_propagates_to_callers() {
+        let p = program();
+        let regions = vec![region_over(&p, "cold_fn")];
+        let safety = analyze(&p, &regions);
+        assert!(!safety.is_safe(p.func_by_name("calls_cold").unwrap()));
+        assert!(!safety.is_safe(p.func_by_name("main").unwrap()));
+    }
+
+    #[test]
+    fn untouched_leaves_are_safe() {
+        let p = program();
+        let regions = vec![region_over(&p, "cold_fn")];
+        let safety = analyze(&p, &regions);
+        assert!(safety.is_safe(p.func_by_name("leaf").unwrap()));
+        assert!(safety.is_safe(p.func_by_name("wraps_leaf").unwrap()));
+        assert!(safety.count() >= 2);
+        assert!(safety.fraction() > 0.0);
+    }
+
+    #[test]
+    fn no_regions_means_everything_safe() {
+        let p = program();
+        let safety = analyze(&p, &[]);
+        assert_eq!(safety.count(), p.funcs.len());
+    }
+
+    #[test]
+    fn indirect_calls_poison_safety() {
+        let src = r#"
+.text
+.func main
+main:
+    la   t0, vt
+    ldl  t0, 0(t0)
+    jsr  ra, (t0)
+    li   a0, 0
+    exit
+.endfunc
+.func pointee
+pointee:
+    ret
+.endfunc
+.data
+vt: .word pointee
+"#;
+        let m = squash_isa::asm::assemble(src).unwrap();
+        let p = squash_cfg::build::lower(&m).unwrap();
+        let safety = analyze(&p, &[]);
+        assert!(!safety.is_safe(p.func_by_name("main").unwrap()));
+        assert!(safety.is_safe(p.func_by_name("pointee").unwrap()));
+    }
+}

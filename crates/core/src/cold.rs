@@ -1,0 +1,190 @@
+//! Cold-code identification (paper §5).
+//!
+//! Given a threshold θ, blocks are considered in increasing order of
+//! execution frequency and the largest frequency `N` is found such that the
+//! total *weight* (instructions × frequency) of all blocks with frequency
+//! ≤ N stays within θ of the total executed instruction count. Every block
+//! with frequency ≤ N is cold. At θ = 0 only never-executed code is cold;
+//! at θ = 1 everything is.
+
+use squash_cfg::link::block_emitted_words;
+use squash_cfg::Program;
+
+use crate::BlockProfile;
+
+/// The result of cold-code identification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColdSet {
+    /// `cold[f][b]` — whether block `b` of function `f` is cold.
+    pub cold: Vec<Vec<bool>>,
+    /// The frequency cutoff `N` (blocks executing at most this often are
+    /// cold).
+    pub cutoff: u64,
+    /// Total instruction words in the program.
+    pub total_words: u32,
+    /// Instruction words in cold blocks.
+    pub cold_words: u32,
+}
+
+impl ColdSet {
+    /// The fraction of the program's code (by instruction words) that is
+    /// cold — the quantity plotted in the paper's Figure 4.
+    pub fn cold_fraction(&self) -> f64 {
+        self.cold_words as f64 / self.total_words.max(1) as f64
+    }
+}
+
+/// Identifies cold blocks under threshold `theta`.
+pub fn identify(program: &Program, profile: &BlockProfile, theta: f64) -> ColdSet {
+    let theta = theta.clamp(0.0, 1.0);
+    // Collect (frequency, weight) per block.
+    let mut entries: Vec<(u64, u64)> = Vec::new();
+    for (fi, f) in program.funcs.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let words = block_emitted_words(b, bi) as u64;
+            let freq = profile.freq[fi][bi];
+            entries.push((freq, words * freq));
+        }
+    }
+    entries.sort_unstable();
+    let budget = (theta * profile.total_instructions as f64) as u64;
+    // Largest N such that the summed weight of all blocks with freq <= N
+    // stays within the budget. Blocks sharing a frequency stand or fall
+    // together.
+    let mut cutoff = 0u64;
+    let mut spent = 0u64;
+    let mut i = 0;
+    while i < entries.len() {
+        let freq = entries[i].0;
+        let mut group_weight = 0u64;
+        let mut j = i;
+        while j < entries.len() && entries[j].0 == freq {
+            group_weight += entries[j].1;
+            j += 1;
+        }
+        if spent + group_weight > budget && freq > 0 {
+            break;
+        }
+        spent += group_weight;
+        cutoff = freq;
+        i = j;
+    }
+
+    let mut cold = Vec::with_capacity(program.funcs.len());
+    let mut cold_words = 0u32;
+    let mut total_words = 0u32;
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let mut flags = Vec::with_capacity(f.blocks.len());
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let words = block_emitted_words(b, bi);
+            total_words += words;
+            let is_cold = profile.freq[fi][bi] <= cutoff;
+            if is_cold {
+                cold_words += words;
+            }
+            flags.push(is_cold);
+        }
+        cold.push(flags);
+    }
+    ColdSet {
+        cold,
+        cutoff,
+        total_words,
+        cold_words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Program, BlockProfile) {
+        let program = minicc::build_program(&[r#"
+            int rare(int x) { return x + 1; }
+            int never(int x) { return x * 7; }
+            int main() {
+                int i;
+                int s = 0;
+                for (i = 0; i < 100; i = i + 1) s = s + i;
+                if (s < 0) s = never(s);
+                if (s == 4950) s = rare(s);
+                return s % 256;
+            }
+        "#])
+        .unwrap();
+        let profile = crate::pipeline::profile(&program, &[vec![]]).unwrap();
+        (program, profile)
+    }
+
+    #[test]
+    fn theta_zero_marks_only_unexecuted_code() {
+        let (program, profile) = fixture();
+        let cs = identify(&program, &profile, 0.0);
+        assert_eq!(cs.cutoff, 0);
+        // `never` is reachable but unexecuted: all its blocks are cold.
+        let never = program.func_by_name("never").unwrap();
+        assert!(cs.cold[never.0].iter().all(|&c| c));
+        // The hot loop's blocks are not cold.
+        let main = program.func_by_name("main").unwrap();
+        assert!(cs.cold[main.0].iter().any(|&c| !c));
+        assert!(cs.cold_fraction() > 0.0 && cs.cold_fraction() < 1.0);
+    }
+
+    #[test]
+    fn theta_one_marks_everything() {
+        let (program, profile) = fixture();
+        let cs = identify(&program, &profile, 1.0);
+        assert!(cs.cold.iter().flatten().all(|&c| c));
+        assert_eq!(cs.cold_words, cs.total_words);
+    }
+
+    #[test]
+    fn cold_fraction_monotone_in_theta() {
+        let (program, profile) = fixture();
+        let mut last = -1.0;
+        for theta in [0.0, 1e-5, 1e-3, 1e-2, 0.5, 1.0] {
+            let cs = identify(&program, &profile, theta);
+            let frac = cs.cold_fraction();
+            assert!(
+                frac >= last,
+                "cold fraction not monotone at θ={theta}: {frac} < {last}"
+            );
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn weight_budget_is_respected() {
+        let (program, profile) = fixture();
+        for theta in [0.0, 1e-4, 1e-2, 0.3] {
+            let cs = identify(&program, &profile, theta);
+            // Recompute the weight of cold blocks; must be within budget.
+            let mut weight = 0u64;
+            for (fi, f) in program.funcs.iter().enumerate() {
+                for (bi, b) in f.blocks.iter().enumerate() {
+                    if cs.cold[fi][bi] {
+                        weight +=
+                            block_emitted_words(b, bi) as u64 * profile.freq[fi][bi];
+                    }
+                }
+            }
+            let budget = (theta * profile.total_instructions as f64) as u64;
+            assert!(
+                weight <= budget || cs.cutoff == 0,
+                "θ={theta}: weight {weight} exceeds budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn once_executed_code_needs_positive_theta() {
+        let (program, profile) = fixture();
+        // `rare` runs exactly once; pick θ generous enough to admit
+        // frequency-1 blocks.
+        let cs0 = identify(&program, &profile, 0.0);
+        let cs1 = identify(&program, &profile, 0.5);
+        let rare = program.func_by_name("rare").unwrap();
+        assert!(cs0.cold[rare.0].iter().any(|&c| !c), "executed => not cold at 0");
+        assert!(cs1.cold[rare.0].iter().all(|&c| c), "θ=0.5 admits freq-1 blocks");
+    }
+}

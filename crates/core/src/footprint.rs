@@ -1,0 +1,112 @@
+//! Memory-footprint accounting (the cost model of paper §4).
+//!
+//! "When comparing the space usage of the original and compressed programs,
+//! the latter must take into account the space occupied by the stubs, the
+//! decompressor, the function offset table, the compressed code, the runtime
+//! buffer, and the never-compressed original program code" (§2.1). Every
+//! term below is measured from the actually emitted image.
+
+use std::fmt;
+
+/// Byte-exact breakdown of a squashed program's code footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Never-compressed code.
+    pub never_compressed: u32,
+    /// Entry stubs (2 words each).
+    pub entry_stubs: u32,
+    /// Compile-time restore stubs (3 words per call site; zero under the
+    /// default runtime scheme).
+    pub static_stubs: u32,
+    /// The decompressor's resident code (configured constant).
+    pub decompressor: u32,
+    /// The decompressor's canonical-Huffman tables (measured).
+    pub model_tables: u32,
+    /// The function offset table (one word per region).
+    pub offset_table: u32,
+    /// The compressed code blob.
+    pub compressed: u32,
+    /// The restore-stub area (12 bytes per slot).
+    pub stub_area: u32,
+    /// The runtime decompression buffer.
+    pub buffer: u32,
+}
+
+impl Footprint {
+    /// Total footprint in bytes.
+    pub fn total(&self) -> u32 {
+        self.never_compressed
+            + self.entry_stubs
+            + self.static_stubs
+            + self.decompressor
+            + self.model_tables
+            + self.offset_table
+            + self.compressed
+            + self.stub_area
+            + self.buffer
+    }
+
+    /// Size reduction versus a baseline of `baseline_bytes`, as a fraction
+    /// (0.137 = "13.7% smaller"). Negative when squashing *grew* the
+    /// program.
+    pub fn reduction_vs(&self, baseline_bytes: u32) -> f64 {
+        1.0 - self.total() as f64 / baseline_bytes.max(1) as f64
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "never-compressed code  {:>8} B", self.never_compressed)?;
+        writeln!(f, "entry stubs            {:>8} B", self.entry_stubs)?;
+        if self.static_stubs > 0 {
+            writeln!(f, "compile-time stubs     {:>8} B", self.static_stubs)?;
+        }
+        writeln!(f, "decompressor           {:>8} B", self.decompressor)?;
+        writeln!(f, "huffman tables         {:>8} B", self.model_tables)?;
+        writeln!(f, "function offset table  {:>8} B", self.offset_table)?;
+        writeln!(f, "compressed code        {:>8} B", self.compressed)?;
+        writeln!(f, "restore-stub area      {:>8} B", self.stub_area)?;
+        writeln!(f, "runtime buffer         {:>8} B", self.buffer)?;
+        write!(f, "total                  {:>8} B", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_parts() {
+        let fp = Footprint {
+            never_compressed: 100,
+            entry_stubs: 16,
+            static_stubs: 36,
+            decompressor: 2048,
+            model_tables: 50,
+            offset_table: 8,
+            compressed: 77,
+            stub_area: 768,
+            buffer: 512,
+        };
+        assert_eq!(fp.total(), 100 + 16 + 36 + 2048 + 50 + 8 + 77 + 768 + 512);
+    }
+
+    #[test]
+    fn reduction_sign_convention() {
+        let fp = Footprint {
+            never_compressed: 900,
+            ..Footprint::default()
+        };
+        assert!((fp.reduction_vs(1000) - 0.1).abs() < 1e-9);
+        assert!(fp.reduction_vs(800) < 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_part() {
+        let text = Footprint::default().to_string();
+        for part in ["never-compressed", "entry stubs", "decompressor", "offset table",
+                     "compressed", "stub area", "buffer", "total"] {
+            assert!(text.contains(part), "missing {part}: {text}");
+        }
+    }
+}

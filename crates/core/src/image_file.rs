@@ -1,0 +1,265 @@
+//! On-disk format for squashed programs (`.sqsh`).
+//!
+//! The paper's `squash` writes a transformed *executable*; this module is
+//! our equivalent: everything [`crate::pipeline::run_squashed`] needs —
+//! memory segments, entry point, and the runtime decompressor's
+//! configuration (bases, offset table, compressed blob, serialized
+//! canonical-Huffman tables) — in one self-contained byte stream, written by
+//! `squashc --emit` and executed by `squashrun`.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "SQSH0001"                       magic + version
+//! u32 entry
+//! u32 nsegments { u32 base, u32 len, bytes }*
+//! u32×8  decomp_base, decomp_bytes, buffer_base, buffer_bytes,
+//!        stub_base, stub_slots, offset_table_addr, regions
+//! u64×4  cost model (per_bit, per_inst, per_call, create_stub)
+//! u8     skip_if_current
+//! u32 model_len, model bytes          (StreamModel::serialize)
+//! u32 blob_len, blob bytes
+//! u32 noffsets { u64 bit_offset }*
+//! u32×9  footprint fields
+//! u32    baseline_bytes
+//! ```
+
+use squash_compress::StreamModel;
+
+use crate::footprint::Footprint;
+use crate::layout::{Squashed, SquashStats};
+use crate::runtime::RuntimeConfig;
+use crate::{err, CostModel, SquashError};
+
+const MAGIC: &[u8; 8] = b"SQSH0001";
+
+/// Serializes a squashed program to the `.sqsh` byte format.
+pub fn write(squashed: &Squashed) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&squashed.entry.to_le_bytes());
+    out.extend_from_slice(&(squashed.segments.len() as u32).to_le_bytes());
+    for (base, bytes) in &squashed.segments {
+        out.extend_from_slice(&base.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let rt = &squashed.runtime;
+    for v in [
+        rt.decomp_base,
+        rt.decomp_bytes,
+        rt.buffer_base,
+        rt.buffer_bytes,
+        rt.stub_base,
+        rt.stub_slots as u32,
+        rt.offset_table_addr,
+        rt.regions as u32,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in [rt.cost.per_bit, rt.cost.per_inst, rt.cost.per_call, rt.cost.create_stub] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.push(rt.skip_if_current as u8);
+    let model = rt.model.serialize();
+    out.extend_from_slice(&(model.len() as u32).to_le_bytes());
+    out.extend_from_slice(&model);
+    out.extend_from_slice(&(rt.blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(&rt.blob);
+    out.extend_from_slice(&(rt.bit_offsets.len() as u32).to_le_bytes());
+    for &off in &rt.bit_offsets {
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    let fp = &squashed.stats.footprint;
+    for v in [
+        fp.never_compressed,
+        fp.entry_stubs,
+        fp.static_stubs,
+        fp.decompressor,
+        fp.model_tables,
+        fp.offset_table,
+        fp.compressed,
+        fp.stub_area,
+        fp.buffer,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&squashed.stats.baseline_bytes.to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SquashError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(SquashError {
+                message: "truncated .sqsh file".into(),
+            })?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SquashError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SquashError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Deserializes a `.sqsh` byte stream back into a runnable [`Squashed`].
+///
+/// Pipeline statistics other than the footprint are not stored and come back
+/// zeroed.
+///
+/// # Errors
+///
+/// Fails on a bad magic, truncation, or corrupt embedded tables.
+pub fn read(bytes: &[u8]) -> Result<Squashed, SquashError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return err("not a .sqsh file (bad magic)");
+    }
+    let entry = r.u32()?;
+    let nsegs = r.u32()? as usize;
+    if nsegs > 64 {
+        return err("implausible segment count");
+    }
+    let mut segments = Vec::with_capacity(nsegs);
+    for _ in 0..nsegs {
+        let base = r.u32()?;
+        let len = r.u32()? as usize;
+        segments.push((base, r.take(len)?.to_vec()));
+    }
+    let decomp_base = r.u32()?;
+    let decomp_bytes = r.u32()?;
+    let buffer_base = r.u32()?;
+    let buffer_bytes = r.u32()?;
+    let stub_base = r.u32()?;
+    let stub_slots = r.u32()? as usize;
+    let offset_table_addr = r.u32()?;
+    let regions = r.u32()? as usize;
+    let cost = CostModel {
+        per_bit: r.u64()?,
+        per_inst: r.u64()?,
+        per_call: r.u64()?,
+        create_stub: r.u64()?,
+    };
+    let skip_if_current = r.take(1)?[0] != 0;
+    let model_len = r.u32()? as usize;
+    let model = StreamModel::deserialize(r.take(model_len)?).map_err(|e| SquashError {
+        message: format!("embedded model corrupt: {e}"),
+    })?;
+    let blob_len = r.u32()? as usize;
+    let blob = r.take(blob_len)?.to_vec();
+    let noffsets = r.u32()? as usize;
+    if noffsets != regions {
+        return err("offset table count disagrees with region count");
+    }
+    let mut bit_offsets = Vec::with_capacity(noffsets);
+    for _ in 0..noffsets {
+        bit_offsets.push(r.u64()?);
+    }
+    let footprint = Footprint {
+        never_compressed: r.u32()?,
+        entry_stubs: r.u32()?,
+        static_stubs: r.u32()?,
+        decompressor: r.u32()?,
+        model_tables: r.u32()?,
+        offset_table: r.u32()?,
+        compressed: r.u32()?,
+        stub_area: r.u32()?,
+        buffer: r.u32()?,
+    };
+    let baseline_bytes = r.u32()?;
+    Ok(Squashed {
+        segments,
+        entry,
+        runtime: RuntimeConfig {
+            decomp_base,
+            decomp_bytes,
+            buffer_base,
+            buffer_bytes,
+            stub_base,
+            stub_slots,
+            offset_table_addr,
+            regions,
+            model,
+            blob,
+            bit_offsets,
+            cost,
+            skip_if_current,
+        },
+        stats: SquashStats {
+            footprint,
+            baseline_bytes,
+            regions,
+            ..SquashStats::default()
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline;
+    use crate::{SquashOptions, Squasher};
+
+    fn squash_sample() -> Squashed {
+        let program = minicc::build_program(&[r#"
+            int rare(int x) { return x * 13 % 77; }
+            int main() {
+                int c = getb();
+                if (c == '!') return rare(c);
+                return c & 7;
+            }
+        "#])
+        .unwrap();
+        let profile = pipeline::profile(&program, &[b"a".to_vec()]).unwrap();
+        Squasher::new(&program, &profile, &SquashOptions::default())
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_needed_to_run() {
+        let squashed = squash_sample();
+        let bytes = write(&squashed);
+        let restored = read(&bytes).expect("read back");
+        assert_eq!(restored.entry, squashed.entry);
+        assert_eq!(restored.segments, squashed.segments);
+        assert_eq!(restored.stats.footprint, squashed.stats.footprint);
+        // Behaviour through the restored image matches the live one.
+        for input in [&b"x"[..], &b"!"[..]] {
+            let live = pipeline::run_squashed(&squashed, input).unwrap();
+            let loaded = pipeline::run_squashed(&restored, input).unwrap();
+            assert_eq!(live.status, loaded.status);
+            assert_eq!(live.output, loaded.output);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let squashed = squash_sample();
+        let mut bytes = write(&squashed);
+        bytes[0] = b'X';
+        assert!(read(&bytes).unwrap_err().message.contains("magic"));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let squashed = squash_sample();
+        let bytes = write(&squashed);
+        for cut in [0, 7, 9, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(read(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+}

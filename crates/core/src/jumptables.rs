@@ -1,0 +1,216 @@
+//! Handling of indirect jumps through jump tables (paper §6.2).
+//!
+//! A compressed region's code runs at buffer addresses, so an indirect jump
+//! whose table holds original block addresses cannot be compressed as-is.
+//! The paper lists two remedies — update the table's addresses, or
+//! *unswitch* the jump into a chain of conditional branches — and a
+//! fallback: exclude the affected blocks when the table's extent is
+//! unknown. All three are implemented here as [`JumpTableMode`]s.
+//!
+//! Unswitching materialises each candidate target's address into the
+//! reserved `at` register (dead across control transfers by the code
+//! generator's contract) and compares it with the loaded table entry, so
+//! behaviour is preserved no matter where the linker ultimately places the
+//! targets (entry stubs for compressed blocks, plain addresses otherwise).
+
+use squash_cfg::{Block, BlockReloc, DataItem, FuncId, JumpTarget, PInst, Program, SymRef, Term};
+use squash_isa::{BraOp, Inst, MemOp, Reg};
+
+use crate::{BlockProfile, JumpTableMode};
+
+/// What the jump-table pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JumpTableStats {
+    /// Indirect jumps through known tables found.
+    pub known_tables: usize,
+    /// Indirect jumps with unknown extent found.
+    pub unknown_tables: usize,
+    /// Jumps rewritten into compare chains.
+    pub unswitched: usize,
+    /// Chain blocks added by unswitching.
+    pub chain_blocks: usize,
+}
+
+/// Applies the selected jump-table strategy, returning the (possibly
+/// transformed) program, a profile extended to cover any new blocks, and
+/// statistics.
+#[allow(clippy::needless_range_loop)]
+pub fn apply(
+    program: &Program,
+    profile: &BlockProfile,
+    mode: JumpTableMode,
+) -> (Program, BlockProfile, JumpTableStats) {
+    let mut stats = JumpTableStats::default();
+    for f in &program.funcs {
+        for b in &f.blocks {
+            match &b.term {
+                Term::IndirectJump { table: Some(_), .. } => stats.known_tables += 1,
+                Term::IndirectJump { table: None, .. } => stats.unknown_tables += 1,
+                _ => {}
+            }
+        }
+    }
+    if mode != JumpTableMode::Unswitch || stats.known_tables == 0 {
+        return (program.clone(), profile.clone(), stats);
+    }
+    let mut p = program.clone();
+    let mut freq = profile.freq.clone();
+    for fi in 0..p.funcs.len() {
+        let fid = FuncId(fi);
+        for bi in 0..p.funcs[fi].blocks.len() {
+            let Term::IndirectJump {
+                rb,
+                table: Some(di),
+            } = p.funcs[fi].blocks[bi].term.clone()
+            else {
+                continue;
+            };
+            // Distinct targets of the table, in first-occurrence order.
+            let mut targets: Vec<usize> = Vec::new();
+            for item in &p.data[di].items {
+                if let DataItem::Addr(squash_cfg::AddrTarget::Block(owner, t)) = item {
+                    if *owner == fid && !targets.contains(t) {
+                        targets.push(*t);
+                    }
+                }
+            }
+            if targets.is_empty() {
+                continue;
+            }
+            stats.unswitched += 1;
+            let block_freq = freq[fi][bi];
+            if targets.len() == 1 {
+                p.funcs[fi].blocks[bi].term = Term::Jump {
+                    target: JumpTarget::Block(targets[0]),
+                };
+                continue;
+            }
+            // Chain blocks: compare `rb` against each target's address.
+            let first_chain = p.funcs[fi].blocks.len();
+            for (i, &t) in targets.iter().enumerate() {
+                let is_last = i + 1 == targets.len();
+                let block = if is_last {
+                    Block {
+                        labels: vec![],
+                        insts: vec![],
+                        term: Term::Jump {
+                            target: JumpTarget::Block(t),
+                        },
+                    }
+                } else {
+                    Block {
+                        labels: vec![],
+                        insts: vec![
+                            PInst {
+                                inst: Inst::Mem {
+                                    op: MemOp::Ldah,
+                                    ra: Reg::AT,
+                                    rb: Reg::ZERO,
+                                    disp: 0,
+                                },
+                                reloc: Some(BlockReloc::Hi(SymRef::Block(fid, t))),
+                                call: None,
+                            },
+                            PInst {
+                                inst: Inst::Mem {
+                                    op: MemOp::Lda,
+                                    ra: Reg::AT,
+                                    rb: Reg::AT,
+                                    disp: 0,
+                                },
+                                reloc: Some(BlockReloc::Lo(SymRef::Block(fid, t))),
+                                call: None,
+                            },
+                            PInst::plain(Inst::Opr {
+                                func: squash_isa::AluOp::Cmpeq,
+                                ra: rb,
+                                rb: Reg::AT,
+                                rc: Reg::AT,
+                            }),
+                        ],
+                        term: Term::Cond {
+                            op: BraOp::Bne,
+                            ra: Reg::AT,
+                            target: JumpTarget::Block(t),
+                            fall: first_chain + i + 1,
+                        },
+                    }
+                };
+                p.funcs[fi].blocks.push(block);
+                freq[fi].push(block_freq);
+                stats.chain_blocks += 1;
+            }
+            p.funcs[fi].blocks[bi].term = Term::Fall { next: first_chain };
+        }
+    }
+    (
+        p,
+        BlockProfile {
+            freq,
+            total_instructions: profile.total_instructions,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline;
+
+    const SWITCHY: &str = r#"
+int dispatch(int x) {
+    switch (x) {
+        case 0: return 10;
+        case 1: return 20;
+        case 2: return 30;
+        case 3: return 40;
+        case 4: return 50;
+    }
+    return -1;
+}
+int main() { return dispatch(getb() - '0'); }
+"#;
+
+    #[test]
+    fn retarget_leaves_program_unchanged() {
+        let p = minicc::build_program(&[SWITCHY]).unwrap();
+        let prof = pipeline::profile(&p, &[b"2".to_vec()]).unwrap();
+        let (q, _, stats) = apply(&p, &prof, JumpTableMode::Retarget);
+        assert_eq!(q, p);
+        assert_eq!(stats.known_tables, 1);
+        assert_eq!(stats.unswitched, 0);
+    }
+
+    #[test]
+    fn unswitch_removes_indirect_jumps() {
+        let p = minicc::build_program(&[SWITCHY]).unwrap();
+        let prof = pipeline::profile(&p, &[b"2".to_vec()]).unwrap();
+        let (q, prof2, stats) = apply(&p, &prof, JumpTableMode::Unswitch);
+        assert_eq!(stats.unswitched, 1);
+        assert!(stats.chain_blocks >= 4);
+        let indirects = q
+            .funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .filter(|b| matches!(b.term, Term::IndirectJump { table: Some(_), .. }))
+            .count();
+        assert_eq!(indirects, 0);
+        // Profile covers the new blocks.
+        for (fi, f) in q.funcs.iter().enumerate() {
+            assert_eq!(prof2.freq[fi].len(), f.blocks.len());
+        }
+    }
+
+    #[test]
+    fn unswitched_program_behaves_identically() {
+        let p = minicc::build_program(&[SWITCHY]).unwrap();
+        let prof = pipeline::profile(&p, &[b"2".to_vec()]).unwrap();
+        let (q, _, _) = apply(&p, &prof, JumpTableMode::Unswitch);
+        for input in [b"0", b"1", b"2", b"3", b"4", b"9"] {
+            let a = pipeline::run_original(&p, input).unwrap();
+            let b = pipeline::run_original(&q, input).unwrap();
+            assert_eq!(a.status, b.status, "input {input:?}");
+        }
+    }
+}

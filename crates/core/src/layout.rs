@@ -1,0 +1,807 @@
+//! Layout and emission of the squashed program (paper §2).
+//!
+//! The transformed text area consists of, in address order:
+//!
+//! ```text
+//! text_base:   never-compressed code
+//!              entry stubs          (2 words each: bsr at,DECOMP ; tag)
+//!              decompressor area    (trap window + reserved body)
+//!              function offset table
+//!              restore-stub area    (filled at runtime by CreateStub)
+//!              runtime buffer
+//!              compressed code blob
+//! 0x200000:    data
+//! ```
+//!
+//! Region "buffer images" — the exact bytes a region's decompression
+//! produces — are constructed here with all displacements resolved against
+//! final addresses, so the runtime decompressor is nothing more than
+//! stream-decode-and-copy. Calls out of compressed code to non-buffer-safe
+//! callees are stored pre-expanded as the paper's two-instruction sequence
+//! (`bsr ra, CreateStub ; br callee`); the paper instead expands during
+//! decompression to save a word of *compressed* payload — a deviation
+//! documented in `DESIGN.md` (the extra instruction is near-free under
+//! Huffman coding because it is identical at every call site).
+
+use std::collections::HashMap;
+
+use squash_cfg::link::{branch_disp, hi_lo_split, LinkOptions};
+use squash_cfg::{
+    AddrTarget, BlockReloc, DataItem, FuncId, JumpTarget, Program, SymRef, Term,
+};
+use squash_compress::{BitWriter, StreamModel, StreamOptions};
+use squash_isa::{BraOp, Inst, MemOp, PalOp, Reg};
+
+use crate::buffer_safe::BufferSafety;
+use crate::footprint::Footprint;
+use crate::jumptables::JumpTableStats;
+use crate::regions::{self, Region};
+use crate::runtime::RuntimeConfig;
+use crate::{err, RestoreStubMode, SquashError, SquashOptions};
+
+/// Base address of the squashed text area.
+pub const TEXT_BASE: u32 = 0x1000;
+/// Fixed base address of the data segment (decoupling data addresses from
+/// the compressed blob's size; see module docs).
+pub const DATA_BASE: u32 = 0x20_0000;
+/// Bytes per restore-stub slot: `bsr`, tag, usage count.
+pub const STUB_SLOT_BYTES: u32 = 12;
+
+/// Statistics accumulated over the whole pipeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SquashStats {
+    /// The footprint breakdown of the emitted image.
+    pub footprint: Footprint,
+    /// The baseline: the same program linked conventionally, in bytes.
+    pub baseline_bytes: u32,
+    /// Number of compressed regions.
+    pub regions: usize,
+    /// Number of entry stubs.
+    pub entry_stubs: usize,
+    /// Compile-time restore stubs emitted (zero under the runtime scheme).
+    pub static_restore_stubs: usize,
+    /// Number of compressed basic blocks.
+    pub compressed_blocks: usize,
+    /// Instruction words inside compressed regions (pre-compression).
+    pub compressed_input_words: u32,
+    /// Total program words (set by the driver from the cold analysis).
+    pub total_words: u32,
+    /// Cold words (set by the driver).
+    pub cold_words: u32,
+    /// Buffer-safe function count and fraction.
+    pub buffer_safe_funcs: usize,
+    /// Fraction of functions that are buffer-safe.
+    pub buffer_safe_fraction: f64,
+    /// Calls inside compressed regions left unexpanded thanks to
+    /// buffer-safety.
+    pub safe_calls_in_regions: usize,
+    /// Total calls inside compressed regions.
+    pub calls_in_regions: usize,
+    /// Jump-table transformation stats.
+    pub jump_tables: JumpTableStats,
+    /// Compressed payload bits (excluding tables).
+    pub payload_bits: u64,
+}
+
+impl SquashStats {
+    /// Code-size reduction relative to the conventionally linked baseline.
+    pub fn reduction(&self) -> f64 {
+        self.footprint.reduction_vs(self.baseline_bytes)
+    }
+}
+
+/// A fully emitted squashed program.
+#[derive(Debug, Clone)]
+pub struct Squashed {
+    /// Loadable segments `(base, bytes)`.
+    pub segments: Vec<(u32, Vec<u8>)>,
+    /// Entry point.
+    pub entry: u32,
+    /// Everything the runtime decompressor service needs.
+    pub runtime: RuntimeConfig,
+    /// Pipeline statistics.
+    pub stats: SquashStats,
+}
+
+impl Squashed {
+    /// Minimum VM memory able to hold the image plus `headroom` stack/heap.
+    pub fn min_mem_size(&self, headroom: usize) -> usize {
+        let end = self
+            .segments
+            .iter()
+            .map(|(b, v)| *b as usize + v.len())
+            .max()
+            .unwrap_or(0);
+        (end + headroom).next_power_of_two()
+    }
+}
+
+/// Where a block's code lives in the squashed program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    /// Never-compressed, at this absolute address.
+    Fixed(u32),
+    /// In region `r`, at this byte offset within the buffer image.
+    Compressed { region: usize, offset: u32 },
+}
+
+/// Emits the squashed image.
+pub(crate) fn emit(
+    program: &Program,
+    regions_list: &[Region],
+    safety: &BufferSafety,
+    options: &SquashOptions,
+) -> Result<Squashed, SquashError> {
+    if regions_list.len() > u16::MAX as usize {
+        return err("too many regions for 16-bit tags");
+    }
+    let region_of: HashMap<(FuncId, usize), usize> = regions_list
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, r)| r.blocks.iter().map(move |&m| (m, ri)))
+        .collect();
+    let refs = regions::ref_info(program);
+    // Entry stubs, in (region, block) order.
+    let mut stub_of: HashMap<(FuncId, usize), usize> = HashMap::new();
+    let mut stub_list: Vec<(usize, FuncId, usize)> = Vec::new();
+    for (ri, r) in regions_list.iter().enumerate() {
+        for (f, b) in regions::entry_blocks(r, &refs) {
+            stub_of.insert((f, b), stub_list.len());
+            stub_list.push((ri, f, b));
+        }
+    }
+
+    let expand_call = |callee: FuncId| -> bool {
+        !(options.buffer_safe_opt && safety.is_safe(callee))
+    };
+    let compile_time = options.restore_stubs == RestoreStubMode::CompileTime;
+
+    // Under the compile-time scheme (§2.2's rejected alternative), every
+    // expanded call site in compressed code gets a permanent 3-word stub.
+    let mut rstub_count = 0u32;
+    if compile_time {
+        for r in regions_list {
+            for &(f, b) in &r.blocks {
+                for pi in &program.func(f).blocks[b].insts {
+                    if let Some(callee) = pi.call {
+                        let plain = matches!(pi.inst, Inst::Bra { ra: Reg::ZERO, .. });
+                        if !plain && expand_call(callee) {
+                            rstub_count += 1;
+                        }
+                    } else if matches!(pi.inst, Inst::Jmp { .. }) {
+                        rstub_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- sizing pass ---------------------------------------------------
+
+    // Never-compressed blocks per function, in order.
+    let nc_blocks: Vec<Vec<usize>> = program
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            (0..f.blocks.len())
+                .filter(|&b| !region_of.contains_key(&(FuncId(fi), b)))
+                .collect()
+        })
+        .collect();
+
+    // Block addresses for never-compressed code.
+    let mut nc_addr: HashMap<(FuncId, usize), u32> = HashMap::new();
+    let mut cursor = TEXT_BASE;
+    for (fi, list) in nc_blocks.iter().enumerate() {
+        let fid = FuncId(fi);
+        for (pos, &bi) in list.iter().enumerate() {
+            nc_addr.insert((fid, bi), cursor);
+            let next_emitted = list.get(pos + 1).copied();
+            cursor += 4 * nc_block_words(program, fid, bi, next_emitted);
+        }
+    }
+    let nc_end = cursor;
+    let stubs_base = nc_end;
+    let stubs_bytes = 8 * stub_list.len() as u32;
+    let rstub_base = stubs_base + stubs_bytes;
+    let rstub_bytes = 12 * rstub_count;
+    let decomp_base = rstub_base + rstub_bytes;
+    let decomp_bytes = options.decompressor_bytes.max(128) & !3;
+    let offset_table_addr = decomp_base + decomp_bytes;
+    let offset_table_bytes = 4 * regions_list.len() as u32;
+    let stub_area_base = offset_table_addr + offset_table_bytes;
+    let stub_slots = if compile_time { 0 } else { options.stub_slots };
+    let stub_area_bytes = STUB_SLOT_BYTES * stub_slots as u32;
+
+    // Region image sizes (exact; mirrors the emission below).
+    let mut image_words: Vec<u32> = Vec::with_capacity(regions_list.len());
+    let mut buf_off: HashMap<(FuncId, usize), u32> = HashMap::new();
+    for r in regions_list {
+        let mut off = 0u32;
+        for (i, &(f, b)) in r.blocks.iter().enumerate() {
+            buf_off.insert((f, b), off * 4);
+            off += region_block_words(program, r, i, &expand_call, compile_time);
+        }
+        image_words.push(off);
+    }
+    let buffer_words = image_words.iter().copied().max().unwrap_or(0);
+    let buffer_base = stub_area_base + stub_area_bytes;
+    let buffer_bytes = 4 * buffer_words;
+    if buffer_bytes > u16::MAX as u32 - 4 {
+        return err(format!("runtime buffer of {buffer_bytes} bytes exceeds 16-bit offsets"));
+    }
+    let blob_base = buffer_base + buffer_bytes;
+
+    // Data addresses at the fixed base.
+    let mut data_addrs = Vec::with_capacity(program.data.len());
+    let mut dcursor = DATA_BASE;
+    for d in &program.data {
+        dcursor = (dcursor + d.align.max(1) - 1) & !(d.align.max(1) - 1);
+        data_addrs.push(dcursor);
+        dcursor += d.size();
+    }
+
+    // ---- address resolution ---------------------------------------------
+
+    let placement = |f: FuncId, b: usize| -> Placement {
+        match region_of.get(&(f, b)) {
+            Some(&ri) => Placement::Compressed {
+                region: ri,
+                offset: buf_off[&(f, b)],
+            },
+            None => Placement::Fixed(nc_addr[&(f, b)]),
+        }
+    };
+    // The canonical *address* of a block: its own address when fixed, its
+    // entry stub when compressed.
+    let block_addr = |f: FuncId, b: usize| -> Result<u32, SquashError> {
+        match placement(f, b) {
+            Placement::Fixed(a) => Ok(a),
+            Placement::Compressed { .. } => match stub_of.get(&(f, b)) {
+                Some(&k) => Ok(stubs_base + 8 * k as u32),
+                None => err(format!(
+                    "block {f}:{b} is compressed, externally referenced, but has no stub"
+                )),
+            },
+        }
+    };
+    let func_addr = |g: FuncId| block_addr(g, 0);
+    let sym_addr = |s: SymRef| -> Result<u32, SquashError> {
+        match s {
+            SymRef::Func(g) => func_addr(g),
+            SymRef::Data(d) => Ok(data_addrs[d]),
+            SymRef::Block(f, b) => block_addr(f, b),
+        }
+    };
+
+    // ---- emission --------------------------------------------------------
+
+    let lerr = |e: squash_cfg::link::LinkError| SquashError { message: e.message };
+
+    // Never-compressed code.
+    let mut text: Vec<u32> = Vec::with_capacity(((nc_end - TEXT_BASE) / 4) as usize);
+    for (fi, list) in nc_blocks.iter().enumerate() {
+        let fid = FuncId(fi);
+        for (pos, &bi) in list.iter().enumerate() {
+            let next_emitted = list.get(pos + 1).copied();
+            let mut pc = nc_addr[&(fid, bi)];
+            let block = &program.func(fid).blocks[bi];
+            for pi in &block.insts {
+                let word = if let Some(callee) = pi.call {
+                    let Inst::Bra { op, ra, .. } = pi.inst else {
+                        return err("call template is not a bsr");
+                    };
+                    Inst::Bra {
+                        op,
+                        ra,
+                        disp: branch_disp(pc, func_addr(callee)?).map_err(lerr)?,
+                    }
+                    .encode()
+                } else {
+                    encode_reloc(pi, &sym_addr)?
+                };
+                text.push(word);
+                pc += 4;
+            }
+            // Terminator.
+            let target_addr = |t: &JumpTarget| -> Result<u32, SquashError> {
+                match t {
+                    JumpTarget::Block(b) => block_addr(fid, *b),
+                    JumpTarget::Func(g) => func_addr(*g),
+                }
+            };
+            let fall_adjacent = |t: usize| Some(t) == next_emitted;
+            match &block.term {
+                Term::Fall { next } => {
+                    if !fall_adjacent(*next) {
+                        text.push(
+                            Inst::Bra {
+                                op: BraOp::Br,
+                                ra: Reg::ZERO,
+                                disp: branch_disp(pc, block_addr(fid, *next)?).map_err(lerr)?,
+                            }
+                            .encode(),
+                        );
+                    }
+                }
+                Term::Jump { target } => text.push(
+                    Inst::Bra {
+                        op: BraOp::Br,
+                        ra: Reg::ZERO,
+                        disp: branch_disp(pc, target_addr(target)?).map_err(lerr)?,
+                    }
+                    .encode(),
+                ),
+                Term::Cond { op, ra, target, fall } => {
+                    text.push(
+                        Inst::Bra {
+                            op: *op,
+                            ra: *ra,
+                            disp: branch_disp(pc, target_addr(target)?).map_err(lerr)?,
+                        }
+                        .encode(),
+                    );
+                    pc += 4;
+                    if !fall_adjacent(*fall) {
+                        text.push(
+                            Inst::Bra {
+                                op: BraOp::Br,
+                                ra: Reg::ZERO,
+                                disp: branch_disp(pc, block_addr(fid, *fall)?).map_err(lerr)?,
+                            }
+                            .encode(),
+                        );
+                    }
+                }
+                Term::IndirectJump { rb, .. } | Term::Ret { rb } => text.push(
+                    Inst::Jmp {
+                        ra: Reg::ZERO,
+                        rb: *rb,
+                        hint: 0,
+                    }
+                    .encode(),
+                ),
+                Term::Exit => text.push(Inst::Pal { func: PalOp::Exit }.encode()),
+                Term::Halt => text.push(Inst::Pal { func: PalOp::Halt }.encode()),
+            }
+        }
+    }
+    debug_assert_eq!(TEXT_BASE + 4 * text.len() as u32, nc_end);
+
+    // Region images.
+    let mut images: Vec<Vec<Inst>> = Vec::with_capacity(regions_list.len());
+    let mut safe_calls = 0usize;
+    let mut total_calls = 0usize;
+    let mut rstub_words: Vec<u32> = Vec::with_capacity(3 * rstub_count as usize);
+    let mut next_rstub = 0u32;
+    for (ri, r) in regions_list.iter().enumerate() {
+        let mut image: Vec<Inst> = Vec::with_capacity(image_words[ri] as usize);
+        for (i, &(f, b)) in r.blocks.iter().enumerate() {
+            let block = &program.func(f).blocks[b];
+            debug_assert_eq!(buf_off[&(f, b)], 4 * image.len() as u32);
+            let pc_at = |img: &Vec<Inst>| buffer_base + 4 * img.len() as u32;
+            for pi in &block.insts {
+                if let Some(callee) = pi.call {
+                    let Inst::Bra { op, ra, .. } = pi.inst else {
+                        return err("call template is not a bsr");
+                    };
+                    total_calls += 1;
+                    if ra == Reg::ZERO {
+                        // A link into the zero register is just a branch.
+                        let disp =
+                            branch_disp(pc_at(&image), func_addr(callee)?).map_err(lerr)?;
+                        image.push(Inst::Bra { op, ra, disp });
+                    } else if expand_call(callee) {
+                        if compile_time {
+                            // One branch in the buffer; the permanent stub
+                            // performs the call and the restore.
+                            let stub_addr = rstub_base + 12 * next_rstub;
+                            next_rstub += 1;
+                            let ret_off = 4 * image.len() as u32 + 4;
+                            let disp =
+                                branch_disp(pc_at(&image), stub_addr).map_err(lerr)?;
+                            image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
+                            let w0 = Inst::Bra {
+                                op: BraOp::Bsr,
+                                ra,
+                                disp: branch_disp(stub_addr, func_addr(callee)?)
+                                    .map_err(lerr)?,
+                            };
+                            push_rstub(&mut rstub_words, w0, stub_addr, decomp_base, ri, ret_off)
+                                .map_err(lerr)?;
+                        } else {
+                            let disp = branch_disp(
+                                pc_at(&image),
+                                decomp_base + 4 * ra.number() as u32,
+                            )
+                            .map_err(lerr)?;
+                            image.push(Inst::Bra { op: BraOp::Bsr, ra, disp });
+                            let disp =
+                                branch_disp(pc_at(&image), func_addr(callee)?).map_err(lerr)?;
+                            image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
+                        }
+                    } else {
+                        safe_calls += 1;
+                        let disp =
+                            branch_disp(pc_at(&image), func_addr(callee)?).map_err(lerr)?;
+                        image.push(Inst::Bra { op, ra, disp });
+                    }
+                } else if let Inst::Jmp { ra, rb, hint } = pi.inst {
+                    // Indirect call from compressed code: always expanded
+                    // (the callee is unknown, hence never buffer-safe).
+                    total_calls += 1;
+                    if compile_time {
+                        let stub_addr = rstub_base + 12 * next_rstub;
+                        next_rstub += 1;
+                        let ret_off = 4 * image.len() as u32 + 4;
+                        let disp = branch_disp(pc_at(&image), stub_addr).map_err(lerr)?;
+                        image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
+                        push_rstub(
+                            &mut rstub_words,
+                            Inst::Jmp { ra, rb, hint },
+                            stub_addr,
+                            decomp_base,
+                            ri,
+                            ret_off,
+                        )
+                        .map_err(lerr)?;
+                    } else {
+                        let disp = branch_disp(
+                            pc_at(&image),
+                            decomp_base + 4 * ra.number() as u32,
+                        )
+                        .map_err(lerr)?;
+                        image.push(Inst::Bra { op: BraOp::Bsr, ra, disp });
+                        image.push(Inst::Jmp { ra: Reg::ZERO, rb, hint });
+                    }
+                } else {
+                    let word = encode_reloc(pi, &sym_addr)?;
+                    image.push(Inst::decode(word).map_err(|e| SquashError {
+                        message: format!("re-decode of relocated instruction failed: {e}"),
+                    })?);
+                }
+            }
+            // Terminator, resolving in-region targets buffer-relatively.
+            let resolve = |f2: FuncId, b2: usize| -> Result<u32, SquashError> {
+                if r.contains(f2, b2) {
+                    Ok(buffer_base + buf_off[&(f2, b2)])
+                } else {
+                    block_addr(f2, b2)
+                }
+            };
+            let target_addr = |t: &JumpTarget| -> Result<u32, SquashError> {
+                match t {
+                    JumpTarget::Block(b2) => resolve(f, *b2),
+                    JumpTarget::Func(g) => {
+                        if r.contains(*g, 0) {
+                            Ok(buffer_base + buf_off[&(*g, 0)])
+                        } else {
+                            func_addr(*g)
+                        }
+                    }
+                }
+            };
+            let next_in_image = r.blocks.get(i + 1).copied();
+            let fall_adjacent = |t: usize| next_in_image == Some((f, t));
+            match &block.term {
+                Term::Fall { next } => {
+                    if !fall_adjacent(*next) {
+                        let disp = branch_disp(pc_at(&image), resolve(f, *next)?).map_err(lerr)?;
+                        image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
+                    }
+                }
+                Term::Jump { target } => {
+                    let disp = branch_disp(pc_at(&image), target_addr(target)?).map_err(lerr)?;
+                    image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
+                }
+                Term::Cond { op, ra, target, fall } => {
+                    let disp = branch_disp(pc_at(&image), target_addr(target)?).map_err(lerr)?;
+                    image.push(Inst::Bra { op: *op, ra: *ra, disp });
+                    if !fall_adjacent(*fall) {
+                        let disp = branch_disp(pc_at(&image), resolve(f, *fall)?).map_err(lerr)?;
+                        image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
+                    }
+                }
+                Term::IndirectJump { rb, .. } | Term::Ret { rb } => {
+                    image.push(Inst::Jmp { ra: Reg::ZERO, rb: *rb, hint: 0 });
+                }
+                Term::Exit => image.push(Inst::Pal { func: PalOp::Exit }),
+                Term::Halt => image.push(Inst::Pal { func: PalOp::Halt }),
+            }
+        }
+        let _ = ri;
+        if image.len() as u32 != image_words[ri] {
+            return err(format!(
+                "region {ri}: image is {} words, sized {}",
+                image.len(),
+                image_words[ri]
+            ));
+        }
+        images.push(image);
+    }
+
+    // Train the model on the final images and compress.
+    let image_refs: Vec<&[Inst]> = images.iter().map(|v| v.as_slice()).collect();
+    let stream_options = if options.mtf_displacements {
+        StreamOptions::with_displacement_mtf()
+    } else {
+        StreamOptions::default()
+    };
+    let model = StreamModel::train_with(&image_refs, stream_options);
+    let mut blob_writer = BitWriter::new();
+    let mut bit_offsets: Vec<u64> = Vec::with_capacity(images.len());
+    let mut payload_bits = 0u64;
+    for image in &images {
+        bit_offsets.push(blob_writer.bit_len());
+        model
+            .compress_region_into(image, &mut blob_writer)
+            .map_err(|e| SquashError {
+                message: format!("compression failed: {e}"),
+            })?;
+    }
+    if let Some(&last) = bit_offsets.last() {
+        payload_bits = blob_writer.bit_len();
+        let _ = last;
+    }
+    let blob = blob_writer.into_bytes();
+    // Build-time self-check: every region must decompress back to exactly
+    // the image we just compressed (the paper's tool can rely on its single
+    // codec; ours verifies the round trip before shipping the blob).
+    for (ri, image) in images.iter().enumerate() {
+        let (decoded, _) = model
+            .decompress_region(&blob, bit_offsets[ri])
+            .map_err(|e| SquashError {
+                message: format!("region {ri} fails to decompress after compression: {e}"),
+            })?;
+        if &decoded != image {
+            return err(format!("region {ri} round-trip mismatch"));
+        }
+    }
+    if blob_base + blob.len() as u32 > DATA_BASE {
+        return err("image overflows the fixed data base; enlarge DATA_BASE");
+    }
+    for &off in &bit_offsets {
+        if off > u32::MAX as u64 {
+            return err("compressed blob exceeds 32-bit bit offsets");
+        }
+    }
+
+    // Entry stubs.
+    let mut stub_words: Vec<u32> = Vec::with_capacity(2 * stub_list.len());
+    for (k, &(ri, f, b)) in stub_list.iter().enumerate() {
+        let stub_addr = stubs_base + 8 * k as u32;
+        let disp = branch_disp(stub_addr, decomp_base + 4 * Reg::AT.number() as u32)
+            .map_err(lerr)?;
+        stub_words.push(Inst::Bra { op: BraOp::Bsr, ra: Reg::AT, disp }.encode());
+        let off = buf_off[&(f, b)];
+        stub_words.push(((ri as u32) << 16) | off);
+    }
+
+    // Assemble the contiguous text segment: nc code, stubs, decomp area,
+    // offset table, (zeroed) stub area and buffer, blob.
+    let mut seg = Vec::with_capacity((blob_base - TEXT_BASE) as usize + blob.len());
+    for w in &text {
+        seg.extend_from_slice(&w.to_le_bytes());
+    }
+    for w in &stub_words {
+        seg.extend_from_slice(&w.to_le_bytes());
+    }
+    debug_assert_eq!(rstub_words.len() as u32, 3 * rstub_count);
+    for w in &rstub_words {
+        seg.extend_from_slice(&w.to_le_bytes());
+    }
+    for _ in 0..decomp_bytes / 4 {
+        seg.extend_from_slice(&Inst::Illegal.encode().to_le_bytes());
+    }
+    for &off in &bit_offsets {
+        seg.extend_from_slice(&(off as u32).to_le_bytes());
+    }
+    seg.resize(seg.len() + stub_area_bytes as usize, 0);
+    seg.resize(seg.len() + buffer_bytes as usize, 0);
+    seg.extend_from_slice(&blob);
+    debug_assert_eq!(
+        TEXT_BASE as usize + seg.len(),
+        blob_base as usize + blob.len()
+    );
+
+    // Data segment.
+    let mut data = vec![0u8; (dcursor - DATA_BASE) as usize];
+    for (di, d) in program.data.iter().enumerate() {
+        let mut off = (data_addrs[di] - DATA_BASE) as usize;
+        for item in &d.items {
+            match item {
+                DataItem::Quad(v) => data[off..off + 8].copy_from_slice(&v.to_le_bytes()),
+                DataItem::Word(v) => data[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+                DataItem::Byte(v) => data[off] = *v,
+                DataItem::Space(_) => {}
+                DataItem::Addr(t) => {
+                    let addr = match t {
+                        AddrTarget::Func(g) => func_addr(*g)?,
+                        AddrTarget::Block(f, b) => block_addr(*f, *b)?,
+                        AddrTarget::Data(d2) => data_addrs[*d2],
+                    };
+                    data[off..off + 4].copy_from_slice(&addr.to_le_bytes());
+                }
+            }
+            off += item.size() as usize;
+        }
+    }
+
+    // Baseline: the same program linked conventionally.
+    let baseline = squash_cfg::link::link(program, &LinkOptions::default())
+        .map_err(lerr)?;
+    let baseline_bytes = baseline.text_words() as u32 * 4;
+
+    let has_regions = !regions_list.is_empty();
+    let footprint = Footprint {
+        never_compressed: nc_end - TEXT_BASE,
+        entry_stubs: stubs_bytes,
+        static_stubs: rstub_bytes,
+        decompressor: if has_regions { decomp_bytes } else { 0 },
+        model_tables: if has_regions { model.table_bytes() as u32 } else { 0 },
+        offset_table: offset_table_bytes,
+        compressed: blob.len() as u32,
+        stub_area: if has_regions { stub_area_bytes } else { 0 },
+        buffer: buffer_bytes,
+    };
+    let stats = SquashStats {
+        footprint,
+        baseline_bytes,
+        regions: regions_list.len(),
+        entry_stubs: stub_list.len(),
+        static_restore_stubs: rstub_count as usize,
+        compressed_blocks: regions_list.iter().map(|r| r.blocks.len()).sum(),
+        compressed_input_words: regions_list
+            .iter()
+            .map(|r| regions::estimate_image_words(program, &r.blocks))
+            .sum(),
+        buffer_safe_funcs: safety.count(),
+        buffer_safe_fraction: safety.fraction(),
+        safe_calls_in_regions: safe_calls,
+        calls_in_regions: total_calls,
+        payload_bits,
+        ..SquashStats::default()
+    };
+
+    let runtime = RuntimeConfig {
+        decomp_base,
+        decomp_bytes,
+        buffer_base,
+        buffer_bytes,
+        stub_base: stub_area_base,
+        stub_slots,
+        offset_table_addr,
+        regions: regions_list.len(),
+        model,
+        blob,
+        bit_offsets,
+        cost: options.cost,
+        skip_if_current: options.skip_if_current,
+    };
+
+    Ok(Squashed {
+        segments: vec![(TEXT_BASE, seg), (DATA_BASE, data)],
+        entry: func_addr(program.entry)?,
+        runtime,
+        stats,
+    })
+}
+
+/// Emitted size in words of a never-compressed block, given which block (if
+/// any) is emitted immediately after it.
+fn nc_block_words(
+    program: &Program,
+    f: FuncId,
+    b: usize,
+    next_emitted: Option<usize>,
+) -> u32 {
+    let block = &program.func(f).blocks[b];
+    let adjacent = |t: usize| next_emitted == Some(t);
+    let term = match &block.term {
+        Term::Fall { next } => u32::from(!adjacent(*next)),
+        Term::Cond { fall, .. } => 1 + u32::from(!adjacent(*fall)),
+        Term::Jump { .. }
+        | Term::IndirectJump { .. }
+        | Term::Ret { .. }
+        | Term::Exit
+        | Term::Halt => 1,
+    };
+    block.insts.len() as u32 + term
+}
+
+/// Emitted size in words of region member `i` inside the buffer image.
+/// Under the runtime stub scheme expanded calls occupy two words; under the
+/// compile-time scheme one (a branch to the permanent stub).
+fn region_block_words(
+    program: &Program,
+    r: &Region,
+    i: usize,
+    expand_call: &impl Fn(FuncId) -> bool,
+    compile_time: bool,
+) -> u32 {
+    let (f, b) = r.blocks[i];
+    let block = &program.func(f).blocks[b];
+    let mut words = block.insts.len() as u32;
+    let extra = u32::from(!compile_time);
+    for pi in &block.insts {
+        if let Some(callee) = pi.call {
+            let is_plain_branch = matches!(pi.inst, Inst::Bra { ra: Reg::ZERO, .. });
+            if !is_plain_branch && expand_call(callee) {
+                words += extra;
+            }
+        } else if matches!(pi.inst, Inst::Jmp { .. }) {
+            words += extra; // indirect call expansion
+        }
+    }
+    let next = r.blocks.get(i + 1).copied();
+    let adjacent = |t: usize| next == Some((f, t));
+    words += match &block.term {
+        Term::Fall { next } => u32::from(!adjacent(*next)),
+        Term::Cond { fall, .. } => 1 + u32::from(!adjacent(*fall)),
+        Term::Jump { .. }
+        | Term::IndirectJump { .. }
+        | Term::Ret { .. }
+        | Term::Exit
+        | Term::Halt => 1,
+    };
+    words
+}
+
+/// Appends one compile-time restore stub: the transplanted call, the
+/// decompressor invocation, and the tag word.
+fn push_rstub(
+    rstub_words: &mut Vec<u32>,
+    call_word: Inst,
+    stub_addr: u32,
+    decomp_base: u32,
+    region: usize,
+    ret_off: u32,
+) -> Result<(), squash_cfg::link::LinkError> {
+    rstub_words.push(call_word.encode());
+    let bsr = Inst::Bra {
+        op: BraOp::Bsr,
+        ra: Reg::AT,
+        disp: branch_disp(stub_addr + 4, decomp_base + 4 * Reg::AT.number() as u32)?,
+    };
+    rstub_words.push(bsr.encode());
+    rstub_words.push(((region as u32) << 16) | (ret_off & 0xFFFF));
+    Ok(())
+}
+
+fn encode_reloc(
+    pi: &squash_cfg::PInst,
+    sym_addr: &impl Fn(SymRef) -> Result<u32, SquashError>,
+) -> Result<u32, SquashError> {
+    match pi.reloc {
+        None => Ok(pi.inst.encode()),
+        Some(BlockReloc::Hi(s)) => {
+            let (hi, _) = hi_lo_split(sym_addr(s)?);
+            patch_disp(pi.inst, hi)
+        }
+        Some(BlockReloc::Lo(s)) => {
+            let (_, lo) = hi_lo_split(sym_addr(s)?);
+            patch_disp(pi.inst, lo)
+        }
+    }
+}
+
+fn patch_disp(inst: Inst, value: i16) -> Result<u32, SquashError> {
+    match inst {
+        Inst::Mem { op, ra, rb, disp } => {
+            let total = disp as i32 + value as i32;
+            let disp = i16::try_from(total).map_err(|_| SquashError {
+                message: format!("relocated displacement {total} overflows"),
+            })?;
+            Ok(Inst::Mem { op, ra, rb, disp }.encode())
+        }
+        other => err(format!("address relocation on non-memory instruction {other:?}")),
+    }
+}
+
+// Quiet the unused-import warning for MemOp (used in patch_disp match arms
+// via Inst::Mem patterns).
+#[allow(unused)]
+fn _mem_op_witness(m: MemOp) -> u8 {
+    m.opcode()
+}

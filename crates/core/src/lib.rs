@@ -1,0 +1,388 @@
+//! # squash — profile-guided code compression
+//!
+//! A from-scratch reproduction of Debray & Evans, *Profile-Guided Code
+//! Compression* (PLDI 2002). Infrequently executed ("cold") regions of a
+//! program are compressed with a splitting-streams + canonical-Huffman coder
+//! and decompressed **on demand at runtime** into a single small buffer;
+//! frequently executed code is left untouched.
+//!
+//! The pipeline (see the paper's sections in parentheses):
+//!
+//! 1. [`cold`] — identify cold basic blocks from an execution profile under
+//!    a threshold θ (§5);
+//! 2. [`jumptables`] — make blocks with indirect jumps compressible, either
+//!    by retargeting table entries or by *unswitching* to compare chains
+//!    (§6.2);
+//! 3. [`regions`] — partition cold blocks into compressible regions bounded
+//!    by the runtime-buffer limit K, keep only profitable ones, and pack
+//!    small regions together (§4);
+//! 4. [`buffer_safe`] — find functions that can never (transitively) invoke
+//!    the decompressor, whose call sites need no restore machinery (§6.1);
+//! 5. [`layout`] — emit the transformed image: never-compressed code, entry
+//!    stubs, the function offset table, the compressed blob, the stub area
+//!    and the runtime buffer (§2);
+//! 6. [`runtime`] — the decompressor itself, a [`squash_vm::Service`]
+//!    implementing on-demand decompression, `CreateStub`, and
+//!    reference-counted restore stubs (§2.2–2.3);
+//! 7. [`footprint`] — the memory-footprint accounting of §4's cost model.
+//!
+//! [`Squasher`] ties the steps together; [`pipeline`] adds profiling and
+//! run-and-compare helpers used by the tests, examples and benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use squash::pipeline;
+//!
+//! let program = minicc::build_program(&[r#"
+//!     int rare(int x) { return x * 3 + 1; }
+//!     int main() {
+//!         int c = getb();
+//!         if (c == 'Z') return rare(c);   // cold path
+//!         return c > 0;
+//!     }
+//! "#]).map_err(|e| e.to_string())?;
+//! let profile = pipeline::profile(&program, &[b"a".to_vec()])?;
+//! let options = squash::SquashOptions { theta: 0.0, ..Default::default() };
+//! let squashed = squash::Squasher::new(&program, &profile, &options)?.finish()?;
+//! // The squashed program behaves identically on a different input.
+//! let original = pipeline::run_original(&program, b"Z")?;
+//! let compressed = pipeline::run_squashed(&squashed, b"Z")?;
+//! assert_eq!(original.output, compressed.output);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer_safe;
+pub mod cold;
+pub mod footprint;
+pub mod image_file;
+pub mod jumptables;
+pub mod layout;
+pub mod pipeline;
+pub mod regions;
+pub mod runtime;
+
+use std::collections::HashSet;
+use std::fmt;
+
+use squash_cfg::Program;
+
+/// How compressible regions are constructed from cold blocks (§4; the
+/// paper's conclusion names "other algorithms for constructing compressible
+/// regions" as future work — both are provided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegionStrategy {
+    /// The paper's algorithm: K-bounded depth-first-search trees rooted at
+    /// compressible blocks, profitability-filtered, then greedily packed.
+    #[default]
+    DfsTree,
+    /// A simpler alternative: walk each function's compressible blocks in
+    /// layout order, opening a new region whenever the current one would
+    /// exceed K, with the same profitability filter and packing. Preserves
+    /// fall-throughs well but ignores branch structure.
+    LayoutGreedy,
+}
+
+/// How restore stubs for calls out of compressed code are provided (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestoreStubMode {
+    /// The paper's choice: stubs are created at runtime by `CreateStub` and
+    /// garbage-collected by usage count. Costs 2 words per call site in the
+    /// buffer and a small reserved stub area.
+    #[default]
+    Runtime,
+    /// The compile-time alternative the paper rejects for its size: every
+    /// call site in compressed code gets a permanent 3-word stub in the
+    /// never-compressed area (`bsr ra, g ; bsr at, DECOMP ; tag`), and the
+    /// buffer call site is a single branch to it. The paper measures these
+    /// stubs at 13% of never-compressed code at θ=0 and 27% at θ=0.01.
+    CompileTime,
+}
+
+/// How blocks ending in an indirect jump through a known table are made
+/// compressible (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JumpTableMode {
+    /// Leave the indirect jump; the linker points table entries at entry
+    /// stubs when their target block is compressed. (The paper's first
+    /// alternative: "update the addresses in the jump table".)
+    #[default]
+    Retarget,
+    /// Replace the indirect jump with a chain of compare-and-branch blocks
+    /// (the paper's chosen alternative). The load from the table remains, so
+    /// unlike the paper the table's space is not reclaimed — reclaiming
+    /// would additionally require dead-code elimination of the address
+    /// computation.
+    Unswitch,
+    /// Exclude such blocks (and the table's target blocks) from compression
+    /// — the paper's fallback when a table's extent cannot be determined.
+    Exclude,
+}
+
+/// The decompression cost model, in simulated cycles. This stands in for
+/// the time the paper's in-image software decompressor spends; see
+/// `DESIGN.md` for the substitution argument. Defaults are calibrated so
+/// that decompressing one maximal (512-byte) region costs on the order of a
+/// few thousand cycles, matching the relative overheads the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cycles per compressed bit read (the `DECODE` loop's per-bit work).
+    pub per_bit: u64,
+    /// Cycles per decompressed instruction written.
+    pub per_inst: u64,
+    /// Fixed cycles per decompressor invocation (register save/restore,
+    /// dispatch, instruction-cache flush).
+    pub per_call: u64,
+    /// Cycles per `CreateStub` invocation.
+    pub create_stub: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            per_bit: 4,
+            per_inst: 12,
+            per_call: 250,
+            create_stub: 30,
+        }
+    }
+}
+
+/// Configuration for the whole squash pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquashOptions {
+    /// The cold-code threshold θ ∈ [0, 1]: cold code may account for at most
+    /// this fraction of all executed instructions (§5).
+    pub theta: f64,
+    /// The runtime-buffer size bound K in bytes (§4; the paper settles on
+    /// 512 after the Figure 3 sweep).
+    pub buffer_limit: u32,
+    /// The assumed compression factor γ used by the region-profitability
+    /// heuristic (§4; the measured whole-program ratio is ≈ 0.66).
+    pub gamma: f64,
+    /// Resident size charged for the decompressor's code, in bytes
+    /// (its tables are measured exactly and added on top).
+    pub decompressor_bytes: u32,
+    /// Restore-stub slots reserved in the stub area (each 12 bytes: two
+    /// instructions plus the usage count). The paper's maximum observed
+    /// concurrency is 9, so the default of 16 gives headroom while keeping
+    /// the reserved area small.
+    pub stub_slots: usize,
+    /// Apply the buffer-safe call optimization (§6.1).
+    pub buffer_safe_opt: bool,
+    /// Jump-table handling (§6.2).
+    pub jump_tables: JumpTableMode,
+    /// Pack small regions into larger ones (§4).
+    pub pack_regions: bool,
+    /// Skip decompression when the requested region is already in the
+    /// buffer (off = always decompress, the paper's behaviour).
+    pub skip_if_current: bool,
+    /// Restore-stub scheme (§2.2).
+    pub restore_stubs: RestoreStubMode,
+    /// Region construction algorithm (§4 / §9 future work).
+    pub region_strategy: RegionStrategy,
+    /// Apply move-to-front coding to the displacement streams before
+    /// Huffman coding (§3 discusses this variant and rejects it for
+    /// decompressor size/speed; available for the ablation).
+    pub mtf_displacements: bool,
+    /// Decompression cost model.
+    pub cost: CostModel,
+    /// Functions never to compress (the paper excludes functions calling
+    /// `setjmp`; minicc has no setjmp, but the hook is honoured and tested).
+    /// The entry function is always excluded.
+    pub exclude: HashSet<String>,
+}
+
+impl Default for SquashOptions {
+    fn default() -> SquashOptions {
+        SquashOptions {
+            theta: 0.0,
+            buffer_limit: 512,
+            gamma: 0.66,
+            decompressor_bytes: 2048,
+            stub_slots: 16,
+            buffer_safe_opt: true,
+            jump_tables: JumpTableMode::default(),
+            pack_regions: true,
+            skip_if_current: false,
+            restore_stubs: RestoreStubMode::default(),
+            region_strategy: RegionStrategy::default(),
+            mtf_displacements: false,
+            cost: CostModel::default(),
+            exclude: HashSet::new(),
+        }
+    }
+}
+
+/// An error from the squash pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SquashError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SquashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "squash error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SquashError {}
+
+pub(crate) fn err<T>(message: impl Into<String>) -> Result<T, SquashError> {
+    Err(SquashError {
+        message: message.into(),
+    })
+}
+
+/// Per-block execution frequencies of a program, plus the total executed
+/// instruction count (`tot_instr_ct` in §5). Produce one with
+/// [`pipeline::profile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// `freq[f][b]` = execution count of block `b` of function `f`.
+    pub freq: Vec<Vec<u64>>,
+    /// Total instructions executed during profiling.
+    pub total_instructions: u64,
+}
+
+impl BlockProfile {
+    /// Serializes the profile to a compact byte format (so profiling runs
+    /// can be separated from compression runs, as with the paper's separate
+    /// profiling and squashing steps).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SQPF0001");
+        out.extend_from_slice(&self.total_instructions.to_le_bytes());
+        out.extend_from_slice(&(self.freq.len() as u32).to_le_bytes());
+        for f in &self.freq {
+            out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+            for &c in f {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reads a profile written by [`BlockProfile::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic or truncation. Shape compatibility with a program
+    /// is checked later by [`Squasher::new`].
+    pub fn deserialize(bytes: &[u8]) -> Result<BlockProfile, SquashError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], SquashError> {
+            let s = bytes.get(*pos..*pos + n).ok_or(SquashError {
+                message: "truncated profile file".into(),
+            })?;
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 8)? != b"SQPF0001" {
+            return err("not a squash profile (bad magic)");
+        }
+        let total_instructions =
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let nfuncs = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if nfuncs > 1 << 20 {
+            return err("implausible function count in profile");
+        }
+        let mut freq = Vec::with_capacity(nfuncs);
+        for _ in 0..nfuncs {
+            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            if n > 1 << 24 {
+                return err("implausible block count in profile");
+            }
+            let mut f = Vec::with_capacity(n);
+            for _ in 0..n {
+                f.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+            }
+            freq.push(f);
+        }
+        Ok(BlockProfile {
+            freq,
+            total_instructions,
+        })
+    }
+}
+
+/// The driver: runs the pipeline stages in order over one program.
+#[derive(Debug)]
+pub struct Squasher {
+    program: Program,
+    options: SquashOptions,
+    cold: cold::ColdSet,
+    table_stats: jumptables::JumpTableStats,
+}
+
+impl Squasher {
+    /// Prepares a squash run: applies the jump-table transformation and
+    /// identifies cold code.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the profile does not match the program's shape.
+    pub fn new(
+        program: &Program,
+        profile: &BlockProfile,
+        options: &SquashOptions,
+    ) -> Result<Squasher, SquashError> {
+        if profile.freq.len() != program.funcs.len()
+            || profile
+                .freq
+                .iter()
+                .zip(&program.funcs)
+                .any(|(f, pf)| f.len() != pf.blocks.len())
+        {
+            return err("profile shape does not match program");
+        }
+        let (program, profile, table_stats) =
+            jumptables::apply(program, profile, options.jump_tables);
+        let cold = cold::identify(&program, &profile, options.theta);
+        Ok(Squasher {
+            program,
+            options: options.clone(),
+            cold,
+            table_stats,
+        })
+    }
+
+    /// The (possibly jump-table-transformed) program being squashed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The cold-code analysis result.
+    pub fn cold(&self) -> &cold::ColdSet {
+        &self.cold
+    }
+
+    /// Runs region formation, buffer-safety, layout and compression, and
+    /// returns the finished artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout/compression failures (e.g. displacement overflow).
+    pub fn finish(self) -> Result<layout::Squashed, SquashError> {
+        let compressible =
+            regions::compressible_blocks(&self.program, &self.cold, &self.options);
+        let regs = regions::form_regions(&self.program, &compressible, &self.options);
+        let safe = buffer_safe::analyze(&self.program, &regs);
+        let mut squashed = layout::emit(
+            &self.program,
+            &regs,
+            &safe,
+            &self.options,
+        )?;
+        squashed.stats.cold_words = self.cold.cold_words;
+        squashed.stats.total_words = self.cold.total_words;
+        squashed.stats.jump_tables = self.table_stats;
+        Ok(squashed)
+    }
+}

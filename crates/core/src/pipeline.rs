@@ -1,0 +1,182 @@
+//! Profiling and run-and-compare helpers tying the whole system together.
+//!
+//! These are the operations the evaluation performs over and over: link and
+//! run a program to collect a profile (the paper's *profiling input*), run
+//! original and squashed programs on a *timing input*, and compare size and
+//! cycles.
+
+use squash_cfg::link::{self, LinkOptions};
+use squash_cfg::Program;
+use squash_vm::{ICacheConfig, Vm};
+
+use crate::layout::Squashed;
+use crate::runtime::{RuntimeStats, SquashRuntime};
+use crate::{err, BlockProfile, SquashError};
+
+/// Outcome of one program run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Exit status.
+    pub status: i64,
+    /// Bytes written to the output stream.
+    pub output: Vec<u8>,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles consumed (instructions plus decompression charges).
+    pub cycles: u64,
+    /// Runtime decompressor statistics (zeroed for original runs).
+    pub runtime: RuntimeStats,
+}
+
+/// Links and runs `program` on each input, merging per-PC counts into a
+/// per-block [`BlockProfile`] (§5's execution profile).
+///
+/// # Errors
+///
+/// Fails if the program cannot be linked or faults during any run.
+pub fn profile(program: &Program, inputs: &[Vec<u8>]) -> Result<BlockProfile, SquashError> {
+    let image = link::link(program, &LinkOptions::default())
+        .map_err(|e| SquashError { message: e.message })?;
+    let mut merged: Option<squash_vm::Profile> = None;
+    for input in inputs {
+        let mut vm = Vm::new(image.min_mem_size(1 << 18));
+        for (base, bytes) in image.segments() {
+            vm.write_bytes(base, &bytes);
+        }
+        vm.set_pc(image.entry);
+        vm.set_input(input.clone());
+        vm.enable_profile(image.text_base, image.text_words());
+        vm.run().map_err(|e| SquashError {
+            message: format!("profiling run failed: {e}"),
+        })?;
+        let p = vm.take_profile().expect("profiling enabled");
+        match &mut merged {
+            Some(m) => m.merge(&p),
+            None => merged = Some(p),
+        }
+    }
+    let Some(p) = merged else {
+        return err("no profiling inputs given");
+    };
+    let freq = link::block_frequencies(&image, program, &|pc| p.count_at(pc));
+    Ok(BlockProfile {
+        freq,
+        total_instructions: p.total(),
+    })
+}
+
+/// Links and runs the original (unsquashed) program on `input`.
+///
+/// # Errors
+///
+/// Fails on link errors or machine faults.
+pub fn run_original(program: &Program, input: &[u8]) -> Result<RunResult, SquashError> {
+    run_original_with(program, input, None)
+}
+
+/// [`run_original`] with an optional instruction-cache model.
+///
+/// # Errors
+///
+/// Fails on link errors or machine faults.
+pub fn run_original_with(
+    program: &Program,
+    input: &[u8],
+    icache: Option<ICacheConfig>,
+) -> Result<RunResult, SquashError> {
+    let image = link::link(program, &LinkOptions::default())
+        .map_err(|e| SquashError { message: e.message })?;
+    let mut vm = Vm::new(image.min_mem_size(1 << 18));
+    for (base, bytes) in image.segments() {
+        vm.write_bytes(base, &bytes);
+    }
+    vm.set_pc(image.entry);
+    vm.set_input(input.to_vec());
+    if let Some(cfg) = icache {
+        vm.enable_icache(cfg);
+    }
+    let out = vm.run().map_err(|e| SquashError {
+        message: format!("original run failed: {e}"),
+    })?;
+    Ok(RunResult {
+        status: out.status,
+        output: vm.take_output(),
+        instructions: out.instructions,
+        cycles: out.cycles,
+        runtime: RuntimeStats::default(),
+    })
+}
+
+/// Runs a squashed program on `input` with the decompressor service
+/// attached.
+///
+/// # Errors
+///
+/// Fails on machine faults or runtime-decompressor errors (corrupt blob,
+/// stub exhaustion).
+pub fn run_squashed(squashed: &Squashed, input: &[u8]) -> Result<RunResult, SquashError> {
+    run_squashed_with(squashed, input, None)
+}
+
+/// [`run_squashed`] with an optional instruction-cache model; the runtime
+/// decompressor flushes it after every decompression, as in the paper.
+///
+/// # Errors
+///
+/// Fails on machine faults or runtime-decompressor errors.
+pub fn run_squashed_with(
+    squashed: &Squashed,
+    input: &[u8],
+    icache: Option<ICacheConfig>,
+) -> Result<RunResult, SquashError> {
+    let mut vm = Vm::new(squashed.min_mem_size(1 << 18));
+    for (base, bytes) in &squashed.segments {
+        vm.write_bytes(*base, bytes);
+    }
+    vm.set_pc(squashed.entry);
+    vm.set_input(input.to_vec());
+    if let Some(cfg) = icache {
+        vm.enable_icache(cfg);
+    }
+    let mut service = SquashRuntime::new(squashed.runtime.clone());
+    let out = vm.run_with(&mut service).map_err(|e| SquashError {
+        message: format!("squashed run failed: {e}"),
+    })?;
+    Ok(RunResult {
+        status: out.status,
+        output: vm.take_output(),
+        instructions: out.instructions,
+        cycles: out.cycles,
+        runtime: *service.stats(),
+    })
+}
+
+/// Convenience: profile on `profile_inputs`, squash at the given options,
+/// and verify behavioural equivalence on `check_input`, returning the
+/// squashed artifact and both run results.
+///
+/// # Errors
+///
+/// Fails if any stage fails or if the squashed program's observable
+/// behaviour (status + output) differs from the original's.
+pub fn squash_and_check(
+    program: &Program,
+    profile_inputs: &[Vec<u8>],
+    options: &crate::SquashOptions,
+    check_input: &[u8],
+) -> Result<(Squashed, RunResult, RunResult), SquashError> {
+    let prof = profile(program, profile_inputs)?;
+    let squashed = crate::Squasher::new(program, &prof, options)?.finish()?;
+    let original = run_original(program, check_input)?;
+    let compressed = run_squashed(&squashed, check_input)?;
+    if original.status != compressed.status || original.output != compressed.output {
+        return err(format!(
+            "behaviour diverged: status {} vs {}, output {} vs {} bytes",
+            original.status,
+            compressed.status,
+            original.output.len(),
+            compressed.output.len()
+        ));
+    }
+    Ok((squashed, original, compressed))
+}

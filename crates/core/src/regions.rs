@@ -1,0 +1,579 @@
+//! Compressible-region formation and packing (paper §4).
+//!
+//! Regions are the units of compression and decompression: sets of cold
+//! basic blocks, initially grown as K-bounded DFS trees within one function,
+//! kept only when profitable (`E < (1-γ)·I`), then greedily packed pairwise
+//! while the packing saves space.
+
+use std::collections::HashSet;
+
+use squash_cfg::link::block_emitted_words;
+use squash_cfg::{AddrTarget, DataItem, FuncId, JumpTarget, Program, Term};
+
+use crate::cold::ColdSet;
+use crate::{JumpTableMode, RegionStrategy, SquashOptions};
+
+/// A compressible region: a set of blocks, sorted by `(function, block)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Member blocks, sorted.
+    pub blocks: Vec<(FuncId, usize)>,
+}
+
+impl Region {
+    /// Whether the region contains the given block.
+    pub fn contains(&self, f: FuncId, b: usize) -> bool {
+        self.blocks.binary_search(&(f, b)).is_ok()
+    }
+}
+
+/// Cross-reference information used to decide which region blocks need
+/// entry stubs. Shared by region formation and layout so the two always
+/// agree on stub counts.
+#[derive(Debug, Clone)]
+pub struct RefInfo {
+    /// `intra_preds[f][b]`: intra-function predecessor blocks of `(f, b)`
+    /// (branch, fall-through, and known jump-table edges).
+    pub intra_preds: Vec<Vec<Vec<usize>>>,
+    /// Whether function `f`'s entry block is referenced from outside it
+    /// (direct call, tail jump, address taken in data, or program entry).
+    pub entry_referenced: Vec<bool>,
+    /// `data_referenced[f][b]`: block address taken in data (jump tables).
+    pub data_referenced: Vec<Vec<bool>>,
+}
+
+/// Computes [`RefInfo`] for a program.
+pub fn ref_info(program: &Program) -> RefInfo {
+    let nfuncs = program.funcs.len();
+    let mut intra_preds: Vec<Vec<Vec<usize>>> = program
+        .funcs
+        .iter()
+        .map(|f| vec![Vec::new(); f.blocks.len()])
+        .collect();
+    let mut entry_referenced = vec![false; nfuncs];
+    let mut data_referenced: Vec<Vec<bool>> = program
+        .funcs
+        .iter()
+        .map(|f| vec![false; f.blocks.len()])
+        .collect();
+    entry_referenced[program.entry.0] = true;
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let fid = FuncId(fi);
+        for bi in 0..f.blocks.len() {
+            for s in f.successors(bi, program, fid) {
+                intra_preds[fi][s].push(bi);
+            }
+            for pi in &f.blocks[bi].insts {
+                if let Some(callee) = pi.call {
+                    entry_referenced[callee.0] = true;
+                }
+            }
+            if let Term::Jump {
+                target: JumpTarget::Func(g),
+            }
+            | Term::Cond {
+                target: JumpTarget::Func(g),
+                ..
+            } = &f.blocks[bi].term
+            {
+                entry_referenced[g.0] = true;
+            }
+        }
+    }
+    for d in &program.data {
+        for item in &d.items {
+            match item {
+                DataItem::Addr(AddrTarget::Func(g)) => entry_referenced[g.0] = true,
+                DataItem::Addr(AddrTarget::Block(f, b)) => data_referenced[f.0][*b] = true,
+                _ => {}
+            }
+        }
+    }
+    RefInfo {
+        intra_preds,
+        entry_referenced,
+        data_referenced,
+    }
+}
+
+/// The blocks of a region that need an entry stub: entered from outside the
+/// region (intra-function edge from a non-member, a referenced function
+/// entry, or a data-taken address).
+pub fn entry_blocks(region: &Region, refs: &RefInfo) -> Vec<(FuncId, usize)> {
+    let members: HashSet<(FuncId, usize)> = region.blocks.iter().copied().collect();
+    let mut entries = Vec::new();
+    for &(f, b) in &region.blocks {
+        let externally_entered = (b == 0 && refs.entry_referenced[f.0])
+            || refs.data_referenced[f.0][b]
+            || refs.intra_preds[f.0][b]
+                .iter()
+                .any(|&p| !members.contains(&(f, p)));
+        if externally_entered {
+            entries.push((f, b));
+        }
+    }
+    entries
+}
+
+/// Conservative estimate of a region's decompressed (buffer) image size in
+/// words: block bodies, one expansion word per call (the `CreateStub`
+/// prefix; the paper's `c_i`), and explicit terminators where fall-throughs
+/// are not adjacent in the region's layout order.
+pub fn estimate_image_words(program: &Program, blocks: &[(FuncId, usize)]) -> u32 {
+    let mut total = 0u32;
+    for (i, &(f, b)) in blocks.iter().enumerate() {
+        let block = &program.func(f).blocks[b];
+        total += block.insts.len() as u32;
+        total += block.insts.iter().filter(|pi| pi.is_call()).count() as u32;
+        let next_adjacent = |t: usize| blocks.get(i + 1) == Some(&(f, t));
+        total += match &block.term {
+            Term::Fall { next } => u32::from(!next_adjacent(*next)),
+            Term::Cond { fall, .. } => 1 + u32::from(!next_adjacent(*fall)),
+            Term::Jump { .. }
+            | Term::IndirectJump { .. }
+            | Term::Ret { .. }
+            | Term::Exit
+            | Term::Halt => 1,
+        };
+    }
+    total
+}
+
+/// Decides which blocks may be compressed at all: cold, in a function that
+/// is neither excluded nor the entry, and compatible with the jump-table
+/// mode (paper §5 plus the §6.2 exclusion rule).
+pub fn compressible_blocks(
+    program: &Program,
+    cold: &ColdSet,
+    options: &SquashOptions,
+) -> Vec<Vec<bool>> {
+    let mut out: Vec<Vec<bool>> = cold.cold.clone();
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let fid = FuncId(fi);
+        let name = &f.name;
+        let func_excluded = fid == program.entry || options.exclude.contains(name);
+        // A jump with unknown extent poisons its whole function: the jump's
+        // possible targets cannot be enumerated.
+        let has_unknown_jump = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Term::IndirectJump { table: None, .. }));
+        if func_excluded || has_unknown_jump {
+            out[fi].fill(false);
+        }
+        if options.jump_tables == JumpTableMode::Exclude {
+            for (bi, block) in f.blocks.iter().enumerate() {
+                if let Term::IndirectJump {
+                    table: Some(di), ..
+                } = &block.term
+                {
+                    out[fi][bi] = false;
+                    for item in &program.data[*di].items {
+                        if let DataItem::Addr(AddrTarget::Block(owner, t)) = item {
+                            if *owner == fid {
+                                out[fi][*t] = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forms compressible regions with the configured strategy,
+/// profitability-filtered, then packed.
+pub fn form_regions(
+    program: &Program,
+    compressible: &[Vec<bool>],
+    options: &SquashOptions,
+) -> Vec<Region> {
+    let refs = ref_info(program);
+    let k_words = (options.buffer_limit / 4).max(2);
+    let mut regions = match options.region_strategy {
+        RegionStrategy::DfsTree => dfs_regions(program, compressible, &refs, k_words, options),
+        RegionStrategy::LayoutGreedy => {
+            greedy_regions(program, compressible, &refs, k_words, options)
+        }
+    };
+    if options.pack_regions {
+        pack(program, &refs, &mut regions, k_words);
+    }
+    regions
+}
+
+/// The paper's K-bounded DFS-tree construction.
+fn dfs_regions(
+    program: &Program,
+    compressible: &[Vec<bool>],
+    refs: &RefInfo,
+    k_words: u32,
+    options: &SquashOptions,
+) -> Vec<Region> {
+    let mut regions: Vec<Region> = Vec::new();
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let fid = FuncId(fi);
+        let nblocks = f.blocks.len();
+        let mut in_region = vec![false; nblocks];
+        let mut failed_root = vec![false; nblocks];
+        while let Some(root) =
+            (0..nblocks).find(|&b| compressible[fi][b] && !in_region[b] && !failed_root[b])
+        {
+            // Grow a DFS tree from the root, bounded by K.
+            let mut members: Vec<usize> = vec![root];
+            let mut member_set: HashSet<usize> = members.iter().copied().collect();
+            let mut stack = vec![root];
+            while let Some(b) = stack.pop() {
+                for s in f.successors(b, program, fid) {
+                    if !compressible[fi][s] || in_region[s] || member_set.contains(&s) {
+                        continue;
+                    }
+                    let mut candidate: Vec<(FuncId, usize)> = members
+                        .iter()
+                        .map(|&m| (fid, m))
+                        .chain(std::iter::once((fid, s)))
+                        .collect();
+                    candidate.sort_unstable();
+                    if estimate_image_words(program, &candidate) <= k_words {
+                        members.push(s);
+                        member_set.insert(s);
+                        stack.push(s);
+                    }
+                }
+            }
+            let mut blocks: Vec<(FuncId, usize)> = members.iter().map(|&m| (fid, m)).collect();
+            blocks.sort_unstable();
+            let region = Region { blocks };
+            if profitable(program, &region, refs, options) {
+                for &(_, b) in &region.blocks {
+                    in_region[b] = true;
+                }
+                regions.push(region);
+            } else {
+                failed_root[root] = true;
+            }
+        }
+    }
+    regions
+}
+
+/// The alternative construction: consecutive compressible blocks in layout
+/// order, split at the K bound.
+fn greedy_regions(
+    program: &Program,
+    compressible: &[Vec<bool>],
+    refs: &RefInfo,
+    k_words: u32,
+    options: &SquashOptions,
+) -> Vec<Region> {
+    let mut regions: Vec<Region> = Vec::new();
+    for (fi, _f) in program.funcs.iter().enumerate() {
+        let fid = FuncId(fi);
+        let mut current: Vec<(FuncId, usize)> = Vec::new();
+        let flush = |current: &mut Vec<(FuncId, usize)>, regions: &mut Vec<Region>| {
+            if current.is_empty() {
+                return;
+            }
+            let region = Region {
+                blocks: std::mem::take(current),
+            };
+            if profitable(program, &region, refs, options) {
+                regions.push(region);
+            }
+        };
+        for (bi, &block_ok) in compressible[fi].iter().enumerate() {
+            if !block_ok {
+                flush(&mut current, &mut regions);
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.push((fid, bi));
+            if estimate_image_words(program, &candidate) > k_words {
+                flush(&mut current, &mut regions);
+                candidate = vec![(fid, bi)];
+                if estimate_image_words(program, &candidate) > k_words {
+                    continue; // single block too large for the buffer
+                }
+            }
+            current = candidate;
+        }
+        flush(&mut current, &mut regions);
+    }
+    regions
+}
+
+/// The paper's profitability test: entry-stub cost `E` must be less than
+/// the expected savings `(1-γ)·I`.
+fn profitable(
+    program: &Program,
+    region: &Region,
+    refs: &RefInfo,
+    options: &SquashOptions,
+) -> bool {
+    let e_words = 2.0 * entry_blocks(region, refs).len() as f64;
+    let i_words = region
+        .blocks
+        .iter()
+        .map(|&(f, b)| block_emitted_words(&program.func(f).blocks[b], b) as f64)
+        .sum::<f64>();
+    e_words < (1.0 - options.gamma) * i_words
+}
+
+/// Greedy pairwise packing: repeatedly merge the pair with the highest
+/// positive savings that still fits K (paper §4). Implemented with a lazy
+/// max-heap so large region counts stay tractable: stale entries are
+/// discarded on pop via per-region version stamps.
+fn pack(program: &Program, refs: &RefInfo, regions: &mut Vec<Region>, k_words: u32) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(Clone)]
+    struct Entry {
+        region: Region,
+        words: u32,
+        stubs: usize,
+        version: u64,
+    }
+    let make = |r: Region| {
+        let words = estimate_image_words(program, &r.blocks);
+        let stubs = entry_blocks(&r, refs).len();
+        Entry {
+            region: r,
+            words,
+            stubs,
+            version: 0,
+        }
+    };
+    let mut alive: Vec<Option<Entry>> = regions.drain(..).map(|r| Some(make(r))).collect();
+    let savings_of = |a: &Entry, b: &Entry| -> Option<(i64, Region, u32, usize)> {
+        let mut blocks: Vec<(FuncId, usize)> =
+            a.region.blocks.iter().chain(&b.region.blocks).copied().collect();
+        blocks.sort_unstable();
+        let merged = Region { blocks };
+        let words = estimate_image_words(program, &merged.blocks);
+        if words > k_words {
+            return None;
+        }
+        let stubs = entry_blocks(&merged, refs).len();
+        let savings = (a.words as i64 + b.words as i64 - words as i64)
+            + 2 * (a.stubs as i64 + b.stubs as i64 - stubs as i64)
+            + 1;
+        (savings > 0).then_some((savings, merged, words, stubs))
+    };
+    // Seed the heap with every viable pair. (Reverse<...> unused; max-heap.)
+    let mut heap: BinaryHeap<(i64, usize, usize, u64, u64)> = BinaryHeap::new();
+    let n0 = alive.len();
+    for i in 0..n0 {
+        for j in (i + 1)..n0 {
+            let (Some(a), Some(b)) = (&alive[i], &alive[j]) else { continue };
+            // Cheap pre-filter: merged size lower bound.
+            if a.words + b.words > k_words + 16 {
+                continue;
+            }
+            if let Some((s, _, _, _)) = savings_of(a, b) {
+                heap.push((s, i, j, a.version, b.version));
+            }
+        }
+    }
+    let mut next_version = 1u64;
+    while let Some((_, i, j, vi, vj)) = heap.pop() {
+        let (Some(a), Some(b)) = (&alive[i], &alive[j]) else { continue };
+        if a.version != vi || b.version != vj {
+            continue; // stale entry
+        }
+        // Recompute (entries can also be stale in value when other merges
+        // changed nothing about i/j — versions guard that, so this is the
+        // authoritative evaluation).
+        let Some((_, merged, words, stubs)) = savings_of(a, b) else { continue };
+        alive[j] = None;
+        let version = next_version;
+        next_version += 1;
+        alive[i] = Some(Entry {
+            region: merged,
+            words,
+            stubs,
+            version,
+        });
+        // New candidate pairs involving i.
+        let ei = alive[i].clone().expect("just set");
+        for (k, slot) in alive.iter().enumerate() {
+            if k == i {
+                continue;
+            }
+            let Some(other) = slot else { continue };
+            if ei.words + other.words > k_words + 16 {
+                continue;
+            }
+            if let Some((s, _, _, _)) = savings_of(&ei, other) {
+                let (lo, hi, vlo, vhi) = if k < i {
+                    (k, i, other.version, ei.version)
+                } else {
+                    (i, k, ei.version, other.version)
+                };
+                heap.push((s, lo, hi, vlo, vhi));
+            }
+        }
+        let _ = Reverse(0); // keep the import honest under cfg changes
+    }
+    regions.extend(alive.into_iter().flatten().map(|e| e.region));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline;
+    use crate::BlockProfile;
+
+    fn fixture() -> (Program, BlockProfile) {
+        let program = minicc::build_program(&[r#"
+            int cold1(int x) { return x * 3 + (x / 5) - (x % 7); }
+            int cold2(int x) {
+                int i;
+                int s = 0;
+                for (i = 0; i < x; i = i + 1) s = s + cold1(i);
+                return s;
+            }
+            int main() {
+                int c = getb();
+                int i;
+                int s = 0;
+                for (i = 0; i < 50; i = i + 1) s = s + i;
+                if (c == 'X') s = cold2(s);
+                return s % 100;
+            }
+        "#])
+        .unwrap();
+        let profile = pipeline::profile(&program, &[b"a".to_vec()]).unwrap();
+        (program, profile)
+    }
+
+    fn options() -> SquashOptions {
+        SquashOptions {
+            theta: 0.0,
+            ..SquashOptions::default()
+        }
+    }
+
+    #[test]
+    fn regions_cover_only_compressible_blocks() {
+        let (program, profile) = fixture();
+        let opts = options();
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        let regions = form_regions(&program, &comp, &opts);
+        assert!(!regions.is_empty(), "cold functions should form regions");
+        for r in &regions {
+            for &(f, b) in &r.blocks {
+                assert!(comp[f.0][b], "non-compressible block {f:?}:{b} in region");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let (program, profile) = fixture();
+        let opts = options();
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        let regions = form_regions(&program, &comp, &opts);
+        let mut seen = HashSet::new();
+        for r in &regions {
+            for &m in &r.blocks {
+                assert!(seen.insert(m), "block {m:?} in two regions");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_respect_buffer_limit() {
+        let (program, profile) = fixture();
+        for k in [64u32, 128, 256, 512, 1024] {
+            let opts = SquashOptions {
+                theta: 1.0,
+                buffer_limit: k,
+                ..SquashOptions::default()
+            };
+            let cold = crate::cold::identify(&program, &profile, opts.theta);
+            let comp = compressible_blocks(&program, &cold, &opts);
+            let regions = form_regions(&program, &comp, &opts);
+            for r in &regions {
+                let words = estimate_image_words(&program, &r.blocks);
+                assert!(
+                    words * 4 <= k,
+                    "region of {words} words exceeds K={k} bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entry_function_is_never_compressed() {
+        let (program, profile) = fixture();
+        let opts = SquashOptions {
+            theta: 1.0,
+            ..SquashOptions::default()
+        };
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        assert!(comp[program.entry.0].iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn excluded_functions_are_respected() {
+        let (program, profile) = fixture();
+        let mut opts = SquashOptions {
+            theta: 1.0,
+            ..SquashOptions::default()
+        };
+        opts.exclude.insert("cold1".into());
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        let f = program.func_by_name("cold1").unwrap();
+        assert!(comp[f.0].iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn packing_reduces_region_count_without_exceeding_k() {
+        let (program, profile) = fixture();
+        let opts = SquashOptions {
+            theta: 1.0,
+            pack_regions: false,
+            ..SquashOptions::default()
+        };
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        let unpacked = form_regions(&program, &comp, &opts);
+        let packed_opts = SquashOptions {
+            pack_regions: true,
+            ..opts
+        };
+        let packed = form_regions(&program, &comp, &packed_opts);
+        assert!(packed.len() <= unpacked.len());
+        for r in &packed {
+            assert!(estimate_image_words(&program, &r.blocks) * 4 <= 512);
+        }
+    }
+
+    #[test]
+    fn entry_blocks_detect_external_edges() {
+        let (program, _) = fixture();
+        let refs = ref_info(&program);
+        let f = program.func_by_name("cold2").unwrap();
+        // A region holding all of cold2: only the entry block (called from
+        // main) plus any data-referenced blocks need stubs.
+        let all: Vec<(FuncId, usize)> = (0..program.func(f).blocks.len())
+            .map(|b| (f, b))
+            .collect();
+        let region = Region { blocks: all };
+        let entries = entry_blocks(&region, &refs);
+        assert!(entries.contains(&(f, 0)), "function entry must be an entry block");
+        // A region missing the loop header: the header's in-loop successors
+        // gain external predecessors.
+        let partial = Region {
+            blocks: region.blocks[1..].to_vec(),
+        };
+        let partial_entries = entry_blocks(&partial, &refs);
+        assert!(!partial_entries.is_empty());
+    }
+}

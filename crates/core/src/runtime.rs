@@ -1,0 +1,362 @@
+//! The runtime decompressor (paper §2.2–§2.3).
+//!
+//! Implemented as a [`Service`]: a 128-byte trap window whose 32 entry
+//! points correspond to the 32 possible return-address registers, exactly
+//! like the paper's decompressor ("multiple entry points, one per possible
+//! return address register"). Executing `DECOMP + 4·r` means "the return
+//! address is in register r".
+//!
+//! One service plays both roles, distinguished — as in the paper — by where
+//! the return address points:
+//!
+//! * **CreateStub** (return address inside the runtime buffer): a call is
+//!   about to leave compressed code; find or create the call site's restore
+//!   stub, bump its usage count, redirect the return-address register at the
+//!   stub, and resume at the branch that performs the call.
+//! * **Decompress** (return address at an entry stub or restore stub): read
+//!   the `(region, offset)` tag word, decrement the stub's usage count if it
+//!   is a restore stub (freeing it at zero — the reference-count GC of
+//!   §2.2), decompress the region into the buffer, and jump to
+//!   `buffer + offset`.
+//!
+//! The restore stubs are real instructions materialised in simulated memory;
+//! only the decompressor's own instruction sequence is host code, with its
+//! time charged through the [`crate::CostModel`] and its space through the
+//! footprint accounting (see `DESIGN.md`).
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use squash_compress::StreamModel;
+use squash_isa::{BraOp, Inst, Reg};
+use squash_vm::{Service, Vm, VmError};
+
+use crate::CostModel;
+
+/// Everything the runtime service needs, produced by layout.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Base of the 128-byte trap window.
+    pub decomp_base: u32,
+    /// Total bytes reserved for the decompressor area (trap window + body).
+    pub decomp_bytes: u32,
+    /// Base of the runtime buffer.
+    pub buffer_base: u32,
+    /// Buffer size in bytes.
+    pub buffer_bytes: u32,
+    /// Base of the restore-stub area.
+    pub stub_base: u32,
+    /// Restore-stub slots available.
+    pub stub_slots: usize,
+    /// Address of the function offset table (also present in simulated
+    /// memory; the service reads its host copy for speed).
+    pub offset_table_addr: u32,
+    /// Number of regions.
+    pub regions: usize,
+    /// The trained stream model (the decompressor's tables).
+    pub model: StreamModel,
+    /// Host copy of the compressed blob (identical bytes live in simulated
+    /// memory and are counted in the footprint).
+    pub blob: Vec<u8>,
+    /// Bit offset of each region within the blob (the offset table).
+    pub bit_offsets: Vec<u64>,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Skip decompression when the requested region is already resident.
+    pub skip_if_current: bool,
+}
+
+/// Counters describing what the runtime did during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Region decompressions performed.
+    pub decompressions: u64,
+    /// Decompressions skipped because the region was already resident.
+    pub skipped: u64,
+    /// `CreateStub` invocations that found an existing stub.
+    pub stub_hits: u64,
+    /// `CreateStub` invocations that allocated a new stub.
+    pub stub_allocs: u64,
+    /// Restore-stub returns processed.
+    pub restores: u64,
+    /// Maximum restore stubs live at once (the paper reports 9 at θ=0.01).
+    pub max_live_stubs: usize,
+    /// Compressed bits read.
+    pub bits_read: u64,
+    /// Instructions written into the buffer.
+    pub insts_written: u64,
+    /// Total cycles charged to the cost model.
+    pub cycles_charged: u64,
+}
+
+impl RuntimeConfig {
+    /// Total bytes reserved for the decompressor area in the image.
+    pub fn cfg_decomp_bytes(&self) -> u32 {
+        self.decomp_bytes
+    }
+}
+
+/// The decompressor service.
+#[derive(Debug, Clone)]
+pub struct SquashRuntime {
+    cfg: RuntimeConfig,
+    /// Live stubs: call-site key `(region, return_offset)` → slot.
+    stubs: HashMap<(u16, u16), usize>,
+    /// Reverse map for freeing.
+    slot_key: Vec<Option<(u16, u16)>>,
+    free_slots: Vec<usize>,
+    current: Option<u16>,
+    stats: RuntimeStats,
+}
+
+impl SquashRuntime {
+    /// Creates the service for a squashed image.
+    pub fn new(cfg: RuntimeConfig) -> SquashRuntime {
+        let slots = cfg.stub_slots;
+        SquashRuntime {
+            cfg,
+            stubs: HashMap::new(),
+            slot_key: vec![None; slots],
+            free_slots: (0..slots).rev().collect(),
+            current: None,
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// Runtime statistics so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The region currently resident in the buffer.
+    pub fn current_region(&self) -> Option<u16> {
+        self.current
+    }
+
+    /// Restore stubs currently live.
+    pub fn live_stubs(&self) -> usize {
+        self.stubs.len()
+    }
+
+    fn buffer_range(&self) -> Range<u32> {
+        self.cfg.buffer_base..self.cfg.buffer_base + self.cfg.buffer_bytes
+    }
+
+    fn stub_range(&self) -> Range<u32> {
+        self.cfg.stub_base
+            ..self.cfg.stub_base + crate::layout::STUB_SLOT_BYTES * self.cfg.stub_slots as u32
+    }
+
+    fn stub_addr(&self, slot: usize) -> u32 {
+        self.cfg.stub_base + crate::layout::STUB_SLOT_BYTES * slot as u32
+    }
+
+    fn charge(&mut self, vm: &mut Vm, cycles: u64) {
+        vm.charge_cycles(cycles);
+        self.stats.cycles_charged += cycles;
+    }
+
+    fn create_stub(&mut self, vm: &mut Vm, reg: Reg, retaddr: u32) -> Result<(), VmError> {
+        let pc = vm.pc();
+        let Some(region) = self.current else {
+            return Err(VmError::Service {
+                pc,
+                message: "CreateStub with empty buffer".into(),
+            });
+        };
+        // The call pair is [bsr @ X][branch @ X+4]; the return address the
+        // program expects is X+8.
+        let ret_off = retaddr + 4 - self.cfg.buffer_base;
+        let key = (region, ret_off as u16);
+        let slot = if let Some(&slot) = self.stubs.get(&key) {
+            self.stats.stub_hits += 1;
+            let count_addr = self.stub_addr(slot) + 8;
+            let count = vm.read_word(count_addr);
+            vm.write_bytes(count_addr, &(count + 1).to_le_bytes());
+            slot
+        } else {
+            self.stats.stub_allocs += 1;
+            let slot = self.free_slots.pop().ok_or_else(|| VmError::Service {
+                pc,
+                message: format!(
+                    "restore-stub area exhausted ({} slots)",
+                    self.cfg.stub_slots
+                ),
+            })?;
+            self.stubs.insert(key, slot);
+            self.slot_key[slot] = Some(key);
+            self.stats.max_live_stubs = self.stats.max_live_stubs.max(self.stubs.len());
+            let stub_addr = self.stub_addr(slot);
+            // word 0: bsr reg, DECOMP entry for `reg`.
+            let target = self.cfg.decomp_base + 4 * reg.number() as u32;
+            let disp = ((target as i64 - (stub_addr as i64 + 4)) / 4) as i32;
+            let w0 = Inst::Bra {
+                op: BraOp::Bsr,
+                ra: reg,
+                disp,
+            }
+            .encode();
+            let w1 = ((region as u32) << 16) | (ret_off & 0xFFFF);
+            vm.write_bytes(stub_addr, &w0.to_le_bytes());
+            vm.write_bytes(stub_addr + 4, &w1.to_le_bytes());
+            vm.write_bytes(stub_addr + 8, &1u32.to_le_bytes());
+            slot
+        };
+        vm.set_reg(reg, self.stub_addr(slot) as i64);
+        vm.set_pc(retaddr);
+        let cycles = self.cfg.cost.create_stub;
+        self.charge(vm, cycles);
+        Ok(())
+    }
+
+    fn decompress_to(&mut self, vm: &mut Vm, region: u16, offset: u32) -> Result<(), VmError> {
+        let pc = vm.pc();
+        if self.cfg.skip_if_current && self.current == Some(region) {
+            self.stats.skipped += 1;
+        } else {
+            let bit_off = *self.cfg.bit_offsets.get(region as usize).ok_or_else(|| {
+                VmError::Service {
+                    pc,
+                    message: format!("bad region index {region}"),
+                }
+            })?;
+            let (insts, bits) = self
+                .cfg
+                .model
+                .decompress_region(&self.cfg.blob, bit_off)
+                .map_err(|e| VmError::Service {
+                    pc,
+                    message: format!("decompression failed: {e}"),
+                })?;
+            if insts.len() as u32 * 4 > self.cfg.buffer_bytes {
+                return Err(VmError::Service {
+                    pc,
+                    message: format!(
+                        "region {region} ({} words) overflows the buffer",
+                        insts.len()
+                    ),
+                });
+            }
+            let mut addr = self.cfg.buffer_base;
+            for inst in &insts {
+                vm.write_bytes(addr, &inst.encode().to_le_bytes());
+                addr += 4;
+            }
+            vm.flush_icache();
+            self.current = Some(region);
+            self.stats.decompressions += 1;
+            self.stats.bits_read += bits;
+            self.stats.insts_written += insts.len() as u64;
+            let cost = self.cfg.cost.per_call
+                + bits * self.cfg.cost.per_bit
+                + insts.len() as u64 * self.cfg.cost.per_inst;
+            self.charge(vm, cost);
+        }
+        vm.set_pc(self.cfg.buffer_base + offset);
+        Ok(())
+    }
+}
+
+impl Service for SquashRuntime {
+    fn range(&self) -> Range<u32> {
+        self.cfg.decomp_base..self.cfg.decomp_base + 128
+    }
+
+    fn invoke(&mut self, vm: &mut Vm) -> Result<(), VmError> {
+        let pc = vm.pc();
+        let reg = Reg::new(((pc - self.cfg.decomp_base) / 4) as u8);
+        let retaddr = vm.reg(reg) as u32;
+        if self.buffer_range().contains(&retaddr) {
+            return self.create_stub(vm, reg, retaddr);
+        }
+        // Entry stub or restore stub: the tag word sits at the return
+        // address.
+        let tag = vm.read_word(retaddr);
+        let region = (tag >> 16) as u16;
+        let offset = tag & 0xFFFF;
+        if self.stub_range().contains(&retaddr) {
+            // Restore stub: decrement its usage count; free at zero.
+            self.stats.restores += 1;
+            let stub_addr = retaddr - 4;
+            let slot = ((stub_addr - self.cfg.stub_base) / crate::layout::STUB_SLOT_BYTES)
+                as usize;
+            let count_addr = stub_addr + 8;
+            let count = vm.read_word(count_addr);
+            if count == 0 {
+                return Err(VmError::Service {
+                    pc,
+                    message: "restore stub fired with zero usage count".into(),
+                });
+            }
+            let count = count - 1;
+            vm.write_bytes(count_addr, &count.to_le_bytes());
+            if count == 0 {
+                if let Some(key) = self.slot_key[slot].take() {
+                    self.stubs.remove(&key);
+                }
+                self.free_slots.push(slot);
+            }
+        }
+        self.decompress_to(vm, region, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The runtime is exercised end-to-end by `crate::pipeline` tests and the
+    // integration suite; unit tests here cover the bookkeeping that is hard
+    // to reach deterministically from whole programs.
+    use super::*;
+    use crate::CostModel;
+
+    fn dummy_config() -> RuntimeConfig {
+        RuntimeConfig {
+            decomp_base: 0x8000,
+            decomp_bytes: 2048,
+            buffer_base: 0x9000,
+            buffer_bytes: 256,
+            stub_base: 0x8800,
+            stub_slots: 2,
+            offset_table_addr: 0x8700,
+            regions: 1,
+            model: StreamModel::train(&[&[][..]]),
+            blob: Vec::new(),
+            bit_offsets: vec![0],
+            cost: CostModel::default(),
+            skip_if_current: false,
+        }
+    }
+
+    #[test]
+    fn stub_slots_recycle() {
+        let rt = SquashRuntime::new(dummy_config());
+        assert_eq!(rt.live_stubs(), 0);
+        assert_eq!(rt.free_slots.len(), 2);
+    }
+
+    #[test]
+    fn service_range_covers_all_register_entries() {
+        let rt = SquashRuntime::new(dummy_config());
+        let range = rt.range();
+        assert_eq!(range.len(), 128);
+        for r in 0..32u32 {
+            assert!(range.contains(&(0x8000 + 4 * r)));
+        }
+    }
+
+    #[test]
+    fn create_stub_requires_resident_region() {
+        let mut rt = SquashRuntime::new(dummy_config());
+        let mut vm = squash_vm::Vm::new(1 << 16);
+        // Return address inside the buffer, but nothing was decompressed.
+        vm.set_reg(Reg::RA, 0x9004);
+        vm.set_pc(0x8000 + 4 * Reg::RA.number() as u32);
+        let err = rt.invoke(&mut vm).unwrap_err();
+        match err {
+            VmError::Service { message, .. } => {
+                assert!(message.contains("empty buffer"), "{message}")
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

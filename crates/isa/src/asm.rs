@@ -1,0 +1,986 @@
+//! A two-pass assembler for SRA producing relocatable modules.
+//!
+//! The assembler consumes a textual assembly dialect and produces a
+//! [`Module`]: functions made of labelled instructions with symbolic
+//! relocations, plus data definitions. Address assignment happens later, in
+//! the linker (`squash-cfg`), which is what lets the rewriting tools
+//! (`squeeze`, `squash`) move code freely — the moral equivalent of the
+//! paper's requirement that input binaries retain relocation information.
+//!
+//! # Syntax
+//!
+//! ```text
+//! .text
+//! .func main                  ; begins a function
+//! main:
+//!     lda   sp, -16(sp)
+//!     stq   ra, 0(sp)
+//!     li    a0, 65
+//!     writeb
+//!     bsr   ra, helper
+//!     ldq   ra, 0(sp)
+//!     lda   sp, 16(sp)
+//!     li    a0, 0
+//!     exit
+//! .endfunc
+//! .data
+//! buf:  .space 64
+//! tbl:  .word .L1             ; address word (jump-table entry)
+//! x:    .quad 42
+//! ```
+//!
+//! Pseudo-instructions: `mov`, `li`, `la`, `nop`, `ret`. Comments start with
+//! `#`, `;` or `//`. An indirect jump through a jump table carries an
+//! annotation naming the table: `jmp (t0) !jtable tbl`.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::{AluOp, BraOp, MemOp, PalOp};
+use crate::reg::Reg;
+
+/// A relocation attached to an instruction whose encoded bits depend on the
+/// final address of a symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Reloc {
+    /// Branch-format displacement to a code symbol (label or function).
+    Branch(String),
+    /// Low 16 bits of a data/code symbol's address (pairs with [`Reloc::Hi16`]).
+    Lo16(String),
+    /// High 16 bits (carry-adjusted) of a symbol's address.
+    Hi16(String),
+}
+
+impl Reloc {
+    /// The symbol this relocation refers to.
+    pub fn symbol(&self) -> &str {
+        match self {
+            Reloc::Branch(s) | Reloc::Lo16(s) | Reloc::Hi16(s) => s,
+        }
+    }
+}
+
+/// One assembled instruction plus its symbolic annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmInst {
+    /// The instruction template (displacements that have relocations are 0).
+    pub inst: Inst,
+    /// Symbolic fix-up, if the instruction references a symbol.
+    pub reloc: Option<Reloc>,
+    /// For indirect jumps: the data label of the jump table dispatched
+    /// through, as written in the `!jtable` annotation.
+    pub jtable: Option<String>,
+}
+
+impl AsmInst {
+    /// A plain instruction with no annotations.
+    pub fn plain(inst: Inst) -> AsmInst {
+        AsmInst {
+            inst,
+            reloc: None,
+            jtable: None,
+        }
+    }
+}
+
+/// An element of a function body: either a label or an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeItem {
+    /// A label definition (function-local labels start with `.L`).
+    Label(String),
+    /// An instruction.
+    Inst(AsmInst),
+}
+
+/// An assembled function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Func {
+    /// The function's (global) name.
+    pub name: String,
+    /// Body items in source order.
+    pub items: Vec<CodeItem>,
+}
+
+/// A unit of initialised or reserved data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataItem {
+    /// A 64-bit little-endian constant.
+    Quad(i64),
+    /// A 32-bit little-endian constant.
+    Word(i32),
+    /// A single byte.
+    Byte(u8),
+    /// A 32-bit address of a code or data symbol (filled in at link time).
+    /// Jump tables are runs of these.
+    Addr(String),
+    /// `n` zero bytes.
+    Space(u32),
+}
+
+impl DataItem {
+    /// The number of bytes this item occupies.
+    pub fn size(&self) -> u32 {
+        match self {
+            DataItem::Quad(_) => 8,
+            DataItem::Word(_) | DataItem::Addr(_) => 4,
+            DataItem::Byte(_) => 1,
+            DataItem::Space(n) => *n,
+        }
+    }
+}
+
+/// A labelled data definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataDef {
+    /// The data symbol.
+    pub label: String,
+    /// Alignment in bytes (power of two; default 8).
+    pub align: u32,
+    /// The contents.
+    pub items: Vec<DataItem>,
+}
+
+/// A relocatable translation unit: the assembler's output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    /// Functions in source order.
+    pub funcs: Vec<Func>,
+    /// Data definitions in source order.
+    pub data: Vec<DataDef>,
+}
+
+impl Module {
+    /// Merges another module into this one (simple multi-file "linking" of
+    /// translation units before lowering).
+    pub fn extend(&mut self, other: Module) {
+        self.funcs.extend(other.funcs);
+        self.data.extend(other.data);
+    }
+
+    /// The target labels of the jump table defined at data symbol `name`:
+    /// the maximal leading run of [`DataItem::Addr`] items.
+    pub fn jump_table_targets(&self, name: &str) -> Option<Vec<&str>> {
+        let def = self.data.iter().find(|d| d.label == name)?;
+        let mut targets = Vec::new();
+        for item in &def.items {
+            match item {
+                DataItem::Addr(sym) => targets.push(sym.as_str()),
+                _ => break,
+            }
+        }
+        Some(targets)
+    }
+}
+
+/// An assembly error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles SRA source text into a relocatable [`Module`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/registers, out-of-range literals, duplicate labels, and
+/// references to undefined function-local (`.L*`) labels.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), squash_isa::asm::AsmError> {
+/// let module = squash_isa::asm::assemble(
+///     ".text\n.func main\nmain:\n  li a0, 0\n  exit\n.endfunc\n",
+/// )?;
+/// assert_eq!(module.funcs.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Module, AsmError> {
+    Assembler::default().run(source)
+}
+
+#[derive(Default)]
+struct Assembler {
+    module: Module,
+    current: Option<Func>,
+    in_data: bool,
+    line: usize,
+}
+
+impl Assembler {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, AsmError> {
+        Err(AsmError {
+            line: self.line,
+            message: message.into(),
+        })
+    }
+
+    fn run(mut self, source: &str) -> Result<Module, AsmError> {
+        for (idx, raw_line) in source.lines().enumerate() {
+            self.line = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.statement(line)?;
+        }
+        if let Some(f) = self.current.take() {
+            self.finish_func(f)?;
+        }
+        self.validate()?;
+        Ok(self.module)
+    }
+
+    fn statement(&mut self, line: &str) -> Result<(), AsmError> {
+        // Peel off any leading label.
+        let mut rest = line;
+        while let Some(colon) = find_label(rest) {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim().to_string();
+            rest = after[1..].trim_start();
+            self.define_label(label)?;
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            self.directive(directive)
+        } else {
+            self.instruction(rest)
+        }
+    }
+
+    fn define_label(&mut self, label: String) -> Result<(), AsmError> {
+        if label.is_empty() || !is_ident(&label) {
+            return self.err(format!("invalid label name `{label}`"));
+        }
+        if self.in_data {
+            self.module.data.push(DataDef {
+                label,
+                align: 8,
+                items: Vec::new(),
+            });
+        } else if let Some(f) = self.current.as_mut() {
+            f.items.push(CodeItem::Label(label));
+        } else {
+            return self.err("label outside of a function or data section");
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self, text: &str) -> Result<(), AsmError> {
+        let (name, args) = split_first_word(text);
+        match name {
+            "text" => {
+                self.in_data = false;
+                Ok(())
+            }
+            "data" => {
+                if let Some(f) = self.current.take() {
+                    self.finish_func(f)?;
+                }
+                self.in_data = true;
+                Ok(())
+            }
+            "func" => {
+                if self.in_data {
+                    return self.err(".func inside .data section");
+                }
+                if let Some(f) = self.current.take() {
+                    self.finish_func(f)?;
+                }
+                let fname = args.trim();
+                if !is_ident(fname) {
+                    return self.err(format!("invalid function name `{fname}`"));
+                }
+                self.current = Some(Func {
+                    name: fname.to_string(),
+                    items: Vec::new(),
+                });
+                Ok(())
+            }
+            "endfunc" => match self.current.take() {
+                Some(f) => self.finish_func(f),
+                None => self.err(".endfunc without .func"),
+            },
+            "global" => Ok(()), // all function/data symbols are linkable
+            "align" => {
+                let n: u32 = match args.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return self.err("bad .align operand"),
+                };
+                if !n.is_power_of_two() {
+                    return self.err(".align must be a power of two");
+                }
+                if let Some(def) = self.module.data.last_mut() {
+                    def.align = def.align.max(n);
+                }
+                Ok(())
+            }
+            "quad" => self.data_item(|v| Ok(DataItem::Quad(v)), args),
+            "word" => {
+                let arg = args.trim();
+                if let Ok(v) = parse_int(arg) {
+                    self.push_data(DataItem::Word(v as i32))
+                } else if is_ident(arg) {
+                    self.push_data(DataItem::Addr(arg.to_string()))
+                } else {
+                    self.err(format!("bad .word operand `{arg}`"))
+                }
+            }
+            "byte" => self.data_item(
+                |v| {
+                    u8::try_from(v as u64 & 0xFF).map(DataItem::Byte).map_err(|_| ())
+                },
+                args,
+            ),
+            "space" => {
+                let n: u32 = match args.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return self.err("bad .space operand"),
+                };
+                self.push_data(DataItem::Space(n))
+            }
+            other => self.err(format!("unknown directive `.{other}`")),
+        }
+    }
+
+    fn data_item(
+        &mut self,
+        make: impl Fn(i64) -> Result<DataItem, ()>,
+        args: &str,
+    ) -> Result<(), AsmError> {
+        let v = match parse_int(args.trim()) {
+            Ok(v) => v,
+            Err(_) => return self.err(format!("bad numeric operand `{}`", args.trim())),
+        };
+        match make(v) {
+            Ok(item) => self.push_data(item),
+            Err(()) => self.err(format!("value {v} out of range")),
+        }
+    }
+
+    fn push_data(&mut self, item: DataItem) -> Result<(), AsmError> {
+        match self.module.data.last_mut() {
+            Some(def) if self.in_data => {
+                def.items.push(item);
+                Ok(())
+            }
+            _ => self.err("data item outside a labelled .data definition"),
+        }
+    }
+
+    fn emit(&mut self, ai: AsmInst) -> Result<(), AsmError> {
+        match self.current.as_mut() {
+            Some(f) => {
+                f.items.push(CodeItem::Inst(ai));
+                Ok(())
+            }
+            None => self.err("instruction outside of a .func"),
+        }
+    }
+
+    fn emit_plain(&mut self, inst: Inst) -> Result<(), AsmError> {
+        self.emit(AsmInst::plain(inst))
+    }
+
+    fn instruction(&mut self, text: &str) -> Result<(), AsmError> {
+        // Split off a `!jtable NAME` annotation.
+        let (text, jtable) = match text.split_once("!jtable") {
+            Some((head, tail)) => (head.trim(), Some(tail.trim().to_string())),
+            None => (text, None),
+        };
+        let (mnemonic, rest) = split_first_word(text);
+        let ops = split_operands(rest);
+
+        // Pseudo-instructions first.
+        match mnemonic {
+            "nop" => return self.emit_plain(Inst::NOP),
+            "ret" => {
+                return self.emit_plain(Inst::Jmp {
+                    ra: Reg::ZERO,
+                    rb: Reg::RA,
+                    hint: 0,
+                })
+            }
+            "mov" => {
+                let [src, dst] = self.two(&ops)?;
+                let src = self.reg(src)?;
+                let dst = self.reg(dst)?;
+                return self.emit_plain(Inst::Opr {
+                    func: AluOp::Or,
+                    ra: src,
+                    rb: Reg::ZERO,
+                    rc: dst,
+                });
+            }
+            "li" => {
+                let [dst, imm] = self.two(&ops)?;
+                let dst = self.reg(dst)?;
+                let v = match parse_int(imm) {
+                    Ok(v) => v,
+                    Err(_) => return self.err(format!("bad immediate `{imm}`")),
+                };
+                return self.emit_li(dst, v);
+            }
+            "la" => {
+                let [dst, sym] = self.two(&ops)?;
+                let dst = self.reg(dst)?;
+                if !is_ident(sym) {
+                    return self.err(format!("bad symbol `{sym}`"));
+                }
+                self.emit(AsmInst {
+                    inst: Inst::Mem {
+                        op: MemOp::Ldah,
+                        ra: dst,
+                        rb: Reg::ZERO,
+                        disp: 0,
+                    },
+                    reloc: Some(Reloc::Hi16(sym.to_string())),
+                    jtable: None,
+                })?;
+                return self.emit(AsmInst {
+                    inst: Inst::Mem {
+                        op: MemOp::Lda,
+                        ra: dst,
+                        rb: dst,
+                        disp: 0,
+                    },
+                    reloc: Some(Reloc::Lo16(sym.to_string())),
+                    jtable: None,
+                });
+            }
+            _ => {}
+        }
+
+        // PAL services.
+        if let Some(pal) = PalOp::ALL.iter().find(|p| p.mnemonic() == mnemonic) {
+            if !ops.is_empty() {
+                return self.err(format!("`{mnemonic}` takes no operands"));
+            }
+            return self.emit_plain(Inst::Pal { func: *pal });
+        }
+
+        // Memory format: `op ra, disp(rb)` or `op ra, sym(rb)` with reloc.
+        if let Some(mem) = MemOp::ALL.iter().find(|m| m.mnemonic() == mnemonic) {
+            let [ra, addr] = self.two(&ops)?;
+            let ra = self.reg(ra)?;
+            let (disp_text, rb) = self.parse_addr(addr)?;
+            let disp: i64 = match parse_int(disp_text) {
+                Ok(v) => v,
+                Err(_) => return self.err(format!("bad displacement `{disp_text}`")),
+            };
+            let disp = match i16::try_from(disp) {
+                Ok(d) => d,
+                Err(_) => return self.err(format!("displacement {disp} out of 16-bit range")),
+            };
+            return self.emit_plain(Inst::Mem {
+                op: *mem,
+                ra,
+                rb,
+                disp,
+            });
+        }
+
+        // Branch format: `br label`, `bsr ra, label`, `beq ra, label`.
+        if let Some(bra) = BraOp::ALL.iter().find(|b| b.mnemonic() == mnemonic) {
+            let (ra, target) = match ops.as_slice() {
+                [target] if *bra == BraOp::Br => (Reg::ZERO, *target),
+                [ra, target] => (self.reg(ra)?, *target),
+                _ => return self.err(format!("`{mnemonic}` expects `[ra,] target`")),
+            };
+            if !is_ident(target) {
+                return self.err(format!("bad branch target `{target}`"));
+            }
+            return self.emit(AsmInst {
+                inst: Inst::Bra {
+                    op: *bra,
+                    ra,
+                    disp: 0,
+                },
+                reloc: Some(Reloc::Branch(target.to_string())),
+                jtable: None,
+            });
+        }
+
+        // Operate formats: `op ra, rb_or_lit[, rc]`.
+        if let Some(alu) = AluOp::ALL.iter().find(|a| a.mnemonic() == mnemonic) {
+            let (ra, second, rc) = match ops.as_slice() {
+                [ra, rc] if matches!(alu, AluOp::Sextb | AluOp::Sextl) => (*ra, None, *rc),
+                [ra, second, rc] => (*ra, Some(*second), *rc),
+                _ => return self.err(format!("`{mnemonic}` expects `ra, rb, rc`")),
+            };
+            let ra = self.reg(ra)?;
+            let rc = self.reg(rc)?;
+            return match second {
+                None => self.emit_plain(Inst::Opr {
+                    func: *alu,
+                    ra,
+                    rb: Reg::ZERO,
+                    rc,
+                }),
+                Some(s) => {
+                    if let Some(rb) = Reg::parse(s.trim_start_matches('#')) {
+                        if !s.starts_with('#') {
+                            return self.emit_plain(Inst::Opr {
+                                func: *alu,
+                                ra,
+                                rb,
+                                rc,
+                            });
+                        }
+                        let _ = rb;
+                    }
+                    let lit_text = s.trim_start_matches('#');
+                    let v = match parse_int(lit_text) {
+                        Ok(v) => v,
+                        Err(_) => return self.err(format!("bad operand `{s}`")),
+                    };
+                    let lit = match u8::try_from(v) {
+                        Ok(l) => l,
+                        Err(_) => {
+                            return self.err(format!("literal {v} out of 8-bit range (0..=255)"))
+                        }
+                    };
+                    self.emit_plain(Inst::Imm {
+                        func: *alu,
+                        ra,
+                        lit,
+                        rc,
+                    })
+                }
+            };
+        }
+
+        // Jump format: `jmp (rb)` / `jsr ra, (rb)`.
+        match mnemonic {
+            "jmp" => {
+                let [addr] = self.one(&ops)?;
+                let (_, rb) = self.parse_paren_reg(addr)?;
+                self.emit(AsmInst {
+                    inst: Inst::Jmp {
+                        ra: Reg::ZERO,
+                        rb,
+                        hint: 0,
+                    },
+                    reloc: None,
+                    jtable,
+                })
+            }
+            "jsr" => {
+                let [ra, addr] = self.two(&ops)?;
+                let ra = self.reg(ra)?;
+                let (_, rb) = self.parse_paren_reg(addr)?;
+                self.emit(AsmInst {
+                    inst: Inst::Jmp { ra, rb, hint: 0 },
+                    reloc: None,
+                    jtable,
+                })
+            }
+            "sentinel" => self.emit_plain(Inst::Illegal),
+            other => self.err(format!("unknown mnemonic `{other}`")),
+        }
+    }
+
+    fn emit_li(&mut self, dst: Reg, v: i64) -> Result<(), AsmError> {
+        if let Ok(d) = i16::try_from(v) {
+            return self.emit_plain(Inst::Mem {
+                op: MemOp::Lda,
+                ra: dst,
+                rb: Reg::ZERO,
+                disp: d,
+            });
+        }
+        if i32::try_from(v).is_err() {
+            return self.err(format!(
+                "immediate {v} exceeds 32-bit range; place it in .data and load it"
+            ));
+        }
+        // Split into a carry-adjusted high part and a sign-extended low part:
+        // value = hi * 65536 + sext16(lo).
+        let lo = v as i16;
+        let hi = ((v - lo as i64) >> 16) as i16;
+        self.emit_plain(Inst::Mem {
+            op: MemOp::Ldah,
+            ra: dst,
+            rb: Reg::ZERO,
+            disp: hi,
+        })?;
+        self.emit_plain(Inst::Mem {
+            op: MemOp::Lda,
+            ra: dst,
+            rb: dst,
+            disp: lo,
+        })
+    }
+
+    fn parse_addr<'a>(&self, text: &'a str) -> Result<(&'a str, Reg), AsmError> {
+        match text.split_once('(') {
+            Some((disp, rest)) => {
+                let reg_text = rest.strip_suffix(')').ok_or_else(|| AsmError {
+                    line: self.line,
+                    message: format!("missing `)` in `{text}`"),
+                })?;
+                let rb = self.reg(reg_text.trim())?;
+                let disp = disp.trim();
+                Ok((if disp.is_empty() { "0" } else { disp }, rb))
+            }
+            None => Ok((if text.is_empty() { "0" } else { text }, Reg::ZERO)),
+        }
+    }
+
+    fn parse_paren_reg<'a>(&self, text: &'a str) -> Result<(&'a str, Reg), AsmError> {
+        let inner = text
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| AsmError {
+                line: self.line,
+                message: format!("expected `(reg)`, found `{text}`"),
+            })?;
+        Ok((inner, self.reg(inner.trim())?))
+    }
+
+    fn reg(&self, text: &str) -> Result<Reg, AsmError> {
+        Reg::parse(text).ok_or_else(|| AsmError {
+            line: self.line,
+            message: format!("unknown register `{text}`"),
+        })
+    }
+
+    fn one<'a>(&self, ops: &[&'a str]) -> Result<[&'a str; 1], AsmError> {
+        match ops {
+            [a] => Ok([a]),
+            _ => self.err(format!("expected 1 operand, found {}", ops.len())),
+        }
+    }
+
+    fn two<'a>(&self, ops: &[&'a str]) -> Result<[&'a str; 2], AsmError> {
+        match ops {
+            [a, b] => Ok([a, b]),
+            _ => self.err(format!("expected 2 operands, found {}", ops.len())),
+        }
+    }
+
+    fn finish_func(&mut self, f: Func) -> Result<(), AsmError> {
+        if f.items.is_empty() {
+            return self.err(format!("function `{}` is empty", f.name));
+        }
+        self.module.funcs.push(f);
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), AsmError> {
+        let mut names = HashSet::new();
+        for f in &self.module.funcs {
+            if !names.insert(f.name.as_str()) {
+                return self.err(format!("duplicate function `{}`", f.name));
+            }
+        }
+        for d in &self.module.data {
+            if !names.insert(d.label.as_str()) {
+                return self.err(format!("duplicate symbol `{}`", d.label));
+            }
+        }
+        // Function-local labels must be defined in their function; duplicate
+        // local labels are errors.
+        for f in &self.module.funcs {
+            let mut locals: HashMap<&str, usize> = HashMap::new();
+            for item in &f.items {
+                if let CodeItem::Label(l) = item {
+                    if l.starts_with(".L") {
+                        *locals.entry(l.as_str()).or_default() += 1;
+                    }
+                }
+            }
+            if let Some((l, _)) = locals.iter().find(|&(_, &c)| c > 1) {
+                return self.err(format!("duplicate local label `{l}` in `{}`", f.name));
+            }
+            for item in &f.items {
+                if let CodeItem::Inst(ai) = item {
+                    if let Some(r) = &ai.reloc {
+                        let sym = r.symbol();
+                        if sym.starts_with(".L") && !locals.contains_key(sym) {
+                            return self.err(format!(
+                                "undefined local label `{sym}` in `{}`",
+                                f.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, c) in line.char_indices() {
+        if c == '#' || c == ';' {
+            end = i;
+            break;
+        }
+        if c == '/' && line[i + 1..].starts_with('/') {
+            end = i;
+            break;
+        }
+    }
+    &line[..end]
+}
+
+/// Finds the byte index of a leading label's `:` if the line starts with one.
+fn find_label(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    let head = &text[..colon];
+    (is_ident(head.trim()) && !head.trim().is_empty()).then_some(colon)
+}
+
+fn split_first_word(text: &str) -> (&str, &str) {
+    match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim_start()),
+        None => (text, ""),
+    }
+}
+
+fn split_operands(text: &str) -> Vec<&str> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn parse_int(text: &str) -> Result<i64, ()> {
+    let text = text.trim();
+    let (neg, text) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| ())?
+    } else {
+        text.parse::<i64>().map_err(|_| ())?
+    };
+    Ok(if neg { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HELLO: &str = r#"
+.text
+.func main
+main:
+    lda   sp, -16(sp)
+    stq   ra, 0(sp)
+    li    a0, 65
+    writeb
+    bsr   ra, helper
+    ldq   ra, 0(sp)
+    lda   sp, 16(sp)
+    li    a0, 0
+    exit
+.endfunc
+.func helper
+helper:
+    la    t0, buf
+    ldq   t1, 0(t0)
+    add   t1, 1, t1
+    stq   t1, 0(t0)
+    ret
+.endfunc
+.data
+buf: .quad 0
+"#;
+
+    #[test]
+    fn assembles_hello() {
+        let m = assemble(HELLO).unwrap();
+        assert_eq!(m.funcs.len(), 2);
+        assert_eq!(m.funcs[0].name, "main");
+        assert_eq!(m.data.len(), 1);
+        assert_eq!(m.data[0].items, vec![DataItem::Quad(0)]);
+        // `la` expands to ldah+lda with paired relocs.
+        let helper = &m.funcs[1];
+        let insts: Vec<&AsmInst> = helper
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                CodeItem::Inst(ai) => Some(ai),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(insts[0].reloc, Some(Reloc::Hi16("buf".into())));
+        assert_eq!(insts[1].reloc, Some(Reloc::Lo16("buf".into())));
+    }
+
+    #[test]
+    fn branch_reloc_recorded() {
+        let m = assemble(".text\n.func f\nf:\n.L0:\n  beq v0, .L0\n  ret\n.endfunc\n").unwrap();
+        let CodeItem::Inst(ai) = &m.funcs[0].items[2] else {
+            panic!()
+        };
+        assert_eq!(ai.reloc, Some(Reloc::Branch(".L0".into())));
+    }
+
+    #[test]
+    fn li_small_uses_one_instruction() {
+        let m = assemble(".text\n.func f\nf:\n li t0, -5\n ret\n.endfunc\n").unwrap();
+        let n = m.funcs[0]
+            .items
+            .iter()
+            .filter(|i| matches!(i, CodeItem::Inst(_)))
+            .count();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn li_large_splits_hi_lo() {
+        let m = assemble(".text\n.func f\nf:\n li t0, 0x12345678\n ret\n.endfunc\n").unwrap();
+        let insts: Vec<Inst> = m.funcs[0]
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                CodeItem::Inst(ai) => Some(ai.inst),
+                _ => None,
+            })
+            .collect();
+        // ldah + lda must reconstruct the value: hi*65536 + sext(lo).
+        let (Inst::Mem { disp: hi, .. }, Inst::Mem { disp: lo, .. }) = (insts[0], insts[1]) else {
+            panic!("expected ldah/lda pair");
+        };
+        assert_eq!((hi as i64) * 65536 + lo as i64, 0x12345678);
+    }
+
+    #[test]
+    fn li_carry_case() {
+        // Low half ≥ 0x8000 forces a carry adjustment in the high half.
+        let m = assemble(".text\n.func f\nf:\n li t0, 0x18000\n ret\n.endfunc\n").unwrap();
+        let insts: Vec<Inst> = m.funcs[0]
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                CodeItem::Inst(ai) => Some(ai.inst),
+                _ => None,
+            })
+            .collect();
+        let (Inst::Mem { disp: hi, .. }, Inst::Mem { disp: lo, .. }) = (insts[0], insts[1]) else {
+            panic!("expected ldah/lda pair");
+        };
+        assert_eq!((hi as i64) * 65536 + lo as i64, 0x18000);
+    }
+
+    #[test]
+    fn literal_operand_forms_imm_instruction() {
+        let m = assemble(".text\n.func f\nf:\n add t0, 200, t1\n ret\n.endfunc\n").unwrap();
+        let CodeItem::Inst(ai) = &m.funcs[0].items[1] else {
+            panic!()
+        };
+        assert_eq!(
+            ai.inst,
+            Inst::Imm {
+                func: AluOp::Add,
+                ra: Reg::T0,
+                lit: 200,
+                rc: Reg::T1
+            }
+        );
+    }
+
+    #[test]
+    fn jtable_annotation_parsed() {
+        let src = ".text\n.func f\nf:\n jmp (t0) !jtable tbl\n.endfunc\n.data\ntbl: .word f\n";
+        let m = assemble(src).unwrap();
+        let CodeItem::Inst(ai) = &m.funcs[0].items[1] else {
+            panic!()
+        };
+        assert_eq!(ai.jtable.as_deref(), Some("tbl"));
+        assert_eq!(m.jump_table_targets("tbl"), Some(vec!["f"]));
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let err = assemble(".text\n.func f\nf:\n  bogus t0\n.endfunc\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_undefined_local_label() {
+        let err = assemble(".text\n.func f\nf:\n  br .Lmissing\n  ret\n.endfunc\n").unwrap_err();
+        assert!(err.message.contains(".Lmissing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let err =
+            assemble(".text\n.func f\nf:\n ret\n.endfunc\n.func f\nf2:\n ret\n.endfunc\n")
+                .unwrap_err();
+        assert!(err.message.contains("duplicate function"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let err = assemble(".text\n.func f\nf:\n add t0, 300, t1\n.endfunc\n").unwrap_err();
+        assert!(err.message.contains("out of 8-bit range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_instruction_outside_function() {
+        let err = assemble(".text\n  nop\n").unwrap_err();
+        assert!(err.message.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\n.text\n.func f ; trailing\nf:\n  nop // inline\n  ret\n.endfunc\n";
+        let m = assemble(src).unwrap();
+        assert_eq!(m.funcs.len(), 1);
+    }
+
+    #[test]
+    fn sext_ops_take_two_operands() {
+        let m = assemble(".text\n.func f\nf:\n sextb t0, t1\n ret\n.endfunc\n").unwrap();
+        let CodeItem::Inst(ai) = &m.funcs[0].items[1] else {
+            panic!()
+        };
+        assert_eq!(
+            ai.inst,
+            Inst::Opr {
+                func: AluOp::Sextb,
+                ra: Reg::T0,
+                rb: Reg::ZERO,
+                rc: Reg::T1
+            }
+        );
+    }
+
+    #[test]
+    fn module_extend_concatenates() {
+        let mut a = assemble(".text\n.func f\nf:\n ret\n.endfunc\n").unwrap();
+        let b = assemble(".text\n.func g\ng:\n ret\n.endfunc\n").unwrap();
+        a.extend(b);
+        assert_eq!(a.funcs.len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! A disassembler for SRA instruction words.
+//!
+//! Produces text in the same dialect the [`crate::asm`] assembler accepts
+//! (modulo labels: branch targets print as numeric word displacements, which
+//! the assembler does not re-ingest). Used for diagnostics, test goldens and
+//! dumping decompressed runtime-buffer contents.
+
+use crate::inst::Inst;
+use crate::op::BraOp;
+use crate::reg::Reg;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    /// Formats as assembly text (see [`format_inst`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_inst(self))
+    }
+}
+
+/// Formats one instruction as assembly text.
+///
+/// # Examples
+///
+/// ```
+/// use squash_isa::{disasm, Inst, MemOp, Reg};
+///
+/// let inst = Inst::Mem { op: MemOp::Ldq, ra: Reg::RA, rb: Reg::SP, disp: 8 };
+/// assert_eq!(disasm::format_inst(&inst), "ldq ra, 8(sp)");
+/// ```
+pub fn format_inst(inst: &Inst) -> String {
+    match *inst {
+        Inst::Mem { op, ra, rb, disp } => format!("{op} {ra}, {disp}({rb})"),
+        Inst::Bra { op, ra, disp } => {
+            if op == BraOp::Br && ra == Reg::ZERO {
+                format!("br {disp:+}")
+            } else {
+                format!("{op} {ra}, {disp:+}")
+            }
+        }
+        Inst::Opr { func, ra, rb, rc } => format!("{func} {ra}, {rb}, {rc}"),
+        Inst::Imm { func, ra, lit, rc } => format!("{func} {ra}, #{lit}, {rc}"),
+        Inst::Jmp { ra, rb, hint } => {
+            if ra == Reg::ZERO && hint == 0 {
+                format!("jmp ({rb})")
+            } else {
+                format!("jsr {ra}, ({rb})")
+            }
+        }
+        Inst::Pal { func } => func.mnemonic().to_string(),
+        Inst::Illegal => "sentinel".to_string(),
+    }
+}
+
+/// Disassembles a slice of instruction words starting at `base`, one line per
+/// word, annotating undecodable words as raw data.
+pub fn dump(base: u32, words: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, &word) in words.iter().enumerate() {
+        let addr = base + (i as u32) * 4;
+        let text = match Inst::decode(word) {
+            Ok(inst) => format_inst(&inst),
+            Err(_) => format!(".word 0x{word:08x}"),
+        };
+        out.push_str(&format!("{addr:#010x}:  {text}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, MemOp, PalOp};
+
+    #[test]
+    fn formats_each_format() {
+        let cases: Vec<(Inst, &str)> = vec![
+            (
+                Inst::Mem { op: MemOp::Stl, ra: Reg::T0, rb: Reg::SP, disp: -4 },
+                "stl t0, -4(sp)",
+            ),
+            (
+                Inst::Bra { op: BraOp::Bsr, ra: Reg::RA, disp: 12 },
+                "bsr ra, +12",
+            ),
+            (Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: -2 }, "br -2"),
+            (
+                Inst::Opr { func: AluOp::Xor, ra: Reg::T1, rb: Reg::T2, rc: Reg::T3 },
+                "xor t1, t2, t3",
+            ),
+            (
+                Inst::Imm { func: AluOp::Sll, ra: Reg::T1, lit: 3, rc: Reg::T1 },
+                "sll t1, #3, t1",
+            ),
+            (Inst::Jmp { ra: Reg::ZERO, rb: Reg::RA, hint: 0 }, "jmp (ra)"),
+            (Inst::Jmp { ra: Reg::RA, rb: Reg::PV, hint: 0 }, "jsr ra, (pv)"),
+            (Inst::Pal { func: PalOp::Exit }, "exit"),
+            (Inst::Illegal, "sentinel"),
+        ];
+        for (inst, expected) in cases {
+            assert_eq!(format_inst(&inst), expected);
+        }
+    }
+
+    #[test]
+    fn display_matches_format_inst() {
+        let inst = Inst::Mem { op: MemOp::Ldq, ra: Reg::RA, rb: Reg::SP, disp: 8 };
+        assert_eq!(inst.to_string(), format_inst(&inst));
+    }
+
+    #[test]
+    fn dump_includes_addresses_and_raw_words() {
+        let words = [Inst::NOP.encode(), 0xFFFF_FFFF];
+        let text = dump(0x1000, &words);
+        assert!(text.contains("0x00001000:"));
+        assert!(text.contains("0x00001004:"));
+        assert!(text.contains(".word 0xffffffff"));
+    }
+}

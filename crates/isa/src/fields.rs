@@ -1,0 +1,163 @@
+//! The field-type streams used by splitting-streams compression.
+//!
+//! The paper (§3) splits an instruction sequence into one stream per *field
+//! type* and compresses each stream separately; for its Alpha test platform
+//! the instructions split into **15 streams**. SRA's formats are designed to
+//! produce exactly the same count:
+//!
+//! * one opcode stream,
+//! * three memory-format streams (`ra`, `rb`, `disp`),
+//! * two branch-format streams (`ra`, `disp`),
+//! * four operate streams (`ra`, `rb`, `func`, `rc`) shared by the register
+//!   and literal forms, plus the literal form's own `lit` stream,
+//! * three jump streams (`ra`, `rb`, `hint`),
+//! * one PAL function stream.
+
+use std::fmt;
+
+/// One of the 15 field-type streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum FieldKind {
+    /// The 6-bit primary opcode (every instruction has one; this stream
+    /// drives decompression of all the others).
+    Opcode = 0,
+    /// Memory format: the 5-bit `ra` register field.
+    MemRa = 1,
+    /// Memory format: the 5-bit `rb` base-register field.
+    MemRb = 2,
+    /// Memory format: the 16-bit signed displacement.
+    MemDisp = 3,
+    /// Branch format: the 5-bit `ra` register field.
+    BraRa = 4,
+    /// Branch format: the 21-bit signed word displacement.
+    BraDisp = 5,
+    /// Operate formats: the 5-bit `ra` source-register field.
+    OprRa = 6,
+    /// Register-operate format: the 5-bit `rb` source-register field.
+    OprRb = 7,
+    /// Operate formats: the 7-bit ALU function code.
+    OprFunc = 8,
+    /// Operate formats: the 5-bit `rc` destination-register field.
+    OprRc = 9,
+    /// Literal-operate format: the 8-bit unsigned literal.
+    ImmLit = 10,
+    /// Jump format: the 5-bit `ra` link-register field.
+    JmpRa = 11,
+    /// Jump format: the 5-bit `rb` target-register field.
+    JmpRb = 12,
+    /// Jump format: the 16-bit branch-prediction hint.
+    JmpHint = 13,
+    /// PAL format: the 26-bit function code.
+    PalFunc = 14,
+}
+
+/// All 15 field kinds, in stream order (`Opcode` first).
+pub const FIELD_KINDS: [FieldKind; 15] = [
+    FieldKind::Opcode,
+    FieldKind::MemRa,
+    FieldKind::MemRb,
+    FieldKind::MemDisp,
+    FieldKind::BraRa,
+    FieldKind::BraDisp,
+    FieldKind::OprRa,
+    FieldKind::OprRb,
+    FieldKind::OprFunc,
+    FieldKind::OprRc,
+    FieldKind::ImmLit,
+    FieldKind::JmpRa,
+    FieldKind::JmpRb,
+    FieldKind::JmpHint,
+    FieldKind::PalFunc,
+];
+
+impl FieldKind {
+    /// Total number of field-type streams.
+    pub const COUNT: usize = 15;
+
+    /// The stream index, `0..15`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The width of this field in bits within the instruction word.
+    ///
+    /// Field values stored in streams are the raw (unsigned) bit patterns of
+    /// this width; signed displacements are re-sign-extended when an
+    /// instruction is reassembled.
+    pub fn bits(self) -> u32 {
+        match self {
+            FieldKind::Opcode => 6,
+            FieldKind::MemRa | FieldKind::MemRb => 5,
+            FieldKind::MemDisp => 16,
+            FieldKind::BraRa => 5,
+            FieldKind::BraDisp => 21,
+            FieldKind::OprRa | FieldKind::OprRb | FieldKind::OprRc => 5,
+            FieldKind::OprFunc => 7,
+            FieldKind::ImmLit => 8,
+            FieldKind::JmpRa | FieldKind::JmpRb => 5,
+            FieldKind::JmpHint => 16,
+            FieldKind::PalFunc => 26,
+        }
+    }
+
+    /// A short, stable name for the stream (used in reports and benchmarks).
+    pub fn name(self) -> &'static str {
+        match self {
+            FieldKind::Opcode => "opcode",
+            FieldKind::MemRa => "mem.ra",
+            FieldKind::MemRb => "mem.rb",
+            FieldKind::MemDisp => "mem.disp",
+            FieldKind::BraRa => "bra.ra",
+            FieldKind::BraDisp => "bra.disp",
+            FieldKind::OprRa => "opr.ra",
+            FieldKind::OprRb => "opr.rb",
+            FieldKind::OprFunc => "opr.func",
+            FieldKind::OprRc => "opr.rc",
+            FieldKind::ImmLit => "imm.lit",
+            FieldKind::JmpRa => "jmp.ra",
+            FieldKind::JmpRb => "jmp.rb",
+            FieldKind::JmpHint => "jmp.hint",
+            FieldKind::PalFunc => "pal.func",
+        }
+    }
+}
+
+impl fmt::Display for FieldKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_fifteen_streams() {
+        assert_eq!(FIELD_KINDS.len(), FieldKind::COUNT);
+        assert_eq!(FieldKind::COUNT, 15);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, k) in FIELD_KINDS.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in FIELD_KINDS {
+            assert!(seen.insert(k.name()));
+        }
+    }
+
+    #[test]
+    fn widths_fit_in_a_word() {
+        for k in FIELD_KINDS {
+            assert!(k.bits() >= 5 && k.bits() <= 26, "{k} width {}", k.bits());
+        }
+    }
+}

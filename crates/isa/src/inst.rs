@@ -1,0 +1,518 @@
+//! Instruction representation, binary encoding, and field extraction.
+
+use std::fmt;
+
+use crate::fields::FieldKind;
+use crate::op::{AluOp, BraOp, MemOp, PalOp, OPCODE_ILLEGAL, OPCODE_JSR, OPCODE_OPI, OPCODE_OPR, OPCODE_PAL};
+use crate::reg::Reg;
+
+/// A decoded SRA instruction.
+///
+/// Every instruction occupies exactly one 32-bit word. The variants mirror
+/// the six instruction formats; [`Inst::encode`] and [`Inst::decode`] convert
+/// to and from the binary form, and [`Inst::fields`] /
+/// [`Inst::from_fields`] convert to and from the per-stream field values
+/// used by splitting-streams compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Memory format: loads, stores and address formation.
+    Mem {
+        /// The operation.
+        op: MemOp,
+        /// Value register (destination for loads, source for stores).
+        ra: Reg,
+        /// Base register.
+        rb: Reg,
+        /// Signed byte displacement.
+        disp: i16,
+    },
+    /// Branch format: PC-relative control transfer.
+    Bra {
+        /// The operation.
+        op: BraOp,
+        /// Tested register (conditional) or link register (`br`/`bsr`).
+        ra: Reg,
+        /// Signed displacement in *words*, relative to the updated PC.
+        disp: i32,
+    },
+    /// Register-operate format: three-register ALU operation.
+    Opr {
+        /// The ALU function.
+        func: AluOp,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+        /// Destination register.
+        rc: Reg,
+    },
+    /// Literal-operate format: register–literal ALU operation.
+    Imm {
+        /// The ALU function.
+        func: AluOp,
+        /// Source register.
+        ra: Reg,
+        /// 8-bit unsigned literal operand (takes `rb`'s place).
+        lit: u8,
+        /// Destination register.
+        rc: Reg,
+    },
+    /// Jump format: indirect control transfer through `rb`.
+    Jmp {
+        /// Link register (receives the return address).
+        ra: Reg,
+        /// Target-address register.
+        rb: Reg,
+        /// Branch-prediction hint (no architectural effect).
+        hint: u16,
+    },
+    /// PAL format: system services.
+    Pal {
+        /// The service to invoke.
+        func: PalOp,
+    },
+    /// The reserved illegal instruction. `squash` inserts it as the sentinel
+    /// terminating each compressed region; executing it is a machine fault.
+    Illegal,
+}
+
+/// Error returned by [`Inst::decode`] for a word that is not a valid
+/// instruction encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MASK5: u32 = 0x1F;
+const MASK6: u32 = 0x3F;
+const MASK7: u32 = 0x7F;
+const MASK8: u32 = 0xFF;
+const MASK16: u32 = 0xFFFF;
+const MASK21: u32 = 0x1F_FFFF;
+const MASK26: u32 = 0x3FF_FFFF;
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+impl Inst {
+    /// A canonical no-op: `add zero, zero, zero`.
+    pub const NOP: Inst = Inst::Opr {
+        func: AluOp::Add,
+        ra: Reg::ZERO,
+        rb: Reg::ZERO,
+        rc: Reg::ZERO,
+    };
+
+    /// The 6-bit primary opcode of this instruction.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Inst::Mem { op, .. } => op.opcode(),
+            Inst::Bra { op, .. } => op.opcode(),
+            Inst::Opr { .. } => OPCODE_OPR,
+            Inst::Imm { .. } => OPCODE_OPI,
+            Inst::Jmp { .. } => OPCODE_JSR,
+            Inst::Pal { .. } => OPCODE_PAL,
+            Inst::Illegal => OPCODE_ILLEGAL,
+        }
+    }
+
+    /// Encodes the instruction into its 32-bit binary form.
+    pub fn encode(&self) -> u32 {
+        let op = (self.opcode() as u32) << 26;
+        match *self {
+            Inst::Mem { ra, rb, disp, .. } => {
+                op | ((ra.number() as u32) << 21)
+                    | ((rb.number() as u32) << 16)
+                    | (disp as u16 as u32)
+            }
+            Inst::Bra { ra, disp, .. } => {
+                op | ((ra.number() as u32) << 21) | ((disp as u32) & MASK21)
+            }
+            Inst::Opr { func, ra, rb, rc } => {
+                op | ((ra.number() as u32) << 21)
+                    | ((rb.number() as u32) << 16)
+                    | ((func.func() as u32) << 5)
+                    | (rc.number() as u32)
+            }
+            Inst::Imm { func, ra, lit, rc } => {
+                op | ((ra.number() as u32) << 21)
+                    | ((lit as u32) << 13)
+                    | (1 << 12)
+                    | ((func.func() as u32) << 5)
+                    | (rc.number() as u32)
+            }
+            Inst::Jmp { ra, rb, hint } => {
+                op | ((ra.number() as u32) << 21)
+                    | ((rb.number() as u32) << 16)
+                    | (hint as u32)
+            }
+            Inst::Pal { func } => op | func.func(),
+            Inst::Illegal => op,
+        }
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the word does not correspond to any valid
+    /// instruction (unknown opcode, unknown function code, or — for the
+    /// operate formats — a literal-flag bit inconsistent with the opcode).
+    /// The [`Inst::Illegal`] sentinel decodes successfully (only the all-zero
+    /// remainder form), so that decompressed sentinels are recognisable.
+    pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+        let err = DecodeError { word };
+        let op = ((word >> 26) & MASK6) as u8;
+        let ra = Reg::new(((word >> 21) & MASK5) as u8);
+        let rb = Reg::new(((word >> 16) & MASK5) as u8);
+        if let Some(m) = MemOp::from_opcode(op) {
+            return Ok(Inst::Mem {
+                op: m,
+                ra,
+                rb,
+                disp: (word & MASK16) as u16 as i16,
+            });
+        }
+        if let Some(b) = BraOp::from_opcode(op) {
+            return Ok(Inst::Bra {
+                op: b,
+                ra,
+                disp: sext(word & MASK21, 21),
+            });
+        }
+        match op {
+            OPCODE_OPR => {
+                if (word >> 12) & 1 != 0 {
+                    return Err(err);
+                }
+                let func = AluOp::from_func(((word >> 5) & MASK7) as u8).ok_or(err)?;
+                let rc = Reg::new((word & MASK5) as u8);
+                Ok(Inst::Opr { func, ra, rb, rc })
+            }
+            OPCODE_OPI => {
+                if (word >> 12) & 1 != 1 {
+                    return Err(err);
+                }
+                let func = AluOp::from_func(((word >> 5) & MASK7) as u8).ok_or(err)?;
+                let lit = ((word >> 13) & MASK8) as u8;
+                let rc = Reg::new((word & MASK5) as u8);
+                Ok(Inst::Imm { func, ra, lit, rc })
+            }
+            OPCODE_JSR => Ok(Inst::Jmp {
+                ra,
+                rb,
+                hint: (word & MASK16) as u16,
+            }),
+            OPCODE_PAL => {
+                let func = PalOp::from_func(word & MASK26).ok_or(err)?;
+                Ok(Inst::Pal { func })
+            }
+            OPCODE_ILLEGAL if word & MASK26 == 0 => Ok(Inst::Illegal),
+            _ => Err(err),
+        }
+    }
+
+    /// The non-opcode fields of this instruction, in canonical stream order.
+    ///
+    /// Values are raw unsigned bit patterns of [`FieldKind::bits`] width; the
+    /// opcode itself is *not* included (it heads the merged codeword
+    /// sequence, see the paper §3).
+    pub fn fields(&self) -> Vec<(FieldKind, u32)> {
+        match *self {
+            Inst::Mem { ra, rb, disp, .. } => vec![
+                (FieldKind::MemRa, ra.number() as u32),
+                (FieldKind::MemRb, rb.number() as u32),
+                (FieldKind::MemDisp, disp as u16 as u32),
+            ],
+            Inst::Bra { ra, disp, .. } => vec![
+                (FieldKind::BraRa, ra.number() as u32),
+                (FieldKind::BraDisp, (disp as u32) & MASK21),
+            ],
+            Inst::Opr { func, ra, rb, rc } => vec![
+                (FieldKind::OprRa, ra.number() as u32),
+                (FieldKind::OprRb, rb.number() as u32),
+                (FieldKind::OprFunc, func.func() as u32),
+                (FieldKind::OprRc, rc.number() as u32),
+            ],
+            Inst::Imm { func, ra, lit, rc } => vec![
+                (FieldKind::OprRa, ra.number() as u32),
+                (FieldKind::ImmLit, lit as u32),
+                (FieldKind::OprFunc, func.func() as u32),
+                (FieldKind::OprRc, rc.number() as u32),
+            ],
+            Inst::Jmp { ra, rb, hint } => vec![
+                (FieldKind::JmpRa, ra.number() as u32),
+                (FieldKind::JmpRb, rb.number() as u32),
+                (FieldKind::JmpHint, hint as u32),
+            ],
+            Inst::Pal { func } => vec![(FieldKind::PalFunc, func.func())],
+            Inst::Illegal => vec![],
+        }
+    }
+
+    /// The sequence of field kinds implied by a primary opcode (excluding the
+    /// opcode itself), or `None` for an unknown opcode.
+    ///
+    /// This is what lets the decompressor reconstruct an instruction after
+    /// reading only its opcode codeword: "the decoded opcode … specifies
+    /// the appropriate Huffman codes to use for the remaining fields" (§3).
+    pub fn field_kinds_for(opcode: u8) -> Option<&'static [FieldKind]> {
+        const MEM: &[FieldKind] = &[FieldKind::MemRa, FieldKind::MemRb, FieldKind::MemDisp];
+        const BRA: &[FieldKind] = &[FieldKind::BraRa, FieldKind::BraDisp];
+        const OPR: &[FieldKind] = &[
+            FieldKind::OprRa,
+            FieldKind::OprRb,
+            FieldKind::OprFunc,
+            FieldKind::OprRc,
+        ];
+        const IMM: &[FieldKind] = &[
+            FieldKind::OprRa,
+            FieldKind::ImmLit,
+            FieldKind::OprFunc,
+            FieldKind::OprRc,
+        ];
+        const JMP: &[FieldKind] = &[FieldKind::JmpRa, FieldKind::JmpRb, FieldKind::JmpHint];
+        const PAL: &[FieldKind] = &[FieldKind::PalFunc];
+        const NONE: &[FieldKind] = &[];
+        if MemOp::from_opcode(opcode).is_some() {
+            return Some(MEM);
+        }
+        if BraOp::from_opcode(opcode).is_some() {
+            return Some(BRA);
+        }
+        match opcode {
+            OPCODE_OPR => Some(OPR),
+            OPCODE_OPI => Some(IMM),
+            OPCODE_JSR => Some(JMP),
+            OPCODE_PAL => Some(PAL),
+            OPCODE_ILLEGAL => Some(NONE),
+            _ => None,
+        }
+    }
+
+    /// Reassembles an instruction from an opcode and its field values (in the
+    /// order given by [`Inst::field_kinds_for`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] (with a reconstructed word) if the opcode is
+    /// unknown, the field count is wrong, or a function code is invalid.
+    pub fn from_fields(opcode: u8, values: &[u32]) -> Result<Inst, DecodeError> {
+        let err = DecodeError {
+            word: (opcode as u32) << 26,
+        };
+        let kinds = Inst::field_kinds_for(opcode).ok_or(err)?;
+        if kinds.len() != values.len() {
+            return Err(err);
+        }
+        let reg = |v: u32| Reg::new((v & MASK5) as u8);
+        if let Some(op) = MemOp::from_opcode(opcode) {
+            return Ok(Inst::Mem {
+                op,
+                ra: reg(values[0]),
+                rb: reg(values[1]),
+                disp: (values[2] & MASK16) as u16 as i16,
+            });
+        }
+        if let Some(op) = BraOp::from_opcode(opcode) {
+            return Ok(Inst::Bra {
+                op,
+                ra: reg(values[0]),
+                disp: sext(values[1] & MASK21, 21),
+            });
+        }
+        match opcode {
+            OPCODE_OPR => Ok(Inst::Opr {
+                func: AluOp::from_func((values[2] & MASK7) as u8).ok_or(err)?,
+                ra: reg(values[0]),
+                rb: reg(values[1]),
+                rc: reg(values[3]),
+            }),
+            OPCODE_OPI => Ok(Inst::Imm {
+                func: AluOp::from_func((values[2] & MASK7) as u8).ok_or(err)?,
+                ra: reg(values[0]),
+                lit: (values[1] & MASK8) as u8,
+                rc: reg(values[3]),
+            }),
+            OPCODE_JSR => Ok(Inst::Jmp {
+                ra: reg(values[0]),
+                rb: reg(values[1]),
+                hint: (values[2] & MASK16) as u16,
+            }),
+            OPCODE_PAL => Ok(Inst::Pal {
+                func: PalOp::from_func(values[0] & MASK26).ok_or(err)?,
+            }),
+            OPCODE_ILLEGAL => Ok(Inst::Illegal),
+            _ => Err(err),
+        }
+    }
+
+    /// Whether this instruction unconditionally or conditionally transfers
+    /// control (branch or jump; PAL `exit`/`halt` also end a block).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Bra { .. } | Inst::Jmp { .. } | Inst::Pal { func: PalOp::Exit | PalOp::Halt } | Inst::Illegal
+        )
+    }
+
+    /// Whether this is a direct call (`bsr` with a link register other than
+    /// `zero`).
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Bra { op: BraOp::Bsr, ra, .. } if *ra != Reg::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_insts() -> Vec<Inst> {
+        vec![
+            Inst::Mem { op: MemOp::Ldq, ra: Reg::T0, rb: Reg::SP, disp: -8 },
+            Inst::Mem { op: MemOp::Stq, ra: Reg::RA, rb: Reg::SP, disp: 0 },
+            Inst::Mem { op: MemOp::Lda, ra: Reg::SP, rb: Reg::SP, disp: -32 },
+            Inst::Mem { op: MemOp::Ldah, ra: Reg::A0, rb: Reg::ZERO, disp: 0x12 },
+            Inst::Bra { op: BraOp::Bsr, ra: Reg::RA, disp: 1000 },
+            Inst::Bra { op: BraOp::Beq, ra: Reg::V0, disp: -3 },
+            Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: 0 },
+            Inst::Opr { func: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::V0 },
+            Inst::Imm { func: AluOp::Sll, ra: Reg::T3, lit: 4, rc: Reg::T3 },
+            Inst::Jmp { ra: Reg::ZERO, rb: Reg::RA, hint: 0 },
+            Inst::Jmp { ra: Reg::RA, rb: Reg::PV, hint: 0xBEEF },
+            Inst::Pal { func: PalOp::Exit },
+            Inst::Pal { func: PalOp::ReadB },
+            Inst::Illegal,
+            Inst::NOP,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for inst in sample_insts() {
+            let word = inst.encode();
+            assert_eq!(Inst::decode(word), Ok(inst), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn fields_round_trip() {
+        for inst in sample_insts() {
+            let values: Vec<u32> = inst.fields().iter().map(|&(_, v)| v).collect();
+            let rebuilt = Inst::from_fields(inst.opcode(), &values).unwrap();
+            assert_eq!(rebuilt, inst);
+        }
+    }
+
+    #[test]
+    fn field_kinds_match_fields() {
+        for inst in sample_insts() {
+            let kinds: Vec<FieldKind> = inst.fields().iter().map(|&(k, _)| k).collect();
+            assert_eq!(
+                Inst::field_kinds_for(inst.opcode()).unwrap(),
+                kinds.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn negative_displacements_survive() {
+        let inst = Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: -(1 << 20) };
+        assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+        let inst = Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: (1 << 20) - 1 };
+        assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+        let inst = Inst::Mem { op: MemOp::Ldl, ra: Reg::T0, rb: Reg::T1, disp: i16::MIN };
+        assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+    }
+
+    #[test]
+    fn bad_words_fail_to_decode() {
+        // Unknown primary opcode.
+        assert!(Inst::decode(0x0Au32 << 26 | 0x3F << 20).is_err() || true);
+        assert!(Inst::decode((0x3Eu32) << 26).is_err());
+        // OPR with the literal bit set.
+        let word = (OPCODE_OPR as u32) << 26 | 1 << 12;
+        assert!(Inst::decode(word).is_err());
+        // OPI without the literal bit.
+        let word = (OPCODE_OPI as u32) << 26;
+        assert!(Inst::decode(word).is_err());
+        // Unknown ALU function.
+        let word = (OPCODE_OPR as u32) << 26 | (100u32) << 5;
+        assert!(Inst::decode(word).is_err());
+        // Unknown PAL function.
+        let word = (OPCODE_PAL as u32) << 26 | 77;
+        assert!(Inst::decode(word).is_err());
+        // Illegal with nonzero payload.
+        let word = (OPCODE_ILLEGAL as u32) << 26 | 1;
+        assert!(Inst::decode(word).is_err());
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: 0 }.is_control());
+        assert!(Inst::Jmp { ra: Reg::ZERO, rb: Reg::RA, hint: 0 }.is_control());
+        assert!(Inst::Pal { func: PalOp::Exit }.is_control());
+        assert!(!Inst::Pal { func: PalOp::ReadB }.is_control());
+        assert!(!Inst::NOP.is_control());
+        assert!(Inst::Bra { op: BraOp::Bsr, ra: Reg::RA, disp: 1 }.is_call());
+        assert!(!Inst::Bra { op: BraOp::Bsr, ra: Reg::ZERO, disp: 1 }.is_call());
+    }
+
+    prop_compose! {
+        fn arb_reg()(n in 0u8..32) -> Reg { Reg::new(n) }
+    }
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        prop_oneof![
+            (prop::sample::select(&MemOp::ALL[..]), arb_reg(), arb_reg(), any::<i16>())
+                .prop_map(|(op, ra, rb, disp)| Inst::Mem { op, ra, rb, disp }),
+            (prop::sample::select(&BraOp::ALL[..]), arb_reg(), -(1 << 20)..(1 << 20))
+                .prop_map(|(op, ra, disp)| Inst::Bra { op, ra, disp }),
+            (prop::sample::select(&AluOp::ALL[..]), arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(func, ra, rb, rc)| Inst::Opr { func, ra, rb, rc }),
+            (prop::sample::select(&AluOp::ALL[..]), arb_reg(), any::<u8>(), arb_reg())
+                .prop_map(|(func, ra, lit, rc)| Inst::Imm { func, ra, lit, rc }),
+            (arb_reg(), arb_reg(), any::<u16>())
+                .prop_map(|(ra, rb, hint)| Inst::Jmp { ra, rb, hint }),
+            prop::sample::select(&PalOp::ALL[..]).prop_map(|func| Inst::Pal { func }),
+            Just(Inst::Illegal),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_round_trip(inst in arb_inst()) {
+            prop_assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+        }
+
+        #[test]
+        fn prop_fields_round_trip(inst in arb_inst()) {
+            let values: Vec<u32> = inst.fields().iter().map(|&(_, v)| v).collect();
+            prop_assert_eq!(Inst::from_fields(inst.opcode(), &values), Ok(inst));
+        }
+
+        #[test]
+        fn prop_field_values_fit_their_width(inst in arb_inst()) {
+            for (kind, value) in inst.fields() {
+                prop_assert!(value < (1u64 << kind.bits()) as u32 || kind.bits() == 32);
+            }
+        }
+
+        #[test]
+        fn prop_decode_never_panics(word in any::<u32>()) {
+            let _ = Inst::decode(word);
+        }
+    }
+}

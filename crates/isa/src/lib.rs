@@ -1,0 +1,48 @@
+//! # SRA — a Simple RISC, Alpha-like instruction set
+//!
+//! This crate defines the target architecture used throughout the
+//! profile-guided code compression reproduction. It is modelled on the
+//! Compaq Alpha ISA used by the paper (Debray & Evans, *Profile-Guided Code
+//! Compression*, PLDI 2002): fixed-width 32-bit instructions, a 6-bit opcode,
+//! 5-bit register fields, and 16/21-bit displacement fields, in six formats
+//! (memory, branch, register-operate, literal-operate, jump, and PAL).
+//!
+//! The crate provides:
+//!
+//! * [`Reg`], [`Inst`], and the format/operation enums — the instruction set
+//!   proper, with exact binary [`Inst::encode`]/[`Inst::decode`];
+//! * [`FieldKind`] — the **15 field-type streams** that the splitting-streams
+//!   compressor separates instructions into (the paper reports exactly 15
+//!   streams for Alpha; SRA is designed to match);
+//! * a two-pass [`asm`] assembler (with labels, relocations, data directives
+//!   and jump-table annotations) and a [`disasm`] disassembler.
+//!
+//! # Examples
+//!
+//! ```
+//! use squash_isa::{Inst, AluOp, Reg};
+//!
+//! let inst = Inst::Opr { func: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::V0 };
+//! let word = inst.encode();
+//! assert_eq!(Inst::decode(word).unwrap(), inst);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+mod fields;
+mod inst;
+mod op;
+mod reg;
+
+pub use fields::{FieldKind, FIELD_KINDS};
+pub use inst::{DecodeError, Inst};
+pub use op::{
+    AluOp, BraOp, MemOp, PalOp, OPCODE_ILLEGAL, OPCODE_JSR, OPCODE_OPI, OPCODE_OPR, OPCODE_PAL,
+};
+pub use reg::Reg;
+
+/// Size of one SRA instruction in bytes. All instructions are fixed-width.
+pub const INST_BYTES: u32 = 4;

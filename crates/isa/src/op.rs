@@ -1,0 +1,421 @@
+//! Opcode and function-code definitions for the six SRA instruction formats.
+
+use std::fmt;
+
+/// Primary opcode of the PAL (privileged/architecture library) format.
+pub const OPCODE_PAL: u8 = 0x00;
+/// Primary opcode of the register-operate format.
+pub const OPCODE_OPR: u8 = 0x20;
+/// Primary opcode of the literal-operate format.
+pub const OPCODE_OPI: u8 = 0x21;
+/// Primary opcode of the jump format.
+pub const OPCODE_JSR: u8 = 0x30;
+/// The reserved illegal opcode. `squash` uses it as the **sentinel** that
+/// terminates each compressed region (paper, §2.1).
+pub const OPCODE_ILLEGAL: u8 = 0x3F;
+
+/// Memory-format operations: `op ra, disp(rb)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum MemOp {
+    /// Load address: `ra := rb + disp`.
+    Lda = 0x01,
+    /// Load address high: `ra := rb + disp * 65536`.
+    Ldah = 0x02,
+    /// Load sign-extended byte.
+    Ldb = 0x03,
+    /// Load zero-extended byte.
+    Ldbu = 0x04,
+    /// Load sign-extended 32-bit longword.
+    Ldl = 0x05,
+    /// Load 64-bit quadword.
+    Ldq = 0x06,
+    /// Store byte (low 8 bits of `ra`).
+    Stb = 0x07,
+    /// Store 32-bit longword (low 32 bits of `ra`).
+    Stl = 0x08,
+    /// Store 64-bit quadword.
+    Stq = 0x09,
+}
+
+impl MemOp {
+    /// All memory operations, in opcode order.
+    pub const ALL: [MemOp; 9] = [
+        MemOp::Lda,
+        MemOp::Ldah,
+        MemOp::Ldb,
+        MemOp::Ldbu,
+        MemOp::Ldl,
+        MemOp::Ldq,
+        MemOp::Stb,
+        MemOp::Stl,
+        MemOp::Stq,
+    ];
+
+    /// The 6-bit primary opcode for this operation.
+    pub fn opcode(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks an operation up by primary opcode.
+    pub fn from_opcode(op: u8) -> Option<MemOp> {
+        MemOp::ALL.iter().copied().find(|m| m.opcode() == op)
+    }
+
+    /// Whether this operation writes to memory (as opposed to loading or
+    /// forming an address).
+    pub fn is_store(self) -> bool {
+        matches!(self, MemOp::Stb | MemOp::Stl | MemOp::Stq)
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MemOp::Lda => "lda",
+            MemOp::Ldah => "ldah",
+            MemOp::Ldb => "ldb",
+            MemOp::Ldbu => "ldbu",
+            MemOp::Ldl => "ldl",
+            MemOp::Ldq => "ldq",
+            MemOp::Stb => "stb",
+            MemOp::Stl => "stl",
+            MemOp::Stq => "stq",
+        }
+    }
+}
+
+/// Branch-format operations: `op ra, disp` (disp in words, PC-relative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum BraOp {
+    /// Unconditional branch; writes the return address to `ra` (use `zero`
+    /// for a plain branch).
+    Br = 0x10,
+    /// Branch to subroutine: `ra := pc + 4`, then branch.
+    Bsr = 0x11,
+    /// Branch if `ra == 0`.
+    Beq = 0x12,
+    /// Branch if `ra != 0`.
+    Bne = 0x13,
+    /// Branch if `ra < 0` (signed).
+    Blt = 0x14,
+    /// Branch if `ra <= 0` (signed).
+    Ble = 0x15,
+    /// Branch if `ra > 0` (signed).
+    Bgt = 0x16,
+    /// Branch if `ra >= 0` (signed).
+    Bge = 0x17,
+    /// Branch if the low bit of `ra` is clear.
+    Blbc = 0x18,
+    /// Branch if the low bit of `ra` is set.
+    Blbs = 0x19,
+}
+
+impl BraOp {
+    /// All branch operations, in opcode order.
+    pub const ALL: [BraOp; 10] = [
+        BraOp::Br,
+        BraOp::Bsr,
+        BraOp::Beq,
+        BraOp::Bne,
+        BraOp::Blt,
+        BraOp::Ble,
+        BraOp::Bgt,
+        BraOp::Bge,
+        BraOp::Blbc,
+        BraOp::Blbs,
+    ];
+
+    /// The 6-bit primary opcode for this operation.
+    pub fn opcode(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks an operation up by primary opcode.
+    pub fn from_opcode(op: u8) -> Option<BraOp> {
+        BraOp::ALL.iter().copied().find(|b| b.opcode() == op)
+    }
+
+    /// Whether the branch is conditional (may fall through).
+    pub fn is_conditional(self) -> bool {
+        !matches!(self, BraOp::Br | BraOp::Bsr)
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BraOp::Br => "br",
+            BraOp::Bsr => "bsr",
+            BraOp::Beq => "beq",
+            BraOp::Bne => "bne",
+            BraOp::Blt => "blt",
+            BraOp::Ble => "ble",
+            BraOp::Bgt => "bgt",
+            BraOp::Bge => "bge",
+            BraOp::Blbc => "blbc",
+            BraOp::Blbs => "blbs",
+        }
+    }
+}
+
+/// ALU function codes shared by the register-operate and literal-operate
+/// formats (7-bit `func` field).
+///
+/// All operations are 64-bit. Unlike the Alpha, SRA provides hardware
+/// division and remainder — a documented convenience deviation; it has no
+/// bearing on the compression machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// `rc := ra + rb`
+    Add = 0,
+    /// `rc := ra - rb`
+    Sub = 1,
+    /// `rc := ra * rb` (wrapping)
+    Mul = 2,
+    /// `rc := ra / rb` (signed; traps on divide by zero)
+    Div = 3,
+    /// `rc := ra % rb` (signed; traps on divide by zero)
+    Rem = 4,
+    /// `rc := ra / rb` (unsigned; traps on divide by zero)
+    Udiv = 5,
+    /// `rc := ra % rb` (unsigned; traps on divide by zero)
+    Urem = 6,
+    /// `rc := ra & rb`
+    And = 7,
+    /// `rc := ra | rb`
+    Or = 8,
+    /// `rc := ra ^ rb`
+    Xor = 9,
+    /// `rc := ra & !rb` (bit clear)
+    Bic = 10,
+    /// `rc := ra << (rb & 63)`
+    Sll = 11,
+    /// `rc := (ra as u64) >> (rb & 63)`
+    Srl = 12,
+    /// `rc := ra >> (rb & 63)` (arithmetic)
+    Sra = 13,
+    /// `rc := (ra == rb) as i64`
+    Cmpeq = 14,
+    /// `rc := (ra != rb) as i64`
+    Cmpne = 15,
+    /// `rc := (ra < rb) as i64` (signed)
+    Cmplt = 16,
+    /// `rc := (ra <= rb) as i64` (signed)
+    Cmple = 17,
+    /// `rc := (ra < rb) as i64` (unsigned)
+    Cmpult = 18,
+    /// `rc := (ra <= rb) as i64` (unsigned)
+    Cmpule = 19,
+    /// `rc := sign-extend low byte of ra` (rb ignored)
+    Sextb = 20,
+    /// `rc := sign-extend low 32 bits of ra` (rb ignored)
+    Sextl = 21,
+}
+
+impl AluOp {
+    /// All ALU operations, in function-code order.
+    pub const ALL: [AluOp; 22] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::Udiv,
+        AluOp::Urem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Bic,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Cmpeq,
+        AluOp::Cmpne,
+        AluOp::Cmplt,
+        AluOp::Cmple,
+        AluOp::Cmpult,
+        AluOp::Cmpule,
+        AluOp::Sextb,
+        AluOp::Sextl,
+    ];
+
+    /// The 7-bit function code.
+    pub fn func(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks an operation up by function code.
+    pub fn from_func(func: u8) -> Option<AluOp> {
+        AluOp::ALL.get(func as usize).copied()
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::Udiv => "udiv",
+            AluOp::Urem => "urem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Bic => "bic",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Cmpeq => "cmpeq",
+            AluOp::Cmpne => "cmpne",
+            AluOp::Cmplt => "cmplt",
+            AluOp::Cmple => "cmple",
+            AluOp::Cmpult => "cmpult",
+            AluOp::Cmpule => "cmpule",
+            AluOp::Sextb => "sextb",
+            AluOp::Sextl => "sextl",
+        }
+    }
+}
+
+/// PAL-format function codes (the 26-bit `func` field selects the service).
+///
+/// These are the VM's "system calls". I/O is byte-stream based, mirroring the
+/// stdin/stdout pipes the MediaBench programs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u32)]
+pub enum PalOp {
+    /// Stop the machine (abnormal termination).
+    Halt = 0,
+    /// Exit with the status code in `a0`.
+    Exit = 1,
+    /// Read one byte from the input stream into `v0` (`-1` on EOF).
+    ReadB = 2,
+    /// Write the low byte of `a0` to the output stream.
+    WriteB = 3,
+    /// Store the number of executed instructions into `v0`.
+    ICount = 4,
+}
+
+impl PalOp {
+    /// All PAL operations, in function-code order.
+    pub const ALL: [PalOp; 5] = [PalOp::Halt, PalOp::Exit, PalOp::ReadB, PalOp::WriteB, PalOp::ICount];
+
+    /// The 26-bit function code.
+    pub fn func(self) -> u32 {
+        self as u32
+    }
+
+    /// Looks an operation up by function code.
+    pub fn from_func(func: u32) -> Option<PalOp> {
+        PalOp::ALL.get(func as usize).copied()
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            PalOp::Halt => "halt",
+            PalOp::Exit => "exit",
+            PalOp::ReadB => "readb",
+            PalOp::WriteB => "writeb",
+            PalOp::ICount => "icount",
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for BraOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for PalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_opcode_round_trip() {
+        for m in MemOp::ALL {
+            assert_eq!(MemOp::from_opcode(m.opcode()), Some(m));
+        }
+        assert_eq!(MemOp::from_opcode(0x00), None);
+        assert_eq!(MemOp::from_opcode(0x10), None);
+    }
+
+    #[test]
+    fn bra_opcode_round_trip() {
+        for b in BraOp::ALL {
+            assert_eq!(BraOp::from_opcode(b.opcode()), Some(b));
+        }
+        assert_eq!(BraOp::from_opcode(0x01), None);
+    }
+
+    #[test]
+    fn alu_func_round_trip() {
+        for a in AluOp::ALL {
+            assert_eq!(AluOp::from_func(a.func()), Some(a));
+        }
+        assert_eq!(AluOp::from_func(99), None);
+        // Function codes are dense 0..N.
+        for (i, a) in AluOp::ALL.iter().enumerate() {
+            assert_eq!(a.func() as usize, i);
+        }
+    }
+
+    #[test]
+    fn pal_func_round_trip() {
+        for p in PalOp::ALL {
+            assert_eq!(PalOp::from_func(p.func()), Some(p));
+        }
+        assert_eq!(PalOp::from_func(1000), None);
+    }
+
+    #[test]
+    fn conditional_classification() {
+        assert!(!BraOp::Br.is_conditional());
+        assert!(!BraOp::Bsr.is_conditional());
+        assert!(BraOp::Beq.is_conditional());
+        assert!(BraOp::Blbs.is_conditional());
+    }
+
+    #[test]
+    fn store_classification() {
+        assert!(MemOp::Stq.is_store());
+        assert!(!MemOp::Ldq.is_store());
+        assert!(!MemOp::Lda.is_store());
+    }
+
+    #[test]
+    fn opcode_spaces_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(OPCODE_PAL);
+        for m in MemOp::ALL {
+            assert!(seen.insert(m.opcode()), "duplicate opcode {:#x}", m.opcode());
+        }
+        for b in BraOp::ALL {
+            assert!(seen.insert(b.opcode()), "duplicate opcode {:#x}", b.opcode());
+        }
+        for op in [OPCODE_OPR, OPCODE_OPI, OPCODE_JSR, OPCODE_ILLEGAL] {
+            assert!(seen.insert(op), "duplicate opcode {op:#x}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! General-purpose registers and the SRA ABI.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers.
+///
+/// The ABI follows the Alpha calling convention closely:
+///
+/// | register | ABI name | role |
+/// |---|---|---|
+/// | r0        | `v0`       | function return value |
+/// | r1–r8     | `t0`–`t7`  | caller-saved temporaries |
+/// | r9–r14    | `s0`–`s5`  | callee-saved |
+/// | r15       | `fp`       | frame pointer (optional) |
+/// | r16–r21   | `a0`–`a5`  | argument registers |
+/// | r22–r25   | `t8`–`t11` | caller-saved temporaries |
+/// | r26       | `ra`       | return address |
+/// | r27       | `pv`       | procedure value / t12 |
+/// | r28       | `at`       | assembler temporary, **reserved**: code
+/// |           |            | generators must keep it dead across control
+/// |           |            | transfers so entry stubs may clobber it |
+/// | r29       | `gp`       | global pointer (unused by minicc) |
+/// | r30       | `sp`       | stack pointer |
+/// | r31       | `zero`     | hardwired zero |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The function return value register (`r0`).
+    pub const V0: Reg = Reg(0);
+    /// Temporary `t0` (`r1`).
+    pub const T0: Reg = Reg(1);
+    /// Temporary `t1` (`r2`).
+    pub const T1: Reg = Reg(2);
+    /// Temporary `t2` (`r3`).
+    pub const T2: Reg = Reg(3);
+    /// Temporary `t3` (`r4`).
+    pub const T3: Reg = Reg(4);
+    /// Temporary `t4` (`r5`).
+    pub const T4: Reg = Reg(5);
+    /// Temporary `t5` (`r6`).
+    pub const T5: Reg = Reg(6);
+    /// Temporary `t6` (`r7`).
+    pub const T6: Reg = Reg(7);
+    /// Temporary `t7` (`r8`).
+    pub const T7: Reg = Reg(8);
+    /// Callee-saved `s0` (`r9`).
+    pub const S0: Reg = Reg(9);
+    /// Callee-saved `s1` (`r10`).
+    pub const S1: Reg = Reg(10);
+    /// Callee-saved `s2` (`r11`).
+    pub const S2: Reg = Reg(11);
+    /// Callee-saved `s3` (`r12`).
+    pub const S3: Reg = Reg(12);
+    /// Callee-saved `s4` (`r13`).
+    pub const S4: Reg = Reg(13);
+    /// Callee-saved `s5` (`r14`).
+    pub const S5: Reg = Reg(14);
+    /// Frame pointer (`r15`).
+    pub const FP: Reg = Reg(15);
+    /// First argument register (`r16`).
+    pub const A0: Reg = Reg(16);
+    /// Second argument register (`r17`).
+    pub const A1: Reg = Reg(17);
+    /// Third argument register (`r18`).
+    pub const A2: Reg = Reg(18);
+    /// Fourth argument register (`r19`).
+    pub const A3: Reg = Reg(19);
+    /// Fifth argument register (`r20`).
+    pub const A4: Reg = Reg(20);
+    /// Sixth argument register (`r21`).
+    pub const A5: Reg = Reg(21);
+    /// Temporary `t8` (`r22`).
+    pub const T8: Reg = Reg(22);
+    /// Temporary `t9` (`r23`).
+    pub const T9: Reg = Reg(23);
+    /// Temporary `t10` (`r24`).
+    pub const T10: Reg = Reg(24);
+    /// Temporary `t11` (`r25`).
+    pub const T11: Reg = Reg(25);
+    /// Return address register (`r26`).
+    pub const RA: Reg = Reg(26);
+    /// Procedure value (`r27`).
+    pub const PV: Reg = Reg(27);
+    /// Assembler temporary (`r28`), reserved for stub use.
+    pub const AT: Reg = Reg(28);
+    /// Global pointer (`r29`).
+    pub const GP: Reg = Reg(29);
+    /// Stack pointer (`r30`).
+    pub const SP: Reg = Reg(30);
+    /// Hardwired zero register (`r31`).
+    pub const ZERO: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` if out of range.
+    pub fn try_new(n: u8) -> Option<Reg> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// The register's number, `0..=31`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Returns an iterator over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The ABI name for this register (e.g. `"v0"`, `"sp"`, `"zero"`).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Parses a register from either an ABI name (`"a0"`, `"ra"`, …) or a
+    /// plain numeric name (`"r7"` or `"$7"`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        if let Some(idx) = ABI_NAMES.iter().position(|&n| n == name) {
+            return Some(Reg(idx as u8));
+        }
+        let digits = name.strip_prefix('r').or_else(|| name.strip_prefix('$'))?;
+        let n: u8 = digits.parse().ok()?;
+        Reg::try_new(n)
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5",
+    "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9", "t10", "t11", "ra", "pv", "at", "gp",
+    "sp", "zero",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+        }
+    }
+
+    #[test]
+    fn numeric_names_parse() {
+        assert_eq!(Reg::parse("r0"), Some(Reg::V0));
+        assert_eq!(Reg::parse("$26"), Some(Reg::RA));
+        assert_eq!(Reg::parse("r31"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("x3"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn well_known_numbers() {
+        assert_eq!(Reg::RA.number(), 26);
+        assert_eq!(Reg::SP.number(), 30);
+        assert_eq!(Reg::ZERO.number(), 31);
+        assert_eq!(Reg::AT.number(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::A3.to_string(), "a3");
+        assert_eq!(format!("{:?}", Reg::ZERO), "Reg(31)");
+    }
+}

@@ -1,0 +1,292 @@
+//! Abstract syntax for minicc.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`): 1 if zero, else 0.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num {
+        /// The value.
+        value: i64,
+        /// Source line.
+        line: usize,
+    },
+    /// Variable reference (scalar read, or array name decaying to address).
+    Var {
+        /// The identifier.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// Array element read: `base[idx]`.
+    Index {
+        /// The array expression (variable naming an array).
+        base: Box<Expr>,
+        /// The element index.
+        index: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Assignment to a scalar variable or array element.
+    Assign {
+        /// The lvalue (`Var` or `Index`).
+        target: Box<Expr>,
+        /// The value.
+        value: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Ternary conditional `c ? t : f`.
+    Cond {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-value.
+        then: Box<Expr>,
+        /// Else-value.
+        els: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Function call (user function or builtin).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Expr {
+    /// The source line of this expression.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Num { line, .. }
+            | Expr::Var { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Bin { line, .. }
+            | Expr::Un { line, .. }
+            | Expr::Cond { line, .. }
+            | Expr::Call { line, .. } => *line,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Scalar declaration `int x;` or `int x = e;`.
+    DeclInt {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Local array declaration `int a[N];`.
+    DeclArray {
+        /// Array name.
+        name: String,
+        /// Element count (constant).
+        len: u32,
+        /// Source line.
+        line: usize,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if` / `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch (empty when absent).
+        els: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for` loop (all three clauses optional).
+    For {
+        /// Init expression.
+        init: Option<Expr>,
+        /// Condition (absent = always true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `switch`. Dense case sets compile to jump tables. Cases do **not**
+    /// fall through (each case has an implicit `break`) — a documented
+    /// divergence from C that keeps the language small.
+    Switch {
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// `(value, body)` per case.
+        cases: Vec<(i64, Vec<Stmt>)>,
+        /// `default` body, if present.
+        default: Option<Vec<Stmt>>,
+        /// Source line.
+        line: usize,
+    },
+    /// `return;` or `return e;`.
+    Return {
+        /// Optional value (0 when absent).
+        value: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: usize,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: usize,
+    },
+    /// A nested block scope.
+    Block(Vec<Stmt>),
+}
+
+/// The type of a function parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// `int x` — by value.
+    Int,
+    /// `int x[]` — an array passed by reference.
+    Array,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Kind.
+    pub kind: ParamKind,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Global scalar `int g;` / `int g = k;` (constant initializer).
+    GlobalInt {
+        /// Name.
+        name: String,
+        /// Initial value.
+        init: i64,
+        /// Source line.
+        line: usize,
+    },
+    /// Global array `int a[N];` / `int a[N] = {…};` (constant initializers,
+    /// zero-filled to `N`).
+    GlobalArray {
+        /// Name.
+        name: String,
+        /// Element count.
+        len: u32,
+        /// Leading initializers.
+        init: Vec<i64>,
+        /// Source line.
+        line: usize,
+    },
+    /// Function definition.
+    Func {
+        /// Name.
+        name: String,
+        /// Parameters (at most 6).
+        params: Vec<Param>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Unit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}

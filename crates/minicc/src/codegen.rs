@@ -1,0 +1,979 @@
+//! SRA code generation.
+//!
+//! The generator is deliberately plain — about what `cc -O1` produced on the
+//! paper's platform: fixed stack frames, a small caller-saved temporary pool
+//! with spilling around calls, literal-operand forms where the 8-bit field
+//! allows, jump tables for dense switches, and no inlining, unrolling or
+//! scheduling. Registers `at`, `gp`, `pv`, `fp` and `s0`–`s5` are never
+//! used; in particular `at` (r28) stays dead across all control transfers,
+//! which is the guarantee `squash` relies on when its entry stubs clobber it
+//! (see `DESIGN.md`).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Expr, Item, Param, ParamKind, Stmt, UnOp, Unit};
+use crate::parser::parse;
+use crate::CompileError;
+
+/// Compiles one minicc translation unit to SRA assembly text.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for parse errors and semantic errors
+/// (undeclared names, arity/kind mismatches, misuse of arrays, `break`
+/// outside a loop, and so on).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minicc::CompileError> {
+/// let asm = minicc::compile_to_asm("int main() { return 7; }")?;
+/// assert!(asm.contains(".func main"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile_to_asm(source: &str) -> Result<String, CompileError> {
+    let unit = parse(source)?;
+    Codegen::new(&unit)?.run(&unit)
+}
+
+/// What a global name denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GlobalKind {
+    Int,
+    Array,
+}
+
+/// What a local name denotes (frame offsets are from `sp` post-prologue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sym {
+    /// Scalar in the frame.
+    LocalInt { off: i32 },
+    /// Array storage in the frame (the value is its address).
+    LocalArray { off: i32 },
+    /// Array parameter: the slot holds the caller's array address.
+    ParamArray { off: i32 },
+}
+
+/// The type of an evaluated expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    Array,
+}
+
+/// The caller-saved temporary pool, in allocation-preference order.
+const POOL: &[&str] = &[
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11",
+];
+
+const BUILTINS: &[&str] = &["getb", "putb", "exit", "icount"];
+
+struct FuncSig {
+    params: Vec<ParamKind>,
+}
+
+struct Codegen {
+    globals: HashMap<String, GlobalKind>,
+    funcs: HashMap<String, FuncSig>,
+}
+
+impl Codegen {
+    fn new(unit: &Unit) -> Result<Codegen, CompileError> {
+        let mut globals = HashMap::new();
+        let mut funcs = HashMap::new();
+        for item in &unit.items {
+            match item {
+                Item::GlobalInt { name, line, .. } => {
+                    if globals.insert(name.clone(), GlobalKind::Int).is_some() {
+                        return err(*line, format!("duplicate global `{name}`"));
+                    }
+                }
+                Item::GlobalArray { name, line, .. } => {
+                    if globals.insert(name.clone(), GlobalKind::Array).is_some() {
+                        return err(*line, format!("duplicate global `{name}`"));
+                    }
+                }
+                Item::Func {
+                    name, params, line, ..
+                } => {
+                    if BUILTINS.contains(&name.as_str()) {
+                        return err(*line, format!("`{name}` is a builtin"));
+                    }
+                    let sig = FuncSig {
+                        params: params.iter().map(|p| p.kind).collect(),
+                    };
+                    if funcs.insert(name.clone(), sig).is_some() {
+                        return err(*line, format!("duplicate function `{name}`"));
+                    }
+                }
+            }
+        }
+        Ok(Codegen { globals, funcs })
+    }
+
+    fn run(&mut self, unit: &Unit) -> Result<String, CompileError> {
+        let mut text = String::from(".text\n");
+        let mut data = String::new();
+        for item in &unit.items {
+            match item {
+                Item::GlobalInt { name, init, .. } => {
+                    writeln!(data, "{name}: .quad {init}").unwrap();
+                }
+                Item::GlobalArray { name, len, init, .. } => {
+                    writeln!(data, "{name}:").unwrap();
+                    for v in init {
+                        writeln!(data, "    .quad {v}").unwrap();
+                    }
+                    let rest = (*len as usize - init.len()) * 8;
+                    if rest > 0 {
+                        writeln!(data, "    .space {rest}").unwrap();
+                    }
+                }
+                Item::Func {
+                    name, params, body, line,
+                } => {
+                    let mut fcg = FuncGen::new(self, name, params, *line)?;
+                    let (ftext, fdata) = fcg.generate(body)?;
+                    text.push_str(&ftext);
+                    data.push_str(&fdata);
+                }
+            }
+        }
+        let mut out = text;
+        if !data.is_empty() {
+            out.push_str(".data\n");
+            out.push_str(&data);
+        }
+        Ok(out)
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Per-function generator state.
+struct FuncGen<'a> {
+    cg: &'a Codegen,
+    name: String,
+    params: &'a [Param],
+    body: String,
+    data: String,
+    /// Free temporaries (top = next to allocate).
+    free: Vec<&'static str>,
+    /// Currently allocated temporaries, in allocation order.
+    live: Vec<&'static str>,
+    /// Next label number.
+    next_label: usize,
+    /// Next jump-table number.
+    next_table: usize,
+    /// Next 64-bit constant-pool entry.
+    next_const: usize,
+    /// Frame offsets: decl queue (pre-assigned per declaration, in traversal
+    /// order) and the scope stack mapping names to symbols.
+    decl_queue: Vec<Sym>,
+    decl_cursor: usize,
+    scopes: Vec<HashMap<String, Sym>>,
+    /// Frame bytes used by ra + params + locals (spills go above this).
+    fixed_frame: i32,
+    /// Spill slots in use / maximum ever in use.
+    spills_active: i32,
+    spills_max: i32,
+    /// Loop context stacks.
+    break_labels: Vec<String>,
+    continue_labels: Vec<String>,
+}
+
+impl<'a> FuncGen<'a> {
+    fn new(
+        cg: &'a Codegen,
+        name: &str,
+        params: &'a [Param],
+        line: usize,
+    ) -> Result<FuncGen<'a>, CompileError> {
+        if cg.globals.contains_key(name) {
+            return err(line, format!("`{name}` is both a global and a function"));
+        }
+        Ok(FuncGen {
+            cg,
+            name: name.to_string(),
+            params,
+            body: String::new(),
+            data: String::new(),
+            free: POOL.iter().rev().copied().collect(),
+            live: Vec::new(),
+            next_label: 0,
+            next_table: 0,
+            next_const: 0,
+            decl_queue: Vec::new(),
+            decl_cursor: 0,
+            scopes: Vec::new(),
+            fixed_frame: 0,
+            spills_active: 0,
+            spills_max: 0,
+            break_labels: Vec::new(),
+            continue_labels: Vec::new(),
+        })
+    }
+
+    fn generate(&mut self, body: &[Stmt]) -> Result<(String, String), CompileError> {
+        // Frame layout: [ra][param slots][locals & arrays][spills].
+        let mut cursor = 8; // after saved ra
+        let mut param_syms = HashMap::new();
+        for p in self.params {
+            let sym = match p.kind {
+                ParamKind::Int => Sym::LocalInt { off: cursor },
+                ParamKind::Array => Sym::ParamArray { off: cursor },
+            };
+            param_syms.insert(p.name.clone(), sym);
+            cursor += 8;
+        }
+        // Pre-assign every declaration's slot in traversal order.
+        collect_decls(body, &mut |is_array, len| {
+            let sym = if is_array {
+                let off = cursor;
+                cursor += (len as i32) * 8;
+                Sym::LocalArray { off }
+            } else {
+                let off = cursor;
+                cursor += 8;
+                Sym::LocalInt { off }
+            };
+            self.decl_queue.push(sym);
+        });
+        self.fixed_frame = cursor;
+        self.scopes.push(param_syms);
+
+        // Generate the body (into self.body) to learn the spill high-water.
+        self.stmts(body)?;
+
+        let frame = (self.fixed_frame + self.spills_max * 8 + 15) & !15;
+        if frame > 32000 {
+            return err(0, format!("frame of `{}` too large ({frame} bytes)", self.name));
+        }
+        let mut out = String::new();
+        writeln!(out, ".func {}", self.name).unwrap();
+        writeln!(out, "{}:", self.name).unwrap();
+        writeln!(out, "    lda sp, -{frame}(sp)").unwrap();
+        writeln!(out, "    stq ra, 0(sp)").unwrap();
+        for (i, p) in self.params.iter().enumerate() {
+            let off = 8 + 8 * i;
+            writeln!(out, "    stq a{i}, {off}(sp)").unwrap();
+            let _ = p;
+        }
+        out.push_str(&self.body);
+        // Implicit `return 0` fall-through, then the shared epilogue.
+        writeln!(out, "    li v0, 0").unwrap();
+        writeln!(out, ".L{}_ret:", self.name).unwrap();
+        writeln!(out, "    ldq ra, 0(sp)").unwrap();
+        writeln!(out, "    lda sp, {frame}(sp)").unwrap();
+        writeln!(out, "    ret").unwrap();
+        writeln!(out, ".endfunc").unwrap();
+        Ok((out, std::mem::take(&mut self.data)))
+    }
+
+    // ---- small emission helpers ---------------------------------------
+
+    fn emit(&mut self, line: impl AsRef<str>) {
+        self.body.push_str("    ");
+        self.body.push_str(line.as_ref());
+        self.body.push('\n');
+    }
+
+    fn label(&mut self) -> String {
+        let l = format!(".L{}_{}", self.name, self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn place(&mut self, label: &str) {
+        writeln!(self.body, "{label}:").unwrap();
+    }
+
+    fn alloc(&mut self, line: usize) -> Result<&'static str, CompileError> {
+        match self.free.pop() {
+            Some(r) => {
+                self.live.push(r);
+                Ok(r)
+            }
+            None => err(line, "expression too complex (temporary pool exhausted)"),
+        }
+    }
+
+    fn release(&mut self, r: &'static str) {
+        let pos = self
+            .live
+            .iter()
+            .rposition(|&x| x == r)
+            .expect("releasing a register that is not live");
+        self.live.remove(pos);
+        self.free.push(r);
+    }
+
+    /// Loads an arbitrary constant into a fresh temp (using the constant
+    /// pool for values outside 32-bit range).
+    fn load_const(&mut self, v: i64, line: usize) -> Result<&'static str, CompileError> {
+        let r = self.alloc(line)?;
+        if i32::try_from(v).is_ok() {
+            self.emit(format!("li {r}, {v}"));
+        } else {
+            let label = format!("mc_{}_const{}", self.name, self.next_const);
+            self.next_const += 1;
+            writeln!(self.data, "{label}: .quad {v}").unwrap();
+            self.emit(format!("la {r}, {label}"));
+            self.emit(format!("ldq {r}, 0({r})"));
+        }
+        Ok(r)
+    }
+
+    /// Emits `op a, b, dst` where `b` is a constant, using the literal form
+    /// when it fits 8 bits and a scratch register otherwise.
+    fn emit_op_imm(
+        &mut self,
+        op: &str,
+        a: &str,
+        b: i64,
+        dst: &str,
+        line: usize,
+    ) -> Result<(), CompileError> {
+        if (0..=255).contains(&b) {
+            self.emit(format!("{op} {a}, {b}, {dst}"));
+        } else {
+            let t = self.load_const(b, line)?;
+            self.emit(format!("{op} {a}, {t}, {dst}"));
+            self.release(t);
+        }
+        Ok(())
+    }
+
+    // ---- scopes ----------------------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<Sym> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, line: usize) -> Result<Sym, CompileError> {
+        let sym = self.decl_queue[self.decl_cursor];
+        self.decl_cursor += 1;
+        let scope = self.scopes.last_mut().expect("scope stack nonempty");
+        if scope.insert(name.to_string(), sym).is_some() {
+            return err(line, format!("duplicate declaration of `{name}` in scope"));
+        }
+        Ok(sym)
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::DeclInt { name, init, line } => {
+                let sym = self.declare(name, *line)?;
+                if let Some(e) = init {
+                    let (r, ty) = self.eval(e)?;
+                    self.expect_int(ty, e.line())?;
+                    let Sym::LocalInt { off } = sym else { unreachable!() };
+                    self.emit(format!("stq {r}, {off}(sp)"));
+                    self.release(r);
+                }
+                Ok(())
+            }
+            Stmt::DeclArray { name, line, .. } => {
+                self.declare(name, *line)?;
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                let (r, _) = self.eval(e)?;
+                self.release(r);
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                let (rc, ty) = self.eval(cond)?;
+                self.expect_int(ty, cond.line())?;
+                let l_else = self.label();
+                self.emit(format!("beq {rc}, {l_else}"));
+                self.release(rc);
+                self.stmts(then)?;
+                if els.is_empty() {
+                    self.place(&l_else);
+                } else {
+                    let l_end = self.label();
+                    self.emit(format!("br {l_end}"));
+                    self.place(&l_else);
+                    self.stmts(els)?;
+                    self.place(&l_end);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let l_head = self.label();
+                let l_end = self.label();
+                self.place(&l_head);
+                let (rc, ty) = self.eval(cond)?;
+                self.expect_int(ty, cond.line())?;
+                self.emit(format!("beq {rc}, {l_end}"));
+                self.release(rc);
+                self.break_labels.push(l_end.clone());
+                self.continue_labels.push(l_head.clone());
+                self.stmts(body)?;
+                self.break_labels.pop();
+                self.continue_labels.pop();
+                self.emit(format!("br {l_head}"));
+                self.place(&l_end);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(e) = init {
+                    let (r, _) = self.eval(e)?;
+                    self.release(r);
+                }
+                let l_head = self.label();
+                let l_step = self.label();
+                let l_end = self.label();
+                self.place(&l_head);
+                if let Some(c) = cond {
+                    let (rc, ty) = self.eval(c)?;
+                    self.expect_int(ty, c.line())?;
+                    self.emit(format!("beq {rc}, {l_end}"));
+                    self.release(rc);
+                }
+                self.break_labels.push(l_end.clone());
+                self.continue_labels.push(l_step.clone());
+                self.stmts(body)?;
+                self.break_labels.pop();
+                self.continue_labels.pop();
+                self.place(&l_step);
+                if let Some(e) = step {
+                    let (r, _) = self.eval(e)?;
+                    self.release(r);
+                }
+                self.emit(format!("br {l_head}"));
+                self.place(&l_end);
+                Ok(())
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                line,
+            } => self.switch(scrutinee, cases, default.as_deref(), *line),
+            Stmt::Return { value, line } => {
+                match value {
+                    Some(e) => {
+                        let (r, ty) = self.eval(e)?;
+                        self.expect_int(ty, e.line())?;
+                        self.emit(format!("mov {r}, v0"));
+                        self.release(r);
+                    }
+                    None => self.emit("li v0, 0"),
+                }
+                let _ = line;
+                self.emit(format!("br .L{}_ret", self.name));
+                Ok(())
+            }
+            Stmt::Break { line } => match self.break_labels.last() {
+                Some(l) => {
+                    let l = l.clone();
+                    self.emit(format!("br {l}"));
+                    Ok(())
+                }
+                None => err(*line, "`break` outside a loop or switch"),
+            },
+            Stmt::Continue { line } => match self.continue_labels.last() {
+                Some(l) => {
+                    let l = l.clone();
+                    self.emit(format!("br {l}"));
+                    Ok(())
+                }
+                None => err(*line, "`continue` outside a loop"),
+            },
+            Stmt::Block(stmts) => self.stmts(stmts),
+        }
+    }
+
+    fn switch(
+        &mut self,
+        scrutinee: &Expr,
+        cases: &[(i64, Vec<Stmt>)],
+        default: Option<&[Stmt]>,
+        line: usize,
+    ) -> Result<(), CompileError> {
+        let (rs, ty) = self.eval(scrutinee)?;
+        self.expect_int(ty, scrutinee.line())?;
+        let l_end = self.label();
+        let l_default = if default.is_some() {
+            self.label()
+        } else {
+            l_end.clone()
+        };
+        let case_labels: Vec<String> = cases.iter().map(|_| self.label()).collect();
+        if cases.is_empty() {
+            self.release(rs);
+            self.emit(format!("br {l_default}"));
+        } else if use_jump_table(cases) {
+            let min = cases.iter().map(|&(v, _)| v).min().unwrap();
+            let max = cases.iter().map(|&(v, _)| v).max().unwrap();
+            let span = (max - min + 1) as usize;
+            // Normalise to 0-based, bounds-check, index the table.
+            if min != 0 {
+                self.emit_op_imm("sub", rs, min, rs, line)?;
+            }
+            let rc = self.alloc(line)?;
+            self.emit_op_imm("cmpult", rs, span as i64, rc, line)?;
+            self.emit(format!("beq {rc}, {l_default}"));
+            self.release(rc);
+            let table = format!("mc_{}_jt{}", self.name, self.next_table);
+            self.next_table += 1;
+            let rt = self.alloc(line)?;
+            self.emit(format!("sll {rs}, 2, {rs}"));
+            self.emit(format!("la {rt}, {table}"));
+            self.emit(format!("add {rt}, {rs}, {rt}"));
+            self.emit(format!("ldl {rt}, 0({rt})"));
+            self.emit(format!("jmp ({rt}) !jtable {table}"));
+            self.release(rt);
+            self.release(rs);
+            // The table itself, with holes pointing at default.
+            writeln!(self.data, "{table}:").unwrap();
+            let mut slot_label: Vec<&str> = vec![l_default.as_str(); span];
+            for (i, &(v, _)) in cases.iter().enumerate() {
+                slot_label[(v - min) as usize] = case_labels[i].as_str();
+            }
+            for l in slot_label {
+                writeln!(self.data, "    .word {l}").unwrap();
+            }
+        } else {
+            // Sparse: a compare chain.
+            for (i, &(v, _)) in cases.iter().enumerate() {
+                let rc = self.alloc(line)?;
+                self.emit_op_imm("cmpeq", rs, v, rc, line)?;
+                self.emit(format!("bne {rc}, {}", case_labels[i]));
+                self.release(rc);
+            }
+            self.release(rs);
+            self.emit(format!("br {l_default}"));
+        }
+        // Case bodies (no fall-through: each ends with a branch to the end).
+        self.break_labels.push(l_end.clone());
+        for (i, (_, body)) in cases.iter().enumerate() {
+            self.place(&case_labels[i]);
+            self.stmts(body)?;
+            self.emit(format!("br {l_end}"));
+        }
+        if let Some(body) = default {
+            self.place(&l_default);
+            self.stmts(body)?;
+        }
+        self.break_labels.pop();
+        self.place(&l_end);
+        Ok(())
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expect_int(&self, ty: Ty, line: usize) -> Result<(), CompileError> {
+        if ty == Ty::Int {
+            Ok(())
+        } else {
+            err(line, "expected an integer value, found an array")
+        }
+    }
+
+    /// Evaluates an expression into a fresh temporary; returns the register
+    /// and the value's type (arrays evaluate to their address).
+    fn eval(&mut self, e: &Expr) -> Result<(&'static str, Ty), CompileError> {
+        match e {
+            Expr::Num { value, line } => Ok((self.load_const(*value, *line)?, Ty::Int)),
+            Expr::Var { name, line } => self.eval_var(name, *line),
+            Expr::Index { base, index, line } => {
+                let addr = self.element_addr(base, index, *line)?;
+                self.emit(format!("ldq {addr}, 0({addr})"));
+                Ok((addr, Ty::Int))
+            }
+            Expr::Assign { target, value, line } => self.eval_assign(target, value, *line),
+            Expr::Bin { op, lhs, rhs, line } => self.eval_bin(*op, lhs, rhs, *line),
+            Expr::Un { op, expr, line } => {
+                let (r, ty) = self.eval(expr)?;
+                self.expect_int(ty, *line)?;
+                match op {
+                    UnOp::Neg => self.emit(format!("sub zero, {r}, {r}")),
+                    UnOp::Not => self.emit(format!("cmpeq {r}, 0, {r}")),
+                    UnOp::BitNot => {
+                        self.emit(format!("sub zero, {r}, {r}"));
+                        self.emit(format!("sub {r}, 1, {r}"));
+                    }
+                }
+                Ok((r, Ty::Int))
+            }
+            Expr::Cond { cond, then, els, line } => {
+                let result = self.alloc(*line)?;
+                let (rc, ty) = self.eval(cond)?;
+                self.expect_int(ty, cond.line())?;
+                let l_else = self.label();
+                let l_end = self.label();
+                self.emit(format!("beq {rc}, {l_else}"));
+                self.release(rc);
+                let (rt, ty) = self.eval(then)?;
+                self.expect_int(ty, then.line())?;
+                self.emit(format!("mov {rt}, {result}"));
+                self.release(rt);
+                self.emit(format!("br {l_end}"));
+                self.place(&l_else);
+                let (rf, ty) = self.eval(els)?;
+                self.expect_int(ty, els.line())?;
+                self.emit(format!("mov {rf}, {result}"));
+                self.release(rf);
+                self.place(&l_end);
+                Ok((result, Ty::Int))
+            }
+            Expr::Call { name, args, line } => self.eval_call(name, args, *line),
+        }
+    }
+
+    fn eval_var(&mut self, name: &str, line: usize) -> Result<(&'static str, Ty), CompileError> {
+        if let Some(sym) = self.lookup(name) {
+            let r = self.alloc(line)?;
+            return Ok(match sym {
+                Sym::LocalInt { off } => {
+                    self.emit(format!("ldq {r}, {off}(sp)"));
+                    (r, Ty::Int)
+                }
+                Sym::LocalArray { off } => {
+                    self.emit(format!("lda {r}, {off}(sp)"));
+                    (r, Ty::Array)
+                }
+                Sym::ParamArray { off } => {
+                    self.emit(format!("ldq {r}, {off}(sp)"));
+                    (r, Ty::Array)
+                }
+            });
+        }
+        match self.cg.globals.get(name) {
+            Some(GlobalKind::Int) => {
+                let r = self.alloc(line)?;
+                self.emit(format!("la {r}, {name}"));
+                self.emit(format!("ldq {r}, 0({r})"));
+                Ok((r, Ty::Int))
+            }
+            Some(GlobalKind::Array) => {
+                let r = self.alloc(line)?;
+                self.emit(format!("la {r}, {name}"));
+                Ok((r, Ty::Array))
+            }
+            None => err(line, format!("undeclared variable `{name}`")),
+        }
+    }
+
+    /// Evaluates `base[index]` to the element's address.
+    fn element_addr(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+        line: usize,
+    ) -> Result<&'static str, CompileError> {
+        let (rb, ty) = self.eval(base)?;
+        if ty != Ty::Array {
+            return err(line, "indexed expression is not an array");
+        }
+        let (ri, ty) = self.eval(index)?;
+        self.expect_int(ty, index.line())?;
+        self.emit(format!("sll {ri}, 3, {ri}"));
+        self.emit(format!("add {rb}, {ri}, {rb}"));
+        self.release(ri);
+        Ok(rb)
+    }
+
+    fn eval_assign(
+        &mut self,
+        target: &Expr,
+        value: &Expr,
+        line: usize,
+    ) -> Result<(&'static str, Ty), CompileError> {
+        match target {
+            Expr::Var { name, line: vline } => {
+                if let Some(sym) = self.lookup(name) {
+                    let Sym::LocalInt { off } = sym else {
+                        return err(*vline, format!("cannot assign to array `{name}`"));
+                    };
+                    let (rv, ty) = self.eval(value)?;
+                    self.expect_int(ty, value.line())?;
+                    self.emit(format!("stq {rv}, {off}(sp)"));
+                    return Ok((rv, Ty::Int));
+                }
+                match self.cg.globals.get(name) {
+                    Some(GlobalKind::Int) => {
+                        let (rv, ty) = self.eval(value)?;
+                        self.expect_int(ty, value.line())?;
+                        let ra_ = self.alloc(line)?;
+                        self.emit(format!("la {ra_}, {name}"));
+                        self.emit(format!("stq {rv}, 0({ra_})"));
+                        self.release(ra_);
+                        Ok((rv, Ty::Int))
+                    }
+                    Some(GlobalKind::Array) => {
+                        err(*vline, format!("cannot assign to array `{name}`"))
+                    }
+                    None => err(*vline, format!("undeclared variable `{name}`")),
+                }
+            }
+            Expr::Index { base, index, line: iline } => {
+                let addr = self.element_addr(base, index, *iline)?;
+                let (rv, ty) = self.eval(value)?;
+                self.expect_int(ty, value.line())?;
+                self.emit(format!("stq {rv}, 0({addr})"));
+                self.release(addr);
+                Ok((rv, Ty::Int))
+            }
+            _ => err(line, "assignment target must be a variable or array element"),
+        }
+    }
+
+    fn eval_bin(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: usize,
+    ) -> Result<(&'static str, Ty), CompileError> {
+        // Short-circuit forms first.
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let (rl, ty) = self.eval(lhs)?;
+            self.expect_int(ty, lhs.line())?;
+            let l_end = self.label();
+            self.emit(format!("cmpne {rl}, 0, {rl}"));
+            match op {
+                BinOp::LogAnd => self.emit(format!("beq {rl}, {l_end}")),
+                BinOp::LogOr => self.emit(format!("bne {rl}, {l_end}")),
+                _ => unreachable!(),
+            }
+            let (rr, ty) = self.eval(rhs)?;
+            self.expect_int(ty, rhs.line())?;
+            self.emit(format!("cmpne {rr}, 0, {rl}"));
+            self.release(rr);
+            self.place(&l_end);
+            return Ok((rl, Ty::Int));
+        }
+        let (rl, tl) = self.eval(lhs)?;
+        self.expect_int(tl, lhs.line())?;
+        // Literal operand fast path.
+        if let Expr::Num { value, .. } = rhs {
+            if (0..=255).contains(value) {
+                let v = *value;
+                match op {
+                    BinOp::Add => self.emit(format!("add {rl}, {v}, {rl}")),
+                    BinOp::Sub => self.emit(format!("sub {rl}, {v}, {rl}")),
+                    BinOp::Mul => self.emit(format!("mul {rl}, {v}, {rl}")),
+                    BinOp::And => self.emit(format!("and {rl}, {v}, {rl}")),
+                    BinOp::Or => self.emit(format!("or {rl}, {v}, {rl}")),
+                    BinOp::Xor => self.emit(format!("xor {rl}, {v}, {rl}")),
+                    BinOp::Shl => self.emit(format!("sll {rl}, {v}, {rl}")),
+                    BinOp::Shr => self.emit(format!("sra {rl}, {v}, {rl}")),
+                    BinOp::Eq => self.emit(format!("cmpeq {rl}, {v}, {rl}")),
+                    BinOp::Ne => self.emit(format!("cmpne {rl}, {v}, {rl}")),
+                    BinOp::Lt => self.emit(format!("cmplt {rl}, {v}, {rl}")),
+                    BinOp::Le => self.emit(format!("cmple {rl}, {v}, {rl}")),
+                    // Division (and the swapped comparisons) need the
+                    // general path for correct semantics.
+                    BinOp::Div | BinOp::Rem | BinOp::Gt | BinOp::Ge | BinOp::LogAnd
+                    | BinOp::LogOr => {
+                        let (rr, _) = self.eval(rhs)?;
+                        self.bin_reg(op, rl, rr);
+                        self.release(rr);
+                    }
+                }
+                return Ok((rl, Ty::Int));
+            }
+        }
+        let (rr, tr) = self.eval(rhs)?;
+        self.expect_int(tr, rhs.line())?;
+        let _ = line;
+        self.bin_reg(op, rl, rr);
+        self.release(rr);
+        Ok((rl, Ty::Int))
+    }
+
+    fn bin_reg(&mut self, op: BinOp, rl: &str, rr: &str) {
+        match op {
+            BinOp::Add => self.emit(format!("add {rl}, {rr}, {rl}")),
+            BinOp::Sub => self.emit(format!("sub {rl}, {rr}, {rl}")),
+            BinOp::Mul => self.emit(format!("mul {rl}, {rr}, {rl}")),
+            BinOp::Div => self.emit(format!("div {rl}, {rr}, {rl}")),
+            BinOp::Rem => self.emit(format!("rem {rl}, {rr}, {rl}")),
+            BinOp::And => self.emit(format!("and {rl}, {rr}, {rl}")),
+            BinOp::Or => self.emit(format!("or {rl}, {rr}, {rl}")),
+            BinOp::Xor => self.emit(format!("xor {rl}, {rr}, {rl}")),
+            BinOp::Shl => self.emit(format!("sll {rl}, {rr}, {rl}")),
+            BinOp::Shr => self.emit(format!("sra {rl}, {rr}, {rl}")),
+            BinOp::Eq => self.emit(format!("cmpeq {rl}, {rr}, {rl}")),
+            BinOp::Ne => self.emit(format!("cmpne {rl}, {rr}, {rl}")),
+            BinOp::Lt => self.emit(format!("cmplt {rl}, {rr}, {rl}")),
+            BinOp::Le => self.emit(format!("cmple {rl}, {rr}, {rl}")),
+            BinOp::Gt => self.emit(format!("cmplt {rr}, {rl}, {rl}")),
+            BinOp::Ge => self.emit(format!("cmple {rr}, {rl}, {rl}")),
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("short-circuit handled earlier"),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: usize,
+    ) -> Result<(&'static str, Ty), CompileError> {
+        // Builtins.
+        match name {
+            "getb" => {
+                if !args.is_empty() {
+                    return err(line, "getb() takes no arguments");
+                }
+                let r = self.alloc(line)?;
+                self.emit("readb");
+                self.emit(format!("mov v0, {r}"));
+                return Ok((r, Ty::Int));
+            }
+            "icount" => {
+                if !args.is_empty() {
+                    return err(line, "icount() takes no arguments");
+                }
+                let r = self.alloc(line)?;
+                self.emit("icount");
+                self.emit(format!("mov v0, {r}"));
+                return Ok((r, Ty::Int));
+            }
+            "putb" | "exit" => {
+                if args.len() != 1 {
+                    return err(line, format!("{name}() takes one argument"));
+                }
+                let (r, ty) = self.eval(&args[0])?;
+                self.expect_int(ty, args[0].line())?;
+                self.emit(format!("mov {r}, a0"));
+                self.emit(if name == "putb" { "writeb" } else { "exit" });
+                return Ok((r, Ty::Int));
+            }
+            _ => {}
+        }
+        let sig = self
+            .cg
+            .funcs
+            .get(name)
+            .ok_or_else(|| CompileError {
+                line,
+                message: format!("call to undeclared function `{name}`"),
+            })?;
+        if sig.params.len() != args.len() {
+            return err(
+                line,
+                format!(
+                    "`{name}` expects {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            );
+        }
+        let param_kinds = sig.params.clone();
+        // Evaluate arguments left-to-right into temporaries.
+        let mut arg_regs = Vec::with_capacity(args.len());
+        for (a, kind) in args.iter().zip(&param_kinds) {
+            let (r, ty) = self.eval(a)?;
+            match kind {
+                ParamKind::Int => self.expect_int(ty, a.line())?,
+                ParamKind::Array => {
+                    if ty != Ty::Array {
+                        return err(a.line(), "expected an array argument");
+                    }
+                }
+            }
+            arg_regs.push(r);
+        }
+        // Spill every other live temporary across the call.
+        let to_save: Vec<&'static str> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|r| !arg_regs.contains(r))
+            .collect();
+        let mut saved = Vec::with_capacity(to_save.len());
+        for r in &to_save {
+            let off = self.fixed_frame + self.spills_active * 8;
+            self.spills_active += 1;
+            self.spills_max = self.spills_max.max(self.spills_active);
+            self.emit(format!("stq {r}, {off}(sp)"));
+            saved.push((*r, off));
+        }
+        for (i, r) in arg_regs.iter().enumerate() {
+            self.emit(format!("mov {r}, a{i}"));
+        }
+        for r in arg_regs {
+            self.release(r);
+        }
+        self.emit(format!("bsr ra, {name}"));
+        let result = self.alloc(line)?;
+        self.emit(format!("mov v0, {result}"));
+        for (r, off) in saved.iter().rev() {
+            self.emit(format!("ldq {r}, {off}(sp)"));
+            self.spills_active -= 1;
+        }
+        Ok((result, Ty::Int))
+    }
+}
+
+/// Walks all declarations in traversal order (must match the order the
+/// generator encounters them in `stmts`).
+fn collect_decls(stmts: &[Stmt], f: &mut impl FnMut(bool, u32)) {
+    for s in stmts {
+        match s {
+            Stmt::DeclInt { .. } => f(false, 1),
+            Stmt::DeclArray { len, .. } => f(true, *len),
+            Stmt::If { then, els, .. } => {
+                collect_decls(then, f);
+                collect_decls(els, f);
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => collect_decls(body, f),
+            Stmt::Switch { cases, default, .. } => {
+                for (_, body) in cases {
+                    collect_decls(body, f);
+                }
+                if let Some(body) = default {
+                    collect_decls(body, f);
+                }
+            }
+            Stmt::Block(body) => collect_decls(body, f),
+            Stmt::Expr(_)
+            | Stmt::Return { .. }
+            | Stmt::Break { .. }
+            | Stmt::Continue { .. } => {}
+        }
+    }
+}
+
+/// Whether a switch is dense enough for a jump table: at least 4 cases and a
+/// value span no more than 4× the case count (capped at 512 slots).
+fn use_jump_table(cases: &[(i64, Vec<Stmt>)]) -> bool {
+    if cases.len() < 4 {
+        return false;
+    }
+    let min = cases.iter().map(|&(v, _)| v).min().unwrap();
+    let max = cases.iter().map(|&(v, _)| v).max().unwrap();
+    let span = max - min + 1;
+    span <= (cases.len() as i64) * 4 && span <= 512
+}

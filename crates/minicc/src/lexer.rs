@@ -1,0 +1,243 @@
+//! Tokenizer for minicc source.
+
+use crate::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An integer literal (decimal, hex, or character).
+    Num(i64),
+    /// An identifier or keyword.
+    Ident(String),
+    /// A punctuation or operator token, e.g. `"<<"`, `"{"`.
+    Punct(&'static str),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "~",
+    "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", ":", "?",
+];
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unterminated comments or character
+/// literals, bad escapes, malformed numbers, and stray characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    let start_line = line;
+                    i += 2;
+                    while i + 1 < bytes.len() {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            i += 2;
+                            continue 'outer;
+                        }
+                        i += 1;
+                    }
+                    return Err(CompileError {
+                        line: start_line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = &source[start + 2..i];
+                let v = i64::from_str_radix(text, 16).map_err(|_| CompileError {
+                    line,
+                    message: format!("bad hex literal `{}`", &source[start..i]),
+                })?;
+                toks.push(Token { tok: Tok::Num(v), line });
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let v: i64 = text.parse().map_err(|_| CompileError {
+                    line,
+                    message: format!("bad number `{text}`"),
+                })?;
+                toks.push(Token { tok: Tok::Num(v), line });
+            }
+            continue;
+        }
+        // Character literals.
+        if c == '\'' {
+            let (v, consumed) = char_literal(&source[i..], line)?;
+            toks.push(Token { tok: Tok::Num(v), line });
+            i += consumed;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push(Token {
+                tok: Tok::Ident(source[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        // Operators / punctuation.
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                toks.push(Token { tok: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(CompileError {
+            line,
+            message: format!("unexpected character `{c}`"),
+        });
+    }
+    Ok(toks)
+}
+
+/// Parses a character literal at the start of `text`; returns (value, bytes
+/// consumed).
+fn char_literal(text: &str, line: usize) -> Result<(i64, usize), CompileError> {
+    let err = |m: &str| CompileError {
+        line,
+        message: m.to_string(),
+    };
+    let bytes = text.as_bytes();
+    if bytes.len() < 3 {
+        return Err(err("unterminated character literal"));
+    }
+    if bytes[1] == b'\\' {
+        let v = match bytes.get(2) {
+            Some(b'n') => b'\n',
+            Some(b't') => b'\t',
+            Some(b'r') => b'\r',
+            Some(b'0') => 0,
+            Some(b'\\') => b'\\',
+            Some(b'\'') => b'\'',
+            _ => return Err(err("bad escape in character literal")),
+        };
+        if bytes.get(3) != Some(&b'\'') {
+            return Err(err("unterminated character literal"));
+        }
+        Ok((v as i64, 4))
+    } else {
+        if bytes[2] != b'\'' {
+            return Err(err("unterminated character literal"));
+        }
+        Ok((bytes[1] as i64, 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            kinds("int x = 0x1F + 10;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Num(31),
+                Tok::Punct("+"),
+                Tok::Num(10),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_for_operators() {
+        assert_eq!(
+            kinds("a<<=b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<"),
+                Tok::Punct("="),
+                Tok::Ident("b".into()),
+            ]
+        );
+        assert_eq!(kinds("a<=b")[1], Tok::Punct("<="));
+        assert_eq!(kinds("a<b")[1], Tok::Punct("<"));
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'a'"), vec![Tok::Num(97)]);
+        assert_eq!(kinds("'\\n'"), vec![Tok::Num(10)]);
+        assert_eq!(kinds("'\\0'"), vec![Tok::Num(0)]);
+        assert_eq!(kinds("'\\''"), vec![Tok::Num(39)]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = lex("x\n@").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = lex("/* never closed").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        let e = lex("'ab'").unwrap_err();
+        assert!(e.message.contains("character literal"));
+    }
+}

@@ -1,0 +1,670 @@
+//! Recursive-descent parser for minicc.
+
+use crate::ast::{BinOp, Expr, Item, Param, ParamKind, Stmt, UnOp, Unit};
+use crate::lexer::{lex, Tok, Token};
+use crate::CompileError;
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with the offending line for any syntax error.
+pub fn parse(source: &str) -> Result<Unit, CompileError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item()?);
+    }
+    Ok(Unit { items })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek() == Some(&Tok::Punct(punct_static(p))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.describe()))
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.peek() {
+            Some(Tok::Num(n)) => format!("`{n}`"),
+            Some(Tok::Ident(s)) => format!("`{s}`"),
+            Some(Tok::Punct(p)) => format!("`{p}`"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), CompileError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.describe()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if !is_keyword(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => self.err(format!("expected identifier, found {}", self.describe())),
+        }
+    }
+
+    fn const_int(&mut self) -> Result<i64, CompileError> {
+        // Constant expressions in global initializers / array sizes: an
+        // optionally negated literal.
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(if neg { -v } else { v }),
+            _ => self.err("expected constant integer"),
+        }
+    }
+
+    // ---- items -------------------------------------------------------
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let line = self.line();
+        self.expect_kw("int")?;
+        let name = self.expect_ident()?;
+        if self.eat_punct("(") {
+            // Function definition.
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    self.expect_kw("int")?;
+                    let pname = self.expect_ident()?;
+                    let kind = if self.eat_punct("[") {
+                        self.expect_punct("]")?;
+                        ParamKind::Array
+                    } else {
+                        ParamKind::Int
+                    };
+                    params.push(Param { name: pname, kind });
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            if params.len() > 6 {
+                return self.err("functions take at most 6 parameters");
+            }
+            self.expect_punct("{")?;
+            let body = self.block_body()?;
+            Ok(Item::Func {
+                name,
+                params,
+                body,
+                line,
+            })
+        } else if self.eat_punct("[") {
+            // Global array.
+            let len = self.const_int()?;
+            if len <= 0 || len > 1 << 20 {
+                return self.err(format!("bad array length {len}"));
+            }
+            self.expect_punct("]")?;
+            let mut init = Vec::new();
+            if self.eat_punct("=") {
+                self.expect_punct("{")?;
+                if !self.eat_punct("}") {
+                    loop {
+                        init.push(self.const_int()?);
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                if init.len() > len as usize {
+                    return self.err("more initializers than array elements");
+                }
+            }
+            self.expect_punct(";")?;
+            Ok(Item::GlobalArray {
+                name,
+                len: len as u32,
+                init,
+                line,
+            })
+        } else {
+            // Global scalar.
+            let init = if self.eat_punct("=") {
+                self.const_int()?
+            } else {
+                0
+            };
+            self.expect_punct(";")?;
+            Ok(Item::GlobalInt { name, init, line })
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    /// Parses statements until the closing `}` (which is consumed).
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_end() {
+                return self.err("unexpected end of input in block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block(self.block_body()?));
+        }
+        if self.eat_kw("int") {
+            let name = self.expect_ident()?;
+            if self.eat_punct("[") {
+                let len = self.const_int()?;
+                if len <= 0 || len > 1 << 16 {
+                    return self.err(format!("bad array length {len}"));
+                }
+                self.expect_punct("]")?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::DeclArray {
+                    name,
+                    len: len as u32,
+                    line,
+                });
+            }
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::DeclInt { name, init, line });
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.stmt_as_block()?;
+            let els = if self.eat_kw("else") {
+                self.stmt_as_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_as_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.peek() == Some(&Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let cond = if self.peek() == Some(&Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if self.peek() == Some(&Tok::Punct(")")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = self.stmt_as_block()?;
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.eat_kw("switch") {
+            self.expect_punct("(")?;
+            let scrutinee = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let mut cases: Vec<(i64, Vec<Stmt>)> = Vec::new();
+            let mut default = None;
+            while !self.eat_punct("}") {
+                if self.eat_kw("case") {
+                    let v = self.const_int()?;
+                    self.expect_punct(":")?;
+                    let body = self.case_body()?;
+                    if cases.iter().any(|&(cv, _)| cv == v) {
+                        return self.err(format!("duplicate case {v}"));
+                    }
+                    cases.push((v, body));
+                } else if self.eat_kw("default") {
+                    self.expect_punct(":")?;
+                    if default.is_some() {
+                        return self.err("duplicate default case");
+                    }
+                    default = Some(self.case_body()?);
+                } else {
+                    return self.err(format!(
+                        "expected `case`, `default` or `}}`, found {}",
+                        self.describe()
+                    ));
+                }
+            }
+            return Ok(Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                line,
+            });
+        }
+        if self.eat_kw("return") {
+            let value = if self.peek() == Some(&Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return { value, line });
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break { line });
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue { line });
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Block(Vec::new()));
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// A single statement treated as a block (for `if`/`while`/`for` arms).
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Statements of a `case` body, up to the next `case`/`default`/`}`.
+    /// A trailing `break;` is allowed (and redundant, since cases do not
+    /// fall through).
+    fn case_body(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct("}")) => break,
+                Some(Tok::Ident(s)) if s == "case" || s == "default" => break,
+                None => return self.err("unexpected end of input in switch"),
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        Ok(stmts)
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let lhs = self.ternary()?;
+        if self.eat_punct("=") {
+            if !matches!(lhs, Expr::Var { .. } | Expr::Index { .. }) {
+                return self.err("assignment target must be a variable or array element");
+            }
+            let value = self.assignment()?;
+            return Ok(Expr::Assign {
+                target: Box::new(lhs),
+                value: Box::new(value),
+                line,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let els = self.ternary()?;
+            return Ok(Expr::Cond {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+                line,
+            });
+        }
+        Ok(cond)
+    }
+
+    fn binary(&mut self, min_level: usize) -> Result<Expr, CompileError> {
+        const LEVELS: &[&[(&str, BinOp)]] = &[
+            &[("||", BinOp::LogOr)],
+            &[("&&", BinOp::LogAnd)],
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+        ];
+        if min_level >= LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_level + 1)?;
+        'outer: loop {
+            let line = self.line();
+            for &(p, op) in LEVELS[min_level] {
+                if self.eat_punct(p) {
+                    let rhs = self.binary(min_level + 1)?;
+                    lhs = Expr::Bin {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        line,
+                    };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        for (p, op) in [("-", UnOp::Neg), ("!", UnOp::Not), ("~", UnOp::BitNot)] {
+            if self.eat_punct(p) {
+                let e = self.unary()?;
+                return Ok(Expr::Un {
+                    op,
+                    expr: Box::new(e),
+                    line,
+                });
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(idx),
+                    line,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().cloned() {
+            Some(Tok::Num(value)) => {
+                self.pos += 1;
+                Ok(Expr::Num { value, line })
+            }
+            Some(Tok::Ident(name)) if !is_keyword(&name) => {
+                self.pos += 1;
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Var { name, line })
+                }
+            }
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            _ => self.err(format!("expected expression, found {}", self.describe())),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "int" | "if" | "else" | "while" | "for" | "switch" | "case" | "default" | "return"
+            | "break" | "continue"
+    )
+}
+
+/// Maps a punct string to the `'static` slice used in [`Tok::Punct`] so
+/// equality works without allocation.
+fn punct_static(p: &str) -> &'static str {
+    const ALL: &[&str] = &[
+        "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^",
+        "~", "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", ":", "?",
+    ];
+    ALL.iter().find(|&&s| s == p).copied().unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let u = parse("int f(int a, int b[]) { return a; }").unwrap();
+        let Item::Func { name, params, .. } = &u.items[0] else {
+            panic!()
+        };
+        assert_eq!(name, "f");
+        assert_eq!(params[0].kind, ParamKind::Int);
+        assert_eq!(params[1].kind, ParamKind::Array);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let u = parse("int g = -3;\nint a[4] = {1, 2};\nint b[2];").unwrap();
+        assert!(matches!(&u.items[0], Item::GlobalInt { init: -3, .. }));
+        let Item::GlobalArray { len, init, .. } = &u.items[1] else {
+            panic!()
+        };
+        assert_eq!(*len, 4);
+        assert_eq!(init, &vec![1, 2]);
+        assert!(matches!(&u.items[2], Item::GlobalArray { len: 2, .. }));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let u = parse("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        let Stmt::Return {
+            value: Some(Expr::Bin { op: BinOp::LogAnd, lhs, .. }),
+            ..
+        } = &body[0]
+        else {
+            panic!("expected `&&` at top: {body:?}")
+        };
+        assert!(matches!(**lhs, Expr::Bin { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let u = parse("int f() { int a; int b; a = b = 1; return a; }").unwrap();
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        let Stmt::Expr(Expr::Assign { value, .. }) = &body[2] else {
+            panic!()
+        };
+        assert!(matches!(**value, Expr::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_switch_with_default() {
+        let src = "int f(int x) { switch (x) { case 1: return 10; case 2: return 20; default: return 0; } }";
+        let u = parse(src).unwrap();
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        let Stmt::Switch { cases, default, .. } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(cases.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn rejects_duplicate_case() {
+        let e = parse("int f(int x) { switch (x) { case 1: ; case 1: ; } }").unwrap_err();
+        assert!(e.message.contains("duplicate case"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        let e = parse("int f() { 1 = 2; }").unwrap_err();
+        assert!(e.message.contains("assignment target"), "{e}");
+    }
+
+    #[test]
+    fn rejects_too_many_params() {
+        let e = parse("int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }")
+            .unwrap_err();
+        assert!(e.message.contains("at most 6"), "{e}");
+    }
+
+    #[test]
+    fn for_clauses_optional() {
+        let u = parse("int f() { for (;;) { break; } return 0; }").unwrap();
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        let Stmt::For { init, cond, step, .. } = &body[0] else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn ternary_parses() {
+        let u = parse("int f(int x) { return x ? 1 : 2; }").unwrap();
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &body[0],
+            Stmt::Return {
+                value: Some(Expr::Cond { .. }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_lines_reported() {
+        let e = parse("int f() {\n  return 1 +\n}\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn nested_index_and_calls() {
+        let u = parse("int f(int a[]) { return g(a[a[0]], 1); }").unwrap();
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        let Stmt::Return { value: Some(Expr::Call { args, .. }), .. } = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(&args[0], Expr::Index { .. }));
+    }
+}

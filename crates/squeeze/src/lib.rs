@@ -1,0 +1,855 @@
+//! # squash-squeeze — the baseline code compactor
+//!
+//! The paper measures `squash` on binaries already compacted by the authors'
+//! earlier tool *squeeze* (Debray, Evans, Muth & De Sutter, TOPLAS 2000),
+//! which "eliminates redundant, unreachable, and dead code … and replaces
+//! multiple similar program fragments with function calls to a single
+//! representative function". This crate reproduces the passes that matter
+//! for the evaluation baseline:
+//!
+//! * unreachable-**function** elimination (call graph + address-taken),
+//! * unreachable-**block** elimination (per-function CFG reachability,
+//!   including jump-table edges),
+//! * no-op and self-move removal,
+//! * branch threading (branches to empty blocks that just branch again),
+//! * duplicate-**block** merging within a function,
+//! * duplicate-**function** abstraction (structurally identical bodies are
+//!   collapsed and all calls redirected) — the function-level slice of
+//!   squeeze's procedural abstraction.
+//!
+//! All passes preserve observable behaviour; the integration tests run
+//! programs before and after and compare outputs. Every pass can be toggled
+//! via [`SqueezeOptions`] for the ablation benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = minicc::build_program(&[
+//!     "int dead() { return 9; } int main() { return 0; }",
+//! ]).map_err(|e| e.to_string())?;
+//! let (squeezed, stats) = squash_squeeze::squeeze(&program);
+//! assert!(stats.funcs_removed >= 1);
+//! assert!(squeezed.text_words() < program.text_words());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+
+use squash_cfg::graph;
+use squash_cfg::{AddrTarget, Block, DataItem, FuncId, Function, JumpTarget, Program, Term};
+use squash_isa::{AluOp, Inst, Reg};
+
+/// Pass toggles (all on by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SqueezeOptions {
+    /// Remove functions unreachable from the entry.
+    pub unreachable_funcs: bool,
+    /// Remove blocks unreachable within their function.
+    pub unreachable_blocks: bool,
+    /// Remove no-ops and self-moves.
+    pub nops: bool,
+    /// Thread branches through empty branch-only blocks.
+    pub thread: bool,
+    /// Merge identical blocks within a function.
+    pub merge_blocks: bool,
+    /// Collapse structurally identical functions.
+    pub dedup_funcs: bool,
+    /// Merge identical block *tails* into a shared block (cross-jumping).
+    pub cross_jump: bool,
+}
+
+impl Default for SqueezeOptions {
+    fn default() -> SqueezeOptions {
+        SqueezeOptions {
+            unreachable_funcs: true,
+            unreachable_blocks: true,
+            nops: true,
+            thread: true,
+            merge_blocks: true,
+            dedup_funcs: true,
+            cross_jump: true,
+        }
+    }
+}
+
+/// What squeeze did, for Table 1 and the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqueezeStats {
+    /// Instruction words before.
+    pub input_words: u32,
+    /// Instruction words after.
+    pub output_words: u32,
+    /// Whole functions removed as unreachable.
+    pub funcs_removed: usize,
+    /// Functions collapsed into an identical representative.
+    pub funcs_deduped: usize,
+    /// Blocks removed as unreachable.
+    pub blocks_removed: usize,
+    /// Identical blocks merged.
+    pub blocks_merged: usize,
+    /// No-ops / self-moves deleted.
+    pub nops_removed: usize,
+    /// Branch chains threaded.
+    pub branches_threaded: usize,
+    /// Identical block tails merged by cross-jumping.
+    pub tails_merged: usize,
+}
+
+/// Runs the full squeeze pipeline with default options.
+pub fn squeeze(program: &Program) -> (Program, SqueezeStats) {
+    squeeze_with(program, &SqueezeOptions::default())
+}
+
+/// Runs the squeeze pipeline with explicit pass selection. Passes iterate to
+/// a fixpoint (each round may expose more work for the others).
+pub fn squeeze_with(program: &Program, options: &SqueezeOptions) -> (Program, SqueezeStats) {
+    let mut p = program.clone();
+    let mut stats = SqueezeStats {
+        input_words: p.text_words(),
+        ..SqueezeStats::default()
+    };
+    loop {
+        let mut changed = false;
+        if options.nops {
+            changed |= remove_nops(&mut p, &mut stats);
+        }
+        if options.thread {
+            changed |= thread_branches(&mut p, &mut stats);
+        }
+        if options.merge_blocks {
+            changed |= merge_duplicate_blocks(&mut p, &mut stats);
+        }
+        if options.cross_jump {
+            changed |= cross_jump(&mut p, &mut stats);
+        }
+        if options.dedup_funcs {
+            changed |= dedup_functions(&mut p, &mut stats);
+        }
+        if options.unreachable_blocks {
+            changed |= remove_unreachable_blocks(&mut p, &mut stats);
+        }
+        if options.unreachable_funcs {
+            changed |= remove_unreachable_funcs(&mut p, &mut stats);
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats.output_words = p.text_words();
+    (p, stats)
+}
+
+fn is_nop(inst: &Inst) -> bool {
+    match *inst {
+        Inst::Opr { func: AluOp::Add, ra, rb, rc } => {
+            rc == Reg::ZERO || (ra == rc && rb == Reg::ZERO) || (rb == rc && ra == Reg::ZERO)
+        }
+        // Self-move: or r, zero, r.
+        Inst::Opr { func: AluOp::Or, ra, rb, rc } => rb == Reg::ZERO && ra == rc,
+        _ => false,
+    }
+}
+
+fn remove_nops(p: &mut Program, stats: &mut SqueezeStats) -> bool {
+    let mut changed = false;
+    for f in &mut p.funcs {
+        for b in &mut f.blocks {
+            let before = b.insts.len();
+            b.insts.retain(|pi| pi.call.is_some() || !is_nop(&pi.inst));
+            let removed = before - b.insts.len();
+            if removed > 0 {
+                stats.nops_removed += removed;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Resolves the final destination of a jump to `target`, skipping through
+/// empty blocks that immediately jump (or fall) onward. Bounded to avoid
+/// infinite-loop chains.
+fn ultimate_target(f: &Function, target: usize, hops: usize) -> usize {
+    let mut current = target;
+    for _ in 0..hops {
+        let b = &f.blocks[current];
+        if !b.insts.is_empty() {
+            break;
+        }
+        match &b.term {
+            Term::Jump {
+                target: JumpTarget::Block(next),
+            }
+            | Term::Fall { next } => {
+                if *next == current {
+                    break;
+                }
+                current = *next;
+            }
+            _ => break,
+        }
+    }
+    current
+}
+
+fn thread_branches(p: &mut Program, stats: &mut SqueezeStats) -> bool {
+    let mut changed = false;
+    for f in &mut p.funcs {
+        for bi in 0..f.blocks.len() {
+            let retarget = |t: usize, f: &Function| -> Option<usize> {
+                let u = ultimate_target(f, t, 8);
+                (u != t).then_some(u)
+            };
+            // Work on a copy of the term to appease the borrow checker.
+            let term = f.blocks[bi].term.clone();
+            let new_term = match term {
+                Term::Jump {
+                    target: JumpTarget::Block(t),
+                } => retarget(t, f).map(|u| Term::Jump {
+                    target: JumpTarget::Block(u),
+                }),
+                Term::Cond {
+                    op,
+                    ra,
+                    target: JumpTarget::Block(t),
+                    fall,
+                } => retarget(t, f).map(|u| Term::Cond {
+                    op,
+                    ra,
+                    target: JumpTarget::Block(u),
+                    fall,
+                }),
+                _ => None,
+            };
+            if let Some(t) = new_term {
+                f.blocks[bi].term = t;
+                stats.branches_threaded += 1;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Structural equality of blocks, ignoring labels.
+fn blocks_equal(a: &Block, b: &Block) -> bool {
+    a.insts == b.insts && a.term == b.term
+}
+
+fn merge_duplicate_blocks(p: &mut Program, stats: &mut SqueezeStats) -> bool {
+    let mut changed = false;
+    for fi in 0..p.funcs.len() {
+        let nblocks = p.funcs[fi].blocks.len();
+        // candidate merge map: duplicate -> representative (first occurrence)
+        let mut redirect: HashMap<usize, usize> = HashMap::new();
+        for i in 0..nblocks {
+            if redirect.contains_key(&i) {
+                continue;
+            }
+            for j in (i + 1)..nblocks {
+                if redirect.contains_key(&j) {
+                    continue;
+                }
+                let (a, b) = (&p.funcs[fi].blocks[i], &p.funcs[fi].blocks[j]);
+                // Only profitable for blocks of at least 2 words, and never
+                // for blocks that end in a fall-through (merging would
+                // change which block execution reaches next).
+                let self_contained =
+                    !matches!(a.term, Term::Fall { .. } | Term::Cond { .. });
+                if self_contained && a.size_words() >= 2 && blocks_equal(a, b) {
+                    redirect.insert(j, i);
+                }
+            }
+        }
+        if redirect.is_empty() {
+            continue;
+        }
+        // Redirect every reference from duplicates to representatives, then
+        // drop the duplicates via the unreachable-block pass (they become
+        // unreferenced).
+        let fid = FuncId(fi);
+        let map = |t: usize| redirect.get(&t).copied().unwrap_or(t);
+        for b in &mut p.funcs[fi].blocks {
+            retarget_term(&mut b.term, &map);
+        }
+        for d in &mut p.data {
+            for item in &mut d.items {
+                if let DataItem::Addr(AddrTarget::Block(owner, bi)) = item {
+                    if *owner == fid {
+                        *bi = map(*bi);
+                    }
+                }
+            }
+        }
+        stats.blocks_merged += redirect.len();
+        changed = true;
+    }
+    changed
+}
+
+fn retarget_term(term: &mut Term, map: &impl Fn(usize) -> usize) {
+    match term {
+        Term::Fall { next } => *next = map(*next),
+        Term::Jump {
+            target: JumpTarget::Block(t),
+        } => *t = map(*t),
+        Term::Cond { target, fall, .. } => {
+            if let JumpTarget::Block(t) = target {
+                *t = map(*t);
+            }
+            *fall = map(*fall);
+        }
+        _ => {}
+    }
+}
+
+/// Cross-jumping: when two blocks end with an identical instruction suffix
+/// and the same self-contained terminator, hoist the shared tail into one of
+/// them and rewrite the other as a jump into it. Saves `suffix_len - 1`
+/// words per merged pair (the replacement jump costs one). This is the
+/// block-tail slice of squeeze's procedural abstraction.
+fn cross_jump(p: &mut Program, stats: &mut SqueezeStats) -> bool {
+    let mut changed = false;
+    for fi in 0..p.funcs.len() {
+        let nblocks = p.funcs[fi].blocks.len();
+        for i in 0..nblocks {
+            for j in 0..nblocks {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (&p.funcs[fi].blocks[i], &p.funcs[fi].blocks[j]);
+                // Only self-contained terminators: a fall-through or
+                // conditional tail would change the successor's meaning.
+                if !matches!(
+                    a.term,
+                    Term::Jump { .. } | Term::Ret { .. } | Term::Exit | Term::Halt
+                ) || a.term != b.term
+                {
+                    continue;
+                }
+                // Longest common instruction suffix.
+                let mut k = 0;
+                while k < a.insts.len()
+                    && k < b.insts.len()
+                    && a.insts[a.insts.len() - 1 - k] == b.insts[b.insts.len() - 1 - k]
+                {
+                    k += 1;
+                }
+                // Worth it only when the suffix saves more than the jump it
+                // introduces, and must not swallow either block whole (that
+                // case belongs to merge_duplicate_blocks).
+                if k < 3 || k == b.insts.len() || k == a.insts.len() {
+                    continue;
+                }
+                // Split block i at the suffix: new shared block carries the
+                // tail + terminator; both originals jump to it.
+                let split_at = p.funcs[fi].blocks[i].insts.len() - k;
+                let tail_insts = p.funcs[fi].blocks[i].insts.split_off(split_at);
+                let tail_term = p.funcs[fi].blocks[i].term.clone();
+                let tail_idx = p.funcs[fi].blocks.len();
+                p.funcs[fi].blocks.push(Block {
+                    labels: vec![],
+                    insts: tail_insts,
+                    term: tail_term,
+                });
+                let jump = Term::Jump {
+                    target: JumpTarget::Block(tail_idx),
+                };
+                p.funcs[fi].blocks[i].term = jump.clone();
+                let b = &mut p.funcs[fi].blocks[j];
+                let keep = b.insts.len() - k;
+                b.insts.truncate(keep);
+                b.term = jump;
+                stats.tails_merged += 1;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Structural function equality with self-recursion normalised: references
+/// to the function's own id compare equal.
+fn funcs_equal(a_id: FuncId, a: &Function, b_id: FuncId, b: &Function) -> bool {
+    if a.blocks.len() != b.blocks.len() {
+        return false;
+    }
+    let norm = |id: FuncId, me: FuncId| if id == me { FuncId(usize::MAX) } else { id };
+    for (ba, bb) in a.blocks.iter().zip(&b.blocks) {
+        if ba.insts.len() != bb.insts.len() {
+            return false;
+        }
+        for (ia, ib) in ba.insts.iter().zip(&bb.insts) {
+            let ca = ia.call.map(|c| norm(c, a_id));
+            let cb = ib.call.map(|c| norm(c, b_id));
+            if ca != cb || ia.inst != ib.inst || ia.reloc != ib.reloc {
+                return false;
+            }
+        }
+        let ta = normalize_term(&ba.term, a_id);
+        let tb = normalize_term(&bb.term, b_id);
+        if ta != tb {
+            return false;
+        }
+    }
+    true
+}
+
+fn normalize_term(term: &Term, me: FuncId) -> Term {
+    let mut t = term.clone();
+    if let Term::Jump {
+        target: JumpTarget::Func(f),
+    }
+    | Term::Cond {
+        target: JumpTarget::Func(f),
+        ..
+    } = &mut t
+    {
+        if *f == me {
+            *f = FuncId(usize::MAX);
+        }
+    }
+    t
+}
+
+fn dedup_functions(p: &mut Program, stats: &mut SqueezeStats) -> bool {
+    let n = p.funcs.len();
+    let mut redirect: HashMap<FuncId, FuncId> = HashMap::new();
+    for i in 0..n {
+        if redirect.contains_key(&FuncId(i)) {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if redirect.contains_key(&FuncId(j)) || FuncId(j) == p.entry {
+                continue;
+            }
+            if funcs_equal(FuncId(i), &p.funcs[i], FuncId(j), &p.funcs[j]) {
+                redirect.insert(FuncId(j), FuncId(i));
+            }
+        }
+    }
+    if redirect.is_empty() {
+        return false;
+    }
+    let map = |f: FuncId| redirect.get(&f).copied().unwrap_or(f);
+    for f in &mut p.funcs {
+        for b in &mut f.blocks {
+            for pi in &mut b.insts {
+                if let Some(c) = &mut pi.call {
+                    *c = map(*c);
+                }
+            }
+            if let Term::Jump {
+                target: JumpTarget::Func(g),
+            }
+            | Term::Cond {
+                target: JumpTarget::Func(g),
+                ..
+            } = &mut b.term
+            {
+                *g = map(*g);
+            }
+        }
+    }
+    for d in &mut p.data {
+        for item in &mut d.items {
+            if let DataItem::Addr(AddrTarget::Func(f)) = item {
+                *f = map(*f);
+            }
+        }
+    }
+    stats.funcs_deduped += redirect.len();
+    // The bodies of deduped functions are now unreferenced; the
+    // unreachable-function pass deletes them.
+    true
+}
+
+fn remove_unreachable_blocks(p: &mut Program, stats: &mut SqueezeStats) -> bool {
+    let mut changed = false;
+    for fi in 0..p.funcs.len() {
+        let fid = FuncId(fi);
+        let reachable = graph::reachable_blocks(p, fid);
+        let nblocks = p.funcs[fi].blocks.len();
+        if reachable.len() == nblocks {
+            continue;
+        }
+        // Build old -> new index map.
+        let mut map: Vec<Option<usize>> = vec![None; nblocks];
+        let mut next = 0usize;
+        for (bi, slot) in map.iter_mut().enumerate() {
+            if reachable.contains(&bi) {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        stats.blocks_removed += nblocks - next;
+        let remap = |t: usize| map[t].expect("reachable block maps");
+        let mut new_blocks = Vec::with_capacity(next);
+        for (bi, b) in p.funcs[fi].blocks.drain(..).enumerate() {
+            if map[bi].is_some() {
+                new_blocks.push(b);
+            }
+        }
+        for b in &mut new_blocks {
+            retarget_term(&mut b.term, &remap);
+        }
+        p.funcs[fi].blocks = new_blocks;
+        for d in &mut p.data {
+            for item in &mut d.items {
+                if let DataItem::Addr(AddrTarget::Block(owner, bi)) = item {
+                    if *owner == fid {
+                        // A data word can point at an unreachable block only
+                        // if the table itself is dead; point it at the entry
+                        // to stay well-formed.
+                        *bi = map[*bi].unwrap_or(0);
+                    }
+                }
+            }
+        }
+        changed = true;
+    }
+    changed
+}
+
+fn remove_unreachable_funcs(p: &mut Program, stats: &mut SqueezeStats) -> bool {
+    let reachable: HashSet<FuncId> = graph::reachable_funcs(p);
+    if reachable.len() == p.funcs.len() {
+        return false;
+    }
+    let mut map: Vec<Option<FuncId>> = vec![None; p.funcs.len()];
+    let mut kept = Vec::new();
+    for (fi, f) in p.funcs.drain(..).enumerate() {
+        if reachable.contains(&FuncId(fi)) {
+            map[fi] = Some(FuncId(kept.len()));
+            kept.push(f);
+        }
+    }
+    stats.funcs_removed += map.iter().filter(|m| m.is_none()).count();
+    let remap = |f: FuncId| map[f.0].expect("reachable function maps");
+    for f in &mut kept {
+        for b in &mut f.blocks {
+            for pi in &mut b.insts {
+                if let Some(c) = &mut pi.call {
+                    *c = remap(*c);
+                }
+            }
+            if let Term::Jump {
+                target: JumpTarget::Func(g),
+            }
+            | Term::Cond {
+                target: JumpTarget::Func(g),
+                ..
+            } = &mut b.term
+            {
+                *g = remap(*g);
+            }
+            for pi in &mut b.insts {
+                remap_reloc(pi, &remap);
+            }
+        }
+    }
+    for d in &mut p.data {
+        for item in &mut d.items {
+            match item {
+                DataItem::Addr(AddrTarget::Func(f)) => *f = remap(*f),
+                DataItem::Addr(AddrTarget::Block(owner, _)) => *owner = remap(*owner),
+                _ => {}
+            }
+        }
+    }
+    p.funcs = kept;
+    p.entry = remap(p.entry);
+    true
+}
+
+fn remap_reloc(pi: &mut squash_cfg::PInst, remap: &impl Fn(FuncId) -> FuncId) {
+    use squash_cfg::{BlockReloc, SymRef};
+    if let Some(r) = &mut pi.reloc {
+        let sym = match r {
+            BlockReloc::Hi(s) | BlockReloc::Lo(s) => s,
+        };
+        match sym {
+            SymRef::Func(f) => *f = remap(*f),
+            SymRef::Block(f, _) => *f = remap(*f),
+            SymRef::Data(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> Program {
+        minicc::build_program(&[src]).expect("compile failed")
+    }
+
+    fn run_program(p: &Program, input: &[u8]) -> (i64, Vec<u8>) {
+        let image = squash_cfg::link::link(p, &Default::default()).expect("link failed");
+        let mut vm = squash_vm::Vm::new(image.min_mem_size(1 << 18));
+        for (base, bytes) in image.segments() {
+            vm.write_bytes(base, &bytes);
+        }
+        vm.set_pc(image.entry);
+        vm.set_input(input.to_vec());
+        let out = vm.run().expect("program faulted");
+        (out.status, vm.take_output())
+    }
+
+    #[test]
+    fn removes_dead_functions() {
+        let p = build("int dead1() { return 1; } int dead2() { return dead1(); } int main() { return 5; }");
+        let (q, stats) = squeeze(&p);
+        assert_eq!(stats.funcs_removed, 2);
+        assert!(q.text_words() < p.text_words());
+        assert_eq!(run_program(&q, &[]).0, 5);
+    }
+
+    #[test]
+    fn keeps_address_taken_functions() {
+        // No minicc syntax takes function addresses, so craft it in asm.
+        let src = r#"
+.text
+.func main
+main:
+    la   t0, vt
+    ldl  t0, 0(t0)
+    jsr  ra, (t0)
+    mov  v0, a0
+    exit
+.endfunc
+.func target
+target:
+    li v0, 7
+    ret
+.endfunc
+.data
+vt: .word target
+"#;
+        let m = squash_isa::asm::assemble(src).unwrap();
+        let p = squash_cfg::build::lower(&m).unwrap();
+        let (q, stats) = squeeze(&p);
+        assert_eq!(stats.funcs_removed, 0);
+        assert_eq!(run_program(&q, &[]).0, 7);
+    }
+
+    #[test]
+    fn removes_unreachable_blocks() {
+        let p = build(
+            "int main() { int x = 1; if (x) { return 2; } else { return 3; } return 99; }",
+        );
+        let (q, stats) = squeeze(&p);
+        // `return 99` is unreachable (both arms return).
+        assert!(stats.blocks_removed > 0 || q.text_words() <= p.text_words());
+        assert_eq!(run_program(&q, &[]).0, 2);
+    }
+
+    #[test]
+    fn dedups_identical_functions() {
+        let src = r#"
+int f(int x) { return x * 3 + 1; }
+int g(int x) { return x * 3 + 1; }
+int main() { return f(2) + g(3); }
+"#;
+        let p = build(src);
+        let (q, stats) = squeeze(&p);
+        assert_eq!(stats.funcs_deduped, 1);
+        assert!(stats.funcs_removed >= 1, "dedup leaves a dead body");
+        assert_eq!(run_program(&q, &[]).0, 7 + 10);
+    }
+
+    #[test]
+    fn merges_identical_return_blocks() {
+        let src = r#"
+int f(int x) {
+    if (x == 1) { return 777777; }
+    if (x == 2) { return 777777; }
+    if (x == 3) { return 777777; }
+    return 0;
+}
+int main() { return f(2) / 111111; }
+"#;
+        let p = build(src);
+        let (q, stats) = squeeze(&p);
+        assert!(stats.blocks_merged >= 1, "stats: {stats:?}");
+        assert_eq!(run_program(&q, &[]).0, 7);
+    }
+
+    #[test]
+    fn behaviour_preserved_on_io_program() {
+        let src = r#"
+int unused_helper(int a) { return a * 12345; }
+int rot(int c) { return (c - 'a' + 13) % 26 + 'a'; }
+int main() {
+    int c;
+    while ((c = getb()) >= 0) {
+        if (c >= 'a' && c <= 'z') putb(rot(c));
+        else putb(c);
+    }
+    return 0;
+}
+"#;
+        let p = build(src);
+        let (q, _) = squeeze(&p);
+        let input = b"hello, squash world!";
+        assert_eq!(run_program(&p, input), run_program(&q, input));
+    }
+
+    #[test]
+    fn options_disable_passes() {
+        let p = build("int dead() { return 1; } int main() { return 0; }");
+        let opts = SqueezeOptions {
+            unreachable_funcs: false,
+            ..SqueezeOptions::default()
+        };
+        let (q, stats) = squeeze_with(&p, &opts);
+        assert_eq!(stats.funcs_removed, 0);
+        assert_eq!(q.funcs.len(), p.funcs.len());
+    }
+
+    #[test]
+    fn squeeze_is_idempotent() {
+        let p = build(
+            "int h(int x) { return x + 1; } int main() { int i; int s = 0; for (i = 0; i < 3; i = i + 1) s = s + h(i); return s; }",
+        );
+        let (q1, _) = squeeze(&p);
+        let (q2, stats2) = squeeze(&q1);
+        assert_eq!(q1, q2);
+        assert_eq!(stats2.input_words, stats2.output_words);
+    }
+
+    #[test]
+    fn jump_table_functions_survive() {
+        let src = r#"
+int dispatch(int x) {
+    switch (x) {
+        case 0: return 10;
+        case 1: return 20;
+        case 2: return 30;
+        case 3: return 40;
+    }
+    return -1;
+}
+int main() { return dispatch(getb() - '0'); }
+"#;
+        let p = build(src);
+        let (q, _) = squeeze(&p);
+        for (i, expect) in [(b'0', 10), (b'1', 20), (b'2', 30), (b'3', 40), (b'9', -1)] {
+            assert_eq!(run_program(&q, &[i]).0, expect, "input {i}");
+        }
+    }
+
+    #[test]
+    fn stats_words_are_consistent() {
+        let p = build("int main() { return 1; }");
+        let (q, stats) = squeeze(&p);
+        assert_eq!(stats.input_words, p.text_words());
+        assert_eq!(stats.output_words, q.text_words());
+    }
+}
+
+#[cfg(test)]
+mod cross_jump_tests {
+    use super::*;
+
+    fn build(src: &str) -> Program {
+        minicc::build_program(&[src]).expect("compile failed")
+    }
+
+    fn run_program(p: &Program, input: &[u8]) -> (i64, Vec<u8>) {
+        let image = squash_cfg::link::link(p, &Default::default()).expect("link failed");
+        let mut vm = squash_vm::Vm::new(image.min_mem_size(1 << 18));
+        for (base, bytes) in image.segments() {
+            vm.write_bytes(base, &bytes);
+        }
+        vm.set_pc(image.entry);
+        vm.set_input(input.to_vec());
+        let out = vm.run().expect("program faulted");
+        (out.status, vm.take_output())
+    }
+
+    #[test]
+    fn merges_shared_return_tails() {
+        // Two branches computing different prefixes but sharing a long
+        // common tail before returning.
+        let src = r#"
+int g1;
+int g2;
+int f(int x) {
+    if (x > 0) {
+        g1 = x * 3;
+        g2 = g1 + 7;
+        g1 = g2 * g1;
+        g2 = g1 - x;
+        return g2 & 1023;
+    }
+    g1 = x * 5;
+    g2 = g1 + 7;
+    g1 = g2 * g1;
+    g2 = g1 - x;
+    return g2 & 1023;
+}
+int main() { return f(getb() - 64); }
+"#;
+        let p = build(src);
+        let (q, stats) = squeeze(&p);
+        assert!(stats.tails_merged > 0, "expected tail merging: {stats:?}");
+        assert!(q.text_words() < p.text_words());
+        for input in [b"A", b"Z", b"@"] {
+            assert_eq!(run_program(&p, input), run_program(&q, input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn cross_jump_can_be_disabled() {
+        let p = build("int main() { return 1; }");
+        let opts = SqueezeOptions {
+            cross_jump: false,
+            ..SqueezeOptions::default()
+        };
+        let (_, stats) = squeeze_with(&p, &opts);
+        assert_eq!(stats.tails_merged, 0);
+    }
+
+    #[test]
+    fn workload_behaviour_survives_cross_jumping() {
+        let w = tail_heavy_program();
+        let (p, q, input) = w;
+        assert_eq!(run_program(&p, &input), run_program(&q, &input));
+    }
+
+    /// Build one real-ish program (not the workloads crate — that would be a
+    /// dependency cycle) with heavy tail sharing.
+    fn tail_heavy_program() -> (Program, Program, Vec<u8>) {
+        let src = r#"
+int emit(int v) { putb(v & 255); return v; }
+int h(int x) {
+    int acc = x;
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        switch (i & 3) {
+            case 0: acc = acc * 3 + 1; emit(acc); break;
+            case 1: acc = acc * 5 + 1; emit(acc); break;
+            case 2: acc = acc * 7 + 1; emit(acc); break;
+            case 3: acc = acc * 9 + 1; emit(acc); break;
+        }
+    }
+    return acc;
+}
+int main() {
+    int c;
+    int s = 0;
+    while ((c = getb()) >= 0) s = s + h(c);
+    return s & 63;
+}
+"#;
+        let p = build(src);
+        let (q, _) = squeeze(&p);
+        (p, q, b"squeeze me".to_vec())
+    }
+}

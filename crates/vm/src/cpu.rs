@@ -1,0 +1,759 @@
+//! The SRA interpreter.
+
+use squash_isa::{AluOp, BraOp, Inst, MemOp, PalOp, Reg};
+
+use crate::error::VmError;
+use crate::icache::{ICache, ICacheConfig, ICacheStats};
+use crate::profile::Profile;
+use crate::service::{NoService, Service};
+
+/// Default cap on executed instructions before a run aborts with
+/// [`VmError::StepLimit`]. Generous enough for every workload's timing input.
+pub const DEFAULT_STEP_LIMIT: u64 = 20_000_000_000;
+
+/// The result of a completed run (the program executed `exit`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The exit status (`a0` at the `exit` call).
+    pub status: i64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles consumed: one per instruction plus any service charges. This
+    /// is the quantity the paper's execution-time comparisons map to.
+    pub cycles: u64,
+}
+
+/// A simulated SRA machine: registers, flat memory, byte-stream I/O, and
+/// instruction/cycle counters.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    regs: [i64; 32],
+    pc: u32,
+    mem: Vec<u8>,
+    input: Vec<u8>,
+    input_pos: usize,
+    output: Vec<u8>,
+    instructions: u64,
+    cycles: u64,
+    step_limit: u64,
+    profile: Option<Profile>,
+    icache: Option<ICache>,
+}
+
+impl Vm {
+    /// Creates a machine with `mem_size` bytes of zeroed memory. The stack
+    /// pointer is initialised to 16 bytes below the top of memory.
+    pub fn new(mem_size: usize) -> Vm {
+        let mut regs = [0i64; 32];
+        regs[Reg::SP.number() as usize] = (mem_size as i64) - 16;
+        Vm {
+            regs,
+            pc: 0,
+            mem: vec![0; mem_size],
+            input: Vec::new(),
+            input_pos: 0,
+            output: Vec::new(),
+            instructions: 0,
+            cycles: 0,
+            step_limit: DEFAULT_STEP_LIMIT,
+            profile: None,
+            icache: None,
+        }
+    }
+
+    /// The size of simulated memory in bytes.
+    pub fn mem_size(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Sets the byte stream the program reads with `readb`.
+    pub fn set_input(&mut self, input: impl Into<Vec<u8>>) {
+        self.input = input.into();
+        self.input_pos = 0;
+    }
+
+    /// The bytes the program has written with `writeb` so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Takes ownership of the output written so far, leaving it empty.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Sets the maximum number of instructions a run may execute.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Starts recording a per-PC execution profile over `words` instruction
+    /// slots at byte address `base`.
+    pub fn enable_profile(&mut self, base: u32, words: usize) {
+        self.profile = Some(Profile::new(base, words));
+    }
+
+    /// Takes the recorded profile, if profiling was enabled.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.profile.take()
+    }
+
+    /// Enables the instruction-cache model (see [`ICacheConfig`]); every
+    /// fetch is looked up and misses charge extra cycles.
+    pub fn enable_icache(&mut self, config: ICacheConfig) {
+        self.icache = Some(ICache::new(config));
+    }
+
+    /// Invalidates the instruction cache, as the paper's decompressor does
+    /// after filling the runtime buffer. No-op when the model is disabled.
+    pub fn flush_icache(&mut self) {
+        if let Some(c) = self.icache.as_mut() {
+            c.flush();
+        }
+    }
+
+    /// Instruction-cache statistics, if the model is enabled.
+    pub fn icache_stats(&self) -> Option<ICacheStats> {
+        self.icache.as_ref().map(|c| c.stats())
+    }
+
+    /// Reads register `r` (the zero register always reads 0).
+    pub fn reg(&self, r: Reg) -> i64 {
+        if r == Reg::ZERO {
+            0
+        } else {
+            self.regs[r.number() as usize]
+        }
+    }
+
+    /// Writes register `r` (writes to the zero register are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if r != Reg::ZERO {
+            self.regs[r.number() as usize] = value;
+        }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles consumed so far (instructions + service charges).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Adds `n` cycles to the cycle counter. Services use this to account
+    /// for the time their simulated equivalent would take (e.g. the
+    /// decompressor's per-bit decode cost).
+    pub fn charge_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside memory (loader misuse, not a guest
+    /// fault).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let start = addr as usize;
+        self.mem[start..start + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads `len` bytes of memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside memory.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
+        &self.mem[addr as usize..addr as usize + len]
+    }
+
+    /// Writes a sequence of 32-bit instruction words at `addr`
+    /// (little-endian), e.g. to load a text segment.
+    pub fn load_words(&mut self, addr: u32, words: impl IntoIterator<Item = u32>) {
+        let mut a = addr;
+        for w in words {
+            self.write_bytes(a, &w.to_le_bytes());
+            a += 4;
+        }
+    }
+
+    /// Reads the 32-bit word at `addr` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside memory.
+    pub fn read_word(&self, addr: u32) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr, 4).try_into().unwrap())
+    }
+
+    fn load(&self, addr: u32, len: u32, pc: u32) -> Result<u64, VmError> {
+        let start = addr as usize;
+        let end = start + len as usize;
+        if end > self.mem.len() {
+            return Err(VmError::MemFault { addr, pc });
+        }
+        let mut v: u64 = 0;
+        for (i, &b) in self.mem[start..end].iter().enumerate() {
+            v |= (b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u32, len: u32, value: u64, pc: u32) -> Result<(), VmError> {
+        let start = addr as usize;
+        let end = start + len as usize;
+        if end > self.mem.len() {
+            return Err(VmError::MemFault { addr, pc });
+        }
+        for (i, slot) in self.mem[start..end].iter_mut().enumerate() {
+            *slot = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Runs until `exit`, with no host service mapped.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] fault aborts the run.
+    pub fn run(&mut self) -> Result<RunOutcome, VmError> {
+        self.run_with(&mut NoService)
+    }
+
+    /// Runs until `exit`, trapping to `service` whenever the PC enters its
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] fault aborts the run; service errors are passed
+    /// through.
+    pub fn run_with(&mut self, service: &mut dyn Service) -> Result<RunOutcome, VmError> {
+        let range = service.range();
+        loop {
+            if !range.is_empty() && range.contains(&self.pc) {
+                service.invoke(self)?;
+                continue;
+            }
+            if let Some(status) = self.step()? {
+                return Ok(RunOutcome {
+                    status,
+                    instructions: self.instructions,
+                    cycles: self.cycles,
+                });
+            }
+        }
+    }
+
+    /// Executes a single instruction. Returns `Some(status)` when the
+    /// program exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any machine fault.
+    pub fn step(&mut self) -> Result<Option<i64>, VmError> {
+        if self.instructions >= self.step_limit {
+            return Err(VmError::StepLimit {
+                limit: self.step_limit,
+            });
+        }
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) || (pc as usize) + 4 > self.mem.len() {
+            return Err(VmError::BadPc { pc });
+        }
+        let word = self.read_word(pc);
+        let inst = Inst::decode(word).map_err(|_| VmError::IllegalInstruction { pc, word })?;
+        self.instructions += 1;
+        self.cycles += 1;
+        if let Some(c) = self.icache.as_mut() {
+            self.cycles += c.fetch(pc);
+        }
+        if let Some(p) = self.profile.as_mut() {
+            p.record(pc);
+        }
+        let mut next = pc.wrapping_add(4);
+        match inst {
+            Inst::Mem { op, ra, rb, disp } => {
+                let addr = (self.reg(rb).wrapping_add(disp as i64)) as u32;
+                match op {
+                    MemOp::Lda => self.set_reg(ra, self.reg(rb).wrapping_add(disp as i64)),
+                    MemOp::Ldah => self.set_reg(
+                        ra,
+                        self.reg(rb).wrapping_add((disp as i64) * 65536),
+                    ),
+                    MemOp::Ldb => {
+                        let v = self.load(addr, 1, pc)? as u8;
+                        self.set_reg(ra, v as i8 as i64);
+                    }
+                    MemOp::Ldbu => {
+                        let v = self.load(addr, 1, pc)?;
+                        self.set_reg(ra, v as i64);
+                    }
+                    MemOp::Ldl => {
+                        let v = self.load(addr, 4, pc)? as u32;
+                        self.set_reg(ra, v as i32 as i64);
+                    }
+                    MemOp::Ldq => {
+                        let v = self.load(addr, 8, pc)?;
+                        self.set_reg(ra, v as i64);
+                    }
+                    MemOp::Stb => self.store(addr, 1, self.reg(ra) as u64, pc)?,
+                    MemOp::Stl => self.store(addr, 4, self.reg(ra) as u64, pc)?,
+                    MemOp::Stq => self.store(addr, 8, self.reg(ra) as u64, pc)?,
+                }
+            }
+            Inst::Bra { op, ra, disp } => {
+                let target = next.wrapping_add((disp as u32).wrapping_mul(4));
+                let taken = match op {
+                    BraOp::Br | BraOp::Bsr => {
+                        self.set_reg(ra, next as i64);
+                        true
+                    }
+                    BraOp::Beq => self.reg(ra) == 0,
+                    BraOp::Bne => self.reg(ra) != 0,
+                    BraOp::Blt => self.reg(ra) < 0,
+                    BraOp::Ble => self.reg(ra) <= 0,
+                    BraOp::Bgt => self.reg(ra) > 0,
+                    BraOp::Bge => self.reg(ra) >= 0,
+                    BraOp::Blbc => self.reg(ra) & 1 == 0,
+                    BraOp::Blbs => self.reg(ra) & 1 == 1,
+                };
+                if taken {
+                    next = target;
+                }
+            }
+            Inst::Opr { func, ra, rb, rc } => {
+                let v = self.alu(func, self.reg(ra), self.reg(rb), pc)?;
+                self.set_reg(rc, v);
+            }
+            Inst::Imm { func, ra, lit, rc } => {
+                let v = self.alu(func, self.reg(ra), lit as i64, pc)?;
+                self.set_reg(rc, v);
+            }
+            Inst::Jmp { ra, rb, .. } => {
+                let target = (self.reg(rb) as u32) & !3;
+                self.set_reg(ra, next as i64);
+                next = target;
+            }
+            Inst::Pal { func } => match func {
+                PalOp::Halt => return Err(VmError::Halted { pc }),
+                PalOp::Exit => {
+                    self.pc = next;
+                    return Ok(Some(self.reg(Reg::A0)));
+                }
+                PalOp::ReadB => {
+                    let v = match self.input.get(self.input_pos) {
+                        Some(&b) => {
+                            self.input_pos += 1;
+                            b as i64
+                        }
+                        None => -1,
+                    };
+                    self.set_reg(Reg::V0, v);
+                }
+                PalOp::WriteB => {
+                    let b = self.reg(Reg::A0) as u8;
+                    self.output.push(b);
+                }
+                PalOp::ICount => {
+                    self.set_reg(Reg::V0, self.instructions as i64);
+                }
+            },
+            Inst::Illegal => {
+                return Err(VmError::IllegalInstruction { pc, word });
+            }
+        }
+        self.pc = next;
+        Ok(None)
+    }
+
+    fn alu(&self, func: AluOp, a: i64, b: i64, pc: u32) -> Result<i64, VmError> {
+        let sh = (b & 63) as u32;
+        Ok(match func {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    return Err(VmError::DivideByZero { pc });
+                }
+                a.wrapping_div(b)
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return Err(VmError::DivideByZero { pc });
+                }
+                a.wrapping_rem(b)
+            }
+            AluOp::Udiv => {
+                if b == 0 {
+                    return Err(VmError::DivideByZero { pc });
+                }
+                ((a as u64) / (b as u64)) as i64
+            }
+            AluOp::Urem => {
+                if b == 0 {
+                    return Err(VmError::DivideByZero { pc });
+                }
+                ((a as u64) % (b as u64)) as i64
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Bic => a & !b,
+            AluOp::Sll => ((a as u64) << sh) as i64,
+            AluOp::Srl => ((a as u64) >> sh) as i64,
+            AluOp::Sra => a >> sh,
+            AluOp::Cmpeq => (a == b) as i64,
+            AluOp::Cmpne => (a != b) as i64,
+            AluOp::Cmplt => (a < b) as i64,
+            AluOp::Cmple => (a <= b) as i64,
+            AluOp::Cmpult => ((a as u64) < (b as u64)) as i64,
+            AluOp::Cmpule => ((a as u64) <= (b as u64)) as i64,
+            AluOp::Sextb => a as i8 as i64,
+            AluOp::Sextl => a as i32 as i64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_program(insts: &[Inst], input: &[u8]) -> (RunOutcome, Vec<u8>) {
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, insts.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        vm.set_input(input.to_vec());
+        let out = vm.run().expect("program faulted");
+        let bytes = vm.take_output();
+        (out, bytes)
+    }
+
+    fn lda(ra: Reg, disp: i16, rb: Reg) -> Inst {
+        Inst::Mem { op: MemOp::Lda, ra, rb, disp }
+    }
+
+    fn exit() -> Inst {
+        Inst::Pal { func: PalOp::Exit }
+    }
+
+    #[test]
+    fn exit_status_is_a0() {
+        let (out, _) = run_program(&[lda(Reg::A0, 42, Reg::ZERO), exit()], &[]);
+        assert_eq!(out.status, 42);
+        assert_eq!(out.instructions, 2);
+        assert_eq!(out.cycles, 2);
+    }
+
+    #[test]
+    fn io_echo() {
+        // loop: readb; blt v0, done; mov v0->a0; writeb; br loop; done: exit 0
+        let prog = [
+            Inst::Pal { func: PalOp::ReadB },
+            Inst::Bra { op: BraOp::Blt, ra: Reg::V0, disp: 3 },
+            Inst::Opr { func: AluOp::Or, ra: Reg::V0, rb: Reg::ZERO, rc: Reg::A0 },
+            Inst::Pal { func: PalOp::WriteB },
+            Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: -5 },
+            lda(Reg::A0, 0, Reg::ZERO),
+            exit(),
+        ];
+        let (out, bytes) = run_program(&prog, b"hello");
+        assert_eq!(out.status, 0);
+        assert_eq!(bytes, b"hello");
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let prog = [
+            lda(Reg::T0, 0x2000, Reg::ZERO),
+            lda(Reg::T1, -1234, Reg::ZERO),
+            Inst::Mem { op: MemOp::Stq, ra: Reg::T1, rb: Reg::T0, disp: 8 },
+            Inst::Mem { op: MemOp::Ldq, ra: Reg::T2, rb: Reg::T0, disp: 8 },
+            Inst::Opr { func: AluOp::Or, ra: Reg::T2, rb: Reg::ZERO, rc: Reg::A0 },
+            exit(),
+        ];
+        let (out, _) = run_program(&prog, &[]);
+        assert_eq!(out.status, -1234);
+    }
+
+    #[test]
+    fn byte_and_long_widths() {
+        let prog = [
+            lda(Reg::T0, 0x2000, Reg::ZERO),
+            lda(Reg::T1, -1, Reg::ZERO), // 0xFF...FF
+            Inst::Mem { op: MemOp::Stb, ra: Reg::T1, rb: Reg::T0, disp: 0 },
+            Inst::Mem { op: MemOp::Ldbu, ra: Reg::T2, rb: Reg::T0, disp: 0 },
+            Inst::Mem { op: MemOp::Ldb, ra: Reg::T3, rb: Reg::T0, disp: 0 },
+            // a0 = t2 + t3  (255 + -1 = 254)
+            Inst::Opr { func: AluOp::Add, ra: Reg::T2, rb: Reg::T3, rc: Reg::A0 },
+            exit(),
+        ];
+        let (out, _) = run_program(&prog, &[]);
+        assert_eq!(out.status, 254);
+    }
+
+    #[test]
+    fn ldl_sign_extends() {
+        let prog = [
+            lda(Reg::T0, 0x2000, Reg::ZERO),
+            lda(Reg::T1, -1, Reg::ZERO),
+            Inst::Mem { op: MemOp::Stl, ra: Reg::T1, rb: Reg::T0, disp: 0 },
+            // Clobber the upper half of the quad to prove ldl ignores it.
+            Inst::Mem { op: MemOp::Stl, ra: Reg::ZERO, rb: Reg::T0, disp: 4 },
+            Inst::Mem { op: MemOp::Ldl, ra: Reg::A0, rb: Reg::T0, disp: 0 },
+            exit(),
+        ];
+        let (out, _) = run_program(&prog, &[]);
+        assert_eq!(out.status, -1);
+    }
+
+    #[test]
+    fn bsr_links_and_ret_returns() {
+        // main: bsr ra,f ; a0 = v0 ; exit     f: v0 = 9 ; ret
+        let prog = [
+            Inst::Bra { op: BraOp::Bsr, ra: Reg::RA, disp: 2 },
+            Inst::Opr { func: AluOp::Or, ra: Reg::V0, rb: Reg::ZERO, rc: Reg::A0 },
+            exit(),
+            lda(Reg::V0, 9, Reg::ZERO),
+            Inst::Jmp { ra: Reg::ZERO, rb: Reg::RA, hint: 0 },
+        ];
+        let (out, _) = run_program(&prog, &[]);
+        assert_eq!(out.status, 9);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let prog = [
+            lda(Reg::ZERO, 55, Reg::ZERO),
+            Inst::Opr { func: AluOp::Or, ra: Reg::ZERO, rb: Reg::ZERO, rc: Reg::A0 },
+            exit(),
+        ];
+        let (out, _) = run_program(&prog, &[]);
+        assert_eq!(out.status, 0);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let prog = [
+            Inst::Opr { func: AluOp::Div, ra: Reg::T0, rb: Reg::ZERO, rc: Reg::T0 },
+            exit(),
+        ];
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        assert_eq!(vm.run(), Err(VmError::DivideByZero { pc: 0x1000 }));
+    }
+
+    #[test]
+    fn sentinel_faults_as_illegal() {
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, [Inst::Illegal.encode()]);
+        vm.set_pc(0x1000);
+        match vm.run() {
+            Err(VmError::IllegalInstruction { pc, .. }) => assert_eq!(pc, 0x1000),
+            other => panic!("expected illegal instruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_fault_reports_address() {
+        let prog = [Inst::Mem { op: MemOp::Ldq, ra: Reg::T0, rb: Reg::ZERO, disp: -8 }];
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        match vm.run() {
+            Err(VmError::MemFault { pc, .. }) => assert_eq!(pc, 0x1000),
+            other => panic!("expected mem fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        // Infinite loop.
+        let prog = [Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: -1 }];
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        vm.set_step_limit(1000);
+        assert_eq!(vm.run(), Err(VmError::StepLimit { limit: 1000 }));
+    }
+
+    #[test]
+    fn profile_counts_loop_iterations() {
+        // t0 = 5; loop: t0 -= 1; bne t0, loop; exit
+        let prog = [
+            lda(Reg::T0, 5, Reg::ZERO),
+            Inst::Imm { func: AluOp::Sub, ra: Reg::T0, lit: 1, rc: Reg::T0 },
+            Inst::Bra { op: BraOp::Bne, ra: Reg::T0, disp: -2 },
+            lda(Reg::A0, 0, Reg::ZERO),
+            exit(),
+        ];
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        vm.enable_profile(0x1000, prog.len());
+        vm.run().unwrap();
+        let p = vm.take_profile().unwrap();
+        assert_eq!(p.count_at(0x1000), 1);
+        assert_eq!(p.count_at(0x1004), 5);
+        assert_eq!(p.count_at(0x1008), 5);
+        assert_eq!(p.count_at(0x100C), 1);
+    }
+
+    #[test]
+    fn service_trap_invoked() {
+        struct Bump;
+        impl Service for Bump {
+            fn range(&self) -> std::ops::Range<u32> {
+                0x8000..0x8010
+            }
+            fn invoke(&mut self, vm: &mut Vm) -> Result<(), VmError> {
+                vm.set_reg(Reg::V0, 123);
+                vm.charge_cycles(50);
+                let ra = vm.reg(Reg::RA) as u32;
+                vm.set_pc(ra);
+                Ok(())
+            }
+        }
+        // bsr ra, <service>; a0 = v0; exit — the service returns to ra.
+        let prog = [
+            Inst::Bra { op: BraOp::Bsr, ra: Reg::RA, disp: ((0x8000 - 0x1004) / 4) },
+            Inst::Opr { func: AluOp::Or, ra: Reg::V0, rb: Reg::ZERO, rc: Reg::A0 },
+            exit(),
+        ];
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        let out = vm.run_with(&mut Bump).unwrap();
+        assert_eq!(out.status, 123);
+        assert_eq!(out.cycles, out.instructions + 50);
+    }
+
+    #[test]
+    fn icount_reads_instruction_counter() {
+        let prog = [
+            Inst::NOP,
+            Inst::Pal { func: PalOp::ICount },
+            Inst::Opr { func: AluOp::Or, ra: Reg::V0, rb: Reg::ZERO, rc: Reg::A0 },
+            exit(),
+        ];
+        let (out, _) = run_program(&prog, &[]);
+        assert_eq!(out.status, 2); // nop + icount itself
+    }
+
+    #[test]
+    fn readb_returns_minus_one_on_eof() {
+        let prog = [
+            Inst::Pal { func: PalOp::ReadB },
+            Inst::Opr { func: AluOp::Or, ra: Reg::V0, rb: Reg::ZERO, rc: Reg::A0 },
+            exit(),
+        ];
+        let (out, _) = run_program(&prog, &[]);
+        assert_eq!(out.status, -1);
+    }
+}
+
+#[cfg(test)]
+mod alu_semantics {
+    use super::*;
+
+    /// Runs `func a, b -> a0; exit` and returns the status.
+    fn alu(func: AluOp, a: i64, b: i64) -> Result<i64, VmError> {
+        let mut vm = Vm::new(1 << 16);
+        vm.set_reg(Reg::T0, a);
+        vm.set_reg(Reg::T1, b);
+        vm.load_words(
+            0x1000,
+            [
+                Inst::Opr { func, ra: Reg::T0, rb: Reg::T1, rc: Reg::A0 }.encode(),
+                Inst::Pal { func: PalOp::Exit }.encode(),
+            ],
+        );
+        vm.set_pc(0x1000);
+        vm.run().map(|o| o.status)
+    }
+
+    #[test]
+    fn arithmetic_matches_rust_semantics() {
+        let cases: &[(AluOp, i64, i64, i64)] = &[
+            (AluOp::Add, i64::MAX, 1, i64::MIN), // wrapping
+            (AluOp::Sub, i64::MIN, 1, i64::MAX),
+            (AluOp::Mul, 1 << 40, 1 << 40, 0),   // wraps to 2^80 mod 2^64 = 0
+            (AluOp::Div, 7, 2, 3),
+            (AluOp::Div, -7, 2, -3), // truncated division
+            (AluOp::Rem, -7, 2, -1),
+            (AluOp::Udiv, -1, 2, i64::MAX), // unsigned view of -1
+            (AluOp::Urem, -1, 2, 1),
+            (AluOp::And, 0b1100, 0b1010, 0b1000),
+            (AluOp::Or, 0b1100, 0b1010, 0b1110),
+            (AluOp::Xor, 0b1100, 0b1010, 0b0110),
+            (AluOp::Bic, 0b1100, 0b1010, 0b0100),
+            (AluOp::Sll, 1, 63, i64::MIN),
+            (AluOp::Sll, 1, 64, 1),           // shift count masked to 6 bits
+            (AluOp::Srl, -1, 1, i64::MAX),    // logical shift
+            (AluOp::Sra, -8, 2, -2),          // arithmetic shift
+            (AluOp::Cmpeq, 5, 5, 1),
+            (AluOp::Cmpne, 5, 5, 0),
+            (AluOp::Cmplt, -1, 0, 1),
+            (AluOp::Cmple, 0, 0, 1),
+            (AluOp::Cmpult, -1, 0, 0), // unsigned: 2^64-1 not < 0
+            (AluOp::Cmpule, 0, -1, 1),
+            (AluOp::Sextb, 0x1FF, 0, -1),
+            (AluOp::Sextl, 0x1_FFFF_FFFF, 0, -1),
+        ];
+        for &(func, a, b, expect) in cases {
+            assert_eq!(alu(func, a, b), Ok(expect), "{func:?} {a} {b}");
+        }
+    }
+
+    #[test]
+    fn division_faults_are_precise() {
+        for func in [AluOp::Div, AluOp::Rem, AluOp::Udiv, AluOp::Urem] {
+            assert_eq!(alu(func, 1, 0), Err(VmError::DivideByZero { pc: 0x1000 }));
+        }
+    }
+
+    #[test]
+    fn jmp_masks_low_address_bits() {
+        // jmp (t0) with a misaligned target must land on the aligned word.
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(
+            0x1000,
+            [
+                Inst::Jmp { ra: Reg::ZERO, rb: Reg::T0, hint: 0 }.encode(),
+                Inst::Pal { func: PalOp::Exit }.encode(), // 0x1004: a0 = 0
+            ],
+        );
+        vm.set_reg(Reg::T0, 0x1007); // misaligned pointer to 0x1004
+        vm.set_pc(0x1000);
+        assert_eq!(vm.run().unwrap().status, 0);
+        assert_eq!(vm.pc(), 0x1008);
+    }
+
+    #[test]
+    fn ldah_scales_by_65536() {
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(
+            0x1000,
+            [
+                Inst::Mem { op: MemOp::Ldah, ra: Reg::A0, rb: Reg::ZERO, disp: -2 }.encode(),
+                Inst::Pal { func: PalOp::Exit }.encode(),
+            ],
+        );
+        vm.set_pc(0x1000);
+        assert_eq!(vm.run().unwrap().status, -131072);
+    }
+}

@@ -1,0 +1,72 @@
+//! VM fault and error types.
+
+use std::fmt;
+
+/// A machine fault or harness error raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A load or store touched memory outside the machine.
+    MemFault {
+        /// The faulting address.
+        addr: u32,
+        /// The PC of the faulting instruction.
+        pc: u32,
+    },
+    /// The word at `pc` is not a valid instruction (includes executing the
+    /// compression sentinel).
+    IllegalInstruction {
+        /// The PC of the bad word.
+        pc: u32,
+        /// The raw word.
+        word: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// The PC of the faulting instruction.
+        pc: u32,
+    },
+    /// The `halt` service was executed (abnormal stop, distinct from `exit`).
+    Halted {
+        /// The PC of the halt.
+        pc: u32,
+    },
+    /// The PC left the loaded address space or became misaligned.
+    BadPc {
+        /// The bad program counter value.
+        pc: u32,
+    },
+    /// The step limit was exceeded (runaway program guard).
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A host [`crate::Service`] reported a failure.
+    Service {
+        /// The PC at which the service was entered.
+        pc: u32,
+        /// Description from the service.
+        message: String,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::MemFault { addr, pc } => {
+                write!(f, "memory fault at {addr:#010x} (pc {pc:#010x})")
+            }
+            VmError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            VmError::DivideByZero { pc } => write!(f, "divide by zero at pc {pc:#010x}"),
+            VmError::Halted { pc } => write!(f, "machine halted at pc {pc:#010x}"),
+            VmError::BadPc { pc } => write!(f, "bad program counter {pc:#010x}"),
+            VmError::StepLimit { limit } => write!(f, "step limit of {limit} instructions exceeded"),
+            VmError::Service { pc, message } => {
+                write!(f, "service fault at pc {pc:#010x}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

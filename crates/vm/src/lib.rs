@@ -1,0 +1,49 @@
+//! # squash-vm — interpreter, profiler and cycle model for SRA
+//!
+//! This crate executes SRA machine code in a flat, byte-addressable memory,
+//! standing in for the Alpha workstation the paper ran on. It provides:
+//!
+//! * a fetch–decode–execute interpreter ([`Vm`]) with byte-stream I/O
+//!   "system calls" (`readb`/`writeb`/`exit`), deterministic instruction and
+//!   cycle counting, and run limits;
+//! * per-PC execution **profiling** ([`Profile`]), from which basic-block
+//!   execution frequencies are derived — the input to cold-code
+//!   identification (paper §5);
+//! * a [`Service`] trap interface: a reserved address range whose execution
+//!   transfers control to host code. The `squash` runtime decompressor is
+//!   implemented as such a service, charging cycles through
+//!   [`Vm::charge_cycles`] according to its cost model (see `DESIGN.md` for
+//!   why this substitution preserves the paper's behaviour).
+//!
+//! # Examples
+//!
+//! ```
+//! use squash_isa::{Inst, PalOp, MemOp, Reg};
+//! use squash_vm::Vm;
+//!
+//! // li a0, 7 ; exit
+//! let prog = [
+//!     Inst::Mem { op: MemOp::Lda, ra: Reg::A0, rb: Reg::ZERO, disp: 7 },
+//!     Inst::Pal { func: PalOp::Exit },
+//! ];
+//! let mut vm = Vm::new(1 << 16);
+//! vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+//! vm.set_pc(0x1000);
+//! let outcome = vm.run().unwrap();
+//! assert_eq!(outcome.status, 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod error;
+mod icache;
+mod profile;
+mod service;
+
+pub use cpu::{RunOutcome, Vm, DEFAULT_STEP_LIMIT};
+pub use error::VmError;
+pub use icache::{ICache, ICacheConfig, ICacheStats};
+pub use profile::Profile;
+pub use service::{NoService, Service};

@@ -1,0 +1,150 @@
+//! Per-PC execution profiles.
+
+/// An execution profile: how many times each instruction word in a monitored
+/// text range was executed.
+///
+/// `squash` aggregates these counts to basic-block execution frequencies
+/// (every instruction of a block executes equally often, so the block's
+/// frequency is the count of its first instruction) and to the paper's
+/// *weight* metric — instructions-in-block × frequency (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    base: u32,
+    counts: Vec<u64>,
+}
+
+impl Profile {
+    /// Creates an empty profile covering `words` instruction slots starting
+    /// at byte address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn new(base: u32, words: usize) -> Profile {
+        assert_eq!(base % 4, 0, "profile base must be word-aligned");
+        Profile {
+            base,
+            counts: vec![0; words],
+        }
+    }
+
+    /// The first monitored byte address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The number of monitored instruction slots.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the profile covers no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Records one execution of the instruction at `pc` (ignored if outside
+    /// the monitored range).
+    #[inline]
+    pub fn record(&mut self, pc: u32) {
+        if pc >= self.base {
+            let idx = ((pc - self.base) / 4) as usize;
+            if let Some(c) = self.counts.get_mut(idx) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// The execution count of the instruction at `pc`, or 0 if outside the
+    /// monitored range.
+    pub fn count_at(&self, pc: u32) -> u64 {
+        if pc < self.base {
+            return 0;
+        }
+        let idx = ((pc - self.base) / 4) as usize;
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// The total number of monitored instructions executed (the paper's
+    /// `tot_instr_ct` when the whole text segment is monitored).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates over `(pc, count)` pairs for every monitored slot.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.base + (i as u32) * 4, c))
+    }
+
+    /// Merges another profile (same base and length) into this one by adding
+    /// counts — used to combine profiles from several profiling inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles cover different ranges.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(self.base, other.base, "profile bases differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "profile lengths differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_counts() {
+        let mut p = Profile::new(0x1000, 4);
+        p.record(0x1000);
+        p.record(0x1008);
+        p.record(0x1008);
+        assert_eq!(p.count_at(0x1000), 1);
+        assert_eq!(p.count_at(0x1004), 0);
+        assert_eq!(p.count_at(0x1008), 2);
+        assert_eq!(p.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_pcs_ignored() {
+        let mut p = Profile::new(0x1000, 2);
+        p.record(0x0FFC);
+        p.record(0x1008);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.count_at(0x0FFC), 0);
+        assert_eq!(p.count_at(0x2000), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Profile::new(0, 2);
+        let mut b = Profile::new(0, 2);
+        a.record(0);
+        b.record(0);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.count_at(0), 2);
+        assert_eq!(a.count_at(4), 1);
+    }
+
+    #[test]
+    fn iter_yields_all_slots() {
+        let mut p = Profile::new(0x100, 3);
+        p.record(0x104);
+        let v: Vec<(u32, u64)> = p.iter().collect();
+        assert_eq!(v, vec![(0x100, 0), (0x104, 1), (0x108, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bases differ")]
+    fn merge_rejects_mismatched_ranges() {
+        let mut a = Profile::new(0, 2);
+        let b = Profile::new(4, 2);
+        a.merge(&b);
+    }
+}

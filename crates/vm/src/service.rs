@@ -1,0 +1,47 @@
+//! Host services: address ranges whose "execution" traps to Rust code.
+//!
+//! The paper's runtime decompressor is a piece of software living in the
+//! program image. In this reproduction the decompressor's *state* (stubs,
+//! offset table, compressed bytes, runtime buffer) lives in simulated memory,
+//! but its *instructions* are host code reached through this trap interface.
+//! The service charges the cycles its simulated equivalent would cost via
+//! [`crate::Vm::charge_cycles`]; its code-size cost is accounted separately
+//! in the footprint model (see `squash::footprint`).
+
+use crate::cpu::Vm;
+use crate::error::VmError;
+use std::ops::Range;
+
+/// Host code mapped over a range of simulated addresses.
+///
+/// When the program counter enters [`Service::range`], the interpreter calls
+/// [`Service::invoke`] instead of fetching an instruction. The service must
+/// leave the VM's `pc` pointing at the next instruction to execute.
+pub trait Service {
+    /// The byte-address range that traps to this service.
+    fn range(&self) -> Range<u32>;
+
+    /// Handles one trap. `Vm::pc()` is the service address that was entered;
+    /// on return it must point at real code (or another trap).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] to abort execution (surfaced as
+    /// [`VmError::Service`] or passed through unchanged).
+    fn invoke(&mut self, vm: &mut Vm) -> Result<(), VmError>;
+}
+
+/// The trivial service: traps on nothing. Running with `NoService` executes
+/// plain machine code only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoService;
+
+impl Service for NoService {
+    fn range(&self) -> Range<u32> {
+        0..0
+    }
+
+    fn invoke(&mut self, _vm: &mut Vm) -> Result<(), VmError> {
+        unreachable!("NoService has an empty range and can never be invoked")
+    }
+}

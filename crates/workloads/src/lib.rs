@@ -1,0 +1,456 @@
+//! # squash-workloads — MediaBench-like benchmark programs
+//!
+//! The paper evaluates on eleven MediaBench applications. This crate
+//! provides minicc reimplementations of the same *kinds* of codec —
+//! IMA ADPCM (`adpcm`), a pyramid image coder (`epic`), G.721-style ADPCM
+//! (`g721_enc`/`g721_dec`), LPC speech analysis (`gsm`), a DCT image codec
+//! (`jpeg_enc`/`jpeg_dec`), block motion-compensated video
+//! (`mpeg2enc`/`mpeg2dec`), hybrid RSA/XTEA encryption (`pgp`) and a
+//! filterbank speech analyser (`rasta`) — plus deterministic synthetic
+//! inputs standing in for the suite's media files (Figure 5): a small
+//! *profiling* input and a larger, different-content *timing* input per
+//! program.
+//!
+//! Every program links the shared `support.mc` library, whose routines are
+//! reachable only through rarely-taken dispatch paths: the reachable-but-
+//! cold code mass the paper's Figure 4 measures.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! let w = squash_workloads::by_name("adpcm").unwrap();
+//! let (program, _) = w.squeezed();
+//! let input = w.profiling_input();
+//! assert!(!input.is_empty());
+//! assert!(program.text_words() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use squash_cfg::Program;
+use squash_squeeze::SqueezeStats;
+
+const SUPPORT: &str = include_str!("../mc/support.mc");
+const SUPPORT_MATH: &str = include_str!("../mc/support_math.mc");
+const SUPPORT_DATA: &str = include_str!("../mc/support_data.mc");
+const SUPPORT_UNUSED: &str = include_str!("../mc/support_unused.mc");
+const ADPCM: &str = include_str!("../mc/adpcm.mc");
+const EPIC: &str = include_str!("../mc/epic.mc");
+const G721: &str = include_str!("../mc/g721.mc");
+const GSM: &str = include_str!("../mc/gsm.mc");
+const JPEG: &str = include_str!("../mc/jpeg.mc");
+const MPEG2: &str = include_str!("../mc/mpeg2.mc");
+const PGP: &str = include_str!("../mc/pgp.mc");
+const RASTA: &str = include_str!("../mc/rasta.mc");
+
+/// How a workload input is synthesised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum InputKind {
+    /// `mode` byte + 16-bit LE PCM of `samples` samples.
+    Pcm { mode: u8, samples: usize, seed: u64 },
+    /// `mode` byte + `count` concatenated 32×32 byte images.
+    Image { mode: u8, count: usize, seed: u64 },
+    /// `mode` byte + frame count byte + that many 32×32 frames.
+    Video { mode: u8, frames: usize, seed: u64 },
+    /// `mode` byte + 8 key bytes + `len` payload bytes.
+    Sealed { mode: u8, len: usize, seed: u64 },
+    /// The *output* of another workload run on the given input (used for
+    /// the decoders: the paper derives `clinton.g721` from `clinton.pcm`
+    /// the same way). The mode byte replaces the producer's.
+    EncodedBy {
+        producer: &'static str,
+        input: Box<InputKind>,
+        mode: u8,
+    },
+}
+
+/// One benchmark program with its profiling and timing inputs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The benchmark's name (matching the paper's Table 1 rows).
+    pub name: &'static str,
+    sources: Vec<&'static str>,
+    profiling: InputKind,
+    timing: InputKind,
+    /// Display names for Figure 5's input table.
+    profiling_name: &'static str,
+    timing_name: &'static str,
+}
+
+impl Workload {
+    /// Compiles the workload to a relocatable program (pre-squeeze).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded sources fail to compile (a build-time bug).
+    pub fn program(&self) -> Program {
+        minicc::build_program(&self.sources).unwrap_or_else(|e| {
+            panic!("workload {} failed to compile: {e}", self.name)
+        })
+    }
+
+    /// Compiles and squeezes (the paper's baseline form).
+    pub fn squeezed(&self) -> (Program, SqueezeStats) {
+        squash_squeeze::squeeze(&self.program())
+    }
+
+    /// The profiling input bytes.
+    pub fn profiling_input(&self) -> Vec<u8> {
+        materialize(&self.profiling)
+    }
+
+    /// The timing input bytes (larger, different content).
+    pub fn timing_input(&self) -> Vec<u8> {
+        materialize(&self.timing)
+    }
+
+    /// `(profiling, timing)` input names and sizes for Figure 5.
+    pub fn input_table_row(&self) -> (&'static str, usize, &'static str, usize) {
+        (
+            self.profiling_name,
+            self.profiling_input().len(),
+            self.timing_name,
+            self.timing_input().len(),
+        )
+    }
+}
+
+/// All eleven workloads, in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "adpcm",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, ADPCM],
+            profiling: InputKind::Pcm { mode: b'e', samples: 12_000, seed: 11 },
+            timing: InputKind::Pcm { mode: b'e', samples: 48_000, seed: 1911 },
+            profiling_name: "clinton.pcm",
+            timing_name: "mlk_IHaveADream.pcm",
+        },
+        Workload {
+            name: "epic",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, EPIC],
+            profiling: InputKind::Image { mode: b'c', count: 6, seed: 21 },
+            timing: InputKind::Image { mode: b'c', count: 24, seed: 2121 },
+            profiling_name: "baboon.tif",
+            timing_name: "lena.tif",
+        },
+        Workload {
+            name: "g721_dec",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, G721],
+            profiling: InputKind::EncodedBy {
+                producer: "g721_enc",
+                input: Box::new(InputKind::Pcm { mode: b'e', samples: 10_000, seed: 31 }),
+                mode: b'd',
+            },
+            timing: InputKind::EncodedBy {
+                producer: "g721_enc",
+                input: Box::new(InputKind::Pcm { mode: b'e', samples: 40_000, seed: 3131 }),
+                mode: b'd',
+            },
+            profiling_name: "clinton.g721",
+            timing_name: "mlk_IHaveADream.g721",
+        },
+        Workload {
+            name: "g721_enc",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, G721],
+            profiling: InputKind::Pcm { mode: b'e', samples: 10_000, seed: 41 },
+            timing: InputKind::Pcm { mode: b'e', samples: 40_000, seed: 4141 },
+            profiling_name: "clinton.pcm",
+            timing_name: "mlk_IHaveADream.pcm",
+        },
+        Workload {
+            name: "gsm",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, GSM],
+            profiling: InputKind::Pcm { mode: b'e', samples: 12_800, seed: 51 },
+            timing: InputKind::Pcm { mode: b'e', samples: 51_200, seed: 5151 },
+            profiling_name: "clinton.pcm",
+            timing_name: "mlk_IHaveADream.pcm",
+        },
+        Workload {
+            name: "jpeg_dec",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, JPEG],
+            profiling: InputKind::EncodedBy {
+                producer: "jpeg_enc",
+                input: Box::new(InputKind::Image { mode: b'e', count: 4, seed: 61 }),
+                mode: b'd',
+            },
+            timing: InputKind::EncodedBy {
+                producer: "jpeg_enc",
+                input: Box::new(InputKind::Image { mode: b'e', count: 20, seed: 6161 }),
+                mode: b'd',
+            },
+            profiling_name: "testimg.jpg",
+            timing_name: "roses17.jpg",
+        },
+        Workload {
+            name: "jpeg_enc",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, JPEG],
+            profiling: InputKind::Image { mode: b'e', count: 6, seed: 71 },
+            timing: InputKind::Image { mode: b'e', count: 24, seed: 7171 },
+            profiling_name: "testimg.ppm",
+            timing_name: "roses17.ppm",
+        },
+        Workload {
+            name: "mpeg2dec",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, MPEG2],
+            profiling: InputKind::EncodedBy {
+                producer: "mpeg2enc",
+                input: Box::new(InputKind::Video { mode: b'e', frames: 8, seed: 81 }),
+                mode: b'd',
+            },
+            timing: InputKind::EncodedBy {
+                producer: "mpeg2enc",
+                input: Box::new(InputKind::Video { mode: b'e', frames: 20, seed: 8181 }),
+                mode: b'd',
+            },
+            profiling_name: "sarnoff2.m2v",
+            timing_name: "tceh_v2.m2v",
+        },
+        Workload {
+            name: "mpeg2enc",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, MPEG2],
+            profiling: InputKind::Video { mode: b'e', frames: 8, seed: 91 },
+            timing: InputKind::Video { mode: b'e', frames: 20, seed: 9191 },
+            profiling_name: "sarnoff2.m2v",
+            timing_name: "tceh_v2.m2v",
+        },
+        Workload {
+            name: "pgp",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, PGP],
+            profiling: InputKind::Sealed { mode: b's', len: 16_000, seed: 101 },
+            timing: InputKind::Sealed { mode: b's', len: 64_000, seed: 10101 },
+            profiling_name: "compression.ps",
+            timing_name: "TI-320-user-manual.ps",
+        },
+        Workload {
+            name: "rasta",
+            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, RASTA],
+            profiling: InputKind::Pcm { mode: b'a', samples: 10_240, seed: 111 },
+            timing: InputKind::Pcm { mode: b'a', samples: 46_080, seed: 11111 },
+            profiling_name: "ex5_c1.wav",
+            timing_name: "phone.pcmle.wav",
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+fn materialize(kind: &InputKind) -> Vec<u8> {
+    match kind {
+        InputKind::Pcm { mode, samples, seed } => {
+            let mut out = vec![*mode];
+            out.extend(synth_pcm(*samples, *seed));
+            out
+        }
+        InputKind::Image { mode, count, seed } => {
+            let mut out = vec![*mode];
+            for i in 0..*count {
+                out.extend(synth_image(seed.wrapping_add(i as u64 * 977)));
+            }
+            out
+        }
+        InputKind::Video { mode, frames, seed } => {
+            let mut out = vec![*mode, *frames as u8];
+            for f in 0..*frames {
+                out.extend(synth_frame(*seed, f));
+            }
+            out
+        }
+        InputKind::Sealed { mode, len, seed } => {
+            let mut out = vec![*mode];
+            let mut rng = Lcg::new(*seed);
+            for _ in 0..8 {
+                out.push(rng.next_byte());
+            }
+            out.extend(synth_text(*len, seed.wrapping_add(7)));
+            out
+        }
+        InputKind::EncodedBy { producer, input, mode } => {
+            let w = by_name(producer).expect("producer workload exists");
+            let produced = run_to_output(&w, &materialize(input));
+            let mut out = vec![*mode];
+            out.extend(produced);
+            out
+        }
+    }
+}
+
+/// Runs a workload's (unsqueezed) program on `input` and returns its output
+/// bytes — used to derive decoder inputs from encoder outputs.
+fn run_to_output(workload: &Workload, input: &[u8]) -> Vec<u8> {
+    let program = workload.program();
+    let image = squash_cfg::link::link(&program, &Default::default())
+        .expect("workload links");
+    let mut vm = squash_vm::Vm::new(image.min_mem_size(1 << 18));
+    for (base, bytes) in image.segments() {
+        vm.write_bytes(base, &bytes);
+    }
+    vm.set_pc(image.entry);
+    vm.set_input(input.to_vec());
+    let out = vm.run().expect("producer run failed");
+    assert_eq!(out.status, 0, "producer {} exited nonzero", workload.name);
+    vm.take_output()
+}
+
+/// A deterministic 64-bit LCG (MMIX constants).
+struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        (self.next() >> 33) as u8
+    }
+}
+
+/// Speech-like PCM: a few drifting triangle-wave "formants" plus noise,
+/// 16-bit little-endian.
+fn synth_pcm(samples: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Lcg::new(seed);
+    let mut out = Vec::with_capacity(samples * 2);
+    let mut phase1: i64 = 0;
+    let mut phase2: i64 = 0;
+    let mut step1: i64 = 37 + (rng.next() % 40) as i64;
+    let mut step2: i64 = 111 + (rng.next() % 80) as i64;
+    let mut env: i64 = 2000;
+    for i in 0..samples {
+        if i % 400 == 0 {
+            step1 = 25 + (rng.next() % 70) as i64;
+            step2 = 90 + (rng.next() % 120) as i64;
+            env = 500 + (rng.next() % 6000) as i64;
+        }
+        phase1 = (phase1 + step1) % 4096;
+        phase2 = (phase2 + step2) % 4096;
+        let tri = |p: i64| if p < 2048 { p - 1024 } else { 3072 - p };
+        let noise = ((rng.next() >> 40) as i64 & 255) - 128;
+        let s = (tri(phase1) * env / 1024 + tri(phase2) * env / 4096 + noise)
+            .clamp(-32768, 32767);
+        let v = (s as i16) as u16;
+        out.push((v & 0xFF) as u8);
+        out.push((v >> 8) as u8);
+    }
+    out
+}
+
+/// A 32×32 byte image: smooth gradients with texture and a few hard edges.
+fn synth_image(seed: u64) -> Vec<u8> {
+    let mut rng = Lcg::new(seed);
+    let ox = (rng.next() % 16) as i64;
+    let oy = (rng.next() % 16) as i64;
+    let mut out = Vec::with_capacity(1024);
+    for y in 0..32i64 {
+        for x in 0..32i64 {
+            let grad = 4 * (x + ox) + 3 * (y + oy);
+            let texture = ((x * 7 + y * 13) % 11) * 3;
+            let edge = if (x + ox) % 16 < 8 { 40 } else { 0 };
+            let noise = (rng.next() % 7) as i64;
+            out.push(((grad + texture + edge + noise) % 256) as u8);
+        }
+    }
+    out
+}
+
+/// Frame `f` of a synthetic video: the base image translated by a drifting
+/// motion vector (so motion search finds real matches).
+fn synth_frame(seed: u64, f: usize) -> Vec<u8> {
+    let base = synth_image(seed);
+    let dx = (f as i64) % 3 - 1;
+    let dy = (f as i64 / 2) % 3 - 1;
+    let mut out = Vec::with_capacity(1024);
+    for y in 0..32i64 {
+        for x in 0..32i64 {
+            let sx = (x + dx * f as i64).rem_euclid(32);
+            let sy = (y + dy * f as i64).rem_euclid(32);
+            out.push(base[(sy * 32 + sx) as usize]);
+        }
+    }
+    out
+}
+
+/// ASCII-ish text with word structure (compressible, like a PostScript
+/// document).
+fn synth_text(len: usize, seed: u64) -> Vec<u8> {
+    const WORDS: &[&str] = &[
+        "the", "of", "stream", "filter", "page", "show", "moveto", "lineto",
+        "def", "begin", "end", "dict", "exch", "index", "pop", "dup",
+    ];
+    let mut rng = Lcg::new(seed);
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        let w = WORDS[(rng.next() % WORDS.len() as u64) as usize];
+        out.extend_from_slice(w.as_bytes());
+        out.push(if rng.next().is_multiple_of(9) { b'\n' } else { b' ' });
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_workloads_in_paper_order() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "adpcm", "epic", "g721_dec", "g721_enc", "gsm", "jpeg_dec", "jpeg_enc",
+                "mpeg2dec", "mpeg2enc", "pgp", "rasta"
+            ]
+        );
+    }
+
+    #[test]
+    fn inputs_are_deterministic() {
+        let w = by_name("adpcm").unwrap();
+        assert_eq!(w.profiling_input(), w.profiling_input());
+        assert_eq!(w.timing_input(), w.timing_input());
+        assert_ne!(w.profiling_input(), w.timing_input());
+    }
+
+    #[test]
+    fn timing_inputs_are_larger() {
+        for w in all() {
+            let p = w.profiling_input().len();
+            let t = w.timing_input().len();
+            assert!(t > p, "{}: timing {t} <= profiling {p}", w.name);
+        }
+    }
+
+    #[test]
+    fn pcm_is_bounded_16_bit() {
+        let pcm = synth_pcm(500, 9);
+        assert_eq!(pcm.len(), 1000);
+        for pair in pcm.chunks(2) {
+            let v = i16::from_le_bytes([pair[0], pair[1]]);
+            let _ = v; // any i16 is valid; just checking the shape
+        }
+    }
+
+    #[test]
+    fn image_and_frames_are_1024_bytes() {
+        assert_eq!(synth_image(3).len(), 1024);
+        assert_eq!(synth_frame(3, 2).len(), 1024);
+        // Consecutive frames differ (there is motion).
+        assert_ne!(synth_frame(3, 1), synth_frame(3, 2));
+    }
+}

@@ -1,0 +1,225 @@
+//! Workload validation: every benchmark compiles, squeezes, runs cleanly on
+//! both inputs, produces deterministic output, and has the cold-code
+//! structure the evaluation depends on (debug paths reachable but never
+//! executed by either input).
+
+use squash_cfg::Program;
+use squash_vm::Vm;
+
+fn run(program: &Program, input: &[u8]) -> (i64, Vec<u8>, u64) {
+    let image = squash_cfg::link::link(program, &Default::default()).expect("link failed");
+    let mut vm = Vm::new(image.min_mem_size(1 << 18));
+    for (base, bytes) in image.segments() {
+        vm.write_bytes(base, &bytes);
+    }
+    vm.set_pc(image.entry);
+    vm.set_input(input.to_vec());
+    let out = vm.run().expect("workload faulted");
+    let bytes = vm.take_output();
+    (out.status, bytes, out.instructions)
+}
+
+#[test]
+fn all_workloads_run_clean_on_both_inputs() {
+    for w in squash_workloads::all() {
+        let (program, stats) = w.squeezed();
+        assert!(
+            stats.output_words < stats.input_words,
+            "{}: squeeze should shrink the program ({} -> {})",
+            w.name,
+            stats.input_words,
+            stats.output_words
+        );
+        for (label, input) in [("profiling", w.profiling_input()), ("timing", w.timing_input())] {
+            let (status, output, instructions) = run(&program, &input);
+            assert_eq!(status, 0, "{} ({label}) exited nonzero", w.name);
+            assert!(!output.is_empty(), "{} ({label}) produced no output", w.name);
+            assert!(
+                instructions > 10_000,
+                "{} ({label}) did almost no work: {instructions} instructions",
+                w.name
+            );
+            // Error-path markers must not fire on well-formed inputs.
+            assert_ne!(output.first(), Some(&b'E'), "{} hit the error path", w.name);
+        }
+    }
+}
+
+#[test]
+fn timing_runs_execute_more_instructions() {
+    for w in squash_workloads::all() {
+        let (program, _) = w.squeezed();
+        let (_, _, prof_insts) = run(&program, &w.profiling_input());
+        let (_, _, timing_insts) = run(&program, &w.timing_input());
+        // Both runs share a fixed startup cost, so compare with headroom
+        // rather than a strict multiple.
+        assert!(
+            timing_insts > prof_insts + prof_insts / 4,
+            "{}: timing {timing_insts} vs profiling {prof_insts}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn outputs_are_deterministic() {
+    let w = squash_workloads::by_name("gsm").unwrap();
+    let (program, _) = w.squeezed();
+    let input = w.profiling_input();
+    assert_eq!(run(&program, &input), run(&program, &input));
+}
+
+#[test]
+fn debug_paths_work_but_are_never_profiled() {
+    for w in squash_workloads::all() {
+        let (program, _) = w.squeezed();
+        // The debug dispatch runs the library self-test; it must succeed
+        // (first output line "0" = zero failures).
+        let (status, output, _) = run(&program, b"D");
+        assert_eq!(status, 0, "{}: debug mode failed", w.name);
+        assert!(
+            output.starts_with(b"0\n"),
+            "{}: selftest reported failures: {:?}",
+            w.name,
+            &output[..output.len().min(20)]
+        );
+        // And the regular inputs never reach it (no selftest line).
+        let (_, regular, _) = run(&program, &w.profiling_input());
+        assert_ne!(regular.first(), Some(&b'0'), "{}: unexpected selftest output", w.name);
+    }
+}
+
+#[test]
+fn decoders_consume_encoder_output() {
+    // g721_dec's input is g721_enc's output; decoding must produce PCM of
+    // the right length (2 bytes per 4-bit code, 2 codes per byte).
+    let dec = squash_workloads::by_name("g721_dec").unwrap();
+    let input = dec.profiling_input();
+    let (program, _) = dec.squeezed();
+    let (status, output, _) = run(&program, &input);
+    assert_eq!(status, 0);
+    assert_eq!(output.len(), (input.len() - 1) * 4);
+}
+
+#[test]
+fn jpeg_round_trip_is_lossy_but_close() {
+    // Encode then decode; the reconstruction should be within quantization
+    // error of the source on average.
+    let enc = squash_workloads::by_name("jpeg_enc").unwrap();
+    let (enc_prog, _) = enc.squeezed();
+    let enc_input = enc.profiling_input();
+    let (_, stream, _) = run(&enc_prog, &enc_input);
+    let dec = squash_workloads::by_name("jpeg_dec").unwrap();
+    let (dec_prog, _) = dec.squeezed();
+    let mut dec_input = vec![b'd'];
+    dec_input.extend_from_slice(&stream);
+    let (status, pixels, _) = run(&dec_prog, &dec_input);
+    assert_eq!(status, 0);
+    let source = &enc_input[1..];
+    assert_eq!(pixels.len(), source.len());
+    let mut total_err = 0i64;
+    for (a, b) in source.iter().zip(&pixels) {
+        total_err += (*a as i64 - *b as i64).abs();
+    }
+    let mean = total_err / source.len() as i64;
+    assert!(mean < 40, "mean reconstruction error {mean} too high");
+}
+
+#[test]
+fn mpeg2_round_trip_reconstructs_frames() {
+    let enc = squash_workloads::by_name("mpeg2enc").unwrap();
+    let (enc_prog, _) = enc.squeezed();
+    let enc_input = enc.profiling_input();
+    let nframes = enc_input[1] as usize;
+    let (_, stream, _) = run(&enc_prog, &enc_input);
+    let dec = squash_workloads::by_name("mpeg2dec").unwrap();
+    let (dec_prog, _) = dec.squeezed();
+    let mut dec_input = vec![b'd'];
+    dec_input.extend_from_slice(&stream);
+    let (status, frames, _) = run(&dec_prog, &dec_input);
+    assert_eq!(status, 0);
+    assert_eq!(frames.len(), nframes * 1024);
+    // The first (intra) frame decodes exactly.
+    assert_eq!(&frames[..1024], &enc_input[2..2 + 1024]);
+}
+
+/// Every alternate codec mode must actually work when driven — they are the
+/// reachable-but-cold code mass, and a broken cold path would silently
+/// invalidate the compression experiments that execute them via the
+/// decompressor.
+#[test]
+fn variant_modes_run_clean() {
+    let pcm: Vec<u8> = {
+        // 64 small 16-bit samples.
+        (0..64i16)
+            .flat_map(|i| ((i * 331) % 2000).to_le_bytes())
+            .collect()
+    };
+    let image: Vec<u8> = (0..1024u32).map(|i| (i * 7 % 256) as u8).collect();
+    let mut video = vec![2u8];
+    video.extend(&image);
+    video.extend(image.iter().map(|b| b.wrapping_add(3)));
+    let mut sealed = vec![1, 2, 3, 4, 5, 6, 7, 8];
+    sealed.extend(b"sixteen byte msg");
+
+    let cases: Vec<(&str, u8, Vec<u8>)> = vec![
+        ("adpcm", b'2', pcm.clone()),
+        ("adpcm", b's', pcm.clone()),
+        ("adpcm", b'd', vec![0x17, 0x92, 0x3B]),
+        ("g721_enc", b'a', pcm.clone()),
+        ("gsm", b'l', pcm.clone()),
+        ("epic", b'r', image.clone()),
+        ("jpeg_enc", b'q', {
+            let mut v = vec![35u8];
+            v.extend(&image);
+            v
+        }),
+        ("mpeg2enc", b'h', video.clone()),
+        ("pgp", b'k', vec![0xAA, 0xBB, 0xCC, 0x0D]),
+        ("pgp", b'o', sealed.clone()),
+        ("rasta", b'c', pcm.clone()),
+    ];
+    for (name, mode, payload) in cases {
+        let w = squash_workloads::by_name(name).unwrap();
+        let (program, _) = w.squeezed();
+        let mut input = vec![mode];
+        input.extend(&payload);
+        let (status, output, _) = run(&program, &input);
+        assert_eq!(status, 0, "{name} mode {} failed", mode as char);
+        assert!(!output.is_empty(), "{name} mode {} silent", mode as char);
+        assert_ne!(output[0], b'E', "{name} mode {} hit the error path", mode as char);
+        assert_ne!(output[0], b'T', "{name} mode {} truncated", mode as char);
+    }
+}
+
+#[test]
+fn pgp_seal_unseal_round_trip() {
+    let w = squash_workloads::by_name("pgp").unwrap();
+    let (program, _) = w.squeezed();
+    let mut plain = vec![b's', 9, 9, 9, 9, 8, 8, 8, 8];
+    plain.extend(b"attack at dawn!!"); // two 8-byte blocks
+    let (_, sealed, _) = run(&program, &plain);
+    // Sealed output = 8 bytes wrapped key + ciphertext; unseal wants the raw
+    // key followed by the ciphertext.
+    let mut unseal_input = vec![b'o', 9, 9, 9, 9, 8, 8, 8, 8];
+    unseal_input.extend(&sealed[8..]);
+    let (status, recovered, _) = run(&program, &unseal_input);
+    assert_eq!(status, 0);
+    assert_eq!(&recovered[..16], b"attack at dawn!!");
+}
+
+#[test]
+fn jpeg_quality_changes_output_size() {
+    let w = squash_workloads::by_name("jpeg_enc").unwrap();
+    let (program, _) = w.squeezed();
+    let image: Vec<u8> = (0..1024u32).map(|i| ((i * 13) % 251) as u8).collect();
+    let size_at = |q: u8| {
+        let mut input = vec![b'q', q];
+        input.extend(&image);
+        run(&program, &input).1.len()
+    };
+    assert!(
+        size_at(90) > size_at(10),
+        "higher quality must keep more coefficients"
+    );
+}

@@ -1,0 +1,63 @@
+//! The full evaluation pipeline on one benchmark (`adpcm`), end to end:
+//! compile → squeeze → profile → squash → verify → time — the same steps
+//! the paper's Figures 6 and 7 aggregate over all eleven programs.
+//!
+//! ```sh
+//! cargo run --release --example adpcm_pipeline
+//! ```
+
+use squash_repro::squash::{pipeline, Squasher};
+use squash_repro::squeeze;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = squash_repro::workloads::by_name("adpcm").expect("workload exists");
+
+    // 1. Compile and squeeze (the paper's baseline form).
+    let raw = workload.program();
+    let (program, squeeze_stats) = squeeze::squeeze(&raw);
+    println!(
+        "compile:  {} instructions; squeeze: {} ({} unreachable functions removed)",
+        squeeze_stats.input_words, squeeze_stats.output_words, squeeze_stats.funcs_removed
+    );
+
+    // 2. Profile on the profiling input.
+    let profiling_input = workload.profiling_input();
+    let profile = pipeline::profile(&program, &[profiling_input])?;
+    println!(
+        "profile:  {} instructions executed",
+        profile.total_instructions
+    );
+
+    // 3. Squash at θ = 0.
+    let options = squash_repro::squash::SquashOptions::default();
+    let squashed = Squasher::new(&program, &profile, &options)?.finish()?;
+    let stats = &squashed.stats;
+    println!(
+        "squash:   {} regions over {} blocks, {} entry stubs, {:.1}% of code cold",
+        stats.regions,
+        stats.compressed_blocks,
+        stats.entry_stubs,
+        100.0 * stats.cold_words as f64 / stats.total_words as f64,
+    );
+    println!("\nfootprint:\n{}\n", stats.footprint);
+    println!(
+        "size:     {} B → {} B ({:.1}% smaller)",
+        stats.baseline_bytes,
+        stats.footprint.total(),
+        100.0 * stats.reduction()
+    );
+
+    // 4. Verify + time on the (different, larger) timing input.
+    let timing_input = workload.timing_input();
+    let original = pipeline::run_original(&program, &timing_input)?;
+    let compressed = pipeline::run_squashed(&squashed, &timing_input)?;
+    assert_eq!(original.output, compressed.output, "behaviour must match");
+    println!(
+        "time:     {} cycles original, {} squashed ({:+.2}%), {} decompressions",
+        original.cycles,
+        compressed.cycles,
+        100.0 * (compressed.cycles as f64 / original.cycles as f64 - 1.0),
+        compressed.runtime.decompressions,
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! A look inside the machinery: show the compressible regions squash forms
+//! for a small program, the entry stubs, one region's buffer image
+//! (disassembled), its compressed size, and the live runtime-buffer content
+//! after a decompression.
+//!
+//! ```sh
+//! cargo run --release --example region_explorer
+//! ```
+
+use squash_repro::isa::disasm;
+use squash_repro::squash::{pipeline, runtime::SquashRuntime, Squasher};
+use squash_repro::vm::Vm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = squash_repro::minicc::build_program(&[r#"
+        int rare_a(int x) { return (x * 17 + 3) % 257; }
+        int rare_b(int x) { return rare_a(x) + rare_a(x + 1); }
+        int main() {
+            int c = getb();
+            int i;
+            int s = 0;
+            for (i = 0; i < 200; i = i + 1) s = s + (i ^ c);
+            if (c == '!') s = s + rare_b(c);
+            return s & 127;
+        }
+    "#])?;
+    let profile = pipeline::profile(&program, &[b"x".to_vec()])?;
+    let options = squash_repro::squash::SquashOptions::default();
+    let squasher = Squasher::new(&program, &profile, &options)?;
+
+    // Cold map.
+    println!("cold blocks per function (θ = 0):");
+    for (fid, f) in squasher.program().iter_funcs() {
+        let cold: Vec<String> = squasher.cold().cold[fid.0]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(b, _)| b.to_string())
+            .collect();
+        println!("  {:10} {} blocks, cold: [{}]", f.name, f.blocks.len(), cold.join(", "));
+    }
+
+    let squashed = squasher.finish()?;
+    println!("\n{} regions, {} entry stubs", squashed.stats.regions, squashed.stats.entry_stubs);
+    println!(
+        "compressed blob: {} B for {} input words ({:.0}% of raw)",
+        squashed.stats.footprint.compressed,
+        squashed.stats.compressed_input_words,
+        100.0 * squashed.stats.footprint.compressed as f64
+            / (squashed.stats.compressed_input_words * 4).max(1) as f64,
+    );
+
+    // Decompress region 0 through the real runtime and dump the buffer.
+    let rt_cfg = squashed.runtime.clone();
+    let (insts, bits) = rt_cfg.model.decompress_region(&rt_cfg.blob, rt_cfg.bit_offsets[0])?;
+    println!(
+        "\nregion 0 buffer image ({} instructions from {} compressed bits):",
+        insts.len(),
+        bits
+    );
+    let words: Vec<u32> = insts.iter().map(|i| i.encode()).collect();
+    print!("{}", disasm::dump(rt_cfg.buffer_base, &words));
+
+    // Run the squashed program on the cold-path input and report what the
+    // runtime did.
+    let mut vm = Vm::new(squashed.min_mem_size(1 << 18));
+    for (base, bytes) in &squashed.segments {
+        vm.write_bytes(*base, bytes);
+    }
+    vm.set_pc(squashed.entry);
+    vm.set_input(b"!".to_vec());
+    let mut service = SquashRuntime::new(squashed.runtime.clone());
+    let out = vm.run_with(&mut service)?;
+    println!("\ncold-path run: exit {}, runtime stats: {:?}", out.status, service.stats());
+    Ok(())
+}

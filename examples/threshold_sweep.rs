@@ -1,0 +1,43 @@
+//! The paper's central tradeoff on one benchmark: sweep the cold-code
+//! threshold θ and print code size against execution time, both normalized
+//! to the squeezed baseline (compare Figures 6 and 7).
+//!
+//! ```sh
+//! cargo run --release --example threshold_sweep [workload]
+//! ```
+
+use squash_repro::squash::{pipeline, Squasher};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gsm".to_string());
+    let workload = squash_repro::workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let (program, _) = workload.squeezed();
+    let profile = pipeline::profile(&program, &[workload.profiling_input()])?;
+    let timing_input = workload.timing_input();
+    let baseline = pipeline::run_original(&program, &timing_input)?;
+    let baseline_bytes = program.text_words() * 4;
+
+    println!("θ sweep for `{name}` (size and time normalized to squeezed baseline)\n");
+    println!("| θ      | regions | size  | time  | decompressions |");
+    println!("|--------|--------:|------:|------:|---------------:|");
+    for theta in [0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 1e-1, 1.0] {
+        let options = squash_repro::squash::SquashOptions {
+            theta,
+            ..Default::default()
+        };
+        let squashed = Squasher::new(&program, &profile, &options)?.finish()?;
+        let run = pipeline::run_squashed(&squashed, &timing_input)?;
+        assert_eq!(run.output, baseline.output, "behaviour must be preserved");
+        println!(
+            "| {:6} | {:7} | {:.3} | {:.3} | {:14} |",
+            if theta == 0.0 { "0".into() } else { format!("{theta:.0e}") },
+            squashed.stats.regions,
+            squashed.stats.footprint.total() as f64 / baseline_bytes as f64,
+            run.cycles as f64 / baseline.cycles as f64,
+            run.runtime.decompressions,
+        );
+    }
+    println!("\nEvery row's output was verified byte-identical to the baseline.");
+    Ok(())
+}

@@ -1,0 +1,223 @@
+//! `squashc` — the command-line face of the reproduction, shaped like the
+//! paper's `squash` tool: take a program, a profiling input and a threshold;
+//! emit size statistics; optionally run the compressed program.
+//!
+//! ```text
+//! squashc <source.mc>... [options]
+//!   --theta <f>        cold-code threshold θ (default 0.0)
+//!   --buffer <bytes>   runtime buffer bound K (default 512)
+//!   --profile <file>   profiling input bytes (default: empty input)
+//!   --save-profile <f> write the collected block profile to a file
+//!   --load-profile <f> use a saved profile instead of profiling
+//!   --run <file>       run original + squashed on this input and compare
+//!   --emit <file>      write the squashed program as a .sqsh image
+//!   --no-squeeze       skip the baseline compactor
+//!   --strategy <s>     regions: dfs | greedy (default dfs)
+//!   --jump-tables <m>  retarget | unswitch | exclude (default retarget)
+//!   --dump-regions     print the region map
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! echo 'int main() { return 42; }' > /tmp/t.mc
+//! cargo run --release --bin squashc -- /tmp/t.mc --theta 0.001
+//! ```
+
+use squash_repro::squash::{pipeline, JumpTableMode, RegionStrategy, SquashOptions, Squasher};
+use std::process::ExitCode;
+
+struct Args {
+    sources: Vec<String>,
+    theta: f64,
+    buffer: u32,
+    profile: Option<String>,
+    run: Option<String>,
+    emit: Option<String>,
+    save_profile: Option<String>,
+    load_profile: Option<String>,
+    squeeze: bool,
+    strategy: RegionStrategy,
+    jump_tables: JumpTableMode,
+    dump_regions: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sources: Vec::new(),
+        theta: 0.0,
+        buffer: 512,
+        profile: None,
+        run: None,
+        emit: None,
+        save_profile: None,
+        load_profile: None,
+        squeeze: true,
+        strategy: RegionStrategy::DfsTree,
+        jump_tables: JumpTableMode::Retarget,
+        dump_regions: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--theta" => args.theta = value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?,
+            "--buffer" => args.buffer = value("--buffer")?.parse().map_err(|e| format!("--buffer: {e}"))?,
+            "--profile" => args.profile = Some(value("--profile")?),
+            "--run" => args.run = Some(value("--run")?),
+            "--emit" => args.emit = Some(value("--emit")?),
+            "--save-profile" => args.save_profile = Some(value("--save-profile")?),
+            "--load-profile" => args.load_profile = Some(value("--load-profile")?),
+            "--no-squeeze" => args.squeeze = false,
+            "--dump-regions" => args.dump_regions = true,
+            "--strategy" => {
+                args.strategy = match value("--strategy")?.as_str() {
+                    "dfs" => RegionStrategy::DfsTree,
+                    "greedy" => RegionStrategy::LayoutGreedy,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                }
+            }
+            "--jump-tables" => {
+                args.jump_tables = match value("--jump-tables")?.as_str() {
+                    "retarget" => JumpTableMode::Retarget,
+                    "unswitch" => JumpTableMode::Unswitch,
+                    "exclude" => JumpTableMode::Exclude,
+                    other => return Err(format!("unknown jump-table mode `{other}`")),
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: squashc <source.mc>... [--theta F] [--buffer N] \
+                            [--profile FILE] [--run FILE] [--emit FILE] [--no-squeeze] \
+                            [--strategy dfs|greedy] [--jump-tables MODE] [--dump-regions]"
+                    .to_string())
+            }
+            other if !other.starts_with('-') => args.sources.push(other.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if args.sources.is_empty() {
+        return Err("no source files given (try --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("squashc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut texts = Vec::new();
+    for path in &args.sources {
+        texts.push(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let program = squash_repro::minicc::build_program(&refs)?;
+    println!("compiled:  {} instructions", program.text_words());
+    let program = if args.squeeze {
+        let (p, stats) = squash_repro::squeeze::squeeze(&program);
+        println!(
+            "squeezed:  {} instructions ({} dead functions, {} dead blocks removed)",
+            stats.output_words, stats.funcs_removed, stats.blocks_removed
+        );
+        p
+    } else {
+        program
+    };
+
+    let profile = match &args.load_profile {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let p = squash_repro::squash::BlockProfile::deserialize(&bytes)
+                .map_err(|e| e.to_string())?;
+            println!("profile:   loaded from {path} ({} instructions)", p.total_instructions);
+            p
+        }
+        None => {
+            let profile_input = match &args.profile {
+                Some(path) => std::fs::read(path).map_err(|e| format!("{path}: {e}"))?,
+                None => Vec::new(),
+            };
+            let p = pipeline::profile(&program, &[profile_input]).map_err(|e| e.to_string())?;
+            println!("profiled:  {} instructions executed", p.total_instructions);
+            p
+        }
+    };
+    if let Some(path) = &args.save_profile {
+        std::fs::write(path, profile.serialize()).map_err(|e| format!("{path}: {e}"))?;
+        println!("profile:   saved to {path}");
+    }
+
+    let options = SquashOptions {
+        theta: args.theta,
+        buffer_limit: args.buffer,
+        region_strategy: args.strategy,
+        jump_tables: args.jump_tables,
+        ..Default::default()
+    };
+    let squasher = Squasher::new(&program, &profile, &options).map_err(|e| e.to_string())?;
+    if args.dump_regions {
+        let cold = squasher.cold();
+        println!("\ncold blocks (θ = {}):", args.theta);
+        for (fid, f) in squasher.program().iter_funcs() {
+            let cold_count = cold.cold[fid.0].iter().filter(|&&c| c).count();
+            if cold_count > 0 {
+                println!("  {:24} {:3}/{} blocks cold", f.name, cold_count, f.blocks.len());
+            }
+        }
+    }
+    let squashed = squasher.finish().map_err(|e| e.to_string())?;
+    let stats = &squashed.stats;
+    println!(
+        "squashed:  {} regions / {} blocks / {} entry stubs",
+        stats.regions, stats.compressed_blocks, stats.entry_stubs
+    );
+    println!("\n{}", stats.footprint);
+    println!(
+        "\nbaseline {} B → squashed {} B  ({:+.1}% code size)",
+        stats.baseline_bytes,
+        stats.footprint.total(),
+        -100.0 * stats.reduction(),
+    );
+
+    if let Some(path) = &args.emit {
+        let bytes = squash_repro::squash::image_file::write(&squashed);
+        std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!("\nwrote {} ({} bytes) — run it with `squashrun {}`", path, bytes.len(), path);
+    }
+
+    if let Some(path) = &args.run {
+        let input = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let original = pipeline::run_original(&program, &input).map_err(|e| e.to_string())?;
+        let compressed = pipeline::run_squashed(&squashed, &input).map_err(|e| e.to_string())?;
+        if original.status != compressed.status || original.output != compressed.output {
+            return Err(format!(
+                "behaviour diverged! status {} vs {}, {} vs {} output bytes",
+                original.status,
+                compressed.status,
+                original.output.len(),
+                compressed.output.len()
+            ));
+        }
+        println!(
+            "\nrun: outputs identical ✓  exit {}  cycles {} → {} ({:+.2}%)  \
+             {} decompressions, {} restore stubs",
+            original.status,
+            original.cycles,
+            compressed.cycles,
+            100.0 * (compressed.cycles as f64 / original.cycles as f64 - 1.0),
+            compressed.runtime.decompressions,
+            compressed.runtime.stub_allocs,
+        );
+    }
+    Ok(())
+}

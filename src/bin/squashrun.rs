@@ -1,0 +1,69 @@
+//! `squashrun` — load and execute a `.sqsh` image written by
+//! `squashc --emit`, attaching the runtime decompressor service.
+//!
+//! ```text
+//! squashrun <image.sqsh> [--input FILE] [--icache] [--stats]
+//! ```
+//!
+//! Exit status is the guest program's exit status.
+
+use squash_repro::squash::{image_file, pipeline};
+use squash_repro::vm::ICacheConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(status) => ExitCode::from((status & 0xFF) as u8),
+        Err(message) => {
+            eprintln!("squashrun: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<i64, String> {
+    let mut image_path = None;
+    let mut input_path = None;
+    let mut icache = false;
+    let mut stats = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--input" => input_path = Some(it.next().ok_or("missing value for --input")?),
+            "--icache" => icache = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                return Err("usage: squashrun <image.sqsh> [--input FILE] [--icache] [--stats]"
+                    .to_string())
+            }
+            other if !other.starts_with('-') => image_path = Some(other.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let image_path = image_path.ok_or("no image given (try --help)")?;
+    let bytes = std::fs::read(&image_path).map_err(|e| format!("{image_path}: {e}"))?;
+    let squashed = image_file::read(&bytes).map_err(|e| e.to_string())?;
+    let input = match input_path {
+        Some(p) => std::fs::read(&p).map_err(|e| format!("{p}: {e}"))?,
+        None => Vec::new(),
+    };
+    let cache = icache.then(ICacheConfig::default);
+    let result =
+        pipeline::run_squashed_with(&squashed, &input, cache).map_err(|e| e.to_string())?;
+    use std::io::Write as _;
+    std::io::stdout()
+        .write_all(&result.output)
+        .map_err(|e| e.to_string())?;
+    if stats {
+        eprintln!(
+            "\n[squashrun] {} instructions, {} cycles, {} decompressions, {} restore stubs, exit {}",
+            result.instructions,
+            result.cycles,
+            result.runtime.decompressions,
+            result.runtime.stub_allocs,
+            result.status
+        );
+        eprintln!("[squashrun] footprint:\n{}", squashed.stats.footprint);
+    }
+    Ok(result.status)
+}

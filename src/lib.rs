@@ -1,0 +1,15 @@
+//! Umbrella crate for the *Profile-Guided Code Compression* reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! cross-crate integration tests can reach the whole system. See the
+//! repository `README.md` for an architectural overview and `DESIGN.md` for
+//! the paper-to-implementation map.
+
+pub use minicc;
+pub use squash;
+pub use squash_cfg as cfg;
+pub use squash_compress as compress;
+pub use squash_isa as isa;
+pub use squash_squeeze as squeeze;
+pub use squash_vm as vm;
+pub use squash_workloads as workloads;

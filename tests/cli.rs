@@ -1,0 +1,121 @@
+//! Integration tests for the `squashc` and `squashrun` command-line tools,
+//! driving the real binaries end to end through a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("squash-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const PROGRAM: &str = r#"
+int rare(int x) { return (x * 37 + 11) % 101; }
+int main() {
+    int c;
+    int acc = 0;
+    while ((c = getb()) >= 0) {
+        if (c > 200) acc = acc + rare(c);
+        else acc = acc + c;
+    }
+    putb(acc & 255);
+    return 0;
+}
+"#;
+
+#[test]
+fn squashc_then_squashrun_round_trip() {
+    let dir = temp_dir();
+    let src = dir.join("prog.mc");
+    let prof = dir.join("prof.bin");
+    let timing = dir.join("timing.bin");
+    let image = dir.join("prog.sqsh");
+    let profile_file = dir.join("prog.prof");
+    std::fs::write(&src, PROGRAM).unwrap();
+    std::fs::write(&prof, b"plain profiling bytes").unwrap();
+    std::fs::write(&timing, b"timing \xf0\xff\xee bytes").unwrap();
+
+    // Compile + profile + squash + verify + persist everything.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([
+            src.to_str().unwrap(),
+            "--profile",
+            prof.to_str().unwrap(),
+            "--run",
+            timing.to_str().unwrap(),
+            "--emit",
+            image.to_str().unwrap(),
+            "--save-profile",
+            profile_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "squashc failed:\n{stdout}");
+    assert!(stdout.contains("outputs identical"), "{stdout}");
+    assert!(image.exists());
+    assert!(profile_file.exists());
+
+    // Execute the persisted image; its stdout must equal the guest output.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([image.to_str().unwrap(), "--input", timing.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("squashrun runs");
+    assert!(out.status.success(), "squashrun failed");
+    assert_eq!(out.stdout.len(), 1, "one byte of guest output expected");
+    let stats = String::from_utf8_lossy(&out.stderr);
+    assert!(stats.contains("decompressions"), "{stats}");
+
+    // Reuse the saved profile.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([
+            src.to_str().unwrap(),
+            "--load-profile",
+            profile_file.to_str().unwrap(),
+            "--run",
+            timing.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashc reruns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("loaded from"), "{stdout}");
+    assert!(stdout.contains("outputs identical"), "{stdout}");
+}
+
+#[test]
+fn squashc_reports_errors_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .arg("/nonexistent/path.mc")
+        .output()
+        .expect("squashc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("squashc:"), "{err}");
+
+    let dir = temp_dir();
+    let bad = dir.join("bad.mc");
+    std::fs::write(&bad, "int main() { return undeclared_thing; }").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .arg(bad.to_str().unwrap())
+        .output()
+        .expect("squashc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("undeclared"), "{err}");
+}
+
+#[test]
+fn squashrun_rejects_garbage_images() {
+    let dir = temp_dir();
+    let bogus = dir.join("bogus.sqsh");
+    std::fs::write(&bogus, b"not an image at all").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .arg(bogus.to_str().unwrap())
+        .output()
+        .expect("squashrun runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("magic"), "{err}");
+}

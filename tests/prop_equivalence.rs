@@ -1,0 +1,221 @@
+//! The system's headline invariant, property-tested: **for any program, any
+//! profile, and any squash configuration, the squashed program's observable
+//! behaviour is identical to the original's** — even on inputs that drive
+//! execution through code the profile never saw.
+//!
+//! Programs are generated from a seeded grammar over the minicc subset
+//! (arithmetic, bounded loops, branches, arrays, call chains, byte I/O),
+//! always terminating by construction.
+
+use proptest::prelude::*;
+use squash_repro::squash::{pipeline, SquashOptions, Squasher};
+
+/// Deterministic generator state.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 16
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+/// An expression over the in-scope variable names, depth-bounded, with only
+/// total operations (shift amounts masked, no raw division).
+fn gen_expr(g: &mut Gen, vars: &[String], depth: u32) -> String {
+    if depth == 0 || g.range(0, 3) == 0 {
+        return match g.range(0, 2) {
+            0 => format!("{}", g.range(0, 255)),
+            1 if !vars.is_empty() => vars[(g.next() % vars.len() as u64) as usize].clone(),
+            _ => format!("{}", g.range(0, 65535)),
+        };
+    }
+    let a = gen_expr(g, vars, depth - 1);
+    let b = gen_expr(g, vars, depth - 1);
+    match g.range(0, 7) {
+        0 => format!("({a} + {b})"),
+        1 => format!("({a} - {b})"),
+        2 => format!("({a} * ({b} & 15))"),
+        3 => format!("({a} & {b})"),
+        4 => format!("({a} ^ {b})"),
+        5 => format!("({a} | {b})"),
+        6 => format!("(({a}) >> ({b} & 7))"),
+        _ => format!("({a} / (1 + (({b}) & 7)))"),
+    }
+}
+
+/// Statements writing only to `acc` and locals; loops have constant bounds.
+fn gen_stmts(g: &mut Gen, vars: &mut Vec<String>, depth: u32, budget: &mut u32) -> String {
+    let mut out = String::new();
+    let n = g.range(2, 5);
+    for _ in 0..n {
+        if *budget == 0 {
+            break;
+        }
+        *budget -= 1;
+        match g.range(0, 6) {
+            0 => {
+                let name = format!("v{}", vars.len());
+                let e = gen_expr(g, vars, 2);
+                out.push_str(&format!("int {name} = {e};\n"));
+                vars.push(name);
+            }
+            1 => {
+                let e = gen_expr(g, vars, 2);
+                out.push_str(&format!("acc = acc + ({e});\n"));
+            }
+            2 if depth > 0 => {
+                let c = gen_expr(g, vars, 1);
+                let before = vars.len();
+                let body = gen_stmts(g, vars, depth - 1, budget);
+                vars.truncate(before);
+                let before = vars.len();
+                let els = gen_stmts(g, vars, depth - 1, budget);
+                vars.truncate(before);
+                out.push_str(&format!(
+                    "if (({c}) & 1) {{\n{body}}} else {{\n{els}}}\n"
+                ));
+            }
+            3 if depth > 0 => {
+                let bound = g.range(1, 12);
+                let idx = format!("i{}", vars.len());
+                let before = vars.len();
+                vars.push(idx.clone());
+                let body = gen_stmts(g, vars, depth - 1, budget);
+                vars.truncate(before);
+                out.push_str(&format!(
+                    "{{ int {idx}; for ({idx} = 0; {idx} < {bound}; {idx} = {idx} + 1) {{\n{body}}} }}\n"
+                ));
+            }
+            4 => {
+                let e = gen_expr(g, vars, 1);
+                let i = gen_expr(g, vars, 1);
+                out.push_str(&format!("garr[({i}) & 15] = {e};\n"));
+                out.push_str(&format!("acc = acc + garr[({e}) & 15];\n"));
+            }
+            5 => {
+                let e = gen_expr(g, vars, 1);
+                out.push_str(&format!("putb(({e}) & 255);\n"));
+            }
+            _ => {
+                let e = gen_expr(g, vars, 2);
+                out.push_str(&format!("acc = acc ^ ({e});\n"));
+            }
+        }
+    }
+    out
+}
+
+/// One helper function; may call earlier helpers.
+fn gen_function(g: &mut Gen, index: usize, earlier: usize) -> String {
+    let mut vars = vec!["x".to_string(), "acc".to_string()];
+    let mut budget = 24;
+    let mut body = gen_stmts(g, &mut vars, 2, &mut budget);
+    if earlier > 0 && g.range(0, 1) == 0 {
+        let callee = g.next() as usize % earlier;
+        body.push_str(&format!("acc = acc + f{callee}(acc & 1023);\n"));
+    }
+    format!(
+        "int f{index}(int x) {{\nint acc = x;\n{body}return acc & 0xFFFFFF;\n}}\n"
+    )
+}
+
+/// A whole program: helpers, a hot loop, and input-gated cold calls.
+fn gen_program(seed: u64) -> String {
+    let mut g = Gen::new(seed);
+    let nfuncs = g.range(2, 5) as usize;
+    let mut src = String::from("int garr[16];\n");
+    for i in 0..nfuncs {
+        src.push_str(&gen_function(&mut g, i, i));
+    }
+    let hot = g.next() as usize % nfuncs;
+    let cold = g.next() as usize % nfuncs;
+    let trigger = g.pick(&["'Q'", "'Z'", "'#'"]);
+    src.push_str(&format!(
+        r#"
+int main() {{
+    int c = getb();
+    int i;
+    int acc = 0;
+    for (i = 0; i < 40; i = i + 1) acc = acc + f{hot}(i + c);
+    if (c == {trigger}) {{
+        acc = acc + f{cold}(acc & 511);
+        while ((c = getb()) >= 0) acc = acc + f{cold}(c);
+    }}
+    putb(acc & 255);
+    return acc & 63;
+}}
+"#
+    ));
+    src
+}
+
+fn check(seed: u64, theta: f64, buffer_limit: u32) {
+    let src = gen_program(seed);
+    let program = match squash_repro::minicc::build_program(&[&src]) {
+        Ok(p) => p,
+        Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
+    };
+    let (program, _) = squash_repro::squeeze::squeeze(&program);
+    let profile = pipeline::profile(&program, &[b"a".to_vec()]).expect("profile");
+    let options = SquashOptions {
+        theta,
+        buffer_limit,
+        ..Default::default()
+    };
+    let squashed = Squasher::new(&program, &profile, &options)
+        .expect("setup")
+        .finish()
+        .expect("squash");
+    // Two timing inputs: one like the profile, one driving the cold gate.
+    for input in [&b"b"[..], &b"Q12"[..], &b"Z!#\x00\xFFxyz"[..], &b"#abc"[..]] {
+        let original = pipeline::run_original(&program, input).expect("original");
+        let compressed = pipeline::run_squashed(&squashed, input).expect("squashed");
+        assert_eq!(
+            (original.status, &original.output),
+            (compressed.status, &compressed.output),
+            "seed {seed}, θ {theta}, K {buffer_limit}, input {input:?}\n{src}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_squashed_programs_behave_identically(
+        seed in any::<u64>(),
+        theta in prop::sample::select(vec![0.0, 1e-3, 1e-1, 1.0]),
+        k in prop::sample::select(vec![128u32, 512, 2048]),
+    ) {
+        check(seed, theta, k);
+    }
+}
+
+#[test]
+fn known_seeds_regression() {
+    // A fixed set that stays stable across proptest versions.
+    for seed in [1u64, 42, 0xDEAD_BEEF, 777, 123456789] {
+        check(seed, 1.0, 256);
+        check(seed, 0.0, 512);
+    }
+}

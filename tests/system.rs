@@ -1,0 +1,107 @@
+//! Whole-system integration tests: the complete pipeline on real workloads,
+//! exercised through the umbrella crate exactly as a downstream user would.
+
+use squash_repro::squash::{pipeline, JumpTableMode, SquashOptions, Squasher};
+
+/// Full pipeline on one workload at one θ, verified against the baseline on
+/// the given input.
+fn check_workload(name: &str, theta: f64, input: &[u8]) -> pipeline::RunResult {
+    let workload = squash_repro::workloads::by_name(name).expect("workload exists");
+    let (program, _) = workload.squeezed();
+    let profile =
+        pipeline::profile(&program, &[workload.profiling_input()]).expect("profile");
+    let options = SquashOptions {
+        theta,
+        ..Default::default()
+    };
+    let squashed = Squasher::new(&program, &profile, &options)
+        .expect("setup")
+        .finish()
+        .expect("squash");
+    let original = pipeline::run_original(&program, input).expect("original run");
+    let compressed = pipeline::run_squashed(&squashed, input).expect("squashed run");
+    assert_eq!(original.status, compressed.status, "{name} status diverged");
+    assert_eq!(original.output, compressed.output, "{name} output diverged");
+    compressed
+}
+
+#[test]
+fn adpcm_equivalent_at_theta_zero_and_high() {
+    let w = squash_repro::workloads::by_name("adpcm").unwrap();
+    let input = w.profiling_input();
+    check_workload("adpcm", 0.0, &input);
+    let run = check_workload("adpcm", 3e-3, &input);
+    assert!(run.runtime.decompressions > 0, "high θ must hit the decompressor");
+}
+
+#[test]
+fn gsm_equivalent_with_decompression_on_timing_input() {
+    let w = squash_repro::workloads::by_name("gsm").unwrap();
+    // Use a truncated timing input to keep the debug-mode run quick.
+    let mut input = w.timing_input();
+    input.truncate(8_000);
+    let run = check_workload("gsm", 1e-3, &input);
+    assert!(run.runtime.decompressions > 0);
+    assert!(run.cycles > run.instructions);
+}
+
+#[test]
+fn pgp_equivalent_across_jump_table_modes() {
+    let workload = squash_repro::workloads::by_name("pgp").unwrap();
+    let (program, _) = workload.squeezed();
+    let profile =
+        pipeline::profile(&program, &[workload.profiling_input()]).expect("profile");
+    let input = workload.profiling_input();
+    let baseline = pipeline::run_original(&program, &input).expect("baseline");
+    for mode in [JumpTableMode::Retarget, JumpTableMode::Unswitch, JumpTableMode::Exclude] {
+        let options = SquashOptions {
+            theta: 3e-3,
+            jump_tables: mode,
+            ..Default::default()
+        };
+        let squashed = Squasher::new(&program, &profile, &options)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let run = pipeline::run_squashed(&squashed, &input).expect("run");
+        assert_eq!(run.output, baseline.output, "mode {mode:?} diverged");
+    }
+}
+
+#[test]
+fn debug_mode_round_trips_through_compressed_code() {
+    // The debug dispatch is entirely cold at θ=0, so this runs a large mass
+    // of code out of the runtime buffer, including nested library calls.
+    let run = check_workload("rasta", 0.0, b"D");
+    assert!(
+        run.runtime.decompressions > 10,
+        "debug mode should decompress heavily: {:?}",
+        run.runtime
+    );
+    assert!(run.runtime.stub_allocs > 0, "nested cold calls need restore stubs");
+}
+
+#[test]
+fn footprint_always_accounts_for_every_segment_byte() {
+    for name in ["epic", "jpeg_dec"] {
+        let workload = squash_repro::workloads::by_name(name).unwrap();
+        let (program, _) = workload.squeezed();
+        let profile =
+            pipeline::profile(&program, &[workload.profiling_input()]).expect("profile");
+        let squashed = Squasher::new(&program, &profile, &SquashOptions::default())
+            .unwrap()
+            .finish()
+            .unwrap();
+        let fp = &squashed.stats.footprint;
+        let text_len = squashed.segments[0].1.len() as u32;
+        let accounted = fp.never_compressed
+            + fp.entry_stubs
+            + fp.static_stubs
+            + squashed.runtime.decomp_bytes
+            + fp.offset_table
+            + fp.stub_area
+            + fp.buffer
+            + fp.compressed;
+        assert_eq!(text_len, accounted, "{name}: unaccounted bytes in the image");
+    }
+}
