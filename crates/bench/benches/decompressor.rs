@@ -3,10 +3,11 @@
 //! number of decompressions, and the full timing-run wall-clock for one
 //! workload at the paper's operating points.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use squash::pipeline;
+use squash_testkit::bench::Timer;
 
-fn bench_decompressor(c: &mut Criterion) {
+fn main() {
+    let timer = Timer::new(5, 1);
     let benches = squash_bench::load_benches(Some(&["adpcm"]));
     let b = &benches[0];
 
@@ -15,20 +16,13 @@ fn bench_decompressor(c: &mut Criterion) {
     let squashed_cold = b.squash(&squash_bench::opts(0.0));
     let probe_input = &b.profiling_input;
 
-    c.bench_function("timing_run_theta0", |bch| {
-        bch.iter(|| pipeline::run_squashed(&squashed_cold, probe_input).unwrap())
+    timer.time("timing_run_theta0", || {
+        pipeline::run_squashed(&squashed_cold, probe_input).unwrap()
     });
-    c.bench_function("timing_run_theta3e-3", |bch| {
-        bch.iter(|| pipeline::run_squashed(&squashed_hot, probe_input).unwrap())
+    timer.time("timing_run_theta3e-3", || {
+        pipeline::run_squashed(&squashed_hot, probe_input).unwrap()
     });
-    c.bench_function("baseline_run", |bch| {
-        bch.iter(|| pipeline::run_original(&b.program, probe_input).unwrap())
+    timer.time("baseline_run", || {
+        pipeline::run_original(&b.program, probe_input).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_decompressor
-}
-criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! encode/decode throughput of the paper's `DECODE()` loop. The decoder's
 //! per-symbol speed is what makes software decompression viable (§3).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use squash_compress::{BitReader, BitWriter, CanonicalCode};
+use squash_testkit::bench::Timer;
 use std::collections::HashMap;
 
 /// A Zipf-flavoured frequency map over `n` symbols.
@@ -31,42 +31,33 @@ fn message(n: u32, len: usize) -> Vec<u32> {
         .collect()
 }
 
-fn bench_huffman(c: &mut Criterion) {
+fn main() {
+    let timer = Timer::new(11, 4);
     let freqs = zipf_freqs(256);
-    c.bench_function("canonical_code_construction_256", |b| {
-        b.iter(|| CanonicalCode::from_frequencies(std::hint::black_box(&freqs)))
+    timer.time("canonical_code_construction_256", || {
+        CanonicalCode::from_frequencies(std::hint::black_box(&freqs))
     });
 
     let code = CanonicalCode::from_frequencies(&freqs);
     let msg = message(256, 4096);
-    let mut group = c.benchmark_group("huffman_codec");
-    group.throughput(Throughput::Elements(msg.len() as u64));
-    group.bench_function("encode_4096", |b| {
-        b.iter(|| {
-            let mut w = BitWriter::new();
-            for &s in &msg {
-                code.encode(s, &mut w).unwrap();
-            }
-            w
-        })
+    timer.time_throughput("huffman_codec/encode_4096", msg.len() as u64, || {
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            code.encode(s, &mut w).unwrap();
+        }
+        w
     });
     let mut w = BitWriter::new();
     for &s in &msg {
         code.encode(s, &mut w).unwrap();
     }
     let bytes = w.into_bytes();
-    group.bench_function("decode_4096", |b| {
-        b.iter(|| {
-            let mut r = BitReader::new(&bytes);
-            let mut acc = 0u64;
-            for _ in 0..msg.len() {
-                acc = acc.wrapping_add(code.decode(&mut r).unwrap() as u64);
-            }
-            acc
-        })
+    timer.time_throughput("huffman_codec/decode_4096", msg.len() as u64, || {
+        let mut r = BitReader::new(&bytes);
+        let mut acc = 0u64;
+        for _ in 0..msg.len() {
+            acc = acc.wrapping_add(code.decode(&mut r).unwrap() as u64);
+        }
+        acc
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_huffman);
-criterion_main!(benches);

@@ -2,35 +2,27 @@
 //! packing pass (§4), plus the whole squash pipeline, at a permissive θ so
 //! the partitioner sees the most work.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use squash::{cold, regions};
+use squash_testkit::bench::Timer;
 
-fn bench_regions(c: &mut Criterion) {
+fn main() {
+    let timer = Timer::new(5, 1);
     let benches = squash_bench::load_benches(Some(&["jpeg_enc"]));
     let b = &benches[0];
     let options = squash_bench::opts(1.0);
     let cs = cold::identify(&b.program, &b.profile, options.theta);
     let comp = regions::compressible_blocks(&b.program, &cs, &options);
 
-    c.bench_function("form_regions_theta1_packed", |bch| {
-        bch.iter(|| regions::form_regions(&b.program, &comp, &options))
+    timer.time("form_regions_theta1_packed", || {
+        regions::form_regions(&b.program, &comp, &options)
     });
     let unpacked = squash::SquashOptions {
         pack_regions: false,
         ..options.clone()
     };
-    c.bench_function("form_regions_theta1_unpacked", |bch| {
-        bch.iter(|| regions::form_regions(&b.program, &comp, &unpacked))
+    timer.time("form_regions_theta1_unpacked", || {
+        regions::form_regions(&b.program, &comp, &unpacked)
     });
-    c.bench_function("full_squash_pipeline_theta0", |bch| {
-        let opts0 = squash_bench::opts(0.0);
-        bch.iter(|| b.squash(&opts0))
-    });
+    let opts0 = squash_bench::opts(0.0);
+    timer.time("full_squash_pipeline_theta0", || b.squash(&opts0));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_regions
-}
-criterion_main!(benches);

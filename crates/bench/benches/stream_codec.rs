@@ -2,9 +2,9 @@
 //! region-sized instruction sequences (the decompressor's inner job), with
 //! and without the move-to-front variant the paper discusses in §3.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use squash_compress::{StreamModel, StreamOptions};
 use squash_isa::Inst;
+use squash_testkit::bench::Timer;
 
 /// Region-sized chunks of a real workload's code.
 fn real_regions() -> Vec<Vec<Inst>> {
@@ -18,44 +18,35 @@ fn real_regions() -> Vec<Vec<Inst>> {
         .collect()
 }
 
-fn bench_stream_codec(c: &mut Criterion) {
+fn main() {
+    let timer = Timer::new(9, 1);
     let regions = real_regions();
     let refs: Vec<&[Inst]> = regions.iter().map(|r| r.as_slice()).collect();
 
-    c.bench_function("stream_model_train", |b| {
-        b.iter(|| StreamModel::train(std::hint::black_box(&refs)))
+    timer.time("stream_model_train", || {
+        StreamModel::train(std::hint::black_box(&refs))
     });
 
     let model = StreamModel::train(&refs);
     let sample = &regions[regions.len() / 2];
     let compressed = model.compress_region(sample).expect("compress");
 
-    let mut group = c.benchmark_group("stream_codec");
-    group.throughput(Throughput::Elements(sample.len() as u64));
-    group.bench_function("compress_region", |b| {
-        b.iter(|| model.compress_region(std::hint::black_box(sample)).unwrap())
+    timer.time_throughput("stream_codec/compress_region", sample.len() as u64, || {
+        model.compress_region(std::hint::black_box(sample)).unwrap()
     });
-    group.bench_function("decompress_region", |b| {
-        b.iter(|| {
-            model
-                .decompress_region(std::hint::black_box(&compressed), 0)
-                .unwrap()
-        })
+    timer.time_throughput("stream_codec/decompress_region", sample.len() as u64, || {
+        model
+            .decompress_region(std::hint::black_box(&compressed), 0)
+            .unwrap()
     });
-    group.finish();
 
     // The MTF ablation: the paper rejected MTF because it slows the
     // decompressor; measure by how much.
     let mtf_model = StreamModel::train_with(&refs, StreamOptions::with_displacement_mtf());
     let mtf_compressed = mtf_model.compress_region(sample).expect("compress");
-    c.bench_function("decompress_region_mtf", |b| {
-        b.iter(|| {
-            mtf_model
-                .decompress_region(std::hint::black_box(&mtf_compressed), 0)
-                .unwrap()
-        })
+    timer.time_throughput("decompress_region_mtf", sample.len() as u64, || {
+        mtf_model
+            .decompress_region(std::hint::black_box(&mtf_compressed), 0)
+            .unwrap()
     });
 }
-
-criterion_group!(benches, bench_stream_codec);
-criterion_main!(benches);

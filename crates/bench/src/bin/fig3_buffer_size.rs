@@ -5,11 +5,17 @@
 //! (geometric mean across benchmarks). The paper finds a minimum around
 //! K = 256–512: small K fragments regions (stub + offset-table overhead),
 //! large K pays for the buffer itself.
+//!
+//! A second table sweeps the region-cache depth N at fixed K: each extra
+//! slot buys runtime locality at a flat N·K footprint charge, so the size
+//! curve is a straight line in N — the size/time trade-off the `cache_sweep`
+//! binary measures from the other side.
 
 use squash::SquashOptions;
 
 const KS: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 const THETAS: [f64; 3] = [0.0, 1e-4, 1e-2];
+const CACHE_SLOTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let benches = squash_bench::load_benches(None);
@@ -59,4 +65,39 @@ fn main() {
     }
     println!();
     println!("(paper: smallest overall code size at K = 256 and K = 512)");
+
+    println!();
+    println!("Cache-depth dimension: normalized code size vs. cache slots N (K = 512)");
+    println!();
+    print!("| N (slots) |");
+    for theta in THETAS {
+        print!(" θ={:>5} |", squash_bench::theta_label(theta));
+    }
+    println!();
+    print!("|-----------|");
+    for _ in THETAS {
+        print!("---------:|");
+    }
+    println!();
+    for slots in CACHE_SLOTS {
+        print!("| {slots:9} |");
+        for theta in THETAS {
+            let options = SquashOptions {
+                buffer_limit: 512,
+                cache_slots: slots,
+                ..squash_bench::opts(theta)
+            };
+            let ratios: Vec<f64> = benches
+                .iter()
+                .map(|b| {
+                    let squashed = b.squash(&options);
+                    squashed.stats.footprint.total() as f64 / b.baseline_bytes() as f64
+                })
+                .collect();
+            print!(" {:8.4} |", squash_bench::geomean(&ratios));
+        }
+        println!();
+    }
+    println!();
+    println!("(each slot past the first adds a flat K bytes to every footprint)");
 }

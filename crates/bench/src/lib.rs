@@ -16,6 +16,7 @@
 //! | `compression_ratio`   | §3 splitting-streams ratio (≈66%) |
 //! | `buffer_safe_stats`   | §6.1 buffer-safety statistics |
 //! | `pathological`        | §7 profile-mismatch slowdown anecdote |
+//! | `cache_sweep`         | cycles vs. region-cache slots N (extension) |
 //!
 //! Run all of them with `cargo run --release -p squash-bench --bin <name>`.
 //! This library holds the shared loading/measuring code.

@@ -126,7 +126,7 @@ impl<'a> BitReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use squash_testkit::{cases, Rng};
 
     #[test]
     fn empty_writer_produces_nothing() {
@@ -172,22 +172,24 @@ mod tests {
         assert_eq!(r.bits_read(), 8);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(values in prop::collection::vec((any::<u32>(), 1u32..=32), 0..64)) {
+    #[test]
+    fn prop_round_trip() {
+        cases(0xB1710, 256, |rng: &mut Rng| {
+            let values: Vec<(u32, u32)> =
+                rng.vec(0, 64, |r| (r.u32(), r.range(1, 32) as u32));
             let mut w = BitWriter::new();
             for &(v, n) in &values {
                 let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
                 w.write_bits(masked, n);
             }
             let total: u64 = values.iter().map(|&(_, n)| n as u64).sum();
-            prop_assert_eq!(w.bit_len(), total);
+            assert_eq!(w.bit_len(), total);
             let bytes = w.into_bytes();
             let mut r = BitReader::new(&bytes);
             for &(v, n) in &values {
                 let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
-                prop_assert_eq!(r.read_bits(n), Some(masked));
+                assert_eq!(r.read_bits(n), Some(masked));
             }
-        }
+        });
     }
 }

@@ -361,7 +361,7 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use squash_testkit::{cases, Rng};
 
     fn freqs(pairs: &[(u32, u64)]) -> HashMap<u32, u64> {
         pairs.iter().copied().collect()
@@ -484,13 +484,33 @@ mod tests {
         assert_eq!(w.bit_len(), predicted);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(pairs in prop::collection::hash_map(0u32..1000, 1u64..10_000, 1..50),
-                           msg in prop::collection::vec(any::<prop::sample::Index>(), 0..200)) {
+    /// `n` distinct symbols below `sym_bound`, with frequencies in
+    /// `[1, freq_bound]`.
+    fn arb_freqs(
+        rng: &mut Rng,
+        min_n: u64,
+        max_n: u64,
+        sym_bound: u64,
+        freq_bound: u64,
+    ) -> HashMap<u32, u64> {
+        let n = rng.range(min_n as i64, max_n as i64) as u64;
+        let mut pairs = HashMap::new();
+        while (pairs.len() as u64) < n {
+            pairs.insert(
+                rng.below(sym_bound) as u32,
+                1 + rng.below(freq_bound),
+            );
+        }
+        pairs
+    }
+
+    #[test]
+    fn prop_round_trip() {
+        cases(0x48FF, 128, |rng| {
+            let pairs = arb_freqs(rng, 1, 49, 1000, 10_000);
             let code = CanonicalCode::from_frequencies(&pairs);
             let symbols: Vec<u32> = pairs.keys().copied().collect();
-            let msg: Vec<u32> = msg.iter().map(|ix| symbols[ix.index(symbols.len())]).collect();
+            let msg: Vec<u32> = rng.vec(0, 200, |r| *r.pick(&symbols));
             let mut w = BitWriter::new();
             for &s in &msg {
                 code.encode(s, &mut w).unwrap();
@@ -498,12 +518,15 @@ mod tests {
             let bytes = w.into_bytes();
             let mut r = BitReader::new(&bytes);
             for &s in &msg {
-                prop_assert_eq!(code.decode(&mut r).unwrap(), s);
+                assert_eq!(code.decode(&mut r).unwrap(), s);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_kraft_equality(pairs in prop::collection::hash_map(0u32..500, 1u64..1000, 1..40)) {
+    #[test]
+    fn prop_kraft_equality() {
+        cases(0x5242, 128, |rng| {
+            let pairs = arb_freqs(rng, 1, 39, 500, 1000);
             let code = CanonicalCode::from_frequencies(&pairs);
             if pairs.len() > 1 {
                 // Huffman codes are complete: Kraft sum is exactly 1.
@@ -512,30 +535,39 @@ mod tests {
                     let (_, len) = code.codeword(v).unwrap();
                     sum += (0.5f64).powi(len as i32);
                 }
-                prop_assert!((sum - 1.0).abs() < 1e-9, "Kraft sum {sum}");
+                assert!((sum - 1.0).abs() < 1e-9, "Kraft sum {sum}");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_serialize_round_trip(pairs in prop::collection::hash_map(0u32..65536, 1u64..100, 1..60)) {
+    #[test]
+    fn prop_serialize_round_trip() {
+        cases(0x5E51, 128, |rng| {
+            let pairs = arb_freqs(rng, 1, 59, 65536, 100);
             let code = CanonicalCode::from_frequencies(&pairs);
             let bytes = code.serialize(16);
             let restored = CanonicalCode::deserialize(&bytes, 16).unwrap();
-            prop_assert_eq!(restored, code);
-        }
+            assert_eq!(restored, code);
+        });
+    }
 
-        #[test]
-        fn prop_optimality_vs_entropy(pairs in prop::collection::hash_map(0u32..100, 1u64..10_000, 2..30)) {
+    #[test]
+    fn prop_optimality_vs_entropy() {
+        cases(0x0971, 128, |rng| {
             // Huffman is within 1 bit/symbol of the entropy bound.
+            let pairs = arb_freqs(rng, 2, 29, 100, 10_000);
             let code = CanonicalCode::from_frequencies(&pairs);
             let total: u64 = pairs.values().sum();
-            let entropy: f64 = pairs.values().map(|&f| {
-                let p = f as f64 / total as f64;
-                -p * p.log2()
-            }).sum();
+            let entropy: f64 = pairs
+                .values()
+                .map(|&f| {
+                    let p = f as f64 / total as f64;
+                    -p * p.log2()
+                })
+                .sum();
             let bits = code.encoded_bits(&pairs).unwrap() as f64 / total as f64;
-            prop_assert!(bits >= entropy - 1e-9, "below entropy: {bits} < {entropy}");
-            prop_assert!(bits <= entropy + 1.0 + 1e-9, "more than 1 bit over entropy");
-        }
+            assert!(bits >= entropy - 1e-9, "below entropy: {bits} < {entropy}");
+            assert!(bits <= entropy + 1.0 + 1e-9, "more than 1 bit over entropy");
+        });
     }
 }

@@ -353,8 +353,8 @@ fn make_mtfs(options: &StreamOptions, alphabets: &[Vec<u32>]) -> Vec<Option<Mtf>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use squash_isa::{AluOp, BraOp, MemOp, PalOp, Reg};
+    use squash_testkit::{cases, Rng};
 
     fn sample_region() -> Vec<Inst> {
         vec![
@@ -468,80 +468,87 @@ mod tests {
         assert_eq!(opcode_row.1, region.len() as u64 + 1);
     }
 
-    fn arb_inst() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            (prop::sample::select(&MemOp::ALL[..]), 0u8..32, 0u8..32, any::<i16>())
-                .prop_map(|(op, a, b, disp)| Inst::Mem {
-                    op,
-                    ra: Reg::new(a),
-                    rb: Reg::new(b),
-                    disp
-                }),
-            (prop::sample::select(&BraOp::ALL[..]), 0u8..32, -1000i32..1000)
-                .prop_map(|(op, a, disp)| Inst::Bra { op, ra: Reg::new(a), disp }),
-            (prop::sample::select(&AluOp::ALL[..]), 0u8..32, 0u8..32, 0u8..32)
-                .prop_map(|(f, a, b, c)| Inst::Opr {
-                    func: f,
-                    ra: Reg::new(a),
-                    rb: Reg::new(b),
-                    rc: Reg::new(c)
-                }),
-            (prop::sample::select(&AluOp::ALL[..]), 0u8..32, any::<u8>(), 0u8..32)
-                .prop_map(|(f, a, lit, c)| Inst::Imm {
-                    func: f,
-                    ra: Reg::new(a),
-                    lit,
-                    rc: Reg::new(c)
-                }),
-            (0u8..32, 0u8..32).prop_map(|(a, b)| Inst::Jmp {
-                ra: Reg::new(a),
-                rb: Reg::new(b),
-                hint: 0
-            }),
-            prop::sample::select(&PalOp::ALL[..]).prop_map(|func| Inst::Pal { func }),
-        ]
+    fn arb_inst(rng: &mut Rng) -> Inst {
+        match rng.below(6) {
+            0 => Inst::Mem {
+                op: *rng.pick(&MemOp::ALL),
+                ra: Reg::new(rng.below(32) as u8),
+                rb: Reg::new(rng.below(32) as u8),
+                disp: rng.i16(),
+            },
+            1 => Inst::Bra {
+                op: *rng.pick(&BraOp::ALL),
+                ra: Reg::new(rng.below(32) as u8),
+                disp: rng.range(-1000, 999) as i32,
+            },
+            2 => Inst::Opr {
+                func: *rng.pick(&AluOp::ALL),
+                ra: Reg::new(rng.below(32) as u8),
+                rb: Reg::new(rng.below(32) as u8),
+                rc: Reg::new(rng.below(32) as u8),
+            },
+            3 => Inst::Imm {
+                func: *rng.pick(&AluOp::ALL),
+                ra: Reg::new(rng.below(32) as u8),
+                lit: rng.u8(),
+                rc: Reg::new(rng.below(32) as u8),
+            },
+            4 => Inst::Jmp {
+                ra: Reg::new(rng.below(32) as u8),
+                rb: Reg::new(rng.below(32) as u8),
+                hint: 0,
+            },
+            _ => Inst::Pal {
+                func: *rng.pick(&PalOp::ALL),
+            },
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_region_round_trip(region in prop::collection::vec(arb_inst(), 0..80)) {
+    #[test]
+    fn prop_region_round_trip() {
+        cases(0x2E61, 96, |rng| {
+            let region = rng.vec(0, 80, arb_inst);
             let model = StreamModel::train(&[&region]);
             let bytes = model.compress_region(&region).unwrap();
             let (decoded, _) = model.decompress_region(&bytes, 0).unwrap();
-            prop_assert_eq!(decoded, region);
-        }
+            assert_eq!(decoded, region);
+        });
+    }
 
-        #[test]
-        fn prop_mtf_region_round_trip(region in prop::collection::vec(arb_inst(), 0..60)) {
+    #[test]
+    fn prop_mtf_region_round_trip() {
+        cases(0x4D7F2, 96, |rng| {
+            let region = rng.vec(0, 60, arb_inst);
             let opts = StreamOptions::with_displacement_mtf();
             let model = StreamModel::train_with(&[&region], opts);
             let bytes = model.compress_region(&region).unwrap();
             let (decoded, _) = model.decompress_region(&bytes, 0).unwrap();
-            prop_assert_eq!(decoded, region);
-        }
+            assert_eq!(decoded, region);
+        });
+    }
 
-        #[test]
-        fn prop_cross_region_round_trip(
-            r1 in prop::collection::vec(arb_inst(), 1..40),
-            r2 in prop::collection::vec(arb_inst(), 1..40),
-        ) {
+    #[test]
+    fn prop_cross_region_round_trip() {
+        cases(0xC505, 96, |rng| {
+            let r1 = rng.vec(1, 40, arb_inst);
+            let r2 = rng.vec(1, 40, arb_inst);
             let model = StreamModel::train(&[&r1, &r2]);
             let mut w = BitWriter::new();
             model.compress_region_into(&r1, &mut w).unwrap();
             let off = w.bit_len();
             model.compress_region_into(&r2, &mut w).unwrap();
             let blob = w.into_bytes();
-            prop_assert_eq!(model.decompress_region(&blob, 0).unwrap().0, r1);
-            prop_assert_eq!(model.decompress_region(&blob, off).unwrap().0, r2);
-        }
+            assert_eq!(model.decompress_region(&blob, 0).unwrap().0, r1);
+            assert_eq!(model.decompress_region(&blob, off).unwrap().0, r2);
+        });
     }
 }
 
 #[cfg(test)]
 mod robustness {
     use super::*;
-    use proptest::prelude::*;
     use squash_isa::{AluOp, MemOp, Reg};
+    use squash_testkit::cases;
 
     fn small_model() -> StreamModel {
         let region = vec![
@@ -553,33 +560,33 @@ mod robustness {
         StreamModel::train(&[&region])
     }
 
-    proptest! {
-        /// The runtime decompressor consumes bytes from simulated memory;
-        /// arbitrary garbage must produce an error, never a panic or an
-        /// endless loop.
-        #[test]
-        fn prop_decompress_never_panics_on_garbage(
-            bytes in prop::collection::vec(any::<u8>(), 0..256),
-            offset in 0u64..64,
-        ) {
+    /// The runtime decompressor consumes bytes from simulated memory;
+    /// arbitrary garbage must produce an error, never a panic or an
+    /// endless loop.
+    #[test]
+    fn prop_decompress_never_panics_on_garbage() {
+        cases(0x6A2B, 256, |rng| {
+            let bytes: Vec<u8> = rng.vec(0, 256, |r| r.u8());
+            let offset = rng.below(64);
             let model = small_model();
             let _ = model.decompress_region(&bytes, offset);
-        }
+        });
+    }
 
-        /// Truncating a valid blob at any point errors cleanly.
-        #[test]
-        fn prop_truncation_is_detected(cut in 0usize..32) {
-            let model = small_model();
-            let region = vec![
-                Inst::Imm { func: AluOp::Add, ra: Reg::T0, lit: 1, rc: Reg::T0 };
-                8
-            ];
-            let full = model.compress_region(&region);
-            // The training set lacks this exact region; skip if untrained.
-            let Ok(full) = full else { return Ok(()) };
-            if cut < full.len() {
-                let _ = model.decompress_region(&full[..cut], 0);
-            }
+    /// Truncating a valid blob at any point errors cleanly.
+    #[test]
+    fn prop_truncation_is_detected() {
+        let model = small_model();
+        let region = vec![
+            Inst::Imm { func: AluOp::Add, ra: Reg::T0, lit: 1, rc: Reg::T0 };
+            8
+        ];
+        // The training set lacks this exact region; skip if untrained.
+        let Ok(full) = model.compress_region(&region) else {
+            return;
+        };
+        for cut in 0..32usize.min(full.len()) {
+            let _ = model.decompress_region(&full[..cut], 0);
         }
     }
 }

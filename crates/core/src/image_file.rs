@@ -10,12 +10,12 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! "SQSH0001"                       magic + version
+//! "SQSH0002"                       magic + version
 //! u32 entry
 //! u32 nsegments { u32 base, u32 len, bytes }*
-//! u32×8  decomp_base, decomp_bytes, buffer_base, buffer_bytes,
-//!        stub_base, stub_slots, offset_table_addr, regions
-//! u64×4  cost model (per_bit, per_inst, per_call, create_stub)
+//! u32×9  decomp_base, decomp_bytes, buffer_base, buffer_bytes,
+//!        cache_slots, stub_base, stub_slots, offset_table_addr, regions
+//! u64×5  cost model (per_bit, per_inst, per_call, create_stub, cache_hit)
 //! u8     skip_if_current
 //! u32 model_len, model bytes          (StreamModel::serialize)
 //! u32 blob_len, blob bytes
@@ -23,6 +23,9 @@
 //! u32×9  footprint fields
 //! u32    baseline_bytes
 //! ```
+//!
+//! Version 2 added the region-cache fields (`cache_slots`, `cache_hit`);
+//! version-1 files are rejected by magic.
 
 use squash_compress::StreamModel;
 
@@ -31,7 +34,7 @@ use crate::layout::{Squashed, SquashStats};
 use crate::runtime::RuntimeConfig;
 use crate::{err, CostModel, SquashError};
 
-const MAGIC: &[u8; 8] = b"SQSH0001";
+const MAGIC: &[u8; 8] = b"SQSH0002";
 
 /// Serializes a squashed program to the `.sqsh` byte format.
 pub fn write(squashed: &Squashed) -> Vec<u8> {
@@ -50,6 +53,7 @@ pub fn write(squashed: &Squashed) -> Vec<u8> {
         rt.decomp_bytes,
         rt.buffer_base,
         rt.buffer_bytes,
+        rt.cache_slots as u32,
         rt.stub_base,
         rt.stub_slots as u32,
         rt.offset_table_addr,
@@ -57,7 +61,13 @@ pub fn write(squashed: &Squashed) -> Vec<u8> {
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    for v in [rt.cost.per_bit, rt.cost.per_inst, rt.cost.per_call, rt.cost.create_stub] {
+    for v in [
+        rt.cost.per_bit,
+        rt.cost.per_inst,
+        rt.cost.per_call,
+        rt.cost.create_stub,
+        rt.cost.cache_hit,
+    ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
     out.push(rt.skip_if_current as u8);
@@ -142,6 +152,10 @@ pub fn read(bytes: &[u8]) -> Result<Squashed, SquashError> {
     let decomp_bytes = r.u32()?;
     let buffer_base = r.u32()?;
     let buffer_bytes = r.u32()?;
+    let cache_slots = r.u32()? as usize;
+    if cache_slots == 0 || cache_slots > 1 << 10 {
+        return err("implausible cache slot count");
+    }
     let stub_base = r.u32()?;
     let stub_slots = r.u32()? as usize;
     let offset_table_addr = r.u32()?;
@@ -151,6 +165,7 @@ pub fn read(bytes: &[u8]) -> Result<Squashed, SquashError> {
         per_inst: r.u64()?,
         per_call: r.u64()?,
         create_stub: r.u64()?,
+        cache_hit: r.u64()?,
     };
     let skip_if_current = r.take(1)?[0] != 0;
     let model_len = r.u32()? as usize;
@@ -187,6 +202,7 @@ pub fn read(bytes: &[u8]) -> Result<Squashed, SquashError> {
             decomp_bytes,
             buffer_base,
             buffer_bytes,
+            cache_slots,
             stub_base,
             stub_slots,
             offset_table_addr,

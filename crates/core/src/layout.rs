@@ -8,7 +8,7 @@
 //!              decompressor area    (trap window + reserved body)
 //!              function offset table
 //!              restore-stub area    (filled at runtime by CreateStub)
-//!              runtime buffer
+//!              runtime buffer slots (cache_slots × K bytes)
 //!              compressed code blob
 //! 0x200000:    data
 //! ```
@@ -231,7 +231,18 @@ pub(crate) fn emit(
     if buffer_bytes > u16::MAX as u32 - 4 {
         return err(format!("runtime buffer of {buffer_bytes} bytes exceeds 16-bit offsets"));
     }
-    let blob_base = buffer_base + buffer_bytes;
+    // The region cache: `cache_slots` identical K-byte buffer slots, laid
+    // out contiguously. Slot 0 starts at `buffer_base`; every slot is
+    // charged to the footprint.
+    let cache_slots = options.cache_slots;
+    if cache_slots == 0 {
+        return err("cache_slots must be at least 1");
+    }
+    if cache_slots > 1 << 10 {
+        return err(format!("implausible cache_slots {cache_slots}"));
+    }
+    let cache_bytes = buffer_bytes * cache_slots as u32;
+    let blob_base = buffer_base + cache_bytes;
 
     // Data addresses at the fixed base.
     let mut data_addrs = Vec::with_capacity(program.data.len());
@@ -598,7 +609,7 @@ pub(crate) fn emit(
         seg.extend_from_slice(&(off as u32).to_le_bytes());
     }
     seg.resize(seg.len() + stub_area_bytes as usize, 0);
-    seg.resize(seg.len() + buffer_bytes as usize, 0);
+    seg.resize(seg.len() + cache_bytes as usize, 0);
     seg.extend_from_slice(&blob);
     debug_assert_eq!(
         TEXT_BASE as usize + seg.len(),
@@ -643,7 +654,7 @@ pub(crate) fn emit(
         offset_table: offset_table_bytes,
         compressed: blob.len() as u32,
         stub_area: if has_regions { stub_area_bytes } else { 0 },
-        buffer: buffer_bytes,
+        buffer: cache_bytes,
     };
     let stats = SquashStats {
         footprint,
@@ -669,6 +680,7 @@ pub(crate) fn emit(
         decomp_bytes,
         buffer_base,
         buffer_bytes,
+        cache_slots,
         stub_base: stub_area_base,
         stub_slots,
         offset_table_addr,

@@ -140,6 +140,11 @@ pub struct CostModel {
     pub per_call: u64,
     /// Cycles per `CreateStub` invocation.
     pub create_stub: u64,
+    /// Cycles charged when a requested region is already resident in one of
+    /// the buffer slots (a region-cache hit). Defaults to 0 so a one-slot
+    /// cache reproduces the paper's single-buffer behaviour cycle for cycle;
+    /// raise it to model the dispatch cost of the residency check.
+    pub cache_hit: u64,
 }
 
 impl Default for CostModel {
@@ -149,6 +154,7 @@ impl Default for CostModel {
             per_inst: 12,
             per_call: 250,
             create_stub: 30,
+            cache_hit: 0,
         }
     }
 }
@@ -162,6 +168,12 @@ pub struct SquashOptions {
     /// The runtime-buffer size bound K in bytes (§4; the paper settles on
     /// 512 after the Figure 3 sweep).
     pub buffer_limit: u32,
+    /// Number of runtime buffer slots forming the decompressed-region cache.
+    /// 1 (the default) is the paper's single buffer; larger values reserve
+    /// additional K-byte slots, keep decompressed regions resident, and
+    /// evict least-recently-used when all slots are full. The footprint
+    /// accounting charges all the slots.
+    pub cache_slots: usize,
     /// The assumed compression factor γ used by the region-profitability
     /// heuristic (§4; the measured whole-program ratio is ≈ 0.66).
     pub gamma: f64,
@@ -203,6 +215,7 @@ impl Default for SquashOptions {
         SquashOptions {
             theta: 0.0,
             buffer_limit: 512,
+            cache_slots: 1,
             gamma: 0.66,
             decompressor_bytes: 2048,
             stub_slots: 16,

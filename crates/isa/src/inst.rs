@@ -377,7 +377,7 @@ impl Inst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use squash_testkit::{cases, Rng};
 
     fn sample_insts() -> Vec<Inst> {
         vec![
@@ -440,7 +440,7 @@ mod tests {
     #[test]
     fn bad_words_fail_to_decode() {
         // Unknown primary opcode.
-        assert!(Inst::decode(0x0Au32 << 26 | 0x3F << 20).is_err() || true);
+        assert!(Inst::decode(0x0Au32 << 26 | 0x3F << 20).is_err());
         assert!(Inst::decode((0x3Eu32) << 26).is_err());
         // OPR with the literal bit set.
         let word = (OPCODE_OPR as u32) << 26 | 1 << 12;
@@ -470,49 +470,78 @@ mod tests {
         assert!(!Inst::Bra { op: BraOp::Bsr, ra: Reg::ZERO, disp: 1 }.is_call());
     }
 
-    prop_compose! {
-        fn arb_reg()(n in 0u8..32) -> Reg { Reg::new(n) }
+    fn arb_reg(rng: &mut Rng) -> Reg {
+        Reg::new(rng.below(32) as u8)
     }
 
-    fn arb_inst() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            (prop::sample::select(&MemOp::ALL[..]), arb_reg(), arb_reg(), any::<i16>())
-                .prop_map(|(op, ra, rb, disp)| Inst::Mem { op, ra, rb, disp }),
-            (prop::sample::select(&BraOp::ALL[..]), arb_reg(), -(1 << 20)..(1 << 20))
-                .prop_map(|(op, ra, disp)| Inst::Bra { op, ra, disp }),
-            (prop::sample::select(&AluOp::ALL[..]), arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(func, ra, rb, rc)| Inst::Opr { func, ra, rb, rc }),
-            (prop::sample::select(&AluOp::ALL[..]), arb_reg(), any::<u8>(), arb_reg())
-                .prop_map(|(func, ra, lit, rc)| Inst::Imm { func, ra, lit, rc }),
-            (arb_reg(), arb_reg(), any::<u16>())
-                .prop_map(|(ra, rb, hint)| Inst::Jmp { ra, rb, hint }),
-            prop::sample::select(&PalOp::ALL[..]).prop_map(|func| Inst::Pal { func }),
-            Just(Inst::Illegal),
-        ]
-    }
-
-    proptest! {
-        #[test]
-        fn prop_encode_decode_round_trip(inst in arb_inst()) {
-            prop_assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+    fn arb_inst(rng: &mut Rng) -> Inst {
+        match rng.below(7) {
+            0 => Inst::Mem {
+                op: *rng.pick(&MemOp::ALL),
+                ra: arb_reg(rng),
+                rb: arb_reg(rng),
+                disp: rng.i16(),
+            },
+            1 => Inst::Bra {
+                op: *rng.pick(&BraOp::ALL),
+                ra: arb_reg(rng),
+                disp: rng.range(-(1 << 20), (1 << 20) - 1) as i32,
+            },
+            2 => Inst::Opr {
+                func: *rng.pick(&AluOp::ALL),
+                ra: arb_reg(rng),
+                rb: arb_reg(rng),
+                rc: arb_reg(rng),
+            },
+            3 => Inst::Imm {
+                func: *rng.pick(&AluOp::ALL),
+                ra: arb_reg(rng),
+                lit: rng.u8(),
+                rc: arb_reg(rng),
+            },
+            4 => Inst::Jmp {
+                ra: arb_reg(rng),
+                rb: arb_reg(rng),
+                hint: rng.u64() as u16,
+            },
+            5 => Inst::Pal {
+                func: *rng.pick(&PalOp::ALL),
+            },
+            _ => Inst::Illegal,
         }
+    }
 
-        #[test]
-        fn prop_fields_round_trip(inst in arb_inst()) {
+    #[test]
+    fn prop_encode_decode_round_trip() {
+        cases(0x15A_C0DE, 512, |rng| {
+            let inst = arb_inst(rng);
+            assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+        });
+    }
+
+    #[test]
+    fn prop_fields_round_trip() {
+        cases(0xF1E1D5, 512, |rng| {
+            let inst = arb_inst(rng);
             let values: Vec<u32> = inst.fields().iter().map(|&(_, v)| v).collect();
-            prop_assert_eq!(Inst::from_fields(inst.opcode(), &values), Ok(inst));
-        }
+            assert_eq!(Inst::from_fields(inst.opcode(), &values), Ok(inst));
+        });
+    }
 
-        #[test]
-        fn prop_field_values_fit_their_width(inst in arb_inst()) {
+    #[test]
+    fn prop_field_values_fit_their_width() {
+        cases(0x5172E5, 512, |rng| {
+            let inst = arb_inst(rng);
             for (kind, value) in inst.fields() {
-                prop_assert!(value < (1u64 << kind.bits()) as u32 || kind.bits() == 32);
+                assert!(value < (1u64 << kind.bits()) as u32 || kind.bits() == 32);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_decode_never_panics(word in any::<u32>()) {
-            let _ = Inst::decode(word);
-        }
+    #[test]
+    fn prop_decode_never_panics() {
+        cases(0xDEC0DE, 4096, |rng| {
+            let _ = Inst::decode(rng.u32());
+        });
     }
 }

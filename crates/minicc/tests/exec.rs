@@ -486,33 +486,44 @@ int main() { return is_even(10) * 10 + is_odd(7); }
 }
 
 mod robustness {
-    use proptest::prelude::*;
+    use squash_testkit::cases;
 
-    proptest! {
-        /// The compiler front end must reject or accept arbitrary text
-        /// without panicking.
-        #[test]
-        fn prop_compiler_never_panics_on_garbage(src in "\\PC{0,200}") {
+    /// The compiler front end must reject or accept arbitrary text
+    /// without panicking.
+    #[test]
+    fn prop_compiler_never_panics_on_garbage() {
+        cases(0x6A57, 256, |rng| {
+            let len = rng.below(201) as usize;
+            let src: String = (0..len)
+                .map(|_| {
+                    // Mostly printable ASCII, occasionally arbitrary chars.
+                    if rng.below(8) == 0 {
+                        char::from_u32(rng.u32() % 0x11_0000)
+                            .filter(|c| !c.is_control())
+                            .unwrap_or('\u{FFFD}')
+                    } else {
+                        (0x20 + rng.below(0x5F) as u8) as char
+                    }
+                })
+                .collect();
             let _ = minicc::compile_to_asm(&src);
-        }
+        });
+    }
 
-        /// Token soup assembled from the language's own vocabulary is the
-        /// nastier fuzz corpus: it gets much deeper into the parser.
-        #[test]
-        fn prop_compiler_never_panics_on_token_soup(
-            toks in prop::collection::vec(
-                prop::sample::select(vec![
-                    "int", "if", "else", "while", "for", "switch", "case",
-                    "default", "return", "break", "continue", "main", "x",
-                    "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-",
-                    "*", "/", "%", "<", ">", "<<", ">>", "&&", "||", "?",
-                    ":", "42", "0x1F", "'a'",
-                ]),
-                0..60,
-            )
-        ) {
+    /// Token soup assembled from the language's own vocabulary is the
+    /// nastier fuzz corpus: it gets much deeper into the parser.
+    #[test]
+    fn prop_compiler_never_panics_on_token_soup() {
+        const VOCAB: &[&str] = &[
+            "int", "if", "else", "while", "for", "switch", "case", "default",
+            "return", "break", "continue", "main", "x", "(", ")", "{", "}",
+            "[", "]", ";", ",", "=", "+", "-", "*", "/", "%", "<", ">", "<<",
+            ">>", "&&", "||", "?", ":", "42", "0x1F", "'a'",
+        ];
+        cases(0x50FA, 256, |rng| {
+            let toks: Vec<&str> = rng.vec(0, 60, |r| *r.pick(VOCAB));
             let src = toks.join(" ");
             let _ = minicc::compile_to_asm(&src);
-        }
+        });
     }
 }

@@ -1,0 +1,283 @@
+//! # squash-testkit — deterministic, dependency-free test support
+//!
+//! The repository builds and tests in fully offline environments, so it
+//! cannot rely on crates.io for property-testing or benchmarking harnesses.
+//! This crate provides the two pieces the test suite needs, on `std` alone:
+//!
+//! * [`Rng`] — a small, fast, splittable pseudo-random generator
+//!   (SplitMix64) with convenience samplers, used to drive deterministic
+//!   property tests: a fixed seed plus a case index reproduces any failure
+//!   exactly, with no shrinking machinery required — the failing case number
+//!   is printed by [`cases`].
+//! * [`bench`] — a micro-benchmark timer replacing the `criterion` harness
+//!   for the `crates/bench` benches: median-of-runs wall-clock timing with a
+//!   warm-up pass and throughput reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// SplitMix64: passes BigCrush, one multiply-xor-shift chain per draw, and
+/// any 64-bit seed (including 0) is fine.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift reduction; bias is negligible for test bounds.
+        ((self.u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform draw in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo.wrapping_add(self.below((hi - lo + 1) as u64) as i64)
+    }
+
+    /// A uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.u64() as u32
+    }
+
+    /// A uniform `i16`.
+    pub fn i16(&mut self) -> i16 {
+        self.u64() as i16
+    }
+
+    /// A uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.u64() as u8
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// A vector of `len` draws from `f`, where `len` is uniform in
+    /// `[min_len, max_len]`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len = self.range(min_len as i64, max_len as i64) as usize;
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `n` deterministic property-test cases. Case `i` receives a
+/// generator seeded from `seed` and `i`, so a failure report like
+/// "case 17 of 64 (seed 0xABCD)" is exactly reproducible by rerunning the
+/// same test body with those constants.
+///
+/// # Panics
+///
+/// Re-panics the failing case's panic, prefixed with the case number, via
+/// the standard panic machinery (the body's own assert message is shown by
+/// the test harness).
+pub fn cases(seed: u64, n: u64, mut body: impl FnMut(&mut Rng)) {
+    for i in 0..n {
+        let mut rng = Rng::new(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
+        // Let the body's own panic propagate; print the case first so the
+        // failure is reproducible from the test log.
+        struct CaseGuard(u64, u64, bool);
+        impl Drop for CaseGuard {
+            fn drop(&mut self) {
+                if !self.2 {
+                    eprintln!(
+                        "property-test failure in case {} (seed {:#x})",
+                        self.0, self.1
+                    );
+                }
+            }
+        }
+        let mut guard = CaseGuard(i, seed, false);
+        body(&mut rng);
+        guard.2 = true;
+    }
+}
+
+/// Micro-benchmark support replacing the `criterion` harness: each bench
+/// target is a plain `main` that calls [`bench::Timer`] methods and prints
+/// a fixed-format table line per measurement.
+pub mod bench {
+    use super::Instant;
+
+    /// One benchmark group printing `name  median  min  [throughput]` rows.
+    #[derive(Debug)]
+    pub struct Timer {
+        /// Measurement runs per benchmark (median is reported).
+        pub runs: usize,
+        /// Iterations batched per run for very fast bodies.
+        pub batch: usize,
+    }
+
+    impl Default for Timer {
+        fn default() -> Timer {
+            Timer { runs: 7, batch: 1 }
+        }
+    }
+
+    impl Timer {
+        /// A timer taking `runs` measurements of `batch` iterations each.
+        pub fn new(runs: usize, batch: usize) -> Timer {
+            Timer {
+                runs: runs.max(1),
+                batch: batch.max(1),
+            }
+        }
+
+        /// Times `f`, printing per-iteration median and minimum. Returns the
+        /// median in nanoseconds. An untimed warm-up run precedes the
+        /// measurements, and each run's result is kept live so the body is
+        /// not optimised away.
+        pub fn time<T>(&self, name: &str, mut f: impl FnMut() -> T) -> f64 {
+            self.time_throughput(name, 0, &mut f)
+        }
+
+        /// [`Timer::time`] with an elements-per-iteration count; reports
+        /// Melem/s alongside the latency when `elements > 0`.
+        pub fn time_throughput<T>(
+            &self,
+            name: &str,
+            elements: u64,
+            mut f: impl FnMut() -> T,
+        ) -> f64 {
+            std::hint::black_box(f()); // warm-up
+            let mut nanos: Vec<f64> = Vec::with_capacity(self.runs);
+            for _ in 0..self.runs {
+                let start = Instant::now();
+                for _ in 0..self.batch {
+                    std::hint::black_box(f());
+                }
+                nanos.push(start.elapsed().as_nanos() as f64 / self.batch as f64);
+            }
+            nanos.sort_by(|a, b| a.total_cmp(b));
+            let median = nanos[nanos.len() / 2];
+            let min = nanos[0];
+            if elements > 0 {
+                let melems = elements as f64 / median * 1000.0;
+                println!(
+                    "{name:<40} {:>12}  min {:>12}  {melems:>9.1} Melem/s",
+                    fmt_ns(median),
+                    fmt_ns(min),
+                );
+            } else {
+                println!(
+                    "{name:<40} {:>12}  min {:>12}",
+                    fmt_ns(median),
+                    fmt_ns(min)
+                );
+            }
+            median
+        }
+    }
+
+    /// Formats nanoseconds with an adaptive unit.
+    fn fmt_ns(ns: f64) -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.0} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.2} ms", ns / 1_000_000.0)
+        } else {
+            format!("{:.3} s", ns / 1_000_000_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive_and_covers_endpoints() {
+        let mut rng = Rng::new(9);
+        let (mut saw_lo, mut saw_hi) = (false, false);
+        for _ in 0..2000 {
+            let v = rng.range(-3, 3);
+            assert!((-3..=3).contains(&v));
+            saw_lo |= v == -3;
+            saw_hi |= v == 3;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn pick_and_vec_stay_in_domain() {
+        let mut rng = Rng::new(3);
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+        let v = rng.vec(2, 5, |r| r.u8());
+        assert!(v.len() >= 2 && v.len() <= 5);
+    }
+
+    #[test]
+    fn cases_runs_exactly_n_times() {
+        let mut count = 0;
+        cases(1234, 17, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn timer_reports_positive_time() {
+        let t = bench::Timer::new(3, 2);
+        let median = t.time("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert!(median >= 0.0);
+    }
+}

@@ -163,7 +163,7 @@ mod tests {
     fn lru_evicts_oldest_way() {
         // 2 sets of 2 ways; lines mapping to set 0: line numbers even.
         let mut c = tiny();
-        let a = 0 * 64; // line 0, set 0
+        let a = 0; // line 0, set 0
         let b = 2 * 64; // line 2, set 0
         let d = 4 * 64; // line 4, set 0
         assert_eq!(c.fetch(a), 10);

@@ -6,6 +6,7 @@
 //! squashc <source.mc>... [options]
 //!   --theta <f>        cold-code threshold θ (default 0.0)
 //!   --buffer <bytes>   runtime buffer bound K (default 512)
+//!   --cache-slots <n>  decompressed-region cache slots (default 1)
 //!   --profile <file>   profiling input bytes (default: empty input)
 //!   --save-profile <f> write the collected block profile to a file
 //!   --load-profile <f> use a saved profile instead of profiling
@@ -31,6 +32,7 @@ struct Args {
     sources: Vec<String>,
     theta: f64,
     buffer: u32,
+    cache_slots: usize,
     profile: Option<String>,
     run: Option<String>,
     emit: Option<String>,
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         sources: Vec::new(),
         theta: 0.0,
         buffer: 512,
+        cache_slots: 1,
         profile: None,
         run: None,
         emit: None,
@@ -66,6 +69,14 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--theta" => args.theta = value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?,
             "--buffer" => args.buffer = value("--buffer")?.parse().map_err(|e| format!("--buffer: {e}"))?,
+            "--cache-slots" => {
+                args.cache_slots = value("--cache-slots")?
+                    .parse()
+                    .map_err(|e| format!("--cache-slots: {e}"))?;
+                if args.cache_slots == 0 {
+                    return Err("--cache-slots must be at least 1".to_string());
+                }
+            }
             "--profile" => args.profile = Some(value("--profile")?),
             "--run" => args.run = Some(value("--run")?),
             "--emit" => args.emit = Some(value("--emit")?),
@@ -90,8 +101,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: squashc <source.mc>... [--theta F] [--buffer N] \
-                            [--profile FILE] [--run FILE] [--emit FILE] [--no-squeeze] \
-                            [--strategy dfs|greedy] [--jump-tables MODE] [--dump-regions]"
+                            [--cache-slots N] [--profile FILE] [--run FILE] [--emit FILE] \
+                            [--no-squeeze] [--strategy dfs|greedy] [--jump-tables MODE] \
+                            [--dump-regions]"
                     .to_string())
             }
             other if !other.starts_with('-') => args.sources.push(other.to_string()),
@@ -160,6 +172,7 @@ fn run() -> Result<(), String> {
     let options = SquashOptions {
         theta: args.theta,
         buffer_limit: args.buffer,
+        cache_slots: args.cache_slots,
         region_strategy: args.strategy,
         jump_tables: args.jump_tables,
         ..Default::default()
@@ -217,6 +230,14 @@ fn run() -> Result<(), String> {
             100.0 * (compressed.cycles as f64 / original.cycles as f64 - 1.0),
             compressed.runtime.decompressions,
             compressed.runtime.stub_allocs,
+        );
+        println!(
+            "run: region cache ({} slot{}): {} hits, {} misses, {} evictions",
+            args.cache_slots,
+            if args.cache_slots == 1 { "" } else { "s" },
+            compressed.runtime.cache_hits,
+            compressed.runtime.cache_misses,
+            compressed.runtime.evictions,
         );
     }
     Ok(())

@@ -63,6 +63,13 @@ fn run() -> Result<i64, String> {
             result.runtime.stub_allocs,
             result.status
         );
+        eprintln!(
+            "[squashrun] region cache: {} slots, {} hits, {} misses, {} evictions",
+            squashed.runtime.cache_slots,
+            result.runtime.cache_hits,
+            result.runtime.cache_misses,
+            result.runtime.evictions
+        );
         eprintln!("[squashrun] footprint:\n{}", squashed.stats.footprint);
     }
     Ok(result.status)

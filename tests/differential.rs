@@ -1,0 +1,108 @@
+//! Differential test harness: every workload, original vs. squashed, across
+//! region-cache sizes.
+//!
+//! For each program in `crates/workloads` the squashed binary must be
+//! observationally identical to the original — same exit status, same output
+//! bytes — on the timing input (truncated to keep debug-mode runs quick),
+//! with the decompressed-region cache at N ∈ {1, 2, 4} slots. θ is set high
+//! enough that the timing runs actually exercise the decompressor, so the
+//! equality is a statement about code that really ran out of the cache.
+
+use squash_repro::squash::{pipeline, SquashOptions, Squasher};
+
+const CACHE_SIZES: [usize; 3] = [1, 2, 4];
+
+/// Truncation bound for timing inputs: long enough to reach the cold paths,
+/// short enough for debug-mode cycles (the precedent is `tests/system.rs`).
+const INPUT_CAP: usize = 6_000;
+
+fn check_workload(name: &str) {
+    let workload = squash_repro::workloads::by_name(name).expect("workload exists");
+    let (program, _) = workload.squeezed();
+    let profile =
+        pipeline::profile(&program, &[workload.profiling_input()]).expect("profile");
+    let mut input = workload.timing_input();
+    input.truncate(INPUT_CAP);
+    let original = pipeline::run_original(&program, &input).expect("original run");
+    for slots in CACHE_SIZES {
+        let options = SquashOptions {
+            theta: 1e-3,
+            cache_slots: slots,
+            ..Default::default()
+        };
+        let squashed = Squasher::new(&program, &profile, &options)
+            .expect("setup")
+            .finish()
+            .expect("squash");
+        let compressed = pipeline::run_squashed(&squashed, &input)
+            .unwrap_or_else(|e| panic!("{name} with {slots} cache slots: {e}"));
+        assert_eq!(
+            original.status, compressed.status,
+            "{name}: exit status diverged with {slots} cache slots"
+        );
+        assert_eq!(
+            original.output, compressed.output,
+            "{name}: output diverged with {slots} cache slots"
+        );
+        let rt = &compressed.runtime;
+        assert_eq!(
+            rt.cache_hits + rt.cache_misses,
+            rt.decompressions + rt.cache_hits,
+            "{name}: hit/miss accounting out of balance with {slots} slots"
+        );
+        if slots == 1 {
+            assert_eq!(
+                rt.cache_hits, 0,
+                "{name}: a one-slot cache without skip_if_current never hits"
+            );
+        }
+        assert!(
+            rt.evictions <= rt.cache_misses,
+            "{name}: more evictions than misses with {slots} slots"
+        );
+    }
+}
+
+macro_rules! differential {
+    ($($test:ident => $name:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                check_workload($name);
+            }
+        )*
+    };
+}
+
+// One test per workload so failures name the program and the suite
+// parallelises across the harness's threads.
+differential! {
+    adpcm => "adpcm",
+    epic => "epic",
+    g721_enc => "g721_enc",
+    g721_dec => "g721_dec",
+    gsm => "gsm",
+    jpeg_enc => "jpeg_enc",
+    jpeg_dec => "jpeg_dec",
+    mpeg2enc => "mpeg2enc",
+    mpeg2dec => "mpeg2dec",
+    pgp => "pgp",
+    rasta => "rasta",
+}
+
+/// The harness covers the whole suite: if a workload is added to the crate
+/// without a differential test, this fails and names it.
+#[test]
+fn every_workload_is_covered() {
+    let covered = [
+        "adpcm", "epic", "g721_enc", "g721_dec", "gsm", "jpeg_enc", "jpeg_dec",
+        "mpeg2enc", "mpeg2dec", "pgp", "rasta",
+    ];
+    for w in squash_repro::workloads::all() {
+        assert!(
+            covered.contains(&w.name),
+            "workload {} has no differential test",
+            w.name
+        );
+    }
+}
