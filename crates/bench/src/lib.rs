@@ -158,6 +158,181 @@ pub fn theta_label(theta: f64) -> String {
     }
 }
 
+/// Machine-readable bench output: `BENCH_PR2.json` at the repository root,
+/// a flat two-level map `{section: {metric: number}}` seeding the perf
+/// trajectory. Each bench binary merges its own section into the file, so
+/// running `stream_codec` and `decompressor` in either order produces one
+/// combined report. The format is deliberately tiny (std-only writer and
+/// reader for exactly this shape — no JSON dependency).
+pub mod report {
+    use std::collections::BTreeMap;
+    use std::fs;
+    use std::path::PathBuf;
+
+    /// Where the report lives unless `BENCH_JSON` overrides it: the
+    /// workspace root, independent of the bench binary's working directory.
+    pub fn path() -> PathBuf {
+        match std::env::var_os("BENCH_JSON") {
+            Some(p) => PathBuf::from(p),
+            None => PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_PR2.json"
+            )),
+        }
+    }
+
+    /// Whether the bench should run in CI smoke/check mode (`BENCH_SMOKE`
+    /// set to anything but `0`): fewest measurement runs, reduced workload
+    /// set, same code paths.
+    pub fn smoke() -> bool {
+        std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0")
+    }
+
+    /// Merges `entries` under `section` into the report file, preserving
+    /// every other section, and writes it back.
+    pub fn write(section: &str, entries: &[(String, f64)]) {
+        let p = path();
+        let mut sections = fs::read_to_string(&p)
+            .ok()
+            .and_then(|text| parse(&text))
+            .unwrap_or_default();
+        let s = sections.entry(section.to_string()).or_default();
+        for (k, v) in entries {
+            s.insert(k.clone(), *v);
+        }
+        let text = emit(&sections);
+        if let Err(e) = fs::write(&p, text) {
+            eprintln!("warning: could not write {}: {e}", p.display());
+        } else {
+            println!("wrote {}", p.display());
+        }
+    }
+
+    type Sections = BTreeMap<String, BTreeMap<String, f64>>;
+
+    fn emit(sections: &Sections) -> String {
+        let mut out = String::from("{\n");
+        for (si, (name, entries)) in sections.iter().enumerate() {
+            out.push_str(&format!("  {name:?}: {{\n"));
+            for (ei, (k, v)) in entries.iter().enumerate() {
+                let comma = if ei + 1 == entries.len() { "" } else { "," };
+                out.push_str(&format!("    {k:?}: {v}{comma}\n"));
+            }
+            let comma = if si + 1 == sections.len() { "" } else { "," };
+            out.push_str(&format!("  }}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses the exact shape [`emit`] writes (plus arbitrary whitespace).
+    /// Returns `None` on anything unexpected — the caller then starts a
+    /// fresh report rather than corrupting a hand-edited file.
+    fn parse(text: &str) -> Option<Sections> {
+        let mut chars = text.chars().peekable();
+        fn skip_ws(c: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+            while c.peek().is_some_and(|ch| ch.is_whitespace()) {
+                c.next();
+            }
+        }
+        fn expect(c: &mut std::iter::Peekable<std::str::Chars<'_>>, ch: char) -> Option<()> {
+            skip_ws(c);
+            (c.next()? == ch).then_some(())
+        }
+        fn string(c: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+            expect(c, '"')?;
+            let mut s = String::new();
+            loop {
+                match c.next()? {
+                    '"' => return Some(s),
+                    '\\' => s.push(c.next()?),
+                    ch => s.push(ch),
+                }
+            }
+        }
+        fn number(c: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<f64> {
+            skip_ws(c);
+            let mut s = String::new();
+            while c
+                .peek()
+                .is_some_and(|ch| ch.is_ascii_digit() || "+-.eE".contains(*ch))
+            {
+                s.push(c.next().unwrap());
+            }
+            s.parse().ok()
+        }
+        let mut sections = Sections::new();
+        expect(&mut chars, '{')?;
+        skip_ws(&mut chars);
+        if chars.peek() == Some(&'}') {
+            return Some(sections);
+        }
+        loop {
+            let name = string(&mut chars)?;
+            expect(&mut chars, ':')?;
+            expect(&mut chars, '{')?;
+            let mut entries = BTreeMap::new();
+            skip_ws(&mut chars);
+            if chars.peek() == Some(&'}') {
+                chars.next();
+            } else {
+                loop {
+                    let k = string(&mut chars)?;
+                    expect(&mut chars, ':')?;
+                    entries.insert(k, number(&mut chars)?);
+                    skip_ws(&mut chars);
+                    match chars.next()? {
+                        ',' => continue,
+                        '}' => break,
+                        _ => return None,
+                    }
+                }
+            }
+            sections.insert(name, entries);
+            skip_ws(&mut chars);
+            match chars.next()? {
+                ',' => continue,
+                '}' => return Some(sections),
+                _ => return None,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn emit_parse_round_trip() {
+            let mut sections = Sections::new();
+            sections.insert(
+                "stream_codec".into(),
+                [("fast_ns".to_string(), 12.5), ("speedup".to_string(), 3.0)]
+                    .into_iter()
+                    .collect(),
+            );
+            sections.insert(
+                "decompressor".into(),
+                [("adpcm.cycles".to_string(), 1.25e6)].into_iter().collect(),
+            );
+            let text = emit(&sections);
+            assert_eq!(parse(&text), Some(sections));
+        }
+
+        #[test]
+        fn parse_rejects_garbage() {
+            assert_eq!(parse("not json"), None);
+            assert_eq!(parse(""), None);
+            assert_eq!(parse("{\"a\": 3}"), None, "flat maps are not sections");
+        }
+
+        #[test]
+        fn empty_object_parses() {
+            assert_eq!(parse("{}"), Some(Sections::new()));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,24 +71,48 @@ impl BitWriter {
 }
 
 /// Reads bits most-significant-first from a byte slice.
+///
+/// The reader keeps a 64-bit *window* over the underlying bytes so that
+/// multi-bit reads are a shift and a mask instead of a per-bit loop. The
+/// window is refilled word-at-a-time on demand by [`BitReader::peek_bits`];
+/// [`BitReader::consume`] then advances the logical position. `bits_read()`
+/// always reflects exactly the bits consumed, never the bits buffered, so
+/// the per-bit cycle accounting of the simulated decompressor is unaffected
+/// by the buffering.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
+    /// Total bit length of `bytes`, precomputed so the hot decode path can
+    /// bound-check with a single add-and-compare.
+    total_bits: u64,
     /// Next bit position from the start of the slice.
     pos: u64,
+    /// The bits at `pos` onward, MSB-aligned: `cur` holds bits
+    /// `[pos, pos + avail)` of the input in its top `avail` bits,
+    /// zero-padded past the end of `bytes`. Peek is then a single shift.
+    cur: u64,
+    /// Number of buffered *input* bits in `cur` (0 = window not loaded).
+    /// Invariant: `avail <= remaining()`, so a codeword of length
+    /// `<= avail` is known to be made of real stream bits — the decode
+    /// fast path's EOF check is one register compare (see
+    /// [`BitReader::commit_peeked`]).
+    avail: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader positioned at the first bit of `bytes`.
     pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
-        BitReader { bytes, pos: 0 }
+        BitReader::at_bit(bytes, 0)
     }
 
     /// Creates a reader positioned at bit `bit_offset`.
     pub fn at_bit(bytes: &'a [u8], bit_offset: u64) -> BitReader<'a> {
         BitReader {
             bytes,
+            total_bits: bytes.len() as u64 * 8,
             pos: bit_offset,
+            cur: 0,
+            avail: 0,
         }
     }
 
@@ -98,27 +122,155 @@ impl<'a> BitReader<'a> {
         self.pos
     }
 
+    /// The number of unconsumed bits left in the input.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.total_bits.saturating_sub(self.pos)
+    }
+
+    /// Reloads the window so `cur` holds the 64 bits starting at `pos`
+    /// (zero-padded past the end of the input).
+    fn refill(&mut self) {
+        let base = (self.pos / 8) as usize;
+        let word = match self.bytes.get(base..base + 8) {
+            Some(w) => u64::from_be_bytes(w.try_into().expect("8-byte slice")),
+            // Within 8 bytes of the end: assemble what's left, zero-padded.
+            None => {
+                let mut w = 0u64;
+                for i in 0..8 {
+                    let byte = self.bytes.get(base + i).copied().unwrap_or(0);
+                    w = (w << 8) | byte as u64;
+                }
+                w
+            }
+        };
+        let skew = (self.pos % 8) as u32;
+        self.cur = word << skew;
+        // Clamped to the input: near the end `cur` still zero-pads, but
+        // `avail` only counts real bits (see the field invariant).
+        self.avail = (self.remaining()).min((64 - skew) as u64) as u32;
+    }
+
+    /// Advances the window past `count` bits just consumed (`pos` already
+    /// moved). Dropping the whole window is always safe — it just forces a
+    /// refill on the next peek.
+    #[inline]
+    fn advance_window(&mut self, count: u32) {
+        if count < self.avail {
+            self.cur <<= count;
+            self.avail -= count;
+        } else {
+            self.avail = 0;
+        }
+    }
+
+    /// Returns the next `count` bits without consuming them, MSB-first in
+    /// the low bits of the result. Bits past the end of the input read as
+    /// zero; check [`BitReader::remaining`] to classify end-of-input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    #[inline]
+    pub fn peek_bits(&mut self, count: u32) -> u32 {
+        assert!(count <= 32, "cannot peek more than 32 bits at once");
+        if count == 0 {
+            return 0;
+        }
+        if self.avail < count {
+            self.refill();
+        }
+        (self.cur >> (64 - count)) as u32
+    }
+
+    /// Advances past `count` bits previously seen with
+    /// [`BitReader::peek_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` bits remain: consuming padding would
+    /// corrupt the `bits_read()` accounting.
+    #[inline]
+    pub fn consume(&mut self, count: u32) {
+        assert!(
+            count as u64 <= self.remaining(),
+            "cannot consume past end of input"
+        );
+        self.pos += count as u64;
+        self.advance_window(count);
+    }
+
+    /// [`BitReader::peek_bits`] without the public-API assertions, for the
+    /// table decoder's per-symbol path. Contract: `1 <= count <= 32`.
+    #[inline]
+    pub(crate) fn peek_code(&mut self, count: u32) -> u32 {
+        debug_assert!((1..=32).contains(&count));
+        if self.avail < count {
+            self.refill();
+        }
+        (self.cur >> (64 - count)) as u32
+    }
+
+    /// Commits `len` bits of the window after a `peek_code(count)` with
+    /// `len <= count`, returning whether they were real input bits. Thanks
+    /// to the `avail <= remaining()` invariant this is a single register
+    /// compare: a fresh peek leaves `avail >= count` unless the input has
+    /// fewer than `count` bits left, in which case `avail` *is* the exact
+    /// remainder — so `len <= avail` iff `len <= remaining()`.
+    #[inline]
+    pub(crate) fn commit_peeked(&mut self, len: u32) -> bool {
+        debug_assert!(len <= 32);
+        if len > self.avail {
+            return false;
+        }
+        self.cur <<= len;
+        self.avail -= len;
+        self.pos += len as u64;
+        true
+    }
+
+    /// Advances past `count` bits if at least that many remain, returning
+    /// whether it did; a refusal consumes nothing. The checked counterpart
+    /// of [`BitReader::consume`] for decode fast paths that must degrade to
+    /// a fallback instead of panicking.
+    #[inline]
+    pub fn try_consume(&mut self, count: u32) -> bool {
+        if self.pos + count as u64 > self.total_bits {
+            return false;
+        }
+        self.pos += count as u64;
+        self.advance_window(count);
+        true
+    }
+
     /// Reads one bit. Returns `None` at end of input.
     #[inline]
     pub fn read_bit(&mut self) -> Option<u32> {
         let byte = self.bytes.get((self.pos / 8) as usize)?;
         let bit = (byte >> (7 - (self.pos % 8))) & 1;
         self.pos += 1;
+        // The window is keyed to `pos`; drop it rather than maintain it so
+        // the per-bit path stays as lean as the pre-window reader.
+        self.avail = 0;
         Some(bit as u32)
     }
 
     /// Reads `count` bits into the low bits of the result, MSB-first.
-    /// Returns `None` if the input is exhausted first.
+    /// Returns `None` if the input is exhausted first; a failed read
+    /// consumes nothing (`bits_read()` is unchanged).
     ///
     /// # Panics
     ///
     /// Panics if `count > 32`.
+    #[inline]
     pub fn read_bits(&mut self, count: u32) -> Option<u32> {
         assert!(count <= 32, "cannot read more than 32 bits at once");
-        let mut v = 0u32;
-        for _ in 0..count {
-            v = (v << 1) | self.read_bit()?;
+        if count as u64 > self.remaining() {
+            return None;
         }
+        let v = self.peek_bits(count);
+        self.pos += count as u64;
+        self.advance_window(count);
         Some(v)
     }
 }
@@ -160,6 +312,88 @@ mod tests {
     fn read_bits_partial_failure_is_none() {
         let mut r = BitReader::new(&[0xAA]);
         assert_eq!(r.read_bits(9), None);
+    }
+
+    /// Regression: a failed `read_bits` used to consume the bits it managed
+    /// to read before hitting end-of-input, leaving the reader at a garbage
+    /// position. Failed reads must be side-effect-free.
+    #[test]
+    fn failed_read_bits_consumes_nothing() {
+        let mut r = BitReader::new(&[0b1010_1010]);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.bits_read(), 3);
+        // 5 bits remain; asking for more must fail without moving.
+        assert_eq!(r.read_bits(6), None);
+        assert_eq!(r.bits_read(), 3, "failed read must not consume bits");
+        // The reader is still usable from the same position.
+        assert_eq!(r.read_bits(5), Some(0b01010));
+        assert_eq!(r.bits_read(), 8);
+        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.bits_read(), 8);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = BitReader::new(&[0b1100_0101, 0b0011_1010]);
+        assert_eq!(r.peek_bits(6), 0b110001);
+        assert_eq!(r.bits_read(), 0);
+        assert_eq!(r.peek_bits(6), 0b110001, "peek is repeatable");
+        r.consume(2);
+        assert_eq!(r.bits_read(), 2);
+        assert_eq!(r.peek_bits(10), 0b0001010011);
+        r.consume(10);
+        assert_eq!(r.read_bits(4), Some(0b1010));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn peek_past_end_is_zero_padded() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.peek_bits(12), 0b1111_1111_0000);
+        let mut empty = BitReader::new(&[]);
+        assert_eq!(empty.peek_bits(32), 0);
+        assert_eq!(empty.remaining(), 0);
+    }
+
+    #[test]
+    fn peek_spanning_window_refills() {
+        // 16 bytes of alternating patterns; peeks at positions that force
+        // the 64-bit window to reload mid-stream.
+        let bytes: Vec<u8> = (0..16).map(|i| if i % 2 == 0 { 0xA5 } else { 0x3C }).collect();
+        let mut a = BitReader::new(&bytes);
+        let mut b = BitReader::new(&bytes);
+        let mut read = 0u64;
+        while read < bytes.len() as u64 * 8 {
+            let n = ((read % 13) + 1).min(bytes.len() as u64 * 8 - read) as u32;
+            let peeked = a.peek_bits(n);
+            a.consume(n);
+            assert_eq!(Some(peeked), b.read_bits(n), "at bit {read}");
+            read += n as u64;
+        }
+        assert_eq!(a.bits_read(), b.bits_read());
+    }
+
+    #[test]
+    fn prop_peek_consume_matches_read_bits() {
+        cases(0xB1712, 256, |rng: &mut Rng| {
+            let bytes: Vec<u8> = rng.vec(0, 64, |r| r.u8());
+            let mut a = BitReader::new(&bytes);
+            let mut b = BitReader::new(&bytes);
+            loop {
+                let n = rng.range(1, 32) as u32;
+                if n as u64 > a.remaining() {
+                    assert_eq!(b.read_bits(n), None);
+                    let before = b.bits_read();
+                    assert_eq!(b.bits_read(), before);
+                    break;
+                }
+                let v = a.peek_bits(n);
+                a.consume(n);
+                assert_eq!(b.read_bits(n), Some(v));
+                assert_eq!(a.bits_read(), b.bits_read());
+            }
+        });
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::bitio::{BitReader, BitWriter};
 
@@ -45,7 +46,7 @@ impl fmt::Display for HuffmanError {
 impl std::error::Error for HuffmanError {}
 
 /// A canonical Huffman code over `u32` symbol values.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CanonicalCode {
     /// `counts[i]` = `N[i]`, the number of codewords of length `i`
     /// (`counts[0]` is always 0). Empty for a code over zero symbols.
@@ -54,11 +55,117 @@ pub struct CanonicalCode {
     values: Vec<u32>,
     /// Encoder side: symbol → (codeword, length).
     enc: HashMap<u32, (u32, u32)>,
+    /// Fast-decoder lookup table, built lazily on first decode and shared by
+    /// every region decoded with this code. Not part of the code's identity.
+    table: OnceLock<DecodeTable>,
 }
+
+/// Equality is over the canonical tables only; the lazily built decode table
+/// is a cache and `enc` is derived from `counts`/`values`.
+impl PartialEq for CanonicalCode {
+    fn eq(&self, other: &CanonicalCode) -> bool {
+        self.counts == other.counts && self.values == other.values
+    }
+}
+
+impl Eq for CanonicalCode {}
 
 /// Codeword lengths above this trigger frequency rescaling during
 /// construction, keeping every codeword in a `u32`.
 const MAX_CODE_LEN: u32 = 31;
+
+/// Root-table index width for the two-tier fast decoder: one table entry per
+/// possible next-`ROOT_BITS` bits. 2^10 × 8 bytes = 8 KiB per code — small
+/// enough to build eagerly per stream, wide enough that in practice almost
+/// every codeword resolves in one lookup (opcode/register/literal streams
+/// rarely exceed 10-bit codewords).
+const ROOT_BITS: u32 = 10;
+
+/// The zlib/zstd-style lookup table behind [`CanonicalCode::decode`]: the
+/// next `root_bits` of the stream index straight into `root`, whose entry
+/// packs `(symbol-value << 6) | codeword-length` for codewords no longer
+/// than `root_bits` — the decoded value itself lives in the entry, so a hit
+/// costs one table load with no second lookup through `D[]`. An entry of 0
+/// marks a prefix that is either a longer codeword or invalid; those take
+/// the reference path.
+///
+/// Entries are `u32` (half the cache footprint of a wider entry — the table
+/// is hit with effectively uniform-random indices, so footprint is latency).
+/// A symbol value too wide to pack beside the 6-bit length is simply left
+/// as a fallback entry; every field stream's values fit in 26 bits.
+#[derive(Debug, Clone)]
+struct DecodeTable {
+    root: Vec<u32>,
+    root_bits: u32,
+}
+
+/// Largest symbol value that fits in a root entry above the 6-bit length.
+const MAX_PACKED_VALUE: u32 = u32::MAX >> 6;
+
+impl DecodeTable {
+    /// Builds the root table from the canonical `N[i]`/`D[j]` arrays by
+    /// enumerating codewords in canonical order (the same recurrence as the
+    /// encoder).
+    fn build(counts: &[u32], values: &[u32]) -> DecodeTable {
+        let max_len = counts.len().saturating_sub(1) as u32;
+        let root_bits = max_len.clamp(1, ROOT_BITS);
+        let mut root = vec![0u32; 1usize << root_bits];
+        // u64: at the 31-bit length limit the post-length doubling of a
+        // complete code reaches 2^32.
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for len in 1..=max_len {
+            for _ in 0..counts[len as usize] {
+                if len <= root_bits && values[index] <= MAX_PACKED_VALUE {
+                    // Every root index whose top `len` bits equal this
+                    // codeword decodes to it.
+                    let shift = root_bits - len;
+                    let start = (code << shift) as usize;
+                    let entry = (values[index] << 6) | len;
+                    for slot in &mut root[start..start + (1usize << shift)] {
+                        *slot = entry;
+                    }
+                }
+                code += 1;
+                index += 1;
+            }
+            code <<= 1;
+        }
+        DecodeTable { root, root_bits }
+    }
+}
+
+/// A borrowed, fully resolved view of one code's decode table: the region
+/// decode loop resolves each stream's `OnceLock` and table indirections
+/// *once* per region and then decodes every symbol through this flat
+/// struct — the per-symbol path is one peek, one table load, one consume.
+#[derive(Clone, Copy)]
+pub(crate) struct FastDecoder<'a> {
+    code: &'a CanonicalCode,
+    root: &'a [u32],
+    root_bits: u32,
+}
+
+impl FastDecoder<'_> {
+    /// Decodes one symbol; identical observable behavior to
+    /// [`CanonicalCode::decode`].
+    #[inline]
+    pub(crate) fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
+        let entry = self.root[r.peek_code(self.root_bits) as usize];
+        let len = entry & 0x3F;
+        // `commit_peeked` both bound-checks — the top `len` peeked bits
+        // must be real stream bits, not EOF padding — and advances; by
+        // prefix-freedom those bits are exactly this codeword.
+        if len != 0 && r.commit_peeked(len) {
+            return Ok(entry >> 6);
+        }
+        // Longer codeword, invalid prefix, or stream too short: the
+        // reference loop reproduces the exact bit consumption and error
+        // classification (an all-zero table, e.g. an empty code, lands
+        // here too and yields `Corrupt`).
+        self.code.decode_reference(r)
+    }
+}
 
 impl CanonicalCode {
     /// Builds the optimal canonical code for the given symbol frequencies.
@@ -79,6 +186,7 @@ impl CanonicalCode {
                 counts: Vec::new(),
                 values: Vec::new(),
                 enc: HashMap::new(),
+                table: OnceLock::new(),
             };
         }
         let mut lengths = code_lengths(&symbols);
@@ -100,6 +208,7 @@ impl CanonicalCode {
                 counts: Vec::new(),
                 values: Vec::new(),
                 enc: HashMap::new(),
+                table: OnceLock::new(),
             };
         }
         // Canonical order: by length, then by symbol value.
@@ -109,9 +218,11 @@ impl CanonicalCode {
         for &(_, len) in &pairs {
             counts[len as usize] += 1;
         }
-        // b_i per the paper's recurrence.
-        let mut first = vec![0u32; (max_len + 2) as usize];
-        for i in 2..=(max_len as usize + 1) {
+        // b_i per the paper's recurrence, for i ≤ max_len only: b_{max+1}
+        // would be 2^(max_len+1), which overflows u32 at the 31-bit limit
+        // and corresponds to no codeword anyway.
+        let mut first = vec![0u32; (max_len + 1) as usize];
+        for i in 2..=(max_len as usize) {
             first[i] = 2 * (first[i - 1] + counts.get(i - 1).copied().unwrap_or(0));
         }
         let mut enc = HashMap::with_capacity(pairs.len());
@@ -123,7 +234,12 @@ impl CanonicalCode {
             enc.insert(v, (code, len));
             values.push(v);
         }
-        CanonicalCode { counts, values, enc }
+        CanonicalCode {
+            counts,
+            values,
+            enc,
+            table: OnceLock::new(),
+        }
     }
 
     /// The number of distinct symbols in the code.
@@ -167,6 +283,40 @@ impl CanonicalCode {
         Ok(())
     }
 
+    /// Decodes one symbol from `r` via the two-tier fast path: peek the next
+    /// `root_bits` bits, and if they start a codeword short enough to live
+    /// in the root table, resolve symbol and length in one lookup. Longer
+    /// codewords, invalid prefixes, and too-short streams fall back to
+    /// [`CanonicalCode::decode_reference`], which reproduces the reference
+    /// decoder's exact bit consumption and error classification.
+    ///
+    /// The table is built on first use and reused for every later decode
+    /// with this code (all regions of a program share one code per stream).
+    /// Both paths consume exactly the codeword's bits on success, so cycle
+    /// accounting charged per bit read is identical whichever path ran.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::UnexpectedEof`] if the stream ends mid-codeword,
+    /// [`HuffmanError::Corrupt`] if no codeword matches.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
+        self.fast_decoder().decode(r)
+    }
+
+    /// Resolves the lazily built decode table into a [`FastDecoder`] so a
+    /// caller decoding many symbols (the region decode loop) pays the
+    /// `OnceLock` and table indirections once, not per symbol.
+    pub(crate) fn fast_decoder(&self) -> FastDecoder<'_> {
+        let t = self
+            .table
+            .get_or_init(|| DecodeTable::build(&self.counts, &self.values));
+        FastDecoder {
+            code: self,
+            root: &t.root,
+            root_bits: t.root_bits,
+        }
+    }
+
     /// Decodes one symbol from `r` using the paper's `DECODE()` loop:
     ///
     /// ```text
@@ -180,11 +330,16 @@ impl CanonicalCode {
     /// return D[j + v − b]
     /// ```
     ///
+    /// This one-bit-at-a-time loop is the differential reference oracle for
+    /// the table-driven [`CanonicalCode::decode`]; the fast path must match
+    /// its decoded symbols, bit consumption, and error classification
+    /// exactly (see `tests/decoder_differential.rs` in this crate).
+    ///
     /// # Errors
     ///
     /// [`HuffmanError::UnexpectedEof`] if the stream ends mid-codeword,
     /// [`HuffmanError::Corrupt`] if no codeword matches.
-    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
+    pub fn decode_reference(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
         if self.counts.is_empty() {
             return Err(HuffmanError::Corrupt);
         }

@@ -48,6 +48,14 @@ pub enum CompressError {
         /// The decoded opcode value.
         opcode: u32,
     },
+    /// Decompression produced an opcode symbol outside the 6-bit opcode
+    /// space — a corrupt stream or model. Kept distinct from
+    /// [`CompressError::BadOpcode`] so the out-of-range symbol is reported
+    /// in full rather than silently truncated to 8 bits.
+    OpcodeOutOfRange {
+        /// The decoded symbol, in full.
+        symbol: u32,
+    },
     /// A region to compress contains the sentinel, which is reserved.
     SentinelInInput,
 }
@@ -57,6 +65,9 @@ impl fmt::Display for CompressError {
         match self {
             CompressError::Huffman(e) => write!(f, "huffman error: {e}"),
             CompressError::BadOpcode { opcode } => write!(f, "bad opcode {opcode} in stream"),
+            CompressError::OpcodeOutOfRange { symbol } => {
+                write!(f, "opcode symbol {symbol} outside the 6-bit opcode space")
+            }
             CompressError::SentinelInInput => write!(f, "sentinel instruction in input region"),
         }
     }
@@ -226,10 +237,14 @@ impl StreamModel {
     }
 
     /// Decompresses one region starting at `bit_offset` within `bytes`,
-    /// stopping at (and consuming) the sentinel.
+    /// stopping at (and consuming) the sentinel, using the table-driven fast
+    /// decoder ([`CanonicalCode::decode`]) on each of the field streams.
     ///
     /// Returns the instructions and the number of bits read — the
-    /// decompressor's cycle cost model charges per bit.
+    /// decompressor's cycle cost model charges per bit, and the fast decoder
+    /// reads exactly the bits the reference decoder would, so simulated
+    /// cycle counts are independent of which decoder ran (see
+    /// [`StreamModel::decompress_region_reference`]).
     ///
     /// # Errors
     ///
@@ -239,28 +254,113 @@ impl StreamModel {
         bytes: &[u8],
         bit_offset: u64,
     ) -> Result<(Vec<Inst>, u64), CompressError> {
+        // Resolve every stream's decode table once; the loop then decodes
+        // each symbol through a flat borrowed view (see
+        // `CanonicalCode::fast_decoder`).
+        let decoders: [_; FieldKind::COUNT] =
+            std::array::from_fn(|i| self.codes[i].fast_decoder());
+        if self.options.mtf.iter().any(|&on| on) {
+            // MTF decode is stateful per symbol; route it through the
+            // generic loop (the paper's default rejects MTF, so this is the
+            // cold configuration).
+            return self.decompress_region_with(bytes, bit_offset, |kind, r| {
+                decoders[kind.index()].decode(r)
+            });
+        }
+        // The hot shape: `Inst::from_field_source` classifies each opcode
+        // once and requests its fields in stream order, so every per-field
+        // decoder below resolves to a compile-time constant index into
+        // `decoders` — table pointers stay in registers across the region.
         let mut r = BitReader::at_bit(bytes, bit_offset);
-        let mut mtfs = make_mtfs(&self.options, &self.alphabets);
-        let get = |kind: FieldKind, r: &mut BitReader<'_>, mtfs: &mut [Option<Mtf>]| {
-            let sym = self.codes[kind.index()].decode(r)?;
+        let mut insts = Vec::with_capacity(64);
+        loop {
+            let opcode = decoders[FieldKind::Opcode.index()].decode(&mut r)?;
+            if opcode == OPCODE_ILLEGAL as u32 {
+                break;
+            }
+            // Guard the 6-bit opcode space before narrowing: a corrupt
+            // stream or model can decode to a symbol > 0x3F, which an `as
+            // u8` cast would silently fold into a valid-looking opcode.
+            if opcode > OPCODE_ILLEGAL as u32 {
+                return Err(CompressError::OpcodeOutOfRange { symbol: opcode });
+            }
+            let built = Inst::from_field_source(opcode as u8, |kind| {
+                decoders[kind.index()].decode(&mut r)
+            })?;
+            match built {
+                Ok(inst) => insts.push(inst),
+                Err(_) => return Err(CompressError::BadOpcode { opcode }),
+            }
+        }
+        Ok((insts, r.bits_read() - bit_offset))
+    }
+
+    /// [`StreamModel::decompress_region`] forced onto the one-bit-at-a-time
+    /// reference decoder ([`CanonicalCode::decode_reference`]). The
+    /// differential tests and benches pit the fast path against this oracle:
+    /// identical instructions, identical bit counts, identical errors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamModel::decompress_region`].
+    pub fn decompress_region_reference(
+        &self,
+        bytes: &[u8],
+        bit_offset: u64,
+    ) -> Result<(Vec<Inst>, u64), CompressError> {
+        self.decompress_region_with(bytes, bit_offset, |kind, r| {
+            self.codes[kind.index()].decode_reference(r)
+        })
+    }
+
+    /// The shared one-pass decode loop, parameterized by the per-symbol
+    /// decoder so the fast path and the reference oracle cannot drift.
+    fn decompress_region_with(
+        &self,
+        bytes: &[u8],
+        bit_offset: u64,
+        mut decode: impl FnMut(FieldKind, &mut BitReader<'_>) -> Result<u32, HuffmanError>,
+    ) -> Result<(Vec<Inst>, u64), CompressError> {
+        let mut r = BitReader::at_bit(bytes, bit_offset);
+        // MTF is off by default (the paper rejects it for decode speed);
+        // when no stream uses it, keep the per-symbol path free of the
+        // transform entirely.
+        let any_mtf = self.options.mtf.iter().any(|&on| on);
+        let mut mtfs = if any_mtf {
+            make_mtfs(&self.options, &self.alphabets)
+        } else {
+            Vec::new()
+        };
+        let mut get = |kind: FieldKind, r: &mut BitReader<'_>| {
+            let sym = decode(kind, r)?;
+            if !any_mtf {
+                return Ok(sym);
+            }
             match &mut mtfs[kind.index()] {
                 Some(m) => m.decode(sym).ok_or(HuffmanError::Corrupt),
                 None => Ok(sym),
             }
         };
-        let mut insts = Vec::new();
+        let mut insts = Vec::with_capacity(64);
+        // No instruction has more than 4 operand fields.
+        let mut values = [0u32; 4];
         loop {
-            let opcode = get(FieldKind::Opcode, &mut r, &mut mtfs)?;
+            let opcode = get(FieldKind::Opcode, &mut r)?;
             if opcode == OPCODE_ILLEGAL as u32 {
                 break;
             }
+            // Guard the 6-bit opcode space before narrowing: a corrupt
+            // stream or model can decode to a symbol > 0x3F, which an `as
+            // u8` cast would silently fold into a valid-looking opcode.
+            if opcode > OPCODE_ILLEGAL as u32 {
+                return Err(CompressError::OpcodeOutOfRange { symbol: opcode });
+            }
             let kinds = Inst::field_kinds_for(opcode as u8)
                 .ok_or(CompressError::BadOpcode { opcode })?;
-            let mut values = Vec::with_capacity(kinds.len());
-            for &kind in kinds {
-                values.push(get(kind, &mut r, &mut mtfs)?);
+            for (slot, &kind) in values.iter_mut().zip(kinds) {
+                *slot = get(kind, &mut r)?;
             }
-            let inst = Inst::from_fields(opcode as u8, &values)
+            let inst = Inst::from_fields(opcode as u8, &values[..kinds.len()])
                 .map_err(|_| CompressError::BadOpcode { opcode })?;
             insts.push(inst);
         }

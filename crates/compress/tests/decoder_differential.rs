@@ -1,0 +1,299 @@
+//! Differential tests: the table-driven fast decoder vs. the bit-by-bit
+//! reference decoder.
+//!
+//! [`CanonicalCode::decode`] (root-table lookup with a reference fallback)
+//! must be indistinguishable from [`CanonicalCode::decode_reference`] (the
+//! paper's `DECODE()` loop) in every observable way: the symbols decoded,
+//! the number of bits consumed after every step — success *or* failure —
+//! and the error classification (`UnexpectedEof` vs. `Corrupt`). The
+//! simulated decompressor charges cycles per bit read, so bit-consumption
+//! equality is what makes the fast decoder a pure host-side optimisation
+//! with provably unchanged simulated cost.
+
+use std::collections::HashMap;
+
+use squash_compress::{
+    BitReader, BitWriter, CanonicalCode, CompressError, StreamModel, StreamOptions,
+};
+use squash_isa::{AluOp, BraOp, Inst, MemOp, PalOp, Reg};
+use squash_testkit::{cases, Rng};
+
+/// Decodes `bytes` to exhaustion with both decoders in lockstep, asserting
+/// identical symbols, identical `bits_read()` after every step, and an
+/// identical terminal error. Returns the decoded symbols.
+fn assert_lockstep(code: &CanonicalCode, bytes: &[u8]) -> Vec<u32> {
+    let mut fast = BitReader::new(bytes);
+    let mut reference = BitReader::new(bytes);
+    let mut symbols = Vec::new();
+    loop {
+        let f = code.decode(&mut fast);
+        let r = code.decode_reference(&mut reference);
+        assert_eq!(f, r, "decoders disagree at bit {}", reference.bits_read());
+        assert_eq!(
+            fast.bits_read(),
+            reference.bits_read(),
+            "bit consumption diverged after {f:?}"
+        );
+        match f {
+            Ok(sym) => symbols.push(sym),
+            Err(_) => return symbols,
+        }
+        // Every valid stream eventually errors (EOF at least), bounding the
+        // loop; guard against a decoder that stops consuming.
+        assert!(
+            fast.bits_read() > 0,
+            "decoder made no progress on a successful decode"
+        );
+    }
+}
+
+/// `n` distinct symbols below `sym_bound` with frequencies in
+/// `[1, freq_bound]`.
+fn arb_freqs(rng: &mut Rng, min_n: u64, max_n: u64) -> HashMap<u32, u64> {
+    let n = rng.range(min_n as i64, max_n as i64) as u64;
+    let mut pairs = HashMap::new();
+    while (pairs.len() as u64) < n {
+        pairs.insert(rng.below(4096) as u32, 1 + rng.below(10_000));
+    }
+    pairs
+}
+
+#[test]
+fn prop_fast_matches_reference_on_valid_streams() {
+    cases(0xFA57, 192, |rng| {
+        let freqs = arb_freqs(rng, 1, 60);
+        let code = CanonicalCode::from_frequencies(&freqs);
+        let symbols: Vec<u32> = freqs.keys().copied().collect();
+        let msg: Vec<u32> = rng.vec(0, 200, |r| *r.pick(&symbols));
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            code.encode(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let decoded = assert_lockstep(&code, &bytes);
+        // The lockstep run reads past the message into the zero padding of
+        // the final byte; the message itself must be a prefix.
+        assert!(decoded.len() >= msg.len());
+        assert_eq!(&decoded[..msg.len()], &msg[..]);
+    });
+}
+
+#[test]
+fn prop_fast_matches_reference_on_truncated_streams() {
+    cases(0x7256, 128, |rng| {
+        let freqs = arb_freqs(rng, 2, 40);
+        let code = CanonicalCode::from_frequencies(&freqs);
+        let symbols: Vec<u32> = freqs.keys().copied().collect();
+        let msg: Vec<u32> = rng.vec(1, 60, |r| *r.pick(&symbols));
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            code.encode(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let cut = rng.below(bytes.len() as u64 + 1) as usize;
+        assert_lockstep(&code, &bytes[..cut]);
+    });
+}
+
+#[test]
+fn prop_fast_matches_reference_on_garbage() {
+    cases(0x6A66, 256, |rng| {
+        let freqs = arb_freqs(rng, 1, 30);
+        let code = CanonicalCode::from_frequencies(&freqs);
+        let bytes: Vec<u8> = rng.vec(0, 64, |r| r.u8());
+        assert_lockstep(&code, &bytes);
+    });
+}
+
+#[test]
+fn single_symbol_code_lockstep() {
+    let code = CanonicalCode::from_frequencies(&HashMap::from([(7u32, 5u64)]));
+    // Codeword is a single 0 bit; an all-zero byte decodes 8 symbols, and
+    // any 1 bit is an invalid prefix.
+    for bytes in [&[0u8][..], &[0xFF][..], &[0x01][..], &[][..]] {
+        assert_lockstep(&code, bytes);
+    }
+}
+
+#[test]
+fn empty_code_rejects_identically() {
+    let code = CanonicalCode::from_frequencies(&HashMap::new());
+    for bytes in [&[][..], &[0xAB][..]] {
+        let mut fast = BitReader::new(bytes);
+        let mut reference = BitReader::new(bytes);
+        assert_eq!(code.decode(&mut fast), code.decode_reference(&mut reference));
+        assert_eq!(fast.bits_read(), 0);
+        assert_eq!(reference.bits_read(), 0);
+    }
+}
+
+/// Fibonacci frequencies build a maximally skewed Huffman tree: 32 symbols
+/// give a deepest codeword of 31 bits — the longest the code construction
+/// permits, and far past the fast decoder's root table, exercising the
+/// fallback tier.
+fn fibonacci_code() -> CanonicalCode {
+    let mut freqs = HashMap::new();
+    let (mut a, mut b) = (1u64, 1u64);
+    for sym in 0..32u32 {
+        freqs.insert(sym, a);
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    CanonicalCode::from_frequencies(&freqs)
+}
+
+#[test]
+fn max_length_codewords_take_the_fallback_path() {
+    let code = fibonacci_code();
+    let max_len = code.counts().len() as u32 - 1;
+    assert_eq!(max_len, 31, "fixture must produce a 31-bit codeword");
+    // Encode the rarest symbols (longest codewords) and some common ones.
+    let msg: Vec<u32> = vec![0, 1, 31, 0, 30, 31, 15, 2, 31];
+    let mut w = BitWriter::new();
+    for &s in &msg {
+        code.encode(s, &mut w).unwrap();
+    }
+    let bytes = w.into_bytes();
+    let decoded = assert_lockstep(&code, &bytes);
+    assert_eq!(&decoded[..msg.len()], &msg[..]);
+    // And every truncation of that stream errs identically on both paths.
+    for cut in 0..bytes.len() {
+        assert_lockstep(&code, &bytes[..cut]);
+    }
+}
+
+#[test]
+fn prop_fibonacci_streams_lockstep() {
+    let code = fibonacci_code();
+    cases(0xF1B0, 96, |rng| {
+        let msg: Vec<u32> = rng.vec(1, 40, |r| r.below(32) as u32);
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            code.encode(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let cut = rng.below(bytes.len() as u64 + 1) as usize;
+        assert_lockstep(&code, &bytes[..cut]);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Region-level differential: the full splitting-streams decode loop.
+// ---------------------------------------------------------------------------
+
+fn arb_inst(rng: &mut Rng) -> Inst {
+    match rng.below(6) {
+        0 => Inst::Mem {
+            op: *rng.pick(&MemOp::ALL),
+            ra: Reg::new(rng.below(32) as u8),
+            rb: Reg::new(rng.below(32) as u8),
+            disp: rng.i16(),
+        },
+        1 => Inst::Bra {
+            op: *rng.pick(&BraOp::ALL),
+            ra: Reg::new(rng.below(32) as u8),
+            disp: rng.range(-1000, 999) as i32,
+        },
+        2 => Inst::Opr {
+            func: *rng.pick(&AluOp::ALL),
+            ra: Reg::new(rng.below(32) as u8),
+            rb: Reg::new(rng.below(32) as u8),
+            rc: Reg::new(rng.below(32) as u8),
+        },
+        3 => Inst::Imm {
+            func: *rng.pick(&AluOp::ALL),
+            ra: Reg::new(rng.below(32) as u8),
+            lit: rng.u8(),
+            rc: Reg::new(rng.below(32) as u8),
+        },
+        4 => Inst::Jmp {
+            ra: Reg::new(rng.below(32) as u8),
+            rb: Reg::new(rng.below(32) as u8),
+            hint: 0,
+        },
+        _ => Inst::Pal {
+            func: *rng.pick(&PalOp::ALL),
+        },
+    }
+}
+
+/// Region decode through the fast and reference paths must agree exactly —
+/// instructions, bit count, or error — on valid, truncated, and garbage
+/// inputs, with and without the MTF transform.
+#[test]
+fn prop_region_decode_fast_matches_reference() {
+    cases(0x2EC0, 96, |rng| {
+        let region = rng.vec(0, 80, arb_inst);
+        let options = if rng.below(2) == 0 {
+            StreamOptions::default()
+        } else {
+            StreamOptions::with_displacement_mtf()
+        };
+        let model = StreamModel::train_with(&[&region], options);
+        let bytes = model.compress_region(&region).unwrap();
+        let fast = model.decompress_region(&bytes, 0).unwrap();
+        let reference = model.decompress_region_reference(&bytes, 0).unwrap();
+        assert_eq!(fast, reference);
+        assert_eq!(fast.0, region);
+        // Truncations and bit-flips must fail (or succeed) identically.
+        let cut = rng.below(bytes.len() as u64 + 1) as usize;
+        assert_eq!(
+            model.decompress_region(&bytes[..cut], 0),
+            model.decompress_region_reference(&bytes[..cut], 0)
+        );
+        if !bytes.is_empty() {
+            let mut corrupt = bytes.clone();
+            let i = rng.below(corrupt.len() as u64) as usize;
+            corrupt[i] ^= 1 << rng.below(8);
+            assert_eq!(
+                model.decompress_region(&corrupt, 0),
+                model.decompress_region_reference(&corrupt, 0)
+            );
+        }
+    });
+}
+
+/// A model whose opcode alphabet has been tampered with decodes symbols
+/// outside the 6-bit opcode space; the decoder must reject them as
+/// [`CompressError::OpcodeOutOfRange`] instead of truncating with `as u8`.
+#[test]
+fn out_of_range_opcode_is_a_typed_error() {
+    let region = vec![
+        Inst::Imm { func: AluOp::Add, ra: Reg::T0, lit: 1, rc: Reg::T0 },
+        Inst::Jmp { ra: Reg::ZERO, rb: Reg::RA, hint: 0 },
+    ];
+    // MTF on every stream routes decoded symbols through the serialized
+    // alphabet, so corrupting the opcode alphabet in the serialized model
+    // yields arbitrary u32 "opcodes" — e.g. 0x139 (= 0x39 mod 256), which
+    // the old `as u8` cast would have folded into a valid-looking opcode.
+    let options = StreamOptions {
+        mtf: [true; squash_isa::FieldKind::COUNT],
+    };
+    let model = StreamModel::train_with(&[&region], options);
+    let blob = model.compress_region(&region).unwrap();
+    let mut bytes = model.serialize();
+    let opcodes: Vec<u32> = region.iter().map(|i| i.opcode() as u32).collect();
+    // The serialized alphabets store each value as a little-endian u32;
+    // rewrite an opcode-alphabet entry to a value > 0x3F that aliases a
+    // trained opcode mod 256.
+    let target = opcodes[0];
+    let needle = target.to_le_bytes();
+    let pos = bytes
+        .windows(4)
+        .rposition(|w| w == needle)
+        .expect("opcode value present in serialized alphabets");
+    bytes[pos..pos + 4].copy_from_slice(&(target + 0x100).to_le_bytes());
+    let tampered = StreamModel::deserialize(&bytes).expect("structurally valid model");
+    for result in [
+        tampered.decompress_region(&blob, 0),
+        tampered.decompress_region_reference(&blob, 0),
+    ] {
+        match result {
+            Err(CompressError::OpcodeOutOfRange { symbol }) => {
+                assert_eq!(symbol, target + 0x100);
+            }
+            other => panic!("expected OpcodeOutOfRange, got {other:?}"),
+        }
+    }
+}

@@ -401,6 +401,12 @@ impl SquashRuntime {
         self.stats.cache_misses += 1;
         self.stats.bits_read += bits;
         self.stats.insts_written += insts.len() as u64;
+        // The simulated charge is a pure function of the stream: the bit
+        // count and instruction count a *correct* decoder observes. The host
+        // decoder behind `decompress_region` (the two-tier table decoder, or
+        // the bit-by-bit reference) changes host wall-clock only — both
+        // consume identical bits on every stream (asserted differentially),
+        // so the cycles charged here are decoder-independent.
         let cost = self.cfg.cost.per_call
             + bits * self.cfg.cost.per_bit
             + insts.len() as u64 * self.cfg.cost.per_inst;

@@ -358,6 +358,105 @@ impl Inst {
         }
     }
 
+    /// Reassembles an instruction by pulling field values from a callback,
+    /// in [`Inst::field_kinds_for`] order. This is the decompressor's
+    /// one-pass shape — "the decoded opcode … specifies the appropriate
+    /// Huffman codes to use for the remaining fields" (§3) — with the
+    /// opcode classified exactly once, where [`Inst::field_kinds_for`]
+    /// followed by [`Inst::from_fields`] would classify it twice.
+    ///
+    /// Every field of the instruction is requested before any function-code
+    /// validation, so a failed reassembly leaves a stream-backed callback
+    /// positioned exactly where [`Inst::from_fields`] over a pre-decoded
+    /// buffer would. An unknown opcode requests no fields at all.
+    ///
+    /// # Errors
+    ///
+    /// The outer error propagates a callback failure verbatim; the inner
+    /// result carries the same [`DecodeError`] cases as
+    /// [`Inst::from_fields`].
+    #[inline]
+    pub fn from_field_source<E>(
+        opcode: u8,
+        mut field: impl FnMut(FieldKind) -> Result<u32, E>,
+    ) -> Result<Result<Inst, DecodeError>, E> {
+        let err = DecodeError {
+            word: (opcode as u32) << 26,
+        };
+        let reg = |v: u32| Reg::new((v & MASK5) as u8);
+        if let Some(op) = MemOp::from_opcode(opcode) {
+            let ra = field(FieldKind::MemRa)?;
+            let rb = field(FieldKind::MemRb)?;
+            let disp = field(FieldKind::MemDisp)?;
+            return Ok(Ok(Inst::Mem {
+                op,
+                ra: reg(ra),
+                rb: reg(rb),
+                disp: (disp & MASK16) as u16 as i16,
+            }));
+        }
+        if let Some(op) = BraOp::from_opcode(opcode) {
+            let ra = field(FieldKind::BraRa)?;
+            let disp = field(FieldKind::BraDisp)?;
+            return Ok(Ok(Inst::Bra {
+                op,
+                ra: reg(ra),
+                disp: sext(disp & MASK21, 21),
+            }));
+        }
+        Ok(match opcode {
+            OPCODE_OPR => {
+                let ra = field(FieldKind::OprRa)?;
+                let rb = field(FieldKind::OprRb)?;
+                let func = field(FieldKind::OprFunc)?;
+                let rc = field(FieldKind::OprRc)?;
+                match AluOp::from_func((func & MASK7) as u8) {
+                    Some(func) => Ok(Inst::Opr {
+                        func,
+                        ra: reg(ra),
+                        rb: reg(rb),
+                        rc: reg(rc),
+                    }),
+                    None => Err(err),
+                }
+            }
+            OPCODE_OPI => {
+                let ra = field(FieldKind::OprRa)?;
+                let lit = field(FieldKind::ImmLit)?;
+                let func = field(FieldKind::OprFunc)?;
+                let rc = field(FieldKind::OprRc)?;
+                match AluOp::from_func((func & MASK7) as u8) {
+                    Some(func) => Ok(Inst::Imm {
+                        func,
+                        ra: reg(ra),
+                        lit: (lit & MASK8) as u8,
+                        rc: reg(rc),
+                    }),
+                    None => Err(err),
+                }
+            }
+            OPCODE_JSR => {
+                let ra = field(FieldKind::JmpRa)?;
+                let rb = field(FieldKind::JmpRb)?;
+                let hint = field(FieldKind::JmpHint)?;
+                Ok(Inst::Jmp {
+                    ra: reg(ra),
+                    rb: reg(rb),
+                    hint: (hint & MASK16) as u16,
+                })
+            }
+            OPCODE_PAL => {
+                let func = field(FieldKind::PalFunc)?;
+                match PalOp::from_func(func & MASK26) {
+                    Some(func) => Ok(Inst::Pal { func }),
+                    None => Err(err),
+                }
+            }
+            OPCODE_ILLEGAL => Ok(Inst::Illegal),
+            _ => Err(err),
+        })
+    }
+
     /// Whether this instruction unconditionally or conditionally transfers
     /// control (branch or jump; PAL `exit`/`halt` also end a block).
     pub fn is_control(&self) -> bool {
@@ -526,6 +625,52 @@ mod tests {
             let values: Vec<u32> = inst.fields().iter().map(|&(_, v)| v).collect();
             assert_eq!(Inst::from_fields(inst.opcode(), &values), Ok(inst));
         });
+    }
+
+    /// `from_field_source` must agree with `field_kinds_for` + `from_fields`
+    /// on requested kinds, order, and result — it is the fused form the
+    /// decompressor's hot loop uses.
+    #[test]
+    fn prop_from_field_source_matches_from_fields() {
+        cases(0xF05E5, 512, |rng| {
+            let inst = arb_inst(rng);
+            let opcode = inst.opcode();
+            let fields = inst.fields();
+            let mut requested = Vec::new();
+            let mut i = 0;
+            let built = Inst::from_field_source::<()>(opcode, |kind| {
+                requested.push(kind);
+                let (k, v) = fields[i];
+                assert_eq!(kind, k, "field request order");
+                i += 1;
+                Ok(v)
+            })
+            .unwrap();
+            assert_eq!(built, Ok(inst));
+            assert_eq!(
+                requested.as_slice(),
+                Inst::field_kinds_for(opcode).unwrap()
+            );
+        });
+    }
+
+    #[test]
+    fn from_field_source_rejects_like_from_fields() {
+        // Unknown opcode: no fields requested, same inner error.
+        let r = Inst::from_field_source::<()>(0x0A, |_| panic!("no fields for bad opcode"));
+        assert_eq!(r, Ok(Err(DecodeError { word: 0x0Au32 << 26 })));
+        // Bad ALU function: all four fields requested first (so a stream
+        // source ends positioned exactly as the buffered path would).
+        let mut n = 0;
+        let r = Inst::from_field_source::<()>(OPCODE_OPR, |_| {
+            n += 1;
+            Ok(100) // invalid func in slot 2, valid-but-masked elsewhere
+        });
+        assert_eq!(n, 4);
+        assert!(matches!(r, Ok(Err(_))));
+        // A callback failure propagates as the outer error.
+        let r = Inst::from_field_source(OPCODE_JSR, |_| Err("eof"));
+        assert_eq!(r, Err("eof"));
     }
 
     #[test]

@@ -57,9 +57,12 @@ impl MemOp {
         self as u8
     }
 
-    /// Looks an operation up by primary opcode.
+    /// Looks an operation up by primary opcode. The opcodes are contiguous
+    /// and `ALL` is in opcode order, so this is a range check and an index
+    /// (it sits on the decompressor's per-instruction path).
+    #[inline]
     pub fn from_opcode(op: u8) -> Option<MemOp> {
-        MemOp::ALL.iter().copied().find(|m| m.opcode() == op)
+        MemOp::ALL.get(op.wrapping_sub(MemOp::Lda as u8) as usize).copied()
     }
 
     /// Whether this operation writes to memory (as opposed to loading or
@@ -131,9 +134,11 @@ impl BraOp {
         self as u8
     }
 
-    /// Looks an operation up by primary opcode.
+    /// Looks an operation up by primary opcode. Like [`MemOp::from_opcode`],
+    /// a range check and an index over the contiguous opcode block.
+    #[inline]
     pub fn from_opcode(op: u8) -> Option<BraOp> {
-        BraOp::ALL.iter().copied().find(|b| b.opcode() == op)
+        BraOp::ALL.get(op.wrapping_sub(BraOp::Br as u8) as usize).copied()
     }
 
     /// Whether the branch is conditional (may fall through).

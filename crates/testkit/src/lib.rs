@@ -168,8 +168,22 @@ pub mod bench {
             &self,
             name: &str,
             elements: u64,
-            mut f: impl FnMut() -> T,
+            f: impl FnMut() -> T,
         ) -> f64 {
+            self.time_stats(name, elements, f).median_ns
+        }
+
+        /// [`Timer::time_throughput`] returning the full per-iteration
+        /// summary. Ratio-style comparisons (e.g. decoder speedups) should
+        /// divide the `min_ns` values: timing noise on a shared host is
+        /// strictly additive, so the minimum over runs is the estimator
+        /// least contaminated by scheduler interference.
+        pub fn time_stats<T>(
+            &self,
+            name: &str,
+            elements: u64,
+            mut f: impl FnMut() -> T,
+        ) -> Stats {
             std::hint::black_box(f()); // warm-up
             let mut nanos: Vec<f64> = Vec::with_capacity(self.runs);
             for _ in 0..self.runs {
@@ -196,8 +210,20 @@ pub mod bench {
                     fmt_ns(min)
                 );
             }
-            median
+            Stats {
+                median_ns: median,
+                min_ns: min,
+            }
         }
+    }
+
+    /// Per-iteration timing summary from [`Timer::time_stats`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Stats {
+        /// Median nanoseconds per iteration across runs.
+        pub median_ns: f64,
+        /// Minimum nanoseconds per iteration across runs.
+        pub min_ns: f64,
     }
 
     /// Formats nanoseconds with an adaptive unit.

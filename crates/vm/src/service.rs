@@ -6,7 +6,11 @@
 //! but its *instructions* are host code reached through this trap interface.
 //! The service charges the cycles its simulated equivalent would cost via
 //! [`crate::Vm::charge_cycles`]; its code-size cost is accounted separately
-//! in the footprint model (see `squash::footprint`).
+//! in the footprint model (see `squash::footprint`). The charge models the
+//! *simulated* decompressor and is a function of the work's size (calls,
+//! bits, instructions) — never of how fast the host-side implementation
+//! happens to run, so optimising the host decoder cannot perturb reported
+//! cycle counts.
 
 use crate::cpu::Vm;
 use crate::error::VmError;

@@ -7,6 +7,12 @@
 //! with the decompressed-region cache at N ∈ {1, 2, 4} slots. θ is set high
 //! enough that the timing runs actually exercise the decompressor, so the
 //! equality is a statement about code that really ran out of the cache.
+//!
+//! Since PR 2 the runtime decodes with the table-driven fast decoder; this
+//! harness additionally checks that every region decodes identically through
+//! the fast and reference decoders and that simulated cycle counts still
+//! equal the per-call/per-bit/per-inst cost model at every cache depth —
+//! i.e. the fast decoder is invisible to the simulation.
 
 use squash_repro::squash::{pipeline, SquashOptions, Squasher};
 
@@ -34,6 +40,20 @@ fn check_workload(name: &str) {
             .expect("setup")
             .finish()
             .expect("squash");
+        if slots == CACHE_SIZES[0] {
+            // Every compressed region must decode identically through the
+            // table-driven fast decoder and the bit-by-bit reference —
+            // same instructions *and* same bit count. Simulated decompression
+            // cycles are a pure function of (calls, bits, instructions), so
+            // this pins the cycle counts below to the reference decoder.
+            let rt_cfg = &squashed.runtime;
+            for (i, &off) in rt_cfg.bit_offsets.iter().enumerate() {
+                let fast = rt_cfg.model.decompress_region(&rt_cfg.blob, off);
+                let reference = rt_cfg.model.decompress_region_reference(&rt_cfg.blob, off);
+                assert_eq!(fast, reference, "{name}: region {i} decode diverged");
+                assert!(fast.is_ok(), "{name}: region {i} failed to decode");
+            }
+        }
         let compressed = pipeline::run_squashed(&squashed, &input)
             .unwrap_or_else(|e| panic!("{name} with {slots} cache slots: {e}"));
         assert_eq!(
@@ -59,6 +79,20 @@ fn check_workload(name: &str) {
         assert!(
             rt.evictions <= rt.cache_misses,
             "{name}: more evictions than misses with {slots} slots"
+        );
+        // The simulated cycle count must equal the calibrated per-call /
+        // per-bit / per-inst model exactly — decompression cost is charged
+        // from bits and instructions decoded, never from host decoder
+        // speed, so swapping in the fast decoder changes nothing here.
+        let cost = &options.cost;
+        assert_eq!(
+            rt.cycles_charged,
+            rt.decompressions * cost.per_call
+                + rt.bits_read * cost.per_bit
+                + rt.insts_written * cost.per_inst
+                + rt.cache_hits * cost.cache_hit
+                + (rt.stub_hits + rt.stub_allocs) * cost.create_stub,
+            "{name}: simulated cycles diverged from the cost model with {slots} slots"
         );
     }
 }
