@@ -1,0 +1,117 @@
+//! Compression throughput: end-to-end `Squasher::finish` wall-clock,
+//! serial vs. the parallel staged pipeline.
+//!
+//! PR 3 split the monolithic emit path into staged artifacts
+//! (plan → layout → train → encode → assemble) with a fast sizing-table
+//! region packer and per-region parallel encoding (`SquashOptions::jobs`).
+//! This bench records, per workload, the minimum-over-runs wall-clock of a
+//! full squash at θ = 3e-3 for `jobs ∈ {1, 8}` into `BENCH_PR3.json`
+//! (section `compression_throughput`), next to the `*.emit_ms_seed` rows
+//! measured on the pre-refactor seed with the same protocol (7 runs, min).
+//!
+//! The printed table compares all three columns and reports the
+//! seed→jobs-8 speedup; the run asserts what determinism tests also pin —
+//! that the emitted image is byte-identical across `jobs` — so the speedup
+//! is never bought with a different artifact.
+
+use std::time::Instant;
+
+use squash::image_file;
+use squash::Squasher;
+use squash_bench::report;
+
+const REPORT_FILE: &str = "BENCH_PR3.json";
+const SECTION: &str = "compression_throughput";
+const THETA: f64 = 3e-3;
+const JOBS: [usize; 2] = [1, 8];
+
+fn main() {
+    let smoke = report::smoke();
+    let runs = if smoke { 2 } else { 7 };
+    let names: Option<&[&str]> = if smoke {
+        Some(&["adpcm", "gsm", "mpeg2dec"])
+    } else {
+        None
+    };
+    let benches = squash_bench::load_benches(names);
+    let seed = report::read_named(REPORT_FILE, SECTION);
+
+    // The jobs columns mean `squashc --jobs N`: requests are capped at the
+    // machine's parallelism, exactly as the CLI caps them.
+    if squash::effective_jobs(JOBS[1]) < JOBS[1] {
+        println!(
+            "note: this machine caps --jobs {} at {} worker(s); \
+             the jobs={} column measures that capped run",
+            JOBS[1],
+            squash::effective_jobs(JOBS[1]),
+            JOBS[1],
+        );
+    }
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut rows: Vec<(String, Option<f64>, Vec<f64>)> = Vec::new();
+    for b in &benches {
+        let mut best = Vec::new();
+        let mut reference: Option<Vec<u8>> = None;
+        for &jobs in &JOBS {
+            let options = squash::SquashOptions {
+                jobs: squash::effective_jobs(jobs),
+                ..squash_bench::opts(THETA)
+            };
+            let mut min_ms = f64::INFINITY;
+            for _ in 0..runs {
+                let t = Instant::now();
+                let squashed = Squasher::new(&b.program, &b.profile, &options)
+                    .expect("setup")
+                    .finish()
+                    .expect("squash");
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                min_ms = min_ms.min(ms);
+                let bytes = image_file::write(&squashed);
+                match &reference {
+                    None => reference = Some(bytes),
+                    Some(r) => assert_eq!(
+                        &bytes, r,
+                        "{}: image differs between jobs=1 and jobs={jobs}",
+                        b.name
+                    ),
+                }
+            }
+            entries.push((format!("{}.emit_ms_jobs{jobs}", b.name), min_ms));
+            best.push(min_ms);
+        }
+        let seed_ms = seed.get(&format!("{}.emit_ms_seed", b.name)).copied();
+        rows.push((b.name.to_string(), seed_ms, best));
+    }
+
+    println!("Compression throughput: full squash wall-clock, min of {runs} runs (θ = {THETA})");
+    println!();
+    println!("| workload   |  seed ms | jobs=1 ms | jobs=8 ms | seed→jobs8 |");
+    println!("|------------|---------:|----------:|----------:|-----------:|");
+    let mut speedups = Vec::new();
+    for (name, seed_ms, best) in &rows {
+        let seed_col = seed_ms.map_or("      —".to_string(), |s| format!("{s:8.3}"));
+        let speed = seed_ms.map(|s| s / best[1]);
+        if let Some(s) = speed {
+            speedups.push(s);
+        }
+        println!(
+            "| {:10} | {} | {:9.3} | {:9.3} | {} |",
+            name,
+            seed_col,
+            best[0],
+            best[1],
+            speed.map_or("         —".to_string(), |s| format!("{s:9.2}×")),
+        );
+    }
+    if !speedups.is_empty() {
+        println!();
+        println!(
+            "geomean speedup vs. seed: {:.2}×  (min {:.2}×, max {:.2}×)",
+            squash_bench::geomean(&speedups),
+            speedups.iter().cloned().fold(f64::INFINITY, f64::min),
+            speedups.iter().cloned().fold(0.0, f64::max),
+        );
+    }
+    report::write_named(REPORT_FILE, SECTION, &entries);
+}

@@ -181,6 +181,18 @@ pub mod report {
         }
     }
 
+    /// Like [`path`], but defaulting to `name` at the workspace root when
+    /// `BENCH_JSON` is not set — later PRs keep their rows in their own
+    /// report file next to `BENCH_PR2.json`.
+    pub fn path_named(name: &str) -> PathBuf {
+        match std::env::var_os("BENCH_JSON") {
+            Some(p) => PathBuf::from(p),
+            None => {
+                PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(name)
+            }
+        }
+    }
+
     /// Whether the bench should run in CI smoke/check mode (`BENCH_SMOKE`
     /// set to anything but `0`): fewest measurement runs, reduced workload
     /// set, same code paths.
@@ -191,8 +203,16 @@ pub mod report {
     /// Merges `entries` under `section` into the report file, preserving
     /// every other section, and writes it back.
     pub fn write(section: &str, entries: &[(String, f64)]) {
-        let p = path();
-        let mut sections = fs::read_to_string(&p)
+        write_at(&path(), section, entries);
+    }
+
+    /// [`write`] into the report file located by [`path_named`].
+    pub fn write_named(file: &str, section: &str, entries: &[(String, f64)]) {
+        write_at(&path_named(file), section, entries);
+    }
+
+    fn write_at(p: &std::path::Path, section: &str, entries: &[(String, f64)]) {
+        let mut sections = fs::read_to_string(p)
             .ok()
             .and_then(|text| parse(&text))
             .unwrap_or_default();
@@ -201,11 +221,21 @@ pub mod report {
             s.insert(k.clone(), *v);
         }
         let text = emit(&sections);
-        if let Err(e) = fs::write(&p, text) {
+        if let Err(e) = fs::write(p, text) {
             eprintln!("warning: could not write {}: {e}", p.display());
         } else {
             println!("wrote {}", p.display());
         }
+    }
+
+    /// Reads one section back from the report located by [`path_named`];
+    /// empty when the file is missing, unparsable, or lacks the section.
+    pub fn read_named(file: &str, section: &str) -> BTreeMap<String, f64> {
+        fs::read_to_string(path_named(file))
+            .ok()
+            .and_then(|text| parse(&text))
+            .and_then(|mut s| s.remove(section))
+            .unwrap_or_default()
     }
 
     type Sections = BTreeMap<String, BTreeMap<String, f64>>;

@@ -18,8 +18,13 @@
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits used in the final, partial byte (0..8; 0 means byte-aligned).
-    partial: u32,
+    /// Pending bits not yet flushed to `bytes`, held in the low `acc_bits`
+    /// bits of `acc` in stream order (the first pending bit is the most
+    /// significant of them). Invariant: `acc_bits < 8` between calls, so a
+    /// 32-bit write never overflows the accumulator.
+    acc: u64,
+    /// Number of pending bits in `acc` (0..8 between calls).
+    acc_bits: u32,
 }
 
 impl BitWriter {
@@ -31,14 +36,7 @@ impl BitWriter {
     /// Appends a single bit (any nonzero `bit` writes 1).
     #[inline]
     pub fn write_bit(&mut self, bit: u32) {
-        if self.partial == 0 {
-            self.bytes.push(0);
-        }
-        if bit != 0 {
-            let last = self.bytes.last_mut().expect("partial byte exists");
-            *last |= 1 << (7 - self.partial);
-        }
-        self.partial = (self.partial + 1) % 8;
+        self.write_bits(u32::from(bit != 0), 1);
     }
 
     /// Appends the low `count` bits of `value`, most significant first.
@@ -46,26 +44,71 @@ impl BitWriter {
     /// # Panics
     ///
     /// Panics if `count > 32`.
+    #[inline]
     pub fn write_bits(&mut self, value: u32, count: u32) {
         assert!(count <= 32, "cannot write more than 32 bits at once");
-        for i in (0..count).rev() {
-            self.write_bit((value >> i) & 1);
+        if count == 0 {
+            return;
+        }
+        let masked = if count == 32 {
+            value
+        } else {
+            value & ((1u32 << count) - 1)
+        };
+        // acc_bits < 8 and count <= 32, so the shift stays within 64 bits.
+        self.acc = (self.acc << count) | masked as u64;
+        self.acc_bits += count;
+        while self.acc_bits >= 8 {
+            self.acc_bits -= 8;
+            self.bytes.push((self.acc >> self.acc_bits) as u8);
         }
     }
 
     /// The number of bits written so far.
     pub fn bit_len(&self) -> u64 {
-        let full = self.bytes.len() as u64 * 8;
-        if self.partial == 0 {
-            full
+        self.bytes.len() as u64 * 8 + self.acc_bits as u64
+    }
+
+    /// Appends every bit of `other` after this writer's bits, as if the two
+    /// streams had been written into one writer in sequence. Used to merge
+    /// independently encoded regions into the single compressed blob in
+    /// deterministic region order.
+    pub fn append(&mut self, other: &BitWriter) {
+        if self.acc_bits == 0 {
+            self.bytes.extend_from_slice(&other.bytes);
         } else {
-            full - (8 - self.partial as u64)
+            for &b in &other.bytes {
+                self.write_bits(b as u32, 8);
+            }
         }
+        if other.acc_bits > 0 {
+            self.write_bits(
+                (other.acc & ((1u64 << other.acc_bits) - 1)) as u32,
+                other.acc_bits,
+            );
+        }
+    }
+
+    /// A zero-padded copy of the bytes written so far — what
+    /// [`BitWriter::into_bytes`] would return — without consuming the
+    /// writer. Lets a region be verified against its own encoding before
+    /// the writer is merged into the blob.
+    pub fn padded_bytes(&self) -> Vec<u8> {
+        let mut out = self.bytes.clone();
+        if self.acc_bits > 0 {
+            let pad = 8 - self.acc_bits;
+            out.push(((self.acc << pad) & 0xFF) as u8);
+        }
+        out
     }
 
     /// Finishes the stream (zero-padding the final byte) and returns the
     /// bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            let pad = 8 - self.acc_bits;
+            self.bytes.push(((self.acc << pad) & 0xFF) as u8);
+        }
         self.bytes
     }
 }
@@ -397,6 +440,44 @@ mod tests {
     }
 
     #[test]
+    fn append_matches_sequential_writes() {
+        let mut seq = BitWriter::new();
+        seq.write_bits(0b10110, 5);
+        seq.write_bits(0xABCD, 16);
+        let mut a = BitWriter::new();
+        a.write_bits(0b10110, 5);
+        let mut b = BitWriter::new();
+        b.write_bits(0xABCD, 16);
+        a.append(&b);
+        assert_eq!(a.bit_len(), seq.bit_len());
+        assert_eq!(a.into_bytes(), seq.into_bytes());
+    }
+
+    #[test]
+    fn prop_append_chain_equals_one_writer() {
+        cases(0xA99E, 256, |rng: &mut Rng| {
+            // Several independently written fragments, appended in order,
+            // must be bit-identical to one sequential writer — the invariant
+            // the parallel region encoder relies on.
+            let fragments: Vec<Vec<(u32, u32)>> = rng.vec(0, 6, |r| {
+                r.vec(0, 24, |r2| (r2.u32(), r2.range(1, 32) as u32))
+            });
+            let mut seq = BitWriter::new();
+            let mut merged = BitWriter::new();
+            for frag in &fragments {
+                let mut w = BitWriter::new();
+                for &(v, n) in frag {
+                    seq.write_bits(v, n);
+                    w.write_bits(v, n);
+                }
+                merged.append(&w);
+            }
+            assert_eq!(merged.bit_len(), seq.bit_len());
+            assert_eq!(merged.into_bytes(), seq.into_bytes());
+        });
+    }
+
+    #[test]
     fn at_bit_offsets_into_stream() {
         let mut w = BitWriter::new();
         w.write_bits(0b1010_1010_1010, 12);
@@ -418,7 +499,9 @@ mod tests {
             }
             let total: u64 = values.iter().map(|&(_, n)| n as u64).sum();
             assert_eq!(w.bit_len(), total);
+            let padded = w.padded_bytes();
             let bytes = w.into_bytes();
+            assert_eq!(padded, bytes, "padded_bytes must match into_bytes");
             let mut r = BitReader::new(&bytes);
             for &(v, n) in &values {
                 let masked = if n == 32 { v } else { v & ((1 << n) - 1) };

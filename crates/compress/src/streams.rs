@@ -118,6 +118,15 @@ pub struct StreamModel {
     options: StreamOptions,
 }
 
+// A trained model is shared immutably by the parallel region encoders
+// (`&StreamModel` crosses `std::thread::scope` threads), so it must stay
+// `Send + Sync`. This assertion fails to compile if a future field (say, a
+// lazily populated `Cell`-based cache) silently breaks that.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    let _ = assert_send_sync::<StreamModel>;
+};
+
 impl StreamModel {
     /// Trains a model with default options on the given regions.
     pub fn train(regions: &[&[Inst]]) -> StreamModel {
@@ -129,42 +138,63 @@ impl StreamModel {
     /// Each region implicitly ends with the sentinel, so the sentinel's
     /// opcode frequency equals the region count.
     pub fn train_with(regions: &[&[Inst]], options: StreamOptions) -> StreamModel {
-        // Pass 1: alphabets per stream (needed to prime MTF lists).
-        let mut alphabets: Vec<Vec<u32>> = vec![Vec::new(); FieldKind::COUNT];
-        {
-            let mut sets: Vec<std::collections::BTreeSet<u32>> =
-                vec![Default::default(); FieldKind::COUNT];
-            for region in regions {
-                sets[FieldKind::Opcode.index()].insert(OPCODE_ILLEGAL as u32);
-                for inst in *region {
-                    sets[FieldKind::Opcode.index()].insert(inst.opcode() as u32);
-                    for (kind, value) in inst.fields() {
-                        sets[kind.index()].insert(value);
-                    }
+        // Pass 1: every value each stream sees, in order, into flat vectors
+        // (hash/tree sets per symbol are the training hot spot — sorting a
+        // flat u32 vector is far cheaper at corpus sizes).
+        let mut values: Vec<Vec<u32>> = vec![Vec::new(); FieldKind::COUNT];
+        for region in regions {
+            for inst in *region {
+                values[FieldKind::Opcode.index()].push(inst.opcode() as u32);
+                for (kind, value) in inst.fields() {
+                    values[kind.index()].push(value);
                 }
             }
-            for (k, set) in sets.into_iter().enumerate() {
-                alphabets[k] = set.into_iter().collect();
+            values[FieldKind::Opcode.index()].push(OPCODE_ILLEGAL as u32);
+        }
+        let alphabets: Vec<Vec<u32>> = values
+            .iter()
+            .map(|v| {
+                let mut a = v.clone();
+                a.sort_unstable();
+                a.dedup();
+                a
+            })
+            .collect();
+        // Pass 2: symbol frequencies. Without MTF the symbol *is* the value,
+        // so counts are order-independent: run-length over the sorted
+        // stream. With MTF the transform is sequential, so replay the
+        // per-region encode exactly as the compressor will.
+        let mut freqs: Vec<HashMap<u32, u64>> = vec![HashMap::new(); FieldKind::COUNT];
+        for k in FIELD_KINDS {
+            if options.mtf[k.index()] {
+                continue;
+            }
+            let mut sorted = values[k.index()].clone();
+            sorted.sort_unstable();
+            let f = &mut freqs[k.index()];
+            let mut i = 0;
+            while i < sorted.len() {
+                let j = sorted[i..].partition_point(|&v| v == sorted[i]) + i;
+                f.insert(sorted[i], (j - i) as u64);
+                i = j;
             }
         }
-        // Pass 2: frequencies of the (possibly MTF-transformed) symbols.
-        let mut freqs: Vec<HashMap<u32, u64>> = vec![HashMap::new(); FieldKind::COUNT];
-        for region in regions {
-            let mut mtfs = make_mtfs(&options, &alphabets);
-            let mut bump = |kind: FieldKind, value: u32, mtfs: &mut [Option<Mtf>]| {
-                let sym = match &mut mtfs[kind.index()] {
-                    Some(m) => m.encode(value).expect("value in alphabet"),
-                    None => value,
+        if options.mtf.iter().any(|&on| on) {
+            for region in regions {
+                let mut mtfs = make_mtfs(&options, &alphabets);
+                let mut bump = |kind: FieldKind, value: u32, mtfs: &mut [Option<Mtf>]| {
+                    let Some(m) = &mut mtfs[kind.index()] else { return };
+                    let sym = m.encode(value).expect("value in alphabet");
+                    *freqs[kind.index()].entry(sym).or_default() += 1;
                 };
-                *freqs[kind.index()].entry(sym).or_default() += 1;
-            };
-            for inst in *region {
-                bump(FieldKind::Opcode, inst.opcode() as u32, &mut mtfs);
-                for (kind, value) in inst.fields() {
-                    bump(kind, value, &mut mtfs);
+                for inst in *region {
+                    bump(FieldKind::Opcode, inst.opcode() as u32, &mut mtfs);
+                    for (kind, value) in inst.fields() {
+                        bump(kind, value, &mut mtfs);
+                    }
                 }
+                bump(FieldKind::Opcode, OPCODE_ILLEGAL as u32, &mut mtfs);
             }
-            bump(FieldKind::Opcode, OPCODE_ILLEGAL as u32, &mut mtfs);
         }
         let codes = freqs.iter().map(CanonicalCode::from_frequencies).collect();
         StreamModel {
@@ -749,6 +779,11 @@ impl StreamModel {
             if n > 1 << 22 {
                 return Err(corrupt());
             }
+            // 4 bytes per symbol: a count the remaining input cannot hold is
+            // corruption — reject before sizing the allocation from it.
+            if n > (bytes.len() - pos) / 4 {
+                return Err(corrupt());
+            }
             let mut alpha = Vec::with_capacity(n);
             for _ in 0..n {
                 alpha.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()));
@@ -807,11 +842,47 @@ mod serialization_tests {
         let r = region();
         let model = StreamModel::train(&[&r]);
         let bytes = model.serialize();
-        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+        for cut in 0..bytes.len() {
             assert!(
                 StreamModel::deserialize(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
+                "cut at {cut} of {} should fail",
+                bytes.len()
             );
         }
+    }
+
+    #[test]
+    fn corrupted_serialization_never_panics() {
+        use squash_testkit::{cases, Rng};
+        let r = region();
+        let mtf = StreamModel::train_with(&[&r], StreamOptions::with_displacement_mtf());
+        let plain = StreamModel::train(&[&r]);
+        let flip = |rng: &mut Rng, model: &StreamModel| {
+            let mut bytes = model.serialize();
+            for _ in 0..=rng.below(4) {
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= rng.u8().max(1);
+            }
+            // Either a model or a typed error — never a panic, never an
+            // allocation driven by a forged length field.
+            let _ = StreamModel::deserialize(&bytes);
+        };
+        cases(0xfeed, 300, |rng| flip(rng, &plain));
+        cases(0xf00d, 300, |rng| flip(rng, &mtf));
+    }
+
+    #[test]
+    fn forged_alphabet_count_is_rejected() {
+        let r = region();
+        let model = StreamModel::train_with(&[&r], StreamOptions::with_displacement_mtf());
+        let bytes = model.serialize();
+        // Overwrite the final alphabet's count (last 4-byte length header
+        // written before its symbols) with a huge value against the
+        // remaining payload: the remaining-bytes cap must reject it.
+        let alpha_len = model.alphabets.last().map_or(0, Vec::len);
+        let pos = bytes.len() - 4 * alpha_len - 4;
+        let mut forged = bytes.clone();
+        forged[pos..pos + 4].copy_from_slice(&((1u32 << 22) - 1).to_le_bytes());
+        assert!(StreamModel::deserialize(&forged).is_err());
     }
 }

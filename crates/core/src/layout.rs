@@ -22,6 +22,13 @@
 //! decompression to save a word of *compressed* payload — a deviation
 //! documented in `DESIGN.md` (the extra instruction is near-free under
 //! Huffman coding because it is identical at every call site).
+//!
+//! This module implements two stages of the pipeline described in
+//! [`crate::stages`]: [`geometry`] + [`emit_nc_text`] + [`build_images`]
+//! (the *layout* stage: every address and every region image, fixed before
+//! any compression happens) and [`assemble`] (the final stage: segments,
+//! statistics and the runtime configuration, consuming the trained model
+//! and the encoded blob).
 
 use std::collections::HashMap;
 
@@ -29,14 +36,15 @@ use squash_cfg::link::{branch_disp, hi_lo_split, LinkOptions};
 use squash_cfg::{
     AddrTarget, BlockReloc, DataItem, FuncId, JumpTarget, Program, SymRef, Term,
 };
-use squash_compress::{BitWriter, StreamModel, StreamOptions};
 use squash_isa::{BraOp, Inst, MemOp, PalOp, Reg};
 
-use crate::buffer_safe::BufferSafety;
 use crate::footprint::Footprint;
 use crate::jumptables::JumpTableStats;
 use crate::regions::{self, Region};
 use crate::runtime::RuntimeConfig;
+use crate::stages::encode::EncodedRegions;
+use crate::stages::plan::RegionPlan;
+use crate::stages::train::TrainedModel;
 use crate::{err, RestoreStubMode, SquashError, SquashOptions};
 
 /// Base address of the squashed text area.
@@ -125,13 +133,100 @@ enum Placement {
     Compressed { region: usize, offset: u32 },
 }
 
-/// Emits the squashed image.
-pub(crate) fn emit(
+/// Whether a call from compressed code to `callee` must be expanded into
+/// the restore sequence (not buffer-safe, or the optimization is off).
+fn expand_call(plan: &RegionPlan, options: &SquashOptions, callee: FuncId) -> bool {
+    !(options.buffer_safe_opt && plan.safety.is_safe(callee))
+}
+
+/// Every address in the squashed image, fixed before emission: where each
+/// block lives, the bases of every text-area section, and the data-segment
+/// addresses. A pure function of the [`RegionPlan`] — computing it never
+/// emits a byte, so sizing and emission cannot drift apart.
+#[derive(Debug, Clone)]
+pub(crate) struct Geometry {
+    region_of: HashMap<(FuncId, usize), usize>,
+    stub_of: HashMap<(FuncId, usize), usize>,
+    /// Never-compressed blocks per function, in emission order.
+    nc_blocks: Vec<Vec<usize>>,
+    nc_addr: HashMap<(FuncId, usize), u32>,
+    nc_end: u32,
+    stubs_base: u32,
+    stubs_bytes: u32,
+    rstub_base: u32,
+    rstub_count: u32,
+    rstub_bytes: u32,
+    decomp_base: u32,
+    decomp_bytes: u32,
+    offset_table_addr: u32,
+    offset_table_bytes: u32,
+    stub_area_base: u32,
+    stub_area_bytes: u32,
+    stub_slots: usize,
+    buffer_base: u32,
+    buffer_bytes: u32,
+    cache_slots: usize,
+    cache_bytes: u32,
+    blob_base: u32,
+    /// Exact emitted size of each region's buffer image, in words.
+    image_words: Vec<u32>,
+    /// Byte offset of each compressed block within its region's image.
+    buf_off: HashMap<(FuncId, usize), u32>,
+    data_addrs: Vec<u32>,
+    data_end: u32,
+    compile_time: bool,
+}
+
+impl Geometry {
+    fn placement(&self, f: FuncId, b: usize) -> Placement {
+        match self.region_of.get(&(f, b)) {
+            Some(&ri) => Placement::Compressed {
+                region: ri,
+                offset: self.buf_off[&(f, b)],
+            },
+            None => Placement::Fixed(self.nc_addr[&(f, b)]),
+        }
+    }
+
+    /// The canonical *address* of a block: its own address when fixed, its
+    /// entry stub when compressed.
+    fn block_addr(&self, f: FuncId, b: usize) -> Result<u32, SquashError> {
+        match self.placement(f, b) {
+            Placement::Fixed(a) => Ok(a),
+            Placement::Compressed { .. } => match self.stub_of.get(&(f, b)) {
+                Some(&k) => Ok(self.stubs_base + 8 * k as u32),
+                None => err(format!(
+                    "block {f}:{b} is compressed, externally referenced, but has no stub"
+                )),
+            },
+        }
+    }
+
+    fn func_addr(&self, g: FuncId) -> Result<u32, SquashError> {
+        self.block_addr(g, 0)
+    }
+
+    fn sym_addr(&self, s: SymRef) -> Result<u32, SquashError> {
+        match s {
+            SymRef::Func(g) => self.func_addr(g),
+            SymRef::Data(d) => Ok(self.data_addrs[d]),
+            SymRef::Block(f, b) => self.block_addr(f, b),
+        }
+    }
+}
+
+/// Computes the full address [`Geometry`] for a plan (the sizing pass).
+///
+/// # Errors
+///
+/// Fails on capacity limits: too many regions for 16-bit tags, a runtime
+/// buffer exceeding 16-bit offsets, or a bad cache-slot count.
+pub(crate) fn geometry(
     program: &Program,
-    regions_list: &[Region],
-    safety: &BufferSafety,
+    plan: &RegionPlan,
     options: &SquashOptions,
-) -> Result<Squashed, SquashError> {
+) -> Result<Geometry, SquashError> {
+    let regions_list = &plan.regions;
     if regions_list.len() > u16::MAX as usize {
         return err("too many regions for 16-bit tags");
     }
@@ -140,20 +235,12 @@ pub(crate) fn emit(
         .enumerate()
         .flat_map(|(ri, r)| r.blocks.iter().map(move |&m| (m, ri)))
         .collect();
-    let refs = regions::ref_info(program);
-    // Entry stubs, in (region, block) order.
-    let mut stub_of: HashMap<(FuncId, usize), usize> = HashMap::new();
-    let mut stub_list: Vec<(usize, FuncId, usize)> = Vec::new();
-    for (ri, r) in regions_list.iter().enumerate() {
-        for (f, b) in regions::entry_blocks(r, &refs) {
-            stub_of.insert((f, b), stub_list.len());
-            stub_list.push((ri, f, b));
-        }
-    }
-
-    let expand_call = |callee: FuncId| -> bool {
-        !(options.buffer_safe_opt && safety.is_safe(callee))
-    };
+    let stub_of: HashMap<(FuncId, usize), usize> = plan
+        .entry_stubs
+        .iter()
+        .enumerate()
+        .map(|(k, &(_, f, b))| ((f, b), k))
+        .collect();
     let compile_time = options.restore_stubs == RestoreStubMode::CompileTime;
 
     // Under the compile-time scheme (§2.2's rejected alternative), every
@@ -165,7 +252,7 @@ pub(crate) fn emit(
                 for pi in &program.func(f).blocks[b].insts {
                     if let Some(callee) = pi.call {
                         let plain = matches!(pi.inst, Inst::Bra { ra: Reg::ZERO, .. });
-                        if !plain && expand_call(callee) {
+                        if !plain && expand_call(plan, options, callee) {
                             rstub_count += 1;
                         }
                     } else if matches!(pi.inst, Inst::Jmp { .. }) {
@@ -175,8 +262,6 @@ pub(crate) fn emit(
             }
         }
     }
-
-    // ---- sizing pass ---------------------------------------------------
 
     // Never-compressed blocks per function, in order.
     let nc_blocks: Vec<Vec<usize>> = program
@@ -203,7 +288,7 @@ pub(crate) fn emit(
     }
     let nc_end = cursor;
     let stubs_base = nc_end;
-    let stubs_bytes = 8 * stub_list.len() as u32;
+    let stubs_bytes = 8 * plan.entry_stubs.len() as u32;
     let rstub_base = stubs_base + stubs_bytes;
     let rstub_bytes = 12 * rstub_count;
     let decomp_base = rstub_base + rstub_bytes;
@@ -214,14 +299,15 @@ pub(crate) fn emit(
     let stub_slots = if compile_time { 0 } else { options.stub_slots };
     let stub_area_bytes = STUB_SLOT_BYTES * stub_slots as u32;
 
-    // Region image sizes (exact; mirrors the emission below).
+    // Region image sizes (exact; mirrors build_images).
+    let expand = |callee: FuncId| expand_call(plan, options, callee);
     let mut image_words: Vec<u32> = Vec::with_capacity(regions_list.len());
     let mut buf_off: HashMap<(FuncId, usize), u32> = HashMap::new();
     for r in regions_list {
         let mut off = 0u32;
         for (i, &(f, b)) in r.blocks.iter().enumerate() {
             buf_off.insert((f, b), off * 4);
-            off += region_block_words(program, r, i, &expand_call, compile_time);
+            off += region_block_words(program, r, i, &expand, compile_time);
         }
         image_words.push(off);
     }
@@ -253,50 +339,50 @@ pub(crate) fn emit(
         dcursor += d.size();
     }
 
-    // ---- address resolution ---------------------------------------------
+    Ok(Geometry {
+        region_of,
+        stub_of,
+        nc_blocks,
+        nc_addr,
+        nc_end,
+        stubs_base,
+        stubs_bytes,
+        rstub_base,
+        rstub_count,
+        rstub_bytes,
+        decomp_base,
+        decomp_bytes,
+        offset_table_addr,
+        offset_table_bytes,
+        stub_area_base,
+        stub_area_bytes,
+        stub_slots,
+        buffer_base,
+        buffer_bytes,
+        cache_slots,
+        cache_bytes,
+        blob_base,
+        image_words,
+        buf_off,
+        data_addrs,
+        data_end: dcursor,
+        compile_time,
+    })
+}
 
-    let placement = |f: FuncId, b: usize| -> Placement {
-        match region_of.get(&(f, b)) {
-            Some(&ri) => Placement::Compressed {
-                region: ri,
-                offset: buf_off[&(f, b)],
-            },
-            None => Placement::Fixed(nc_addr[&(f, b)]),
-        }
-    };
-    // The canonical *address* of a block: its own address when fixed, its
-    // entry stub when compressed.
-    let block_addr = |f: FuncId, b: usize| -> Result<u32, SquashError> {
-        match placement(f, b) {
-            Placement::Fixed(a) => Ok(a),
-            Placement::Compressed { .. } => match stub_of.get(&(f, b)) {
-                Some(&k) => Ok(stubs_base + 8 * k as u32),
-                None => err(format!(
-                    "block {f}:{b} is compressed, externally referenced, but has no stub"
-                )),
-            },
-        }
-    };
-    let func_addr = |g: FuncId| block_addr(g, 0);
-    let sym_addr = |s: SymRef| -> Result<u32, SquashError> {
-        match s {
-            SymRef::Func(g) => func_addr(g),
-            SymRef::Data(d) => Ok(data_addrs[d]),
-            SymRef::Block(f, b) => block_addr(f, b),
-        }
-    };
+fn lerr(e: squash_cfg::link::LinkError) -> SquashError {
+    SquashError { message: e.message }
+}
 
-    // ---- emission --------------------------------------------------------
-
-    let lerr = |e: squash_cfg::link::LinkError| SquashError { message: e.message };
-
-    // Never-compressed code.
-    let mut text: Vec<u32> = Vec::with_capacity(((nc_end - TEXT_BASE) / 4) as usize);
-    for (fi, list) in nc_blocks.iter().enumerate() {
+/// Emits the never-compressed code words at the addresses fixed by
+/// [`geometry`].
+pub(crate) fn emit_nc_text(program: &Program, geo: &Geometry) -> Result<Vec<u32>, SquashError> {
+    let mut text: Vec<u32> = Vec::with_capacity(((geo.nc_end - TEXT_BASE) / 4) as usize);
+    for (fi, list) in geo.nc_blocks.iter().enumerate() {
         let fid = FuncId(fi);
         for (pos, &bi) in list.iter().enumerate() {
             let next_emitted = list.get(pos + 1).copied();
-            let mut pc = nc_addr[&(fid, bi)];
+            let mut pc = geo.nc_addr[&(fid, bi)];
             let block = &program.func(fid).blocks[bi];
             for pi in &block.insts {
                 let word = if let Some(callee) = pi.call {
@@ -306,11 +392,11 @@ pub(crate) fn emit(
                     Inst::Bra {
                         op,
                         ra,
-                        disp: branch_disp(pc, func_addr(callee)?).map_err(lerr)?,
+                        disp: branch_disp(pc, geo.func_addr(callee)?).map_err(lerr)?,
                     }
                     .encode()
                 } else {
-                    encode_reloc(pi, &sym_addr)?
+                    encode_reloc(pi, &|s| geo.sym_addr(s))?
                 };
                 text.push(word);
                 pc += 4;
@@ -318,8 +404,8 @@ pub(crate) fn emit(
             // Terminator.
             let target_addr = |t: &JumpTarget| -> Result<u32, SquashError> {
                 match t {
-                    JumpTarget::Block(b) => block_addr(fid, *b),
-                    JumpTarget::Func(g) => func_addr(*g),
+                    JumpTarget::Block(b) => geo.block_addr(fid, *b),
+                    JumpTarget::Func(g) => geo.func_addr(*g),
                 }
             };
             let fall_adjacent = |t: usize| Some(t) == next_emitted;
@@ -330,7 +416,8 @@ pub(crate) fn emit(
                             Inst::Bra {
                                 op: BraOp::Br,
                                 ra: Reg::ZERO,
-                                disp: branch_disp(pc, block_addr(fid, *next)?).map_err(lerr)?,
+                                disp: branch_disp(pc, geo.block_addr(fid, *next)?)
+                                    .map_err(lerr)?,
                             }
                             .encode(),
                         );
@@ -359,7 +446,8 @@ pub(crate) fn emit(
                             Inst::Bra {
                                 op: BraOp::Br,
                                 ra: Reg::ZERO,
-                                disp: branch_disp(pc, block_addr(fid, *fall)?).map_err(lerr)?,
+                                disp: branch_disp(pc, geo.block_addr(fid, *fall)?)
+                                    .map_err(lerr)?,
                             }
                             .encode(),
                         );
@@ -378,20 +466,52 @@ pub(crate) fn emit(
             }
         }
     }
-    debug_assert_eq!(TEXT_BASE + 4 * text.len() as u32, nc_end);
+    debug_assert_eq!(TEXT_BASE + 4 * text.len() as u32, geo.nc_end);
+    Ok(text)
+}
 
-    // Region images.
+/// The exact region buffer images, plus the compile-time restore stubs and
+/// call accounting produced while building them.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionImages {
+    /// One decoded-instruction image per region, with all displacements
+    /// resolved against final addresses.
+    pub images: Vec<Vec<Inst>>,
+    /// Compile-time restore-stub words (empty under the runtime scheme).
+    pub rstub_words: Vec<u32>,
+    /// Calls inside regions left unexpanded thanks to buffer-safety.
+    pub safe_calls: usize,
+    /// Total calls inside regions.
+    pub total_calls: usize,
+}
+
+impl RegionImages {
+    /// Total image size in bytes (what the encode stage consumes).
+    pub(crate) fn total_bytes(&self) -> u64 {
+        self.images.iter().map(|v| v.len() as u64 * 4).sum()
+    }
+}
+
+/// Builds every region's buffer image — the exact instructions its
+/// decompression must produce.
+pub(crate) fn build_images(
+    program: &Program,
+    plan: &RegionPlan,
+    geo: &Geometry,
+    options: &SquashOptions,
+) -> Result<RegionImages, SquashError> {
+    let regions_list = &plan.regions;
     let mut images: Vec<Vec<Inst>> = Vec::with_capacity(regions_list.len());
     let mut safe_calls = 0usize;
     let mut total_calls = 0usize;
-    let mut rstub_words: Vec<u32> = Vec::with_capacity(3 * rstub_count as usize);
+    let mut rstub_words: Vec<u32> = Vec::with_capacity(3 * geo.rstub_count as usize);
     let mut next_rstub = 0u32;
     for (ri, r) in regions_list.iter().enumerate() {
-        let mut image: Vec<Inst> = Vec::with_capacity(image_words[ri] as usize);
+        let mut image: Vec<Inst> = Vec::with_capacity(geo.image_words[ri] as usize);
         for (i, &(f, b)) in r.blocks.iter().enumerate() {
             let block = &program.func(f).blocks[b];
-            debug_assert_eq!(buf_off[&(f, b)], 4 * image.len() as u32);
-            let pc_at = |img: &Vec<Inst>| buffer_base + 4 * img.len() as u32;
+            debug_assert_eq!(geo.buf_off[&(f, b)], 4 * image.len() as u32);
+            let pc_at = |img: &Vec<Inst>| geo.buffer_base + 4 * img.len() as u32;
             for pi in &block.insts {
                 if let Some(callee) = pi.call {
                     let Inst::Bra { op, ra, .. } = pi.inst else {
@@ -400,14 +520,14 @@ pub(crate) fn emit(
                     total_calls += 1;
                     if ra == Reg::ZERO {
                         // A link into the zero register is just a branch.
-                        let disp =
-                            branch_disp(pc_at(&image), func_addr(callee)?).map_err(lerr)?;
+                        let disp = branch_disp(pc_at(&image), geo.func_addr(callee)?)
+                            .map_err(lerr)?;
                         image.push(Inst::Bra { op, ra, disp });
-                    } else if expand_call(callee) {
-                        if compile_time {
+                    } else if expand_call(plan, options, callee) {
+                        if geo.compile_time {
                             // One branch in the buffer; the permanent stub
                             // performs the call and the restore.
-                            let stub_addr = rstub_base + 12 * next_rstub;
+                            let stub_addr = geo.rstub_base + 12 * next_rstub;
                             next_rstub += 1;
                             let ret_off = 4 * image.len() as u32 + 4;
                             let disp =
@@ -416,34 +536,41 @@ pub(crate) fn emit(
                             let w0 = Inst::Bra {
                                 op: BraOp::Bsr,
                                 ra,
-                                disp: branch_disp(stub_addr, func_addr(callee)?)
+                                disp: branch_disp(stub_addr, geo.func_addr(callee)?)
                                     .map_err(lerr)?,
                             };
-                            push_rstub(&mut rstub_words, w0, stub_addr, decomp_base, ri, ret_off)
-                                .map_err(lerr)?;
+                            push_rstub(
+                                &mut rstub_words,
+                                w0,
+                                stub_addr,
+                                geo.decomp_base,
+                                ri,
+                                ret_off,
+                            )
+                            .map_err(lerr)?;
                         } else {
                             let disp = branch_disp(
                                 pc_at(&image),
-                                decomp_base + 4 * ra.number() as u32,
+                                geo.decomp_base + 4 * ra.number() as u32,
                             )
                             .map_err(lerr)?;
                             image.push(Inst::Bra { op: BraOp::Bsr, ra, disp });
-                            let disp =
-                                branch_disp(pc_at(&image), func_addr(callee)?).map_err(lerr)?;
+                            let disp = branch_disp(pc_at(&image), geo.func_addr(callee)?)
+                                .map_err(lerr)?;
                             image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
                         }
                     } else {
                         safe_calls += 1;
-                        let disp =
-                            branch_disp(pc_at(&image), func_addr(callee)?).map_err(lerr)?;
+                        let disp = branch_disp(pc_at(&image), geo.func_addr(callee)?)
+                            .map_err(lerr)?;
                         image.push(Inst::Bra { op, ra, disp });
                     }
                 } else if let Inst::Jmp { ra, rb, hint } = pi.inst {
                     // Indirect call from compressed code: always expanded
                     // (the callee is unknown, hence never buffer-safe).
                     total_calls += 1;
-                    if compile_time {
-                        let stub_addr = rstub_base + 12 * next_rstub;
+                    if geo.compile_time {
+                        let stub_addr = geo.rstub_base + 12 * next_rstub;
                         next_rstub += 1;
                         let ret_off = 4 * image.len() as u32 + 4;
                         let disp = branch_disp(pc_at(&image), stub_addr).map_err(lerr)?;
@@ -452,7 +579,7 @@ pub(crate) fn emit(
                             &mut rstub_words,
                             Inst::Jmp { ra, rb, hint },
                             stub_addr,
-                            decomp_base,
+                            geo.decomp_base,
                             ri,
                             ret_off,
                         )
@@ -460,14 +587,14 @@ pub(crate) fn emit(
                     } else {
                         let disp = branch_disp(
                             pc_at(&image),
-                            decomp_base + 4 * ra.number() as u32,
+                            geo.decomp_base + 4 * ra.number() as u32,
                         )
                         .map_err(lerr)?;
                         image.push(Inst::Bra { op: BraOp::Bsr, ra, disp });
                         image.push(Inst::Jmp { ra: Reg::ZERO, rb, hint });
                     }
                 } else {
-                    let word = encode_reloc(pi, &sym_addr)?;
+                    let word = encode_reloc(pi, &|s| geo.sym_addr(s))?;
                     image.push(Inst::decode(word).map_err(|e| SquashError {
                         message: format!("re-decode of relocated instruction failed: {e}"),
                     })?);
@@ -476,9 +603,9 @@ pub(crate) fn emit(
             // Terminator, resolving in-region targets buffer-relatively.
             let resolve = |f2: FuncId, b2: usize| -> Result<u32, SquashError> {
                 if r.contains(f2, b2) {
-                    Ok(buffer_base + buf_off[&(f2, b2)])
+                    Ok(geo.buffer_base + geo.buf_off[&(f2, b2)])
                 } else {
-                    block_addr(f2, b2)
+                    geo.block_addr(f2, b2)
                 }
             };
             let target_addr = |t: &JumpTarget| -> Result<u32, SquashError> {
@@ -486,9 +613,9 @@ pub(crate) fn emit(
                     JumpTarget::Block(b2) => resolve(f, *b2),
                     JumpTarget::Func(g) => {
                         if r.contains(*g, 0) {
-                            Ok(buffer_base + buf_off[&(*g, 0)])
+                            Ok(geo.buffer_base + geo.buf_off[&(*g, 0)])
                         } else {
-                            func_addr(*g)
+                            geo.func_addr(*g)
                         }
                     }
                 }
@@ -498,19 +625,23 @@ pub(crate) fn emit(
             match &block.term {
                 Term::Fall { next } => {
                     if !fall_adjacent(*next) {
-                        let disp = branch_disp(pc_at(&image), resolve(f, *next)?).map_err(lerr)?;
+                        let disp =
+                            branch_disp(pc_at(&image), resolve(f, *next)?).map_err(lerr)?;
                         image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
                     }
                 }
                 Term::Jump { target } => {
-                    let disp = branch_disp(pc_at(&image), target_addr(target)?).map_err(lerr)?;
+                    let disp =
+                        branch_disp(pc_at(&image), target_addr(target)?).map_err(lerr)?;
                     image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
                 }
                 Term::Cond { op, ra, target, fall } => {
-                    let disp = branch_disp(pc_at(&image), target_addr(target)?).map_err(lerr)?;
+                    let disp =
+                        branch_disp(pc_at(&image), target_addr(target)?).map_err(lerr)?;
                     image.push(Inst::Bra { op: *op, ra: *ra, disp });
                     if !fall_adjacent(*fall) {
-                        let disp = branch_disp(pc_at(&image), resolve(f, *fall)?).map_err(lerr)?;
+                        let disp =
+                            branch_disp(pc_at(&image), resolve(f, *fall)?).map_err(lerr)?;
                         image.push(Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp });
                     }
                 }
@@ -521,55 +652,44 @@ pub(crate) fn emit(
                 Term::Halt => image.push(Inst::Pal { func: PalOp::Halt }),
             }
         }
-        let _ = ri;
-        if image.len() as u32 != image_words[ri] {
+        if image.len() as u32 != geo.image_words[ri] {
             return err(format!(
                 "region {ri}: image is {} words, sized {}",
                 image.len(),
-                image_words[ri]
+                geo.image_words[ri]
             ));
         }
         images.push(image);
     }
+    Ok(RegionImages {
+        images,
+        rstub_words,
+        safe_calls,
+        total_calls,
+    })
+}
 
-    // Train the model on the final images and compress.
-    let image_refs: Vec<&[Inst]> = images.iter().map(|v| v.as_slice()).collect();
-    let stream_options = if options.mtf_displacements {
-        StreamOptions::with_displacement_mtf()
-    } else {
-        StreamOptions::default()
-    };
-    let model = StreamModel::train_with(&image_refs, stream_options);
-    let mut blob_writer = BitWriter::new();
-    let mut bit_offsets: Vec<u64> = Vec::with_capacity(images.len());
-    let mut payload_bits = 0u64;
-    for image in &images {
-        bit_offsets.push(blob_writer.bit_len());
-        model
-            .compress_region_into(image, &mut blob_writer)
-            .map_err(|e| SquashError {
-                message: format!("compression failed: {e}"),
-            })?;
-    }
-    if let Some(&last) = bit_offsets.last() {
-        payload_bits = blob_writer.bit_len();
-        let _ = last;
-    }
-    let blob = blob_writer.into_bytes();
-    // Build-time self-check: every region must decompress back to exactly
-    // the image we just compressed (the paper's tool can rely on its single
-    // codec; ours verifies the round trip before shipping the blob).
-    for (ri, image) in images.iter().enumerate() {
-        let (decoded, _) = model
-            .decompress_region(&blob, bit_offsets[ri])
-            .map_err(|e| SquashError {
-                message: format!("region {ri} fails to decompress after compression: {e}"),
-            })?;
-        if &decoded != image {
-            return err(format!("region {ri} round-trip mismatch"));
-        }
-    }
-    if blob_base + blob.len() as u32 > DATA_BASE {
+/// Assembles the final [`Squashed`] artifact: segments, entry stubs, data,
+/// the conventionally linked baseline, statistics and the runtime
+/// configuration.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble(
+    program: &Program,
+    plan: &RegionPlan,
+    geo: &Geometry,
+    text: &[u32],
+    images: &RegionImages,
+    trained: TrainedModel,
+    encoded: EncodedRegions,
+    options: &SquashOptions,
+) -> Result<Squashed, SquashError> {
+    let regions_list = &plan.regions;
+    let EncodedRegions {
+        blob,
+        bit_offsets,
+        payload_bits,
+    } = encoded;
+    if geo.blob_base + blob.len() as u32 > DATA_BASE {
         return err("image overflows the fixed data base; enlarge DATA_BASE");
     }
     for &off in &bit_offsets {
@@ -579,47 +699,47 @@ pub(crate) fn emit(
     }
 
     // Entry stubs.
-    let mut stub_words: Vec<u32> = Vec::with_capacity(2 * stub_list.len());
-    for (k, &(ri, f, b)) in stub_list.iter().enumerate() {
-        let stub_addr = stubs_base + 8 * k as u32;
-        let disp = branch_disp(stub_addr, decomp_base + 4 * Reg::AT.number() as u32)
+    let mut stub_words: Vec<u32> = Vec::with_capacity(2 * plan.entry_stubs.len());
+    for (k, &(ri, f, b)) in plan.entry_stubs.iter().enumerate() {
+        let stub_addr = geo.stubs_base + 8 * k as u32;
+        let disp = branch_disp(stub_addr, geo.decomp_base + 4 * Reg::AT.number() as u32)
             .map_err(lerr)?;
         stub_words.push(Inst::Bra { op: BraOp::Bsr, ra: Reg::AT, disp }.encode());
-        let off = buf_off[&(f, b)];
+        let off = geo.buf_off[&(f, b)];
         stub_words.push(((ri as u32) << 16) | off);
     }
 
     // Assemble the contiguous text segment: nc code, stubs, decomp area,
     // offset table, (zeroed) stub area and buffer, blob.
-    let mut seg = Vec::with_capacity((blob_base - TEXT_BASE) as usize + blob.len());
-    for w in &text {
+    let mut seg = Vec::with_capacity((geo.blob_base - TEXT_BASE) as usize + blob.len());
+    for w in text {
         seg.extend_from_slice(&w.to_le_bytes());
     }
     for w in &stub_words {
         seg.extend_from_slice(&w.to_le_bytes());
     }
-    debug_assert_eq!(rstub_words.len() as u32, 3 * rstub_count);
-    for w in &rstub_words {
+    debug_assert_eq!(images.rstub_words.len() as u32, 3 * geo.rstub_count);
+    for w in &images.rstub_words {
         seg.extend_from_slice(&w.to_le_bytes());
     }
-    for _ in 0..decomp_bytes / 4 {
+    for _ in 0..geo.decomp_bytes / 4 {
         seg.extend_from_slice(&Inst::Illegal.encode().to_le_bytes());
     }
     for &off in &bit_offsets {
         seg.extend_from_slice(&(off as u32).to_le_bytes());
     }
-    seg.resize(seg.len() + stub_area_bytes as usize, 0);
-    seg.resize(seg.len() + cache_bytes as usize, 0);
+    seg.resize(seg.len() + geo.stub_area_bytes as usize, 0);
+    seg.resize(seg.len() + geo.cache_bytes as usize, 0);
     seg.extend_from_slice(&blob);
     debug_assert_eq!(
         TEXT_BASE as usize + seg.len(),
-        blob_base as usize + blob.len()
+        geo.blob_base as usize + blob.len()
     );
 
     // Data segment.
-    let mut data = vec![0u8; (dcursor - DATA_BASE) as usize];
+    let mut data = vec![0u8; (geo.data_end - DATA_BASE) as usize];
     for (di, d) in program.data.iter().enumerate() {
-        let mut off = (data_addrs[di] - DATA_BASE) as usize;
+        let mut off = (geo.data_addrs[di] - DATA_BASE) as usize;
         for item in &d.items {
             match item {
                 DataItem::Quad(v) => data[off..off + 8].copy_from_slice(&v.to_le_bytes()),
@@ -628,9 +748,9 @@ pub(crate) fn emit(
                 DataItem::Space(_) => {}
                 DataItem::Addr(t) => {
                     let addr = match t {
-                        AddrTarget::Func(g) => func_addr(*g)?,
-                        AddrTarget::Block(f, b) => block_addr(*f, *b)?,
-                        AddrTarget::Data(d2) => data_addrs[*d2],
+                        AddrTarget::Func(g) => geo.func_addr(*g)?,
+                        AddrTarget::Block(f, b) => geo.block_addr(*f, *b)?,
+                        AddrTarget::Data(d2) => geo.data_addrs[*d2],
                     };
                     data[off..off + 4].copy_from_slice(&addr.to_le_bytes());
                 }
@@ -640,50 +760,50 @@ pub(crate) fn emit(
     }
 
     // Baseline: the same program linked conventionally.
-    let baseline = squash_cfg::link::link(program, &LinkOptions::default())
-        .map_err(lerr)?;
+    let baseline = squash_cfg::link::link(program, &LinkOptions::default()).map_err(lerr)?;
     let baseline_bytes = baseline.text_words() as u32 * 4;
 
+    let model = trained.model;
     let has_regions = !regions_list.is_empty();
     let footprint = Footprint {
-        never_compressed: nc_end - TEXT_BASE,
-        entry_stubs: stubs_bytes,
-        static_stubs: rstub_bytes,
-        decompressor: if has_regions { decomp_bytes } else { 0 },
+        never_compressed: geo.nc_end - TEXT_BASE,
+        entry_stubs: geo.stubs_bytes,
+        static_stubs: geo.rstub_bytes,
+        decompressor: if has_regions { geo.decomp_bytes } else { 0 },
         model_tables: if has_regions { model.table_bytes() as u32 } else { 0 },
-        offset_table: offset_table_bytes,
+        offset_table: geo.offset_table_bytes,
         compressed: blob.len() as u32,
-        stub_area: if has_regions { stub_area_bytes } else { 0 },
-        buffer: cache_bytes,
+        stub_area: if has_regions { geo.stub_area_bytes } else { 0 },
+        buffer: geo.cache_bytes,
     };
     let stats = SquashStats {
         footprint,
         baseline_bytes,
         regions: regions_list.len(),
-        entry_stubs: stub_list.len(),
-        static_restore_stubs: rstub_count as usize,
-        compressed_blocks: regions_list.iter().map(|r| r.blocks.len()).sum(),
+        entry_stubs: plan.entry_stubs.len(),
+        static_restore_stubs: geo.rstub_count as usize,
+        compressed_blocks: plan.compressed_blocks(),
         compressed_input_words: regions_list
             .iter()
             .map(|r| regions::estimate_image_words(program, &r.blocks))
             .sum(),
-        buffer_safe_funcs: safety.count(),
-        buffer_safe_fraction: safety.fraction(),
-        safe_calls_in_regions: safe_calls,
-        calls_in_regions: total_calls,
+        buffer_safe_funcs: plan.safety.count(),
+        buffer_safe_fraction: plan.safety.fraction(),
+        safe_calls_in_regions: images.safe_calls,
+        calls_in_regions: images.total_calls,
         payload_bits,
         ..SquashStats::default()
     };
 
     let runtime = RuntimeConfig {
-        decomp_base,
-        decomp_bytes,
-        buffer_base,
-        buffer_bytes,
-        cache_slots,
-        stub_base: stub_area_base,
-        stub_slots,
-        offset_table_addr,
+        decomp_base: geo.decomp_base,
+        decomp_bytes: geo.decomp_bytes,
+        buffer_base: geo.buffer_base,
+        buffer_bytes: geo.buffer_bytes,
+        cache_slots: geo.cache_slots,
+        stub_base: geo.stub_area_base,
+        stub_slots: geo.stub_slots,
+        offset_table_addr: geo.offset_table_addr,
         regions: regions_list.len(),
         model,
         blob,
@@ -694,7 +814,7 @@ pub(crate) fn emit(
 
     Ok(Squashed {
         segments: vec![(TEXT_BASE, seg), (DATA_BASE, data)],
-        entry: func_addr(program.entry)?,
+        entry: geo.func_addr(program.entry)?,
         runtime,
         stats,
     })

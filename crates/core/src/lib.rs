@@ -63,9 +63,11 @@ pub mod footprint;
 pub mod image_file;
 pub mod jumptables;
 pub mod layout;
+mod par;
 pub mod pipeline;
 pub mod regions;
 pub mod runtime;
+pub mod stages;
 
 use std::collections::HashSet;
 use std::fmt;
@@ -202,6 +204,17 @@ pub struct SquashOptions {
     /// Huffman coding (§3 discusses this variant and rejects it for
     /// decompressor size/speed; available for the ablation).
     pub mtf_displacements: bool,
+    /// Worker threads for the parallel pipeline stages (region formation,
+    /// pack seeding, region encoding, and profiling fan out over this many
+    /// threads). 1 (the default) runs everything inline on the caller's
+    /// thread. The emitted image is byte-identical for every value.
+    ///
+    /// The value is honored literally (so tests can force real threading on
+    /// any machine); front-ends translating a user's `--jobs` request should
+    /// first pass it through [`effective_jobs`], which caps it at the
+    /// hardware parallelism — extra workers on a saturated machine only add
+    /// spawn and scheduling overhead.
+    pub jobs: usize,
     /// Decompression cost model.
     pub cost: CostModel,
     /// Functions never to compress (the paper excludes functions calling
@@ -226,6 +239,7 @@ impl Default for SquashOptions {
             restore_stubs: RestoreStubMode::default(),
             region_strategy: RegionStrategy::default(),
             mtf_displacements: false,
+            jobs: 1,
             cost: CostModel::default(),
             exclude: HashSet::new(),
         }
@@ -246,6 +260,16 @@ impl fmt::Display for SquashError {
 }
 
 impl std::error::Error for SquashError {}
+
+/// Caps a requested worker count at the machine's available parallelism
+/// (never below 1). The `jobs` knobs in this crate honor their value
+/// literally — byte-identical output for any count — so front-ends use this
+/// to translate a user's `--jobs N` into a count that can actually run
+/// concurrently, the same way `make -j` style tools size their pools.
+pub fn effective_jobs(requested: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    requested.clamp(1, hw.max(1))
+}
 
 pub(crate) fn err<T>(message: impl Into<String>) -> Result<T, SquashError> {
     Err(SquashError {
@@ -306,11 +330,21 @@ impl BlockProfile {
         if nfuncs > 1 << 20 {
             return err("implausible function count in profile");
         }
+        // Each function record is at least 4 bytes (its block count), so a
+        // count the remaining input cannot hold is truncation — reject it
+        // here rather than letting a forged header drive the allocation.
+        if nfuncs > (bytes.len() - pos) / 4 {
+            return err("truncated profile file");
+        }
         let mut freq = Vec::with_capacity(nfuncs);
         for _ in 0..nfuncs {
             let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
             if n > 1 << 24 {
                 return err("implausible block count in profile");
+            }
+            // 8 bytes per count: cap the allocation by what's actually left.
+            if n > (bytes.len() - pos) / 8 {
+                return err("truncated profile file");
             }
             let mut f = Vec::with_capacity(n);
             for _ in 0..n {
@@ -376,26 +410,175 @@ impl Squasher {
         &self.cold
     }
 
-    /// Runs region formation, buffer-safety, layout and compression, and
-    /// returns the finished artifact.
+    /// Runs the staged pipeline — plan, layout, train, encode, assemble —
+    /// and returns the finished artifact. See [`stages`] for the stage
+    /// decomposition; [`Squasher::finish_observed`] additionally reports
+    /// per-stage timing and sizes.
     ///
     /// # Errors
     ///
     /// Propagates layout/compression failures (e.g. displacement overflow).
     pub fn finish(self) -> Result<layout::Squashed, SquashError> {
-        let compressible =
-            regions::compressible_blocks(&self.program, &self.cold, &self.options);
-        let regs = regions::form_regions(&self.program, &compressible, &self.options);
-        let safe = buffer_safe::analyze(&self.program, &regs);
-        let mut squashed = layout::emit(
-            &self.program,
-            &regs,
-            &safe,
-            &self.options,
+        self.finish_observed(&mut stages::NullObserver)
+    }
+
+    /// [`Squasher::finish`], reporting each stage's wall-clock time and
+    /// artifact size to `observer` as it completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout/compression failures (e.g. displacement overflow).
+    pub fn finish_observed(
+        self,
+        observer: &mut dyn stages::StageObserver,
+    ) -> Result<layout::Squashed, SquashError> {
+        let jobs = self.options.jobs;
+        let plan = stages::timed(
+            observer,
+            "plan",
+            || stages::plan::build(&self.program, &self.cold, &self.options),
+            |p| (p.regions.len(), p.compressed_blocks() as u64 * 4, "regions / block bytes"),
+        );
+        let (geo, text, images) = stages::timed(
+            observer,
+            "layout",
+            || -> Result<_, SquashError> {
+                let geo = layout::geometry(&self.program, &plan, &self.options)?;
+                let text = layout::emit_nc_text(&self.program, &geo)?;
+                let images = layout::build_images(&self.program, &plan, &geo, &self.options)?;
+                Ok((geo, text, images))
+            },
+            |r| match r {
+                Ok((_, text, images)) => (
+                    images.images.len(),
+                    text.len() as u64 * 4 + images.total_bytes(),
+                    "images / text+image bytes",
+                ),
+                Err(_) => (0, 0, "failed"),
+            },
+        )?;
+        let trained = stages::timed(
+            observer,
+            "train",
+            || stages::train::train(&images.images, &self.options),
+            |t| (1, t.table_bytes(), "model / table bytes"),
+        );
+        let encoded = stages::timed(
+            observer,
+            "encode",
+            || stages::encode::encode(&trained.model, &images.images, jobs),
+            |r| match r {
+                Ok(e) => (e.bit_offsets.len(), e.blob.len() as u64, "regions / blob bytes"),
+                Err(_) => (0, 0, "failed"),
+            },
+        )?;
+        let mut squashed = stages::timed(
+            observer,
+            "assemble",
+            || {
+                layout::assemble(
+                    &self.program,
+                    &plan,
+                    &geo,
+                    &text,
+                    &images,
+                    trained,
+                    encoded,
+                    &self.options,
+                )
+            },
+            |r| match r {
+                Ok(s) => (
+                    s.segments.len(),
+                    s.segments.iter().map(|(_, v)| v.len() as u64).sum(),
+                    "segments / bytes",
+                ),
+                Err(_) => (0, 0, "failed"),
+            },
         )?;
         squashed.stats.cold_words = self.cold.cold_words;
         squashed.stats.total_words = self.cold.total_words;
         squashed.stats.jump_tables = self.table_stats;
         Ok(squashed)
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::BlockProfile;
+    use squash_testkit::{cases, Rng};
+
+    fn random_profile(rng: &mut Rng) -> BlockProfile {
+        let nfuncs = rng.below(8) as usize;
+        let freq = (0..nfuncs)
+            .map(|_| {
+                let n = rng.below(12) as usize;
+                (0..n).map(|_| rng.u64() >> rng.below(64)).collect()
+            })
+            .collect();
+        BlockProfile {
+            freq,
+            total_instructions: rng.u64(),
+        }
+    }
+
+    #[test]
+    fn profile_round_trips_through_bytes() {
+        cases(0x5e12de, 200, |rng| {
+            let profile = random_profile(rng);
+            let restored = BlockProfile::deserialize(&profile.serialize())
+                .expect("round trip");
+            assert_eq!(restored, profile);
+        });
+    }
+
+    #[test]
+    fn truncated_profile_is_a_typed_error() {
+        let profile = BlockProfile {
+            freq: vec![vec![3, 0, 17], vec![], vec![9]],
+            total_instructions: 20,
+        };
+        let bytes = profile.serialize();
+        for cut in 0..bytes.len() {
+            assert!(
+                BlockProfile::deserialize(&bytes[..cut]).is_err(),
+                "cut at {cut} of {} should fail, not panic",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_profile_never_panics() {
+        // Flip bytes anywhere (including the magic and the length headers):
+        // the decoder must either produce *some* profile or return a typed
+        // error — never panic and never over-allocate from a forged count.
+        cases(0xc0de, 300, |rng| {
+            let profile = random_profile(rng);
+            let mut bytes = profile.serialize();
+            for _ in 0..=rng.below(4) {
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= rng.u8().max(1);
+            }
+            let _ = BlockProfile::deserialize(&bytes);
+        });
+    }
+
+    #[test]
+    fn forged_counts_are_rejected_without_allocation() {
+        // A header claiming 2^20 functions / huge block counts against a
+        // tiny payload must fail fast on the remaining-bytes cap.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SQPF0001");
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        assert!(BlockProfile::deserialize(&bytes).is_err());
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SQPF0001");
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(1u32 << 24).to_le_bytes());
+        assert!(BlockProfile::deserialize(&bytes).is_err());
     }
 }

@@ -1,0 +1,77 @@
+//! Deterministic fan-out helper for the staged pipeline.
+//!
+//! Every parallel site in the squash pipeline has the same shape: a list of
+//! independent work items whose results must be recombined **in input
+//! order**, so the emitted artifact is byte-identical for any thread count
+//! (`SquashOptions::jobs`). This module provides exactly that and nothing
+//! more — contiguous chunks over `std::thread::scope`, results concatenated
+//! in chunk order. With `jobs <= 1` (the default) everything runs inline on
+//! the caller's thread: zero threads spawned, today's serial behaviour.
+
+/// Splits `0..n` into at most `jobs` contiguous chunks, runs `f` on each
+/// chunk (on scoped worker threads when `jobs > 1`), and concatenates the
+/// per-chunk outputs in chunk order.
+///
+/// Determinism contract: `f` must be a pure function of its range — the
+/// concatenated result is then independent of `jobs`.
+pub(crate) fn run_chunked<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return f(0..n);
+    }
+    // Ceil-divided chunk size so every worker gets a non-empty range.
+    let chunk = n.div_ceil(jobs);
+    let ranges: Vec<std::ops::Range<usize>> = (0..jobs)
+        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("squash worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// Maps `f` over `0..n` with [`run_chunked`], returning results in index
+/// order.
+pub(crate) fn map_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_chunked(jobs, n, |range| range.map(&f).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_order_preserving_for_any_jobs() {
+        for jobs in [0, 1, 2, 3, 8, 64] {
+            let got = map_indexed(jobs, 100, |i| i * i);
+            assert_eq!(got, (0..100).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn chunked_handles_degenerate_sizes() {
+        assert!(run_chunked(4, 0, |r| r.collect::<Vec<_>>()).is_empty());
+        assert_eq!(run_chunked(8, 1, |r| r.collect::<Vec<_>>()), vec![0]);
+        assert_eq!(
+            run_chunked(3, 7, |r| r.collect::<Vec<_>>()),
+            (0..7).collect::<Vec<_>>()
+        );
+    }
+}

@@ -35,21 +35,41 @@ pub struct RunResult {
 ///
 /// Fails if the program cannot be linked or faults during any run.
 pub fn profile(program: &Program, inputs: &[Vec<u8>]) -> Result<BlockProfile, SquashError> {
+    profile_jobs(program, inputs, 1)
+}
+
+/// [`profile`] with the runs fanned out over `jobs` worker threads.
+/// Per-input profiles are merged in input order, and block counts are
+/// commutative sums, so the result is identical for any `jobs`.
+///
+/// # Errors
+///
+/// Fails if the program cannot be linked or faults during any run.
+pub fn profile_jobs(
+    program: &Program,
+    inputs: &[Vec<u8>],
+    jobs: usize,
+) -> Result<BlockProfile, SquashError> {
     let image = link::link(program, &LinkOptions::default())
         .map_err(|e| SquashError { message: e.message })?;
+    let image = &image;
+    let profiles: Vec<Result<squash_vm::Profile, SquashError>> =
+        crate::par::map_indexed(jobs, inputs.len(), |i| {
+            let mut vm = Vm::new(image.min_mem_size(1 << 18));
+            for (base, bytes) in image.segments() {
+                vm.write_bytes(base, &bytes);
+            }
+            vm.set_pc(image.entry);
+            vm.set_input(inputs[i].clone());
+            vm.enable_profile(image.text_base, image.text_words());
+            vm.run().map_err(|e| SquashError {
+                message: format!("profiling run failed: {e}"),
+            })?;
+            Ok(vm.take_profile().expect("profiling enabled"))
+        });
     let mut merged: Option<squash_vm::Profile> = None;
-    for input in inputs {
-        let mut vm = Vm::new(image.min_mem_size(1 << 18));
-        for (base, bytes) in image.segments() {
-            vm.write_bytes(base, &bytes);
-        }
-        vm.set_pc(image.entry);
-        vm.set_input(input.clone());
-        vm.enable_profile(image.text_base, image.text_words());
-        vm.run().map_err(|e| SquashError {
-            message: format!("profiling run failed: {e}"),
-        })?;
-        let p = vm.take_profile().expect("profiling enabled");
+    for p in profiles {
+        let p = p?;
         match &mut merged {
             Some(m) => m.merge(&p),
             None => merged = Some(p),
@@ -58,7 +78,7 @@ pub fn profile(program: &Program, inputs: &[Vec<u8>]) -> Result<BlockProfile, Sq
     let Some(p) = merged else {
         return err("no profiling inputs given");
     };
-    let freq = link::block_frequencies(&image, program, &|pc| p.count_at(pc));
+    let freq = link::block_frequencies(image, program, &|pc| p.count_at(pc));
     Ok(BlockProfile {
         freq,
         total_instructions: p.total(),

@@ -139,6 +139,125 @@ pub fn estimate_image_words(program: &Program, blocks: &[(FuncId, usize)]) -> u3
     total
 }
 
+/// A terminator's contribution to the image-size estimate, separated from
+/// the block body so candidate evaluation never re-walks instruction lists.
+#[derive(Debug, Clone, Copy)]
+enum TermCost {
+    /// `Fall { next }`: one word unless `next` is laid out adjacently.
+    Fall(usize),
+    /// `Cond { fall, .. }`: one word, plus one unless `fall` is adjacent.
+    Cond(usize),
+    /// Jump / indirect / return / exit / halt: always one word.
+    Fixed,
+}
+
+/// Precomputed per-block sizing: the adjacency-independent word count
+/// (instructions plus one expansion word per call) and the terminator
+/// shape. Region growth and packing evaluate thousands of candidate block
+/// sets; with this table each evaluation is O(blocks) instead of
+/// O(instructions).
+#[derive(Debug)]
+pub(crate) struct SizingTable {
+    base: Vec<Vec<u32>>,
+    term: Vec<Vec<TermCost>>,
+}
+
+impl SizingTable {
+    pub(crate) fn build(program: &Program) -> SizingTable {
+        let mut base = Vec::with_capacity(program.funcs.len());
+        let mut term = Vec::with_capacity(program.funcs.len());
+        for f in &program.funcs {
+            let mut fb = Vec::with_capacity(f.blocks.len());
+            let mut ft = Vec::with_capacity(f.blocks.len());
+            for block in &f.blocks {
+                let calls = block.insts.iter().filter(|pi| pi.is_call()).count() as u32;
+                fb.push(block.insts.len() as u32 + calls);
+                ft.push(match &block.term {
+                    Term::Fall { next } => TermCost::Fall(*next),
+                    Term::Cond { fall, .. } => TermCost::Cond(*fall),
+                    Term::Jump { .. }
+                    | Term::IndirectJump { .. }
+                    | Term::Ret { .. }
+                    | Term::Exit
+                    | Term::Halt => TermCost::Fixed,
+                });
+            }
+            base.push(fb);
+            term.push(ft);
+        }
+        SizingTable { base, term }
+    }
+
+    /// [`estimate_image_words`] over a sorted member list, from the table.
+    pub(crate) fn words_of(&self, blocks: &[(FuncId, usize)]) -> u32 {
+        let mut total = 0u32;
+        for (i, &(f, b)) in blocks.iter().enumerate() {
+            total += self.cost(f, b, blocks.get(i + 1).copied());
+        }
+        total
+    }
+
+    /// [`SizingTable::words_of`] of the merge of two disjoint sorted member
+    /// lists, walked with two pointers so candidate scoring in packing never
+    /// materializes the union. Returns `None` as soon as the running total
+    /// exceeds `cap` — the total only grows, so an over-`cap` prefix decides
+    /// the K-bound check without finishing the walk.
+    pub(crate) fn words_of_union(
+        &self,
+        a: &[(FuncId, usize)],
+        b: &[(FuncId, usize)],
+        cap: u32,
+    ) -> Option<u32> {
+        let (mut i, mut j) = (0, 0);
+        let take = |i: &mut usize, j: &mut usize| match (a.get(*i), b.get(*j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    *i += 1;
+                    Some(x)
+                } else {
+                    *j += 1;
+                    Some(y)
+                }
+            }
+            (Some(&x), None) => {
+                *i += 1;
+                Some(x)
+            }
+            (None, Some(&y)) => {
+                *j += 1;
+                Some(y)
+            }
+            (None, None) => None,
+        };
+        let mut total = 0u32;
+        let Some(mut cur) = take(&mut i, &mut j) else {
+            return Some(0);
+        };
+        loop {
+            let next = take(&mut i, &mut j);
+            total += self.cost(cur.0, cur.1, next);
+            if total > cap {
+                return None;
+            }
+            match next {
+                Some(n) => cur = n,
+                None => return Some(total),
+            }
+        }
+    }
+
+    /// One block's contribution given the block laid out after it (if any).
+    fn cost(&self, f: FuncId, b: usize, next: Option<(FuncId, usize)>) -> u32 {
+        let adjacent = |t: usize| next == Some((f, t));
+        self.base[f.0][b]
+            + match self.term[f.0][b] {
+                TermCost::Fall(n) => u32::from(!adjacent(n)),
+                TermCost::Cond(fall) => 1 + u32::from(!adjacent(fall)),
+                TermCost::Fixed => 1,
+            }
+    }
+}
+
 /// Decides which blocks may be compressed at all: cold, in a function that
 /// is neither excluded nor the entry, and compatible with the jump-table
 /// mode (paper §5 plus the §6.2 exclusion rule).
@@ -183,124 +302,168 @@ pub fn compressible_blocks(
 }
 
 /// Forms compressible regions with the configured strategy,
-/// profitability-filtered, then packed.
+/// profitability-filtered, then packed. Computes [`RefInfo`] internally;
+/// callers that already hold one (the squash pipeline computes it once and
+/// shares it with layout) should use [`form_regions_with`].
 pub fn form_regions(
     program: &Program,
     compressible: &[Vec<bool>],
     options: &SquashOptions,
 ) -> Vec<Region> {
     let refs = ref_info(program);
+    form_regions_with(program, compressible, &refs, options)
+}
+
+/// [`form_regions`] with a caller-provided [`RefInfo`], so region formation
+/// and layout share one cross-reference computation and always agree on
+/// stub counts.
+pub fn form_regions_with(
+    program: &Program,
+    compressible: &[Vec<bool>],
+    refs: &RefInfo,
+    options: &SquashOptions,
+) -> Vec<Region> {
+    let sizing = SizingTable::build(program);
     let k_words = (options.buffer_limit / 4).max(2);
     let mut regions = match options.region_strategy {
-        RegionStrategy::DfsTree => dfs_regions(program, compressible, &refs, k_words, options),
+        RegionStrategy::DfsTree => {
+            dfs_regions(program, compressible, refs, &sizing, k_words, options)
+        }
         RegionStrategy::LayoutGreedy => {
-            greedy_regions(program, compressible, &refs, k_words, options)
+            greedy_regions(program, compressible, refs, &sizing, k_words, options)
         }
     };
     if options.pack_regions {
-        pack(program, &refs, &mut regions, k_words);
+        pack(&sizing, refs, &mut regions, k_words, options.jobs);
     }
     regions
 }
 
-/// The paper's K-bounded DFS-tree construction.
+/// The paper's K-bounded DFS-tree construction. Functions are independent,
+/// so they fan out over `options.jobs` workers; per-function results are
+/// concatenated in function order, matching the serial construction.
 fn dfs_regions(
     program: &Program,
     compressible: &[Vec<bool>],
     refs: &RefInfo,
+    sizing: &SizingTable,
     k_words: u32,
     options: &SquashOptions,
 ) -> Vec<Region> {
-    let mut regions: Vec<Region> = Vec::new();
-    for (fi, f) in program.funcs.iter().enumerate() {
-        let fid = FuncId(fi);
-        let nblocks = f.blocks.len();
-        let mut in_region = vec![false; nblocks];
-        let mut failed_root = vec![false; nblocks];
-        while let Some(root) =
-            (0..nblocks).find(|&b| compressible[fi][b] && !in_region[b] && !failed_root[b])
-        {
-            // Grow a DFS tree from the root, bounded by K.
-            let mut members: Vec<usize> = vec![root];
-            let mut member_set: HashSet<usize> = members.iter().copied().collect();
-            let mut stack = vec![root];
-            while let Some(b) = stack.pop() {
-                for s in f.successors(b, program, fid) {
-                    if !compressible[fi][s] || in_region[s] || member_set.contains(&s) {
-                        continue;
-                    }
-                    let mut candidate: Vec<(FuncId, usize)> = members
-                        .iter()
-                        .map(|&m| (fid, m))
-                        .chain(std::iter::once((fid, s)))
-                        .collect();
-                    candidate.sort_unstable();
-                    if estimate_image_words(program, &candidate) <= k_words {
-                        members.push(s);
-                        member_set.insert(s);
-                        stack.push(s);
-                    }
+    crate::par::run_chunked(options.jobs, program.funcs.len(), |range| {
+        let mut regions: Vec<Region> = Vec::new();
+        for fi in range {
+            dfs_regions_in(
+                program, compressible, refs, sizing, k_words, options, fi, &mut regions,
+            );
+        }
+        regions
+    })
+}
+
+/// Grows the DFS-tree regions of a single function into `regions`.
+#[allow(clippy::too_many_arguments)]
+fn dfs_regions_in(
+    program: &Program,
+    compressible: &[Vec<bool>],
+    refs: &RefInfo,
+    sizing: &SizingTable,
+    k_words: u32,
+    options: &SquashOptions,
+    fi: usize,
+    regions: &mut Vec<Region>,
+) {
+    let f = &program.funcs[fi];
+    let fid = FuncId(fi);
+    let nblocks = f.blocks.len();
+    let mut in_region = vec![false; nblocks];
+    let mut failed_root = vec![false; nblocks];
+    while let Some(root) =
+        (0..nblocks).find(|&b| compressible[fi][b] && !in_region[b] && !failed_root[b])
+    {
+        // Grow a DFS tree from the root, bounded by K.
+        let mut members: Vec<usize> = vec![root];
+        let mut member_set: HashSet<usize> = members.iter().copied().collect();
+        let mut stack = vec![root];
+        while let Some(b) = stack.pop() {
+            for s in f.successors(b, program, fid) {
+                if !compressible[fi][s] || in_region[s] || member_set.contains(&s) {
+                    continue;
                 }
-            }
-            let mut blocks: Vec<(FuncId, usize)> = members.iter().map(|&m| (fid, m)).collect();
-            blocks.sort_unstable();
-            let region = Region { blocks };
-            if profitable(program, &region, refs, options) {
-                for &(_, b) in &region.blocks {
-                    in_region[b] = true;
+                let mut candidate: Vec<(FuncId, usize)> = members
+                    .iter()
+                    .map(|&m| (fid, m))
+                    .chain(std::iter::once((fid, s)))
+                    .collect();
+                candidate.sort_unstable();
+                if sizing.words_of(&candidate) <= k_words {
+                    members.push(s);
+                    member_set.insert(s);
+                    stack.push(s);
                 }
-                regions.push(region);
-            } else {
-                failed_root[root] = true;
             }
         }
+        let mut blocks: Vec<(FuncId, usize)> = members.iter().map(|&m| (fid, m)).collect();
+        blocks.sort_unstable();
+        let region = Region { blocks };
+        if profitable(program, &region, refs, options) {
+            for &(_, b) in &region.blocks {
+                in_region[b] = true;
+            }
+            regions.push(region);
+        } else {
+            failed_root[root] = true;
+        }
     }
-    regions
 }
 
 /// The alternative construction: consecutive compressible blocks in layout
-/// order, split at the K bound.
+/// order, split at the K bound. Fans out over functions like
+/// [`dfs_regions`].
 fn greedy_regions(
     program: &Program,
     compressible: &[Vec<bool>],
     refs: &RefInfo,
+    sizing: &SizingTable,
     k_words: u32,
     options: &SquashOptions,
 ) -> Vec<Region> {
-    let mut regions: Vec<Region> = Vec::new();
-    for (fi, _f) in program.funcs.iter().enumerate() {
-        let fid = FuncId(fi);
-        let mut current: Vec<(FuncId, usize)> = Vec::new();
-        let flush = |current: &mut Vec<(FuncId, usize)>, regions: &mut Vec<Region>| {
-            if current.is_empty() {
-                return;
-            }
-            let region = Region {
-                blocks: std::mem::take(current),
-            };
-            if profitable(program, &region, refs, options) {
-                regions.push(region);
-            }
-        };
-        for (bi, &block_ok) in compressible[fi].iter().enumerate() {
-            if !block_ok {
-                flush(&mut current, &mut regions);
-                continue;
-            }
-            let mut candidate = current.clone();
-            candidate.push((fid, bi));
-            if estimate_image_words(program, &candidate) > k_words {
-                flush(&mut current, &mut regions);
-                candidate = vec![(fid, bi)];
-                if estimate_image_words(program, &candidate) > k_words {
-                    continue; // single block too large for the buffer
+    crate::par::run_chunked(options.jobs, program.funcs.len(), |range| {
+        let mut regions: Vec<Region> = Vec::new();
+        for fi in range {
+            let fid = FuncId(fi);
+            let mut current: Vec<(FuncId, usize)> = Vec::new();
+            let flush = |current: &mut Vec<(FuncId, usize)>, regions: &mut Vec<Region>| {
+                if current.is_empty() {
+                    return;
                 }
+                let region = Region {
+                    blocks: std::mem::take(current),
+                };
+                if profitable(program, &region, refs, options) {
+                    regions.push(region);
+                }
+            };
+            for (bi, &block_ok) in compressible[fi].iter().enumerate() {
+                if !block_ok {
+                    flush(&mut current, &mut regions);
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.push((fid, bi));
+                if sizing.words_of(&candidate) > k_words {
+                    flush(&mut current, &mut regions);
+                    candidate = vec![(fid, bi)];
+                    if sizing.words_of(&candidate) > k_words {
+                        continue; // single block too large for the buffer
+                    }
+                }
+                current = candidate;
             }
-            current = candidate;
+            flush(&mut current, &mut regions);
         }
-        flush(&mut current, &mut regions);
-    }
-    regions
+        regions
+    })
 }
 
 /// The paper's profitability test: entry-stub cost `E` must be less than
@@ -320,62 +483,144 @@ fn profitable(
     e_words < (1.0 - options.gamma) * i_words
 }
 
+/// Merges two sorted, disjoint member lists in O(|a| + |b|).
+fn merge_sorted(a: &[(FuncId, usize)], b: &[(FuncId, usize)]) -> Vec<(FuncId, usize)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Greedy pairwise packing: repeatedly merge the pair with the highest
 /// positive savings that still fits K (paper §4). Implemented with a lazy
 /// max-heap so large region counts stay tractable: stale entries are
 /// discarded on pop via per-region version stamps.
-fn pack(program: &Program, refs: &RefInfo, regions: &mut Vec<Region>, k_words: u32) {
-    use std::cmp::Reverse;
+///
+/// Candidate evaluation is O(|a| + |b|) in blocks: sizes come from the
+/// [`SizingTable`], members from a two-pointer merge, and entry stubs from
+/// re-testing only the union of the two regions' own entry lists — a block
+/// whose predecessors all lie inside its old region still has them inside
+/// the merged one, so `entries(a ∪ b) ⊆ entries(a) ∪ entries(b)`.
+///
+/// Heap seeding fans out over `jobs` workers. The final merge sequence is
+/// independent of `jobs`: seeded tuples carry distinct `(pair, version)`
+/// keys, so the totally-ordered heap pops them identically however they
+/// were inserted.
+fn pack(sizing: &SizingTable, refs: &RefInfo, regions: &mut Vec<Region>, k_words: u32, jobs: usize) {
     use std::collections::BinaryHeap;
 
     #[derive(Clone)]
     struct Entry {
         region: Region,
         words: u32,
-        stubs: usize,
+        /// Sorted entry-stub blocks; `len()` is the region's stub count.
+        entries: Vec<(FuncId, usize)>,
         version: u64,
     }
     let make = |r: Region| {
-        let words = estimate_image_words(program, &r.blocks);
-        let stubs = entry_blocks(&r, refs).len();
+        let words = sizing.words_of(&r.blocks);
+        let entries = entry_blocks(&r, refs);
         Entry {
             region: r,
             words,
-            stubs,
+            entries,
             version: 0,
         }
     };
     let mut alive: Vec<Option<Entry>> = regions.drain(..).map(|r| Some(make(r))).collect();
-    let savings_of = |a: &Entry, b: &Entry| -> Option<(i64, Region, u32, usize)> {
-        let mut blocks: Vec<(FuncId, usize)> =
-            a.region.blocks.iter().chain(&b.region.blocks).copied().collect();
-        blocks.sort_unstable();
-        let merged = Region { blocks };
-        let words = estimate_image_words(program, &merged.blocks);
+    // Allocation-free scoring for the thousands of candidate evaluations:
+    // union size from the fused two-pointer walk, surviving entry stubs
+    // counted with membership tested against the two source lists (the
+    // union contains a block iff one of them does).
+    let score_of = |a: &Entry, b: &Entry| -> Option<i64> {
+        // Union size. When one region's blocks all sort before the other's
+        // (regions in different functions — the common case), the union is a
+        // concatenation and only the seam block's successor changes, so the
+        // size comes from the parts in O(1); otherwise walk the merge.
+        let concat_words = |x: &Entry, y: &Entry| {
+            let &last = x.region.blocks.last().expect("regions are non-empty");
+            let &first = y.region.blocks.first().expect("regions are non-empty");
+            x.words + y.words + sizing.cost(last.0, last.1, Some(first))
+                - sizing.cost(last.0, last.1, None)
+        };
+        let (ab, bb) = (&a.region.blocks, &b.region.blocks);
+        let words = if ab.last() < bb.first() {
+            Some(concat_words(a, b)).filter(|&w| w <= k_words)
+        } else if bb.last() < ab.first() {
+            Some(concat_words(b, a)).filter(|&w| w <= k_words)
+        } else {
+            sizing.words_of_union(ab, bb, k_words)
+        }?;
+        let in_union = |f: FuncId, p: usize| {
+            a.region.blocks.binary_search(&(f, p)).is_ok()
+                || b.region.blocks.binary_search(&(f, p)).is_ok()
+        };
+        let mut entries = 0i64;
+        for &(f, bi) in a.entries.iter().chain(&b.entries) {
+            let externally_entered = (bi == 0 && refs.entry_referenced[f.0])
+                || refs.data_referenced[f.0][bi]
+                || refs.intra_preds[f.0][bi].iter().any(|&p| !in_union(f, p));
+            entries += i64::from(externally_entered);
+        }
+        let savings = (a.words as i64 + b.words as i64 - words as i64)
+            + 2 * (a.entries.len() as i64 + b.entries.len() as i64 - entries)
+            + 1;
+        (savings > 0).then_some(savings)
+    };
+    // The materializing twin, for the one winning pair per merge step.
+    type Merged = (Region, u32, Vec<(FuncId, usize)>);
+    let savings_of = |a: &Entry, b: &Entry| -> Option<Merged> {
+        let blocks = merge_sorted(&a.region.blocks, &b.region.blocks);
+        let words = sizing.words_of(&blocks);
         if words > k_words {
             return None;
         }
-        let stubs = entry_blocks(&merged, refs).len();
-        let savings = (a.words as i64 + b.words as i64 - words as i64)
-            + 2 * (a.stubs as i64 + b.stubs as i64 - stubs as i64)
-            + 1;
-        (savings > 0).then_some((savings, merged, words, stubs))
-    };
-    // Seed the heap with every viable pair. (Reverse<...> unused; max-heap.)
-    let mut heap: BinaryHeap<(i64, usize, usize, u64, u64)> = BinaryHeap::new();
-    let n0 = alive.len();
-    for i in 0..n0 {
-        for j in (i + 1)..n0 {
-            let (Some(a), Some(b)) = (&alive[i], &alive[j]) else { continue };
-            // Cheap pre-filter: merged size lower bound.
-            if a.words + b.words > k_words + 16 {
-                continue;
-            }
-            if let Some((s, _, _, _)) = savings_of(a, b) {
-                heap.push((s, i, j, a.version, b.version));
+        let mut entries = Vec::new();
+        for &(f, bi) in &merge_sorted(&a.entries, &b.entries) {
+            let externally_entered = (bi == 0 && refs.entry_referenced[f.0])
+                || refs.data_referenced[f.0][bi]
+                || refs.intra_preds[f.0][bi]
+                    .iter()
+                    .any(|&p| blocks.binary_search(&(f, p)).is_err());
+            if externally_entered {
+                entries.push((f, bi));
             }
         }
-    }
+        let savings = (a.words as i64 + b.words as i64 - words as i64)
+            + 2 * (a.entries.len() as i64 + b.entries.len() as i64 - entries.len() as i64)
+            + 1;
+        (savings > 0).then_some((Region { blocks }, words, entries))
+    };
+    // Seed the heap with every viable pair, fanned out over row ranges.
+    let n0 = alive.len();
+    let seeds = crate::par::run_chunked(jobs, n0, |range| {
+        let mut out: Vec<(i64, usize, usize, u64, u64)> = Vec::new();
+        for i in range {
+            let Some(a) = &alive[i] else { continue };
+            for (j, slot) in alive.iter().enumerate().skip(i + 1) {
+                let Some(b) = slot else { continue };
+                // Cheap pre-filter: merged size lower bound.
+                if a.words + b.words > k_words + 16 {
+                    continue;
+                }
+                if let Some(s) = score_of(a, b) {
+                    out.push((s, i, j, a.version, b.version));
+                }
+            }
+        }
+        out
+    });
+    let mut heap: BinaryHeap<(i64, usize, usize, u64, u64)> = seeds.into_iter().collect();
     let mut next_version = 1u64;
     while let Some((_, i, j, vi, vj)) = heap.pop() {
         let (Some(a), Some(b)) = (&alive[i], &alive[j]) else { continue };
@@ -385,14 +630,14 @@ fn pack(program: &Program, refs: &RefInfo, regions: &mut Vec<Region>, k_words: u
         // Recompute (entries can also be stale in value when other merges
         // changed nothing about i/j — versions guard that, so this is the
         // authoritative evaluation).
-        let Some((_, merged, words, stubs)) = savings_of(a, b) else { continue };
+        let Some((merged, words, entries)) = savings_of(a, b) else { continue };
         alive[j] = None;
         let version = next_version;
         next_version += 1;
         alive[i] = Some(Entry {
             region: merged,
             words,
-            stubs,
+            entries,
             version,
         });
         // New candidate pairs involving i.
@@ -405,7 +650,7 @@ fn pack(program: &Program, refs: &RefInfo, regions: &mut Vec<Region>, k_words: u
             if ei.words + other.words > k_words + 16 {
                 continue;
             }
-            if let Some((s, _, _, _)) = savings_of(&ei, other) {
+            if let Some(s) = score_of(&ei, other) {
                 let (lo, hi, vlo, vhi) = if k < i {
                     (k, i, other.version, ei.version)
                 } else {
@@ -414,7 +659,6 @@ fn pack(program: &Program, refs: &RefInfo, regions: &mut Vec<Region>, k_words: u
                 heap.push((s, lo, hi, vlo, vhi));
             }
         }
-        let _ = Reverse(0); // keep the import honest under cfg changes
     }
     regions.extend(alive.into_iter().flatten().map(|e| e.region));
 }
@@ -552,6 +796,119 @@ mod tests {
         assert!(packed.len() <= unpacked.len());
         for r in &packed {
             assert!(estimate_image_words(&program, &r.blocks) * 4 <= 512);
+        }
+    }
+
+    #[test]
+    fn sizing_table_matches_estimate_image_words() {
+        let (program, profile) = fixture();
+        let opts = options();
+        let sizing = SizingTable::build(&program);
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        let regions = form_regions(&program, &comp, &opts);
+        assert!(!regions.is_empty());
+        for r in &regions {
+            assert_eq!(
+                sizing.words_of(&r.blocks),
+                estimate_image_words(&program, &r.blocks)
+            );
+            // Prefixes exercise the terminator-adjacency edge cases.
+            for len in 1..r.blocks.len() {
+                assert_eq!(
+                    sizing.words_of(&r.blocks[..len]),
+                    estimate_image_words(&program, &r.blocks[..len])
+                );
+            }
+        }
+        // Pairwise unions, as pack() evaluates them: the fused two-pointer
+        // walk, the concat fast path (when the regions don't interleave),
+        // and the capped early exit must all agree with the full estimate.
+        for a in &regions {
+            for b in &regions {
+                if a == b {
+                    continue;
+                }
+                let merged = merge_sorted(&a.blocks, &b.blocks);
+                let full = estimate_image_words(&program, &merged);
+                assert_eq!(sizing.words_of(&merged), full);
+                assert_eq!(sizing.words_of_union(&a.blocks, &b.blocks, u32::MAX), Some(full));
+                if full > 0 {
+                    assert_eq!(sizing.words_of_union(&a.blocks, &b.blocks, full - 1), None);
+                }
+                if a.blocks.last() < b.blocks.first() {
+                    let &last = a.blocks.last().unwrap();
+                    let &first = b.blocks.first().unwrap();
+                    let concat = sizing.words_of(&a.blocks) + sizing.words_of(&b.blocks)
+                        + sizing.cost(last.0, last.1, Some(first))
+                        - sizing.cost(last.0, last.1, None);
+                    assert_eq!(concat, full, "concat fast path diverged from full walk");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_entry_narrowing_matches_full_entry_scan() {
+        let (program, profile) = fixture();
+        let opts = options();
+        let refs = ref_info(&program);
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        let regions = form_regions(
+            &program,
+            &comp,
+            &SquashOptions {
+                pack_regions: false,
+                ..opts
+            },
+        );
+        for a in &regions {
+            for b in &regions {
+                if a == b {
+                    continue;
+                }
+                let merged = Region {
+                    blocks: merge_sorted(&a.blocks, &b.blocks),
+                };
+                let full = entry_blocks(&merged, &refs);
+                // The narrowed candidate set used by pack(): re-test only
+                // the union of the parts' entry lists.
+                let candidates =
+                    merge_sorted(&entry_blocks(a, &refs), &entry_blocks(b, &refs));
+                let narrowed: Vec<(FuncId, usize)> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&(f, bi)| {
+                        (bi == 0 && refs.entry_referenced[f.0])
+                            || refs.data_referenced[f.0][bi]
+                            || refs.intra_preds[f.0][bi]
+                                .iter()
+                                .any(|&p| merged.blocks.binary_search(&(f, p)).is_err())
+                    })
+                    .collect();
+                assert_eq!(narrowed, full);
+            }
+        }
+    }
+
+    #[test]
+    fn form_regions_is_independent_of_jobs() {
+        let (program, profile) = fixture();
+        let opts = options();
+        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let comp = compressible_blocks(&program, &cold, &opts);
+        let serial = form_regions(&program, &comp, &opts);
+        for jobs in [2, 3, 8] {
+            let parallel = form_regions(
+                &program,
+                &comp,
+                &SquashOptions {
+                    jobs,
+                    ..opts.clone()
+                },
+            );
+            assert_eq!(serial, parallel, "jobs={jobs} changed region formation");
         }
     }
 

@@ -1,0 +1,75 @@
+//! Stage 4: trained model + region images → [`EncodedRegions`].
+//!
+//! Each region is compressed into its own [`BitWriter`] and round-trip
+//! verified against its own bytes, fanned out over `SquashOptions::jobs`
+//! workers (regions are independent given the shared trained model). The
+//! per-region writers are then merged **in region order** with bit-level
+//! [`BitWriter::append`], which reproduces exactly the bit stream a single
+//! sequential writer would have produced — the blob is byte-identical for
+//! any thread count, including `jobs = 1`.
+//!
+//! Verifying against a region's own padded bytes is equivalent to verifying
+//! against the merged blob: decoding consumes bits up to the region's
+//! sentinel and never looks past it.
+
+use squash_compress::{BitWriter, StreamModel};
+use squash_isa::Inst;
+
+use crate::par;
+use crate::{err, SquashError};
+
+/// The encoding stage's artifact: the compressed blob and where each
+/// region's bit stream starts within it.
+#[derive(Debug, Clone)]
+pub struct EncodedRegions {
+    /// The compressed code blob (zero-padded to a whole byte at the end).
+    pub blob: Vec<u8>,
+    /// Bit offset of each region's stream within the blob.
+    pub bit_offsets: Vec<u64>,
+    /// Total compressed payload bits (excluding final-byte padding).
+    pub payload_bits: u64,
+}
+
+/// Compresses every region image against `model`, verifying each round
+/// trip, with `jobs` worker threads.
+///
+/// # Errors
+///
+/// Fails if a region does not encode or does not decode back to its image.
+pub fn encode(
+    model: &StreamModel,
+    images: &[Vec<Inst>],
+    jobs: usize,
+) -> Result<EncodedRegions, SquashError> {
+    let writers: Vec<Result<BitWriter, SquashError>> =
+        par::map_indexed(jobs, images.len(), |ri| {
+            let image = &images[ri];
+            let mut w = BitWriter::new();
+            model.compress_region_into(image, &mut w).map_err(|e| SquashError {
+                message: format!("region {ri}: compression failed: {e}"),
+            })?;
+            // Build-time self-check: the region must decompress back to
+            // exactly the image just compressed (the paper's tool can rely
+            // on its single codec; ours verifies before shipping the blob).
+            let bytes = w.padded_bytes();
+            let (decoded, _) = model.decompress_region(&bytes, 0).map_err(|e| SquashError {
+                message: format!("region {ri} fails to decompress after compression: {e}"),
+            })?;
+            if &decoded != image {
+                return err(format!("region {ri} round-trip mismatch"));
+            }
+            Ok(w)
+        });
+    let mut blob_writer = BitWriter::new();
+    let mut bit_offsets = Vec::with_capacity(images.len());
+    for w in writers {
+        bit_offsets.push(blob_writer.bit_len());
+        blob_writer.append(&w?);
+    }
+    let payload_bits = blob_writer.bit_len();
+    Ok(EncodedRegions {
+        blob: blob_writer.into_bytes(),
+        bit_offsets,
+        payload_bits,
+    })
+}

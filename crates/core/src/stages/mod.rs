@@ -1,0 +1,30 @@
+//! The staged squash pipeline (`Squasher::finish` decomposed).
+//!
+//! `finish` used to be one 800-line emission pass; it is now five explicit
+//! stages, each a pure function from the previous stage's typed artifact:
+//!
+//! ```text
+//! ColdSet ──plan──▶ RegionPlan ──layout──▶ Geometry + images
+//!         ──train──▶ TrainedModel ──encode──▶ EncodedRegions
+//!         ──assemble──▶ Squashed image
+//! ```
+//!
+//! - [`plan`]: region formation, packing, buffer-safety, entry stubs
+//!   (one shared [`crate::regions::RefInfo`]);
+//! - [`crate::layout`]: address geometry, never-compressed text, and the
+//!   exact region buffer images;
+//! - [`train`]: the shared stream model over all images;
+//! - [`encode`]: per-region compression + round-trip verification, fanned
+//!   out over `SquashOptions::jobs` and merged in region order;
+//! - [`crate::layout`] again for final segment assembly and statistics.
+//!
+//! Each stage reports wall-clock and artifact size through a
+//! [`StageObserver`]; `squashc --stage-stats` prints the table.
+
+pub mod encode;
+mod observe;
+pub mod plan;
+pub mod train;
+
+pub use observe::{CollectObserver, NullObserver, StageObserver, StageStats};
+pub(crate) use observe::timed;

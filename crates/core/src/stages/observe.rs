@@ -1,0 +1,117 @@
+//! Per-stage observability for the squash pipeline.
+//!
+//! Each pipeline stage reports one [`StageStats`] record — its name,
+//! wall-clock time, item count and output size — through a caller-supplied
+//! [`StageObserver`]. The default [`NullObserver`] discards everything at
+//! zero cost; [`CollectObserver`] accumulates the records for display
+//! (`squashc --stage-stats`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One stage's execution record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name (`"plan"`, `"layout"`, `"train"`, `"encode"`,
+    /// `"assemble"`).
+    pub name: &'static str,
+    /// Wall-clock time the stage took.
+    pub wall: Duration,
+    /// How many items the stage processed (regions, blocks, images — see
+    /// `note` for the unit).
+    pub items: usize,
+    /// Size of the stage's primary output artifact, in bytes.
+    pub output_bytes: u64,
+    /// Human-readable qualifier for `items`/`output_bytes`.
+    pub note: &'static str,
+}
+
+/// Receives one [`StageStats`] per pipeline stage, in execution order.
+pub trait StageObserver {
+    /// Called once when a stage completes.
+    fn record(&mut self, stats: &StageStats);
+}
+
+/// Ignores all stage records (the default for [`crate::Squasher::finish`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl StageObserver for NullObserver {
+    fn record(&mut self, _stats: &StageStats) {}
+}
+
+/// Collects every stage record for later display.
+#[derive(Debug, Clone, Default)]
+pub struct CollectObserver {
+    /// The records, in execution order.
+    pub stages: Vec<StageStats>,
+}
+
+impl StageObserver for CollectObserver {
+    fn record(&mut self, stats: &StageStats) {
+        self.stages.push(stats.clone());
+    }
+}
+
+impl fmt::Display for CollectObserver {
+    /// Renders the collected records as the `--stage-stats` table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<10} {:>9} {:>8} {:>12}  unit", "stage", "wall", "items", "bytes")?;
+        let mut total = Duration::ZERO;
+        for s in &self.stages {
+            total += s.wall;
+            writeln!(
+                f,
+                "{:<10} {:>7.3}ms {:>8} {:>12}  {}",
+                s.name,
+                s.wall.as_secs_f64() * 1e3,
+                s.items,
+                s.output_bytes,
+                s.note
+            )?;
+        }
+        write!(f, "{:<10} {:>7.3}ms", "total", total.as_secs_f64() * 1e3)
+    }
+}
+
+/// Runs `f`, times it, and reports the stage to `obs`. The closure returns
+/// its result plus the `(items, output_bytes, note)` triple describing it.
+pub(crate) fn timed<T>(
+    obs: &mut dyn StageObserver,
+    name: &'static str,
+    f: impl FnOnce() -> T,
+    describe: impl FnOnce(&T) -> (usize, u64, &'static str),
+) -> T {
+    let start = Instant::now();
+    let out = f();
+    let wall = start.elapsed();
+    let (items, output_bytes, note) = describe(&out);
+    obs.record(&StageStats {
+        name,
+        wall,
+        items,
+        output_bytes,
+        note,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_observer_records_in_order() {
+        let mut obs = CollectObserver::default();
+        let x = timed(&mut obs, "plan", || 21 * 2, |v| (*v, 8, "answers"));
+        assert_eq!(x, 42);
+        timed(&mut obs, "encode", || (), |_| (0, 0, "-"));
+        assert_eq!(obs.stages.len(), 2);
+        assert_eq!(obs.stages[0].name, "plan");
+        assert_eq!(obs.stages[0].items, 42);
+        assert_eq!(obs.stages[1].name, "encode");
+        let table = obs.to_string();
+        assert!(table.contains("plan"), "table: {table}");
+        assert!(table.contains("total"), "table: {table}");
+    }
+}

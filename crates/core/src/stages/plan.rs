@@ -1,0 +1,57 @@
+//! Stage 1: cold blocks → [`RegionPlan`].
+//!
+//! Decides *what* gets compressed: compressible blocks, region formation
+//! and packing, buffer-safety, and the entry-stub list. Everything
+//! downstream (layout geometry, training, encoding, assembly) is a pure
+//! function of the plan, and the cross-reference information is computed
+//! exactly once here and shared — region formation and layout can never
+//! disagree on stub counts.
+
+use squash_cfg::{FuncId, Program};
+
+use crate::buffer_safe::{self, BufferSafety};
+use crate::cold::ColdSet;
+use crate::regions::{self, RefInfo, Region};
+use crate::SquashOptions;
+
+/// The planning stage's artifact: which blocks compress, into which
+/// regions, with which entry stubs, and which functions are buffer-safe.
+#[derive(Debug, Clone)]
+pub struct RegionPlan {
+    /// The compressible regions, in formation order.
+    pub regions: Vec<Region>,
+    /// Which functions can never (transitively) invoke the decompressor.
+    pub safety: BufferSafety,
+    /// Cross-reference info shared by formation and layout.
+    pub refs: RefInfo,
+    /// Entry stubs as `(region, function, block)`, in (region, block)
+    /// order — the order the stub area is emitted in.
+    pub entry_stubs: Vec<(usize, FuncId, usize)>,
+}
+
+impl RegionPlan {
+    /// Total blocks across all planned regions.
+    pub fn compressed_blocks(&self) -> usize {
+        self.regions.iter().map(|r| r.blocks.len()).sum()
+    }
+}
+
+/// Builds the [`RegionPlan`] for a cold-code analysis.
+pub fn build(program: &Program, cold: &ColdSet, options: &SquashOptions) -> RegionPlan {
+    let refs = regions::ref_info(program);
+    let compressible = regions::compressible_blocks(program, cold, options);
+    let regions = regions::form_regions_with(program, &compressible, &refs, options);
+    let safety = buffer_safe::analyze(program, &regions);
+    let mut entry_stubs = Vec::new();
+    for (ri, r) in regions.iter().enumerate() {
+        for (f, b) in regions::entry_blocks(r, &refs) {
+            entry_stubs.push((ri, f, b));
+        }
+    }
+    RegionPlan {
+        regions,
+        safety,
+        refs,
+        entry_stubs,
+    }
+}

@@ -1,0 +1,39 @@
+//! Stage 3: region images → [`TrainedModel`].
+//!
+//! Trains the splitting-streams + canonical-Huffman model on the final
+//! region buffer images (all displacements already resolved by the layout
+//! stage). Training sees every region, so one shared model covers the
+//! whole blob; the encode stage then compresses each region independently
+//! against it.
+
+use squash_compress::{StreamModel, StreamOptions};
+use squash_isa::Inst;
+
+use crate::SquashOptions;
+
+/// The training stage's artifact.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// The trained stream model, shared (immutably) by all encode workers.
+    pub model: StreamModel,
+}
+
+impl TrainedModel {
+    /// Emitted size of the model's decode tables, in bytes.
+    pub fn table_bytes(&self) -> u64 {
+        self.model.table_bytes()
+    }
+}
+
+/// Trains the stream model over all region images.
+pub fn train(images: &[Vec<Inst>], options: &SquashOptions) -> TrainedModel {
+    let image_refs: Vec<&[Inst]> = images.iter().map(|v| v.as_slice()).collect();
+    let stream_options = if options.mtf_displacements {
+        StreamOptions::with_displacement_mtf()
+    } else {
+        StreamOptions::default()
+    };
+    TrainedModel {
+        model: StreamModel::train_with(&image_refs, stream_options),
+    }
+}

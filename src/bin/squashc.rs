@@ -15,6 +15,10 @@
 //!   --no-squeeze       skip the baseline compactor
 //!   --strategy <s>     regions: dfs | greedy (default dfs)
 //!   --jump-tables <m>  retarget | unswitch | exclude (default retarget)
+//!   --jobs <n>         worker threads for the parallel pipeline stages
+//!                      (default 1, capped at the machine's parallelism;
+//!                      output is byte-identical for any value)
+//!   --stage-stats      print per-stage wall-clock and artifact sizes
 //!   --dump-regions     print the region map
 //! ```
 //!
@@ -41,6 +45,8 @@ struct Args {
     squeeze: bool,
     strategy: RegionStrategy,
     jump_tables: JumpTableMode,
+    jobs: usize,
+    stage_stats: bool,
     dump_regions: bool,
 }
 
@@ -58,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         squeeze: true,
         strategy: RegionStrategy::DfsTree,
         jump_tables: JumpTableMode::Retarget,
+        jobs: 1,
+        stage_stats: false,
         dump_regions: false,
     };
     let mut it = std::env::args().skip(1);
@@ -84,6 +92,17 @@ fn parse_args() -> Result<Args, String> {
             "--load-profile" => args.load_profile = Some(value("--load-profile")?),
             "--no-squeeze" => args.squeeze = false,
             "--dump-regions" => args.dump_regions = true,
+            "--stage-stats" => args.stage_stats = true,
+            "--jobs" => {
+                let requested: usize =
+                    value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if requested == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                // Like `make -j`: never more workers than the machine can
+                // actually run (the image is identical either way).
+                args.jobs = squash_repro::squash::effective_jobs(requested);
+            }
             "--strategy" => {
                 args.strategy = match value("--strategy")?.as_str() {
                     "dfs" => RegionStrategy::DfsTree,
@@ -103,7 +122,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: squashc <source.mc>... [--theta F] [--buffer N] \
                             [--cache-slots N] [--profile FILE] [--run FILE] [--emit FILE] \
                             [--no-squeeze] [--strategy dfs|greedy] [--jump-tables MODE] \
-                            [--dump-regions]"
+                            [--jobs N] [--stage-stats] [--dump-regions]"
                     .to_string())
             }
             other if !other.starts_with('-') => args.sources.push(other.to_string()),
@@ -159,7 +178,8 @@ fn run() -> Result<(), String> {
                 Some(path) => std::fs::read(path).map_err(|e| format!("{path}: {e}"))?,
                 None => Vec::new(),
             };
-            let p = pipeline::profile(&program, &[profile_input]).map_err(|e| e.to_string())?;
+            let p = pipeline::profile_jobs(&program, &[profile_input], args.jobs)
+                .map_err(|e| e.to_string())?;
             println!("profiled:  {} instructions executed", p.total_instructions);
             p
         }
@@ -175,6 +195,7 @@ fn run() -> Result<(), String> {
         cache_slots: args.cache_slots,
         region_strategy: args.strategy,
         jump_tables: args.jump_tables,
+        jobs: args.jobs,
         ..Default::default()
     };
     let squasher = Squasher::new(&program, &profile, &options).map_err(|e| e.to_string())?;
@@ -188,7 +209,14 @@ fn run() -> Result<(), String> {
             }
         }
     }
-    let squashed = squasher.finish().map_err(|e| e.to_string())?;
+    let mut stage_observer = squash_repro::squash::stages::CollectObserver::default();
+    let squashed = squasher
+        .finish_observed(&mut stage_observer)
+        .map_err(|e| e.to_string())?;
+    if args.stage_stats {
+        println!("\npipeline stages ({} job{}):", args.jobs, if args.jobs == 1 { "" } else { "s" });
+        println!("{stage_observer}");
+    }
     let stats = &squashed.stats;
     println!(
         "squashed:  {} regions / {} blocks / {} entry stubs",

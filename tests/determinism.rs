@@ -1,0 +1,113 @@
+//! Parallel-pipeline determinism: `--jobs` must be invisible in the output.
+//!
+//! For every workload and every cache depth N ∈ {1, 2, 4}, squashing with
+//! `jobs ∈ {1, 2, 8}` must produce **byte-identical** `.sqsh` image files —
+//! the whole artifact, segments through blob through runtime configuration.
+//! On top of the byte equality, the squashed program is actually run at
+//! `jobs = 1` and `jobs = 8` and must charge identical simulated cycle
+//! counts, pinning the runtime behaviour (not just the serialized bytes) to
+//! the serial pipeline.
+
+use squash_repro::squash::{image_file, pipeline, SquashOptions, Squasher};
+
+const CACHE_SIZES: [usize; 3] = [1, 2, 4];
+const JOBS: [usize; 3] = [1, 2, 8];
+
+/// Truncation bound for timing inputs (precedent: `tests/differential.rs`).
+const INPUT_CAP: usize = 4_000;
+
+fn check_workload(name: &str) {
+    let workload = squash_repro::workloads::by_name(name).expect("workload exists");
+    let (program, _) = workload.squeezed();
+    let profile =
+        pipeline::profile(&program, &[workload.profiling_input()]).expect("profile");
+    let mut input = workload.timing_input();
+    input.truncate(INPUT_CAP);
+    for slots in CACHE_SIZES {
+        let squash_at = |jobs: usize| {
+            let options = SquashOptions {
+                theta: 1e-3,
+                cache_slots: slots,
+                jobs,
+                ..Default::default()
+            };
+            Squasher::new(&program, &profile, &options)
+                .expect("setup")
+                .finish()
+                .expect("squash")
+        };
+        let serial = squash_at(JOBS[0]);
+        let serial_bytes = image_file::write(&serial);
+        let mut parallel_last = None;
+        for &jobs in &JOBS[1..] {
+            let parallel = squash_at(jobs);
+            assert_eq!(
+                image_file::write(&parallel),
+                serial_bytes,
+                "{name}: .sqsh image differs between jobs=1 and jobs={jobs} \
+                 at {slots} cache slots"
+            );
+            parallel_last = Some(parallel);
+        }
+        // Identical bytes should mean identical simulation; verify the
+        // cycle counts directly rather than trusting the serialization to
+        // cover every behavioural input.
+        let serial_run = pipeline::run_squashed(&serial, &input)
+            .unwrap_or_else(|e| panic!("{name} jobs=1 slots={slots}: {e}"));
+        let parallel_run = pipeline::run_squashed(&parallel_last.expect("ran"), &input)
+            .unwrap_or_else(|e| panic!("{name} jobs=8 slots={slots}: {e}"));
+        assert_eq!(
+            serial_run.cycles, parallel_run.cycles,
+            "{name}: simulated cycles diverged between jobs=1 and jobs=8 \
+             at {slots} cache slots"
+        );
+        assert_eq!(
+            serial_run.output, parallel_run.output,
+            "{name}: output diverged between jobs=1 and jobs=8 at {slots} slots"
+        );
+    }
+}
+
+macro_rules! determinism {
+    ($($test:ident => $name:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                check_workload($name);
+            }
+        )*
+    };
+}
+
+// One test per workload so failures name the program and the suite
+// parallelises across the harness's threads.
+determinism! {
+    adpcm => "adpcm",
+    epic => "epic",
+    g721_enc => "g721_enc",
+    g721_dec => "g721_dec",
+    gsm => "gsm",
+    jpeg_enc => "jpeg_enc",
+    jpeg_dec => "jpeg_dec",
+    mpeg2enc => "mpeg2enc",
+    mpeg2dec => "mpeg2dec",
+    pgp => "pgp",
+    rasta => "rasta",
+}
+
+/// Every workload in the crate must be covered here, as in the
+/// differential harness.
+#[test]
+fn every_workload_is_covered() {
+    let covered = [
+        "adpcm", "epic", "g721_enc", "g721_dec", "gsm", "jpeg_enc", "jpeg_dec",
+        "mpeg2enc", "mpeg2dec", "pgp", "rasta",
+    ];
+    for w in squash_repro::workloads::all() {
+        assert!(
+            covered.contains(&w.name),
+            "workload {} has no determinism test",
+            w.name
+        );
+    }
+}
