@@ -16,6 +16,7 @@
 //! two slots absorb the alternation entirely.
 
 use squash::pipeline;
+use squash::telemetry::{Recorder, SharedRecorder};
 use squash::SquashOptions;
 
 const SLOTS: [usize; 4] = [1, 2, 4, 8];
@@ -27,6 +28,10 @@ struct Row {
     hits: Vec<u64>,
     misses: Vec<u64>,
     evictions: Vec<u64>,
+    /// Service cycles attributed per-region by the telemetry layer, per N.
+    /// Checked against `cycles_charged` — attribution must explain every
+    /// charged cycle on every workload.
+    attributed: Vec<u64>,
 }
 
 fn sweep(
@@ -41,6 +46,7 @@ fn sweep(
         hits: Vec::new(),
         misses: Vec::new(),
         evictions: Vec::new(),
+        attributed: Vec::new(),
     };
     for slots in SLOTS {
         let options = SquashOptions {
@@ -52,11 +58,20 @@ fn sweep(
             .expect("squasher setup")
             .finish()
             .expect("squash failed");
-        let result = pipeline::run_squashed(&squashed, input).expect("squashed run");
+        let recorder = SharedRecorder::new(Recorder::attribution_only());
+        let result =
+            pipeline::run_squashed_traced(&squashed, input, None, Some(recorder.sink()))
+                .expect("squashed run");
+        let attribution = recorder.take().attribution.finish(result.cycles);
+        assert_eq!(
+            attribution.attributed_cycles, result.runtime.cycles_charged,
+            "{name} N={slots}: attribution must cover every charged cycle"
+        );
         row.cycles.push(result.cycles);
-        row.hits.push(result.runtime.cache_hits);
-        row.misses.push(result.runtime.cache_misses);
+        row.hits.push(result.runtime.hits);
+        row.misses.push(result.runtime.misses);
         row.evictions.push(result.runtime.evictions);
+        row.attributed.push(attribution.attributed_cycles);
     }
     row
 }
@@ -157,4 +172,25 @@ fn main() {
         );
     }
     println!("all workloads: cycles non-increasing as N grows ✓");
+    println!("all workloads: telemetry attributed 100% of service cycles at every N ✓");
+
+    // Persist the sweep as machine-readable telemetry rows for the perf
+    // trajectory (same BENCH_* convention as the other bench binaries).
+    let mut entries = Vec::new();
+    for row in &rows {
+        for (i, n) in SLOTS.iter().enumerate() {
+            entries.push((format!("{}_cycles_n{n}", row.name), row.cycles[i] as f64));
+        }
+        let last = SLOTS.len() - 1;
+        entries.push((format!("{}_hits_n{}", row.name, SLOTS[last]), row.hits[last] as f64));
+        entries.push((
+            format!("{}_evictions_n{}", row.name, SLOTS[last]),
+            row.evictions[last] as f64,
+        ));
+        entries.push((
+            format!("{}_attributed_n{}", row.name, SLOTS[last]),
+            row.attributed[last] as f64,
+        ));
+    }
+    squash_bench::report::write_named("BENCH_PR4.json", "cache_sweep", &entries);
 }

@@ -68,6 +68,7 @@ pub mod pipeline;
 pub mod regions;
 pub mod runtime;
 pub mod stages;
+pub mod telemetry;
 
 use std::collections::HashSet;
 use std::fmt;

@@ -7,10 +7,11 @@
 
 use squash_cfg::link::{self, LinkOptions};
 use squash_cfg::Program;
-use squash_vm::{ICacheConfig, Vm};
+use squash_vm::{ICacheConfig, ICacheStats, TraceSink, Vm};
 
 use crate::layout::Squashed;
 use crate::runtime::{RuntimeStats, SquashRuntime};
+use crate::telemetry::{RunMetrics, Telemetry};
 use crate::{err, BlockProfile, SquashError};
 
 /// Outcome of one program run.
@@ -26,6 +27,28 @@ pub struct RunResult {
     pub cycles: u64,
     /// Runtime decompressor statistics (zeroed for original runs).
     pub runtime: RuntimeStats,
+    /// Instruction-cache statistics, when the model was enabled.
+    pub icache: Option<ICacheStats>,
+}
+
+impl RunResult {
+    /// Starts a [`Telemetry`] report from this run's metrics: fills the
+    /// `run`, `runtime` and `icache` sections; the caller adds stages or
+    /// attribution if it has them.
+    pub fn telemetry(&self, name: &str) -> Telemetry {
+        Telemetry {
+            name: name.to_string(),
+            run: Some(RunMetrics {
+                status: self.status,
+                instructions: self.instructions,
+                cycles: self.cycles,
+                output_bytes: self.output.len() as u64,
+            }),
+            runtime: (self.runtime != RuntimeStats::default()).then_some(self.runtime),
+            icache: self.icache,
+            ..Telemetry::default()
+        }
+    }
 }
 
 /// Links and runs `program` on each input, merging per-PC counts into a
@@ -118,12 +141,14 @@ pub fn run_original_with(
     let out = vm.run().map_err(|e| SquashError {
         message: format!("original run failed: {e}"),
     })?;
+    let icache_stats = vm.icache_stats();
     Ok(RunResult {
         status: out.status,
         output: vm.take_output(),
         instructions: out.instructions,
         cycles: out.cycles,
         runtime: RuntimeStats::default(),
+        icache: icache_stats,
     })
 }
 
@@ -149,6 +174,26 @@ pub fn run_squashed_with(
     input: &[u8],
     icache: Option<ICacheConfig>,
 ) -> Result<RunResult, SquashError> {
+    run_squashed_traced(squashed, input, icache, None)
+}
+
+/// [`run_squashed_with`] with an optional trace sink attached to the runtime
+/// decompressor. Every runtime event (traps, decompressions, cache hits,
+/// stub churn, flushes) is emitted into the sink, stamped with the simulated
+/// cycle counter. Tracing is purely observational: the run's cycle counts
+/// are identical with and without a sink (`tests/differential.rs` asserts
+/// this on every workload). Use a [`crate::telemetry::SharedRecorder`] to
+/// keep a handle on the recorded data.
+///
+/// # Errors
+///
+/// Fails on machine faults or runtime-decompressor errors.
+pub fn run_squashed_traced(
+    squashed: &Squashed,
+    input: &[u8],
+    icache: Option<ICacheConfig>,
+    sink: Option<Box<dyn TraceSink>>,
+) -> Result<RunResult, SquashError> {
     let mut vm = Vm::new(squashed.min_mem_size(1 << 18));
     for (base, bytes) in &squashed.segments {
         vm.write_bytes(*base, bytes);
@@ -159,15 +204,20 @@ pub fn run_squashed_with(
         vm.enable_icache(cfg);
     }
     let mut service = SquashRuntime::new(squashed.runtime.clone());
+    if let Some(sink) = sink {
+        service.set_sink(sink);
+    }
     let out = vm.run_with(&mut service).map_err(|e| SquashError {
         message: format!("squashed run failed: {e}"),
     })?;
+    let icache_stats = vm.icache_stats();
     Ok(RunResult {
         status: out.status,
         output: vm.take_output(),
         instructions: out.instructions,
         cycles: out.cycles,
         runtime: *service.stats(),
+        icache: icache_stats,
     })
 }
 

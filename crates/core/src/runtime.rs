@@ -40,7 +40,7 @@ use std::ops::Range;
 
 use squash_compress::StreamModel;
 use squash_isa::{BraOp, Inst, Reg};
-use squash_vm::{Service, Vm, VmError};
+use squash_vm::{Service, TraceEvent, TraceSink, TrapKind, Vm, VmError};
 
 use crate::CostModel;
 
@@ -82,7 +82,14 @@ pub struct RuntimeConfig {
 }
 
 /// Counters describing what the runtime did during execution.
+///
+/// Counter naming follows the workspace convention shared with
+/// [`squash_vm::ICacheStats`]: plain `hits` / `misses` / `evictions` for the
+/// region cache, no ad-hoc prefixes. `#[non_exhaustive]` so counters (and
+/// the telemetry JSON schema built from them, `DESIGN.md` §12) can grow
+/// without breaking consumers; construct one with `RuntimeStats::default()`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct RuntimeStats {
     /// Region decompressions performed.
     pub decompressions: u64,
@@ -103,9 +110,9 @@ pub struct RuntimeStats {
     /// Total cycles charged to the cost model.
     pub cycles_charged: u64,
     /// Region requests satisfied by a resident slot (no decompression).
-    pub cache_hits: u64,
+    pub hits: u64,
     /// Region requests that had to decompress into a slot.
-    pub cache_misses: u64,
+    pub misses: u64,
     /// Resident regions evicted to make room for another region.
     pub evictions: u64,
 }
@@ -126,8 +133,19 @@ struct CacheSlot {
     last_use: u64,
 }
 
+/// The optional trace sink, wrapped so [`SquashRuntime`] keeps a derived
+/// `Debug` (trait objects have none worth printing).
+#[derive(Default)]
+struct SinkSlot(Option<Box<dyn TraceSink>>);
+
+impl std::fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "TraceSink(attached)" } else { "TraceSink(none)" })
+    }
+}
+
 /// The decompressor service.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SquashRuntime {
     cfg: RuntimeConfig,
     /// Live stubs: call-site key `(region, return_offset)` → slot.
@@ -142,6 +160,10 @@ pub struct SquashRuntime {
     /// Most recently used cache slot.
     mru: Option<usize>,
     stats: RuntimeStats,
+    /// Trace sink, if attached (`--trace` / `--report`). Tracing only
+    /// observes: it never charges cycles or touches simulated memory, so
+    /// cycle counts are identical with and without a sink.
+    sink: SinkSlot,
 }
 
 impl SquashRuntime {
@@ -158,6 +180,28 @@ impl SquashRuntime {
             tick: 0,
             mru: None,
             stats: RuntimeStats::default(),
+            sink: SinkSlot(None),
+        }
+    }
+
+    /// Attaches a trace sink; every subsequent runtime event is emitted into
+    /// it, stamped with the simulated cycle counter. Tracing is purely
+    /// observational — simulated cycles are identical with and without a
+    /// sink (asserted by `tests/differential.rs`).
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = SinkSlot(Some(sink));
+    }
+
+    /// Detaches and returns the trace sink, if one was attached.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.0.take()
+    }
+
+    /// Emits `event` into the attached sink, stamped with the current
+    /// simulated cycle count. No-op without a sink.
+    fn trace(&mut self, vm: &Vm, event: TraceEvent) {
+        if let Some(s) = self.sink.0.as_mut() {
+            s.emit(vm.cycles(), &event);
         }
     }
 
@@ -227,6 +271,8 @@ impl SquashRuntime {
         // base, so the stub key survives the region moving between slots.
         let ret_off = retaddr + 4 - self.slot_base(cache_slot);
         let key = (region, ret_off as u16);
+        let site = ((region as u32) << 16) | (ret_off & 0xFFFF);
+        let created = !self.stubs.contains_key(&key);
         let slot = if let Some(&slot) = self.stubs.get(&key) {
             self.stats.stub_hits += 1;
             let count_addr = self.stub_addr(slot) + 8;
@@ -265,6 +311,17 @@ impl SquashRuntime {
         vm.set_pc(retaddr);
         let cycles = self.cfg.cost.create_stub;
         self.charge(vm, cycles);
+        // Post-charge, so the stamp delta from the ServiceTrap event is the
+        // trap's full service charge (per-region attribution relies on it).
+        let live = self.stubs.len();
+        self.trace(
+            vm,
+            if created {
+                TraceEvent::StubCreate { site, live }
+            } else {
+                TraceEvent::StubHit { site, live }
+            },
+        );
         Ok(())
     }
 
@@ -329,12 +386,13 @@ impl SquashRuntime {
             if self.cache.len() > 1 || self.cfg.skip_if_current {
                 self.cache[k].last_use = self.tick;
                 self.mru = Some(k);
-                self.stats.cache_hits += 1;
+                self.stats.hits += 1;
                 if self.cfg.skip_if_current {
                     self.stats.skipped += 1;
                 }
                 let cycles = self.cfg.cost.cache_hit;
                 self.charge(vm, cycles);
+                self.trace(vm, TraceEvent::CacheHit { region, slot: k });
                 vm.set_pc(self.slot_base(k) + offset);
                 return Ok(());
             }
@@ -362,6 +420,10 @@ impl SquashRuntime {
                 k
             }
         };
+        // The region (if any) this decompression displaces; overwriting a
+        // slot with the same region displaces nothing.
+        let evicted = self.cache[k].region.filter(|&r| r != region);
+        self.trace(vm, TraceEvent::DecompressStart { region });
         let bit_off = *self.cfg.bit_offsets.get(region as usize).ok_or_else(|| {
             VmError::Service {
                 pc,
@@ -392,13 +454,14 @@ impl SquashRuntime {
             addr += 4;
         }
         vm.flush_icache();
+        self.trace(vm, TraceEvent::ICacheFlush);
         self.cache[k] = CacheSlot {
             region: Some(region),
             last_use: self.tick,
         };
         self.mru = Some(k);
         self.stats.decompressions += 1;
-        self.stats.cache_misses += 1;
+        self.stats.misses += 1;
         self.stats.bits_read += bits;
         self.stats.insts_written += insts.len() as u64;
         // The simulated charge is a pure function of the stream: the bit
@@ -411,6 +474,18 @@ impl SquashRuntime {
             + bits * self.cfg.cost.per_bit
             + insts.len() as u64 * self.cfg.cost.per_inst;
         self.charge(vm, cost);
+        // Post-charge: the stamp delta from the ServiceTrap event is the
+        // trap's full service charge.
+        self.trace(
+            vm,
+            TraceEvent::DecompressEnd {
+                region,
+                bits,
+                insts: insts.len() as u64,
+                slot: k,
+                evicted,
+            },
+        );
         vm.set_pc(self.slot_base(k) + offset);
         Ok(())
     }
@@ -425,15 +500,22 @@ impl Service for SquashRuntime {
         let pc = vm.pc();
         let reg = Reg::new(((pc - self.cfg.decomp_base) / 4) as u8);
         let retaddr = vm.reg(reg) as u32;
+        let is_restore = self.stub_range().contains(&retaddr);
         if self.buffer_range().contains(&retaddr) {
+            self.trace(
+                vm,
+                TraceEvent::ServiceTrap { kind: TrapKind::CreateStub, pc, ra: retaddr },
+            );
             return self.create_stub(vm, reg, retaddr);
         }
+        let kind = if is_restore { TrapKind::Restore } else { TrapKind::Entry };
+        self.trace(vm, TraceEvent::ServiceTrap { kind, pc, ra: retaddr });
         // Entry stub or restore stub: the tag word sits at the return
         // address.
         let tag = vm.read_word(retaddr);
         let region = (tag >> 16) as u16;
         let offset = tag & 0xFFFF;
-        if self.stub_range().contains(&retaddr) {
+        if is_restore {
             // Restore stub: decrement its usage count; free at zero.
             self.stats.restores += 1;
             let stub_addr = retaddr - 4;
@@ -452,6 +534,13 @@ impl Service for SquashRuntime {
             if count == 0 {
                 if let Some(key) = self.slot_key[slot].take() {
                     self.stubs.remove(&key);
+                    self.trace(
+                        vm,
+                        TraceEvent::StubFree {
+                            site: ((key.0 as u32) << 16) | key.1 as u32,
+                            live: self.stubs.len(),
+                        },
+                    );
                 }
                 self.free_slots.push(slot);
             }
@@ -578,14 +667,14 @@ mod tests {
         rt.decompress_to(&mut vm, 1, 0).unwrap(); // slot 1 ← r1
         assert_eq!(rt.resident_regions(), vec![Some(0), Some(1)]);
         rt.decompress_to(&mut vm, 0, 0).unwrap(); // hit: r0 becomes MRU
-        assert_eq!(rt.stats.cache_hits, 1);
+        assert_eq!(rt.stats.hits, 1);
         rt.decompress_to(&mut vm, 2, 0).unwrap(); // must evict r1, not r0
         assert_eq!(rt.resident_regions(), vec![Some(0), Some(2)]);
         assert_eq!(rt.stats.evictions, 1);
-        assert_eq!(rt.stats.cache_misses, 3);
+        assert_eq!(rt.stats.misses, 3);
         // And r1 is a miss again.
         rt.decompress_to(&mut vm, 1, 0).unwrap();
-        assert_eq!(rt.stats.cache_misses, 4);
+        assert_eq!(rt.stats.misses, 4);
         assert_eq!(rt.resident_regions(), vec![Some(1), Some(2)]);
     }
 
@@ -601,8 +690,8 @@ mod tests {
         }
         let s = rt.stats;
         assert_eq!(s.decompressions, 6);
-        assert_eq!(s.cache_hits, 0);
-        assert_eq!(s.cache_misses, 6);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 6);
         assert_eq!(s.skipped, 0);
         // Re-decompressing the resident region displaces nothing; only the
         // four genuine region switches evict.
@@ -626,7 +715,7 @@ mod tests {
         let s = rt.stats;
         assert_eq!(s.decompressions, 2);
         assert_eq!(s.skipped, 3, "seed counter still advances under skip_if_current");
-        assert_eq!(s.cache_hits, 3, "every skip is a one-slot cache hit");
+        assert_eq!(s.hits, 3, "every skip is a one-slot cache hit");
     }
 
     #[test]
@@ -735,5 +824,151 @@ mod tests {
         // Count reached zero: stub freed and slot recyclable.
         assert_eq!(rt.live_stubs(), 0);
         assert_eq!(rt.free_slots.len(), rt.cfg.stub_slots);
+    }
+
+    /// Reference LRU model for the scripted-sequence test: returns
+    /// `(hits, misses, evictions)` for `seq` at cache depth `n` under the
+    /// runtime's semantics (one slot without `skip_if_current` always
+    /// decompresses; same-region overwrite evicts nothing).
+    fn reference_lru(seq: &[u16], n: usize) -> (u64, u64, u64) {
+        let mut resident: Vec<u16> = Vec::new(); // MRU-first
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for &r in seq {
+            if let Some(i) = resident.iter().position(|&x| x == r) {
+                if n > 1 {
+                    hits += 1;
+                    let x = resident.remove(i);
+                    resident.insert(0, x);
+                    continue;
+                }
+                // One-slot always-decompress: a miss displacing nothing.
+                misses += 1;
+                continue;
+            }
+            misses += 1;
+            if resident.len() == n {
+                resident.pop();
+                evictions += 1;
+            }
+            resident.insert(0, r);
+        }
+        (hits, misses, evictions)
+    }
+
+    /// The scripted trap sequence of the telemetry issue: fixed region
+    /// request order, counters checked against an independent LRU model at
+    /// cache depths 1, 2 and 4.
+    #[test]
+    fn scripted_sequence_counters_at_depths_1_2_4() {
+        let seq: [u16; 12] = [0, 1, 2, 0, 0, 3, 1, 4, 2, 0, 4, 4];
+        for n in [1usize, 2, 4] {
+            let mut rt = SquashRuntime::new(cached_config(5, n));
+            let mut vm = squash_vm::Vm::new(1 << 16);
+            for &r in &seq {
+                rt.decompress_to(&mut vm, r, 0).unwrap();
+            }
+            let (hits, misses, evictions) = reference_lru(&seq, n);
+            let s = rt.stats;
+            assert_eq!(s.hits, hits, "hits at depth {n}");
+            assert_eq!(s.misses, misses, "misses at depth {n}");
+            assert_eq!(s.evictions, evictions, "evictions at depth {n}");
+            assert_eq!(s.decompressions, misses, "every miss decompresses");
+            assert_eq!(s.hits + s.misses, seq.len() as u64, "requests conserved at {n}");
+            assert_eq!(
+                s.cycles_charged,
+                s.decompressions * rt.cfg.cost.per_call
+                    + s.bits_read * rt.cfg.cost.per_bit
+                    + s.insts_written * rt.cfg.cost.per_inst
+                    + s.hits * rt.cfg.cost.cache_hit,
+                "cost model at depth {n}"
+            );
+        }
+    }
+
+    /// Stub counters across a scripted CreateStub/restore sequence: two
+    /// sites allocate, a repeat reuses, each restore frees at count zero.
+    #[test]
+    fn scripted_stub_sequence_counters() {
+        let mut rt = SquashRuntime::new(cached_config(2, 1));
+        let mut vm = squash_vm::Vm::new(1 << 16);
+        let decomp_base = rt.cfg.decomp_base;
+        let buffer_base = rt.cfg.buffer_base;
+        rt.decompress_to(&mut vm, 0, 0).unwrap();
+        let create = |rt: &mut SquashRuntime, vm: &mut squash_vm::Vm, off: u32| {
+            vm.set_reg(Reg::RA, (buffer_base + off) as i64);
+            vm.set_pc(decomp_base + 4 * Reg::RA.number() as u32);
+            rt.invoke(vm).unwrap();
+            vm.reg(Reg::RA) as u32 // stub address the call will return through
+        };
+        let stub_a = create(&mut rt, &mut vm, 0);
+        let _stub_b = create(&mut rt, &mut vm, 8);
+        let stub_a2 = create(&mut rt, &mut vm, 0); // same site: reuse
+        assert_eq!(stub_a, stub_a2);
+        assert_eq!(rt.stats.stub_allocs, 2);
+        assert_eq!(rt.stats.stub_hits, 1);
+        assert_eq!(rt.stats.max_live_stubs, 2);
+        assert_eq!(rt.live_stubs(), 2);
+        // Return through stub A twice (count 2 → 0): freed at zero.
+        for expected_live in [2, 1] {
+            vm.set_reg(Reg::RA, (stub_a + 4) as i64);
+            vm.set_pc(decomp_base + 4 * Reg::RA.number() as u32);
+            rt.invoke(&mut vm).unwrap();
+            assert_eq!(rt.live_stubs(), expected_live);
+        }
+        assert_eq!(rt.stats.restores, 2);
+    }
+
+    /// A clonable sink handle: records `(cycle, kind)` pairs behind an `Rc`
+    /// so the test keeps a reader while the runtime owns the boxed sink, and
+    /// asserts stamps are non-decreasing.
+    #[derive(Clone, Default)]
+    struct SharedLog(std::rc::Rc<std::cell::RefCell<Vec<(u64, &'static str)>>>);
+
+    impl TraceSink for SharedLog {
+        fn emit(&mut self, cycle: u64, event: &TraceEvent) {
+            let mut log = self.0.borrow_mut();
+            if let Some(&(last, _)) = log.last() {
+                assert!(cycle >= last, "cycle stamps must be non-decreasing");
+            }
+            log.push((cycle, event.kind()));
+        }
+    }
+
+    /// Tracing is observational: the same scripted sequence charges exactly
+    /// the same cycles with and without a sink, and the traced run emits the
+    /// expected event sequence.
+    #[test]
+    fn tracing_is_cycle_invariant_and_ordered() {
+        let seq: [u16; 6] = [0, 1, 0, 2, 1, 1];
+        let run = |sink: Option<Box<dyn TraceSink>>| {
+            let mut rt = SquashRuntime::new(cached_config(3, 2));
+            if let Some(s) = sink {
+                rt.set_sink(s);
+            }
+            let mut vm = squash_vm::Vm::new(1 << 16);
+            for &r in &seq {
+                rt.decompress_to(&mut vm, r, 0).unwrap();
+            }
+            (rt.stats.cycles_charged, vm.cycles())
+        };
+        let log = SharedLog::default();
+        let untraced = run(None);
+        let traced = run(Some(Box::new(log.clone())));
+        assert_eq!(untraced, traced, "sink must not perturb cycles");
+
+        // Event order: misses bracket DecompressStart/ICacheFlush/End, hits
+        // emit CacheHit; stamps are non-decreasing (asserted in the sink).
+        let kinds: Vec<&str> = log.0.borrow().iter().map(|&(_, k)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "decompress_start", "icache_flush", "decompress_end", // 0 miss
+                "decompress_start", "icache_flush", "decompress_end", // 1 miss
+                "cache_hit",                                          // 0 hit
+                "decompress_start", "icache_flush", "decompress_end", // 2 evicts 1
+                "decompress_start", "icache_flush", "decompress_end", // 1 again
+                "cache_hit",                                          // 1 hit
+            ]
+        );
     }
 }

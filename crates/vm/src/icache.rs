@@ -33,7 +33,13 @@ impl Default for ICacheConfig {
 }
 
 /// Statistics accumulated by the model.
+///
+/// Counter naming follows the workspace convention shared with
+/// `squash::runtime::RuntimeStats`: `hits` / `misses` / `evictions`-style
+/// names, no prefixes. `#[non_exhaustive]` so the set (and the derived JSON
+/// schema, `DESIGN.md` §12) can grow without breaking consumers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ICacheStats {
     /// Fetches that hit.
     pub hits: u64,

@@ -13,7 +13,11 @@
 //!   transfers control to host code. The `squash` runtime decompressor is
 //!   implemented as such a service, charging cycles through
 //!   [`Vm::charge_cycles`] according to its cost model (see `DESIGN.md` for
-//!   why this substitution preserves the paper's behaviour).
+//!   why this substitution preserves the paper's behaviour);
+//! * a [`TraceSink`] event-tracing interface: services emit typed,
+//!   cycle-stamped [`TraceEvent`]s (decompressions, cache hits, stub churn,
+//!   flushes) into an optional sink. Tracing never charges cycles, so
+//!   simulated time is identical with and without a sink attached.
 //!
 //! # Examples
 //!
@@ -41,9 +45,11 @@ mod error;
 mod icache;
 mod profile;
 mod service;
+mod trace;
 
 pub use cpu::{RunOutcome, Vm, DEFAULT_STEP_LIMIT};
 pub use error::VmError;
 pub use icache::{ICache, ICacheConfig, ICacheStats};
 pub use profile::Profile;
 pub use service::{NoService, Service};
+pub use trace::{JsonlRing, TraceEvent, TraceSink, TrapKind};

@@ -19,6 +19,9 @@
 //!                      (default 1, capped at the machine's parallelism;
 //!                      output is byte-identical for any value)
 //!   --stage-stats      print per-stage wall-clock and artifact sizes
+//!   --metrics-json <f> write the unified telemetry report (stage records,
+//!                      plus run/runtime counters when --run is given) as
+//!                      one JSON document (stable schema, DESIGN.md §12)
 //!   --dump-regions     print the region map
 //! ```
 //!
@@ -47,6 +50,7 @@ struct Args {
     jump_tables: JumpTableMode,
     jobs: usize,
     stage_stats: bool,
+    metrics_json: Option<String>,
     dump_regions: bool,
 }
 
@@ -66,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         jump_tables: JumpTableMode::Retarget,
         jobs: 1,
         stage_stats: false,
+        metrics_json: None,
         dump_regions: false,
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-squeeze" => args.squeeze = false,
             "--dump-regions" => args.dump_regions = true,
             "--stage-stats" => args.stage_stats = true,
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--jobs" => {
                 let requested: usize =
                     value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
@@ -122,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: squashc <source.mc>... [--theta F] [--buffer N] \
                             [--cache-slots N] [--profile FILE] [--run FILE] [--emit FILE] \
                             [--no-squeeze] [--strategy dfs|greedy] [--jump-tables MODE] \
-                            [--jobs N] [--stage-stats] [--dump-regions]"
+                            [--jobs N] [--stage-stats] [--metrics-json FILE] [--dump-regions]"
                     .to_string())
             }
             other if !other.starts_with('-') => args.sources.push(other.to_string()),
@@ -217,6 +223,15 @@ fn run() -> Result<(), String> {
         println!("\npipeline stages ({} job{}):", args.jobs, if args.jobs == 1 { "" } else { "s" });
         println!("{stage_observer}");
     }
+    let mut telemetry = squash_repro::squash::telemetry::Telemetry {
+        name: args.sources.join(" "),
+        stages: stage_observer
+            .stages
+            .iter()
+            .map(squash_repro::squash::telemetry::StageRecord::from)
+            .collect(),
+        ..Default::default()
+    };
     let stats = &squashed.stats;
     println!(
         "squashed:  {} regions / {} blocks / {} entry stubs",
@@ -263,10 +278,20 @@ fn run() -> Result<(), String> {
             "run: region cache ({} slot{}): {} hits, {} misses, {} evictions",
             args.cache_slots,
             if args.cache_slots == 1 { "" } else { "s" },
-            compressed.runtime.cache_hits,
-            compressed.runtime.cache_misses,
+            compressed.runtime.hits,
+            compressed.runtime.misses,
             compressed.runtime.evictions,
         );
+        let run_telemetry = compressed.telemetry(&telemetry.name);
+        telemetry.run = run_telemetry.run;
+        telemetry.runtime = run_telemetry.runtime;
+        telemetry.icache = run_telemetry.icache;
+    }
+
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, telemetry.to_json_string() + "\n")
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics:   wrote {path}");
     }
     Ok(())
 }

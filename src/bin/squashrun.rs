@@ -3,12 +3,25 @@
 //!
 //! ```text
 //! squashrun <image.sqsh> [--input FILE] [--icache] [--stats]
+//!           [--trace FILE] [--trace-last N] [--report] [--metrics-json FILE]
 //! ```
+//!
+//! `--trace FILE` streams every runtime event as one JSON line (JSONL) into
+//! FILE; `--trace-last N` bounds the buffer to the last N events. `--report`
+//! prints per-region cycle attribution (the per-region table, the top
+//! regions by attributed cost, and the trap inter-arrival histogram) to
+//! stderr. `--metrics-json FILE` writes the unified telemetry report — run,
+//! runtime, instruction-cache and attribution sections — as one JSON
+//! document with a stable schema (`DESIGN.md` §12).
+//!
+//! Tracing never perturbs the simulation: cycle counts are identical with
+//! and without any of these flags.
 //!
 //! Exit status is the guest program's exit status.
 
+use squash_repro::squash::telemetry::{Recorder, SharedRecorder};
 use squash_repro::squash::{image_file, pipeline};
-use squash_repro::vm::ICacheConfig;
+use squash_repro::vm::{ICacheConfig, JsonlRing};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -26,14 +39,30 @@ fn run() -> Result<i64, String> {
     let mut input_path = None;
     let mut icache = false;
     let mut stats = false;
+    let mut trace_path: Option<String> = None;
+    let mut trace_last: Option<usize> = None;
+    let mut report = false;
+    let mut metrics_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("missing value for {name}"));
         match a.as_str() {
-            "--input" => input_path = Some(it.next().ok_or("missing value for --input")?),
+            "--input" => input_path = Some(value("--input")?),
             "--icache" => icache = true,
             "--stats" => stats = true,
+            "--trace" => trace_path = Some(value("--trace")?),
+            "--trace-last" => {
+                trace_last = Some(
+                    value("--trace-last")?
+                        .parse()
+                        .map_err(|e| format!("bad --trace-last: {e}"))?,
+                )
+            }
+            "--report" => report = true,
+            "--metrics-json" => metrics_path = Some(value("--metrics-json")?),
             "--help" | "-h" => {
-                return Err("usage: squashrun <image.sqsh> [--input FILE] [--icache] [--stats]"
+                return Err("usage: squashrun <image.sqsh> [--input FILE] [--icache] [--stats] \
+                            [--trace FILE] [--trace-last N] [--report] [--metrics-json FILE]"
                     .to_string())
             }
             other if !other.starts_with('-') => image_path = Some(other.to_string()),
@@ -48,12 +77,53 @@ fn run() -> Result<i64, String> {
         None => Vec::new(),
     };
     let cache = icache.then(ICacheConfig::default);
-    let result =
-        pipeline::run_squashed_with(&squashed, &input, cache).map_err(|e| e.to_string())?;
+
+    // One shared recorder serves every telemetry flag: the ring buffers
+    // JSONL lines for --trace, attribution feeds --report / --metrics-json.
+    let tracing = trace_path.is_some() || report || metrics_path.is_some();
+    let recorder = tracing.then(|| {
+        let ring = trace_path.as_ref().map(|_| match trace_last {
+            Some(n) => JsonlRing::last(n),
+            None => JsonlRing::unbounded(),
+        });
+        SharedRecorder::new(Recorder { ring, attribution: Default::default() })
+    });
+
+    let result = pipeline::run_squashed_traced(
+        &squashed,
+        &input,
+        cache,
+        recorder.as_ref().map(|r| r.sink()),
+    )
+    .map_err(|e| e.to_string())?;
     use std::io::Write as _;
     std::io::stdout()
         .write_all(&result.output)
         .map_err(|e| e.to_string())?;
+
+    let mut telemetry = result.telemetry(&image_path);
+    if let Some(recorder) = recorder {
+        let recorder = recorder.take();
+        if let (Some(path), Some(ring)) = (&trace_path, &recorder.ring) {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            ring.write_to(&mut w).map_err(|e| format!("{path}: {e}"))?;
+            w.flush().map_err(|e| format!("{path}: {e}"))?;
+            if ring.dropped() > 0 {
+                eprintln!(
+                    "[squashrun] trace ring dropped {} oldest events (--trace-last {})",
+                    ring.dropped(),
+                    trace_last.unwrap_or(0)
+                );
+            }
+        }
+        telemetry.attribution = Some(recorder.attribution.finish(result.cycles));
+    }
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, telemetry.to_json_string() + "\n")
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+
     if stats {
         eprintln!(
             "\n[squashrun] {} instructions, {} cycles, {} decompressions, {} restore stubs, exit {}",
@@ -66,11 +136,23 @@ fn run() -> Result<i64, String> {
         eprintln!(
             "[squashrun] region cache: {} slots, {} hits, {} misses, {} evictions",
             squashed.runtime.cache_slots,
-            result.runtime.cache_hits,
-            result.runtime.cache_misses,
+            result.runtime.hits,
+            result.runtime.misses,
             result.runtime.evictions
         );
+        if let Some(ic) = result.icache {
+            eprintln!(
+                "[squashrun] icache: {} hits, {} misses, {} flushes, {:.4} miss ratio",
+                ic.hits,
+                ic.misses,
+                ic.flushes,
+                ic.miss_ratio()
+            );
+        }
         eprintln!("[squashrun] footprint:\n{}", squashed.stats.footprint);
+    }
+    if report {
+        eprint!("{}", telemetry.report());
     }
     Ok(result.status)
 }

@@ -84,6 +84,111 @@ fn squashc_then_squashrun_round_trip() {
     assert!(stdout.contains("outputs identical"), "{stdout}");
 }
 
+/// The telemetry surface: `--trace` writes schema-valid JSONL, `--report`
+/// prints an attribution table with full coverage, `--metrics-json` writes a
+/// parseable document with the documented sections, and none of the flags
+/// change the simulated cycle count.
+#[test]
+fn squashrun_trace_report_and_metrics() {
+    let dir = temp_dir();
+    let src = dir.join("tele.mc");
+    let timing = dir.join("tele-timing.bin");
+    let image = dir.join("tele.sqsh");
+    let trace = dir.join("tele.jsonl");
+    let metrics = dir.join("tele-metrics.json");
+    std::fs::write(&src, PROGRAM).unwrap();
+    std::fs::write(&timing, b"timing \xf0\xff\xee bytes").unwrap();
+
+    // Squash with everything cold so the run has decompressor traffic, and
+    // collect compile-side metrics on the way.
+    let compile_metrics = dir.join("tele-compile.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([
+            src.to_str().unwrap(),
+            "--theta",
+            "1.0",
+            "--emit",
+            image.to_str().unwrap(),
+            "--metrics-json",
+            compile_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let doc = std::fs::read_to_string(&compile_metrics).unwrap();
+    assert!(doc.contains("\"schema\":1"), "{doc}");
+    assert!(doc.contains("\"stages\""), "{doc}");
+    for stage in ["plan", "layout", "train", "encode", "assemble"] {
+        assert!(doc.contains(&format!("\"name\":\"{stage}\"")), "{doc}");
+    }
+
+    // Untraced baseline cycles from the --stats summary.
+    let cycles_of = |stderr: &str| -> u64 {
+        let line = stderr
+            .lines()
+            .find(|l| l.contains(" cycles,"))
+            .unwrap_or_else(|| panic!("no cycle line in {stderr}"));
+        let cycles_field = line
+            .split(", ")
+            .find(|f| f.ends_with("cycles"))
+            .unwrap_or_else(|| panic!("no cycles field in {line}"));
+        cycles_field.split_whitespace().next().unwrap().parse().unwrap()
+    };
+    // Same configuration as the instrumented run below (--icache charges
+    // miss cycles, so it must match), minus every tracing flag.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([image.to_str().unwrap(), "--input", timing.to_str().unwrap(), "--icache", "--stats"])
+        .output()
+        .expect("squashrun runs");
+    assert!(out.status.success());
+    let untraced_cycles = cycles_of(&String::from_utf8_lossy(&out.stderr));
+
+    // The fully-instrumented run.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([
+            image.to_str().unwrap(),
+            "--input",
+            timing.to_str().unwrap(),
+            "--icache",
+            "--stats",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashrun runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        cycles_of(&stderr),
+        untraced_cycles,
+        "tracing must not change simulated cycles"
+    );
+    assert!(stderr.contains("icache:"), "{stderr}");
+    assert!(stderr.contains("Per-region attribution"), "{stderr}");
+    assert!(stderr.contains("untracked: 0"), "{stderr}");
+
+    // Trace lines: JSONL, every line an object with cycle + kind.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.lines().count() > 0, "empty trace");
+    for line in trace_text.lines() {
+        assert!(
+            line.starts_with("{\"cycle\":") && line.contains("\"kind\":\"") && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+    }
+
+    // Metrics document: documented sections present.
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    for key in ["\"schema\":1", "\"run\"", "\"runtime\"", "\"icache\"", "\"attribution\"", "\"coverage\""]
+    {
+        assert!(doc.contains(key), "missing {key} in {doc}");
+    }
+    assert!(doc.contains("\"untracked_cycles\":0"), "{doc}");
+}
+
 #[test]
 fn squashc_reports_errors_cleanly() {
     let out = Command::new(env!("CARGO_BIN_EXE_squashc"))

@@ -13,7 +13,15 @@
 //! the fast and reference decoders and that simulated cycle counts still
 //! equal the per-call/per-bit/per-inst cost model at every cache depth —
 //! i.e. the fast decoder is invisible to the simulation.
+//!
+//! Since PR 4 the runtime can carry a trace sink. Each squashed run here is
+//! executed twice, with and without a sink, and the runs must be
+//! byte-for-byte identical in observable behaviour *and* simulated cycles —
+//! tracing observes, never charges. The sink's per-region attribution must
+//! also explain at least 99% of all service-charged cycles (in practice:
+//! 100%), with any remainder reported as untracked rather than lost.
 
+use squash_repro::squash::telemetry::{Recorder, SharedRecorder};
 use squash_repro::squash::{pipeline, SquashOptions, Squasher};
 
 const CACHE_SIZES: [usize; 3] = [1, 2, 4];
@@ -64,20 +72,50 @@ fn check_workload(name: &str) {
             original.output, compressed.output,
             "{name}: output diverged with {slots} cache slots"
         );
+        // Zero-overhead tracing: the identical run with a recording sink
+        // attached must not perturb the simulation in any observable way.
+        let recorder = SharedRecorder::new(Recorder::attribution_only());
+        let traced =
+            pipeline::run_squashed_traced(&squashed, &input, None, Some(recorder.sink()))
+                .unwrap_or_else(|e| panic!("{name} traced with {slots} cache slots: {e}"));
+        assert_eq!(
+            (compressed.cycles, compressed.instructions, &compressed.output, compressed.status),
+            (traced.cycles, traced.instructions, &traced.output, traced.status),
+            "{name}: tracing perturbed the simulation with {slots} cache slots"
+        );
+        assert_eq!(
+            compressed.runtime, traced.runtime,
+            "{name}: tracing perturbed the runtime counters with {slots} slots"
+        );
+        // Attribution coverage: ≥ 99% of service-charged cycles must land in
+        // a per-region row (the remainder is surfaced as untracked).
+        let mut telemetry = traced.telemetry(name);
+        telemetry.attribution = Some(recorder.take().attribution.finish(traced.cycles));
+        let (attributed, charged, untracked) = telemetry.coverage();
+        assert!(
+            attributed * 100 >= charged * 99,
+            "{name}: only {attributed}/{charged} service cycles attributed \
+             ({untracked} untracked) with {slots} slots"
+        );
+        assert_eq!(
+            attributed + untracked,
+            charged,
+            "{name}: coverage arithmetic out of balance with {slots} slots"
+        );
         let rt = &compressed.runtime;
         assert_eq!(
-            rt.cache_hits + rt.cache_misses,
-            rt.decompressions + rt.cache_hits,
+            rt.hits + rt.misses,
+            rt.decompressions + rt.hits,
             "{name}: hit/miss accounting out of balance with {slots} slots"
         );
         if slots == 1 {
             assert_eq!(
-                rt.cache_hits, 0,
+                rt.hits, 0,
                 "{name}: a one-slot cache without skip_if_current never hits"
             );
         }
         assert!(
-            rt.evictions <= rt.cache_misses,
+            rt.evictions <= rt.misses,
             "{name}: more evictions than misses with {slots} slots"
         );
         // The simulated cycle count must equal the calibrated per-call /
@@ -90,7 +128,7 @@ fn check_workload(name: &str) {
             rt.decompressions * cost.per_call
                 + rt.bits_read * cost.per_bit
                 + rt.insts_written * cost.per_inst
-                + rt.cache_hits * cost.cache_hit
+                + rt.hits * cost.cache_hit
                 + (rt.stub_hits + rt.stub_allocs) * cost.create_stub,
             "{name}: simulated cycles diverged from the cost model with {slots} slots"
         );
