@@ -764,18 +764,18 @@ impl StreamModel {
             *pos += n;
             Ok(s)
         };
-        let mask = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+        let mask = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("take(2) returns 2 bytes"));
         let mut options = StreamOptions::default();
         let mut codes = Vec::with_capacity(FieldKind::COUNT);
         for k in FIELD_KINDS {
             options.mtf[k.index()] = mask & (1 << k.index()) != 0;
-            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("take(4) returns 4 bytes")) as usize;
             let table = take(&mut pos, len)?;
             codes.push(CanonicalCode::deserialize(table, k.bits())?);
         }
         let mut alphabets: Vec<Vec<u32>> = vec![Vec::new(); FieldKind::COUNT];
         for k in FIELD_KINDS {
-            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("take(4) returns 4 bytes")) as usize;
             if n > 1 << 22 {
                 return Err(corrupt());
             }
@@ -786,7 +786,7 @@ impl StreamModel {
             }
             let mut alpha = Vec::with_capacity(n);
             for _ in 0..n {
-                alpha.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()));
+                alpha.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("take(4) returns 4 bytes")));
             }
             alphabets[k.index()] = alpha;
         }

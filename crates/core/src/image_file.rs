@@ -7,39 +7,209 @@
 //! canonical-Huffman tables) — in one self-contained byte stream, written by
 //! `squashc --emit` and executed by `squashrun`.
 //!
-//! Layout (all integers little-endian):
+//! # `SQSH0003` — the integrity-checked format
+//!
+//! Version 3 wraps the payload in a checksummed sectioned envelope
+//! (all integers little-endian, checksums CRC32C — see
+//! [`crate::integrity`] and `DESIGN.md` §13):
 //!
 //! ```text
-//! "SQSH0002"                       magic + version
-//! u32 entry
-//! u32 nsegments { u32 base, u32 len, bytes }*
-//! u32×9  decomp_base, decomp_bytes, buffer_base, buffer_bytes,
-//!        cache_slots, stub_base, stub_slots, offset_table_addr, regions
-//! u64×5  cost model (per_bit, per_inst, per_call, create_stub, cache_hit)
-//! u8     skip_if_current
-//! u32 model_len, model bytes          (StreamModel::serialize)
-//! u32 blob_len, blob bytes
-//! u32 noffsets { u64 bit_offset }*
-//! u32×9  footprint fields
-//! u32    baseline_bytes
+//! "SQSH0003"                        magic + version        (8 bytes)
+//! u32 file_len                      total file length
+//! u32 nsections                     always 5
+//! { u32 len, u32 crc }×5            section directory:
+//!                                   meta, model, blob, offsets, region_crcs
+//! u32 header_crc                    CRC32C of bytes [0, 56)
+//! ...sections, back to back...
 //! ```
 //!
-//! Version 2 added the region-cache fields (`cache_slots`, `cache_hit`);
-//! version-1 files are rejected by magic.
+//! Section contents:
+//!
+//! ```text
+//! meta:        u32 entry
+//!              u32 nsegments { u32 base, u32 len, bytes }*
+//!              u32×9  decomp_base, decomp_bytes, buffer_base, buffer_bytes,
+//!                     cache_slots, stub_base, stub_slots,
+//!                     offset_table_addr, regions
+//!              u64×6  cost model (per_bit, per_inst, per_call, create_stub,
+//!                     cache_hit, per_check_byte)
+//!              u8     skip_if_current
+//!              u32×9  footprint fields
+//!              u32    baseline_bytes
+//! model:       StreamModel::serialize bytes
+//! blob:        the compressed code blob
+//! offsets:     u32 count { u64 bit_offset }*
+//! region_crcs: u32 count { u32 crc }*    (per-region payload checksums)
+//! ```
+//!
+//! The loader verifies the header checksum and the `meta`, `model`,
+//! `offsets` and `region_crcs` section checksums before trusting a byte of
+//! them. The `blob` section checksum is stored but **not** verified at load
+//! by default: compressed regions are verified lazily, one region at a
+//! time, at trap time ([`crate::runtime`]), so a cold region that is never
+//! executed is never checksummed — the same laziness that makes the paper's
+//! scheme cheap. [`read_strict`] verifies the blob section eagerly too.
+//!
+//! Every load failure is a typed [`MachineCheck`] (bad magic, truncation,
+//! forged lengths, checksum mismatches, corrupt code tables) carried inside
+//! the returned [`SquashError`], never a panic.
+//!
+//! # `SQSH0002` — the legacy format
+//!
+//! Version 2 (the previous flat layout: magic, meta fields, model, blob,
+//! offsets, footprint, with a 5-field cost model and no checksums) is still
+//! read for compatibility; loaders report it as `integrity: none`.
+//! [`write_v2`] still emits it for comparison runs. Version-1 files are
+//! rejected by magic.
 
 use squash_compress::StreamModel;
 
 use crate::footprint::Footprint;
+use crate::integrity::crc32c;
 use crate::layout::{Squashed, SquashStats};
 use crate::runtime::RuntimeConfig;
-use crate::{err, CostModel, SquashError};
+use crate::{CostModel, FaultKind, MachineCheck, SquashError};
 
-const MAGIC: &[u8; 8] = b"SQSH0002";
+const MAGIC_V3: &[u8; 8] = b"SQSH0003";
+const MAGIC_V2: &[u8; 8] = b"SQSH0002";
 
-/// Serializes a squashed program to the `.sqsh` byte format.
+/// Section count and order in a `SQSH0003` directory.
+const SECTIONS: [&str; 5] = ["meta", "model", "blob", "offsets", "region_crcs"];
+/// Byte length of the v3 header: magic + file_len + nsections + directory.
+/// The u32 header checksum follows, covering exactly these bytes.
+const HEADER_LEN: usize = 8 + 4 + 4 + SECTIONS.len() * 8;
+
+/// Upper bound on the segment count — a sanity cap, far above anything the
+/// pipeline emits, protecting the loader from forged counts.
+const MAX_SEGMENTS: usize = 64;
+/// Upper bound on `cache_slots` (mirrors the squashc CLI limit).
+const MAX_CACHE_SLOTS: usize = 1 << 10;
+
+/// A typed loader fault: a [`SquashError`] carrying a [`MachineCheck`] with
+/// no location fields (load-time faults have no pc/cycle).
+fn fault(kind: FaultKind, detail: impl Into<String>) -> SquashError {
+    SquashError::from(MachineCheck::new(kind, detail.into()))
+}
+
+/// The format version of a `.sqsh` byte stream, sniffed from the magic:
+/// `Some(3)`, `Some(2)`, or `None` for anything unrecognized.
+pub fn version(bytes: &[u8]) -> Option<u32> {
+    match bytes.get(0..8) {
+        Some(m) if m == MAGIC_V3 => Some(3),
+        Some(m) if m == MAGIC_V2 => Some(2),
+        _ => None,
+    }
+}
+
+/// Serializes a squashed program to the current (`SQSH0003`,
+/// integrity-checked) `.sqsh` format.
 pub fn write(squashed: &Squashed) -> Vec<u8> {
+    let rt = &squashed.runtime;
+    let sections: [Vec<u8>; 5] = [
+        write_meta(squashed),
+        rt.model.serialize(),
+        rt.blob.clone(),
+        write_offsets(&rt.bit_offsets),
+        write_region_crcs(&rt.region_crcs),
+    ];
+    let file_len = HEADER_LEN + 4 + sections.iter().map(Vec::len).sum::<usize>();
+    let mut out = Vec::with_capacity(file_len);
+    out.extend_from_slice(MAGIC_V3);
+    out.extend_from_slice(&(file_len as u32).to_le_bytes());
+    out.extend_from_slice(&(SECTIONS.len() as u32).to_le_bytes());
+    for s in &sections {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32c(s).to_le_bytes());
+    }
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&crc32c(&out).to_le_bytes());
+    for s in &sections {
+        out.extend_from_slice(s);
+    }
+    debug_assert_eq!(out.len(), file_len);
+    out
+}
+
+fn write_meta(squashed: &Squashed) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&squashed.entry.to_le_bytes());
+    out.extend_from_slice(&(squashed.segments.len() as u32).to_le_bytes());
+    for (base, bytes) in &squashed.segments {
+        out.extend_from_slice(&base.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let rt = &squashed.runtime;
+    for v in [
+        rt.decomp_base,
+        rt.decomp_bytes,
+        rt.buffer_base,
+        rt.buffer_bytes,
+        rt.cache_slots as u32,
+        rt.stub_base,
+        rt.stub_slots as u32,
+        rt.offset_table_addr,
+        rt.regions as u32,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in [
+        rt.cost.per_bit,
+        rt.cost.per_inst,
+        rt.cost.per_call,
+        rt.cost.create_stub,
+        rt.cost.cache_hit,
+        rt.cost.per_check_byte,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.push(rt.skip_if_current as u8);
+    write_footprint(&mut out, squashed);
+    out
+}
+
+fn write_offsets(bit_offsets: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + bit_offsets.len() * 8);
+    out.extend_from_slice(&(bit_offsets.len() as u32).to_le_bytes());
+    for &off in bit_offsets {
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    out
+}
+
+fn write_region_crcs(crcs: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + crcs.len() * 4);
+    out.extend_from_slice(&(crcs.len() as u32).to_le_bytes());
+    for &crc in crcs {
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+    out
+}
+
+fn write_footprint(out: &mut Vec<u8>, squashed: &Squashed) {
+    let fp = &squashed.stats.footprint;
+    for v in [
+        fp.never_compressed,
+        fp.entry_stubs,
+        fp.static_stubs,
+        fp.decompressor,
+        fp.model_tables,
+        fp.offset_table,
+        fp.compressed,
+        fp.stub_area,
+        fp.buffer,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&squashed.stats.baseline_bytes.to_le_bytes());
+}
+
+/// Serializes a squashed program to the legacy `SQSH0002` format: no
+/// checksums, 5-field cost model. Kept so integrity-cost comparisons can
+/// run the same image in both formats (`squashc --emit-format 2`).
+pub fn write_v2(squashed: &Squashed) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_V2);
     out.extend_from_slice(&squashed.entry.to_le_bytes());
     out.extend_from_slice(&(squashed.segments.len() as u32).to_le_bytes());
     for (base, bytes) in &squashed.segments {
@@ -80,109 +250,315 @@ pub fn write(squashed: &Squashed) -> Vec<u8> {
     for &off in &rt.bit_offsets {
         out.extend_from_slice(&off.to_le_bytes());
     }
-    let fp = &squashed.stats.footprint;
-    for v in [
-        fp.never_compressed,
-        fp.entry_stubs,
-        fp.static_stubs,
-        fp.decompressor,
-        fp.model_tables,
-        fp.offset_table,
-        fp.compressed,
-        fp.stub_area,
-        fp.buffer,
-    ] {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-    out.extend_from_slice(&squashed.stats.baseline_bytes.to_le_bytes());
+    write_footprint(&mut out, squashed);
     out
 }
 
+/// Bounds-checked cursor over untrusted bytes. Every read is checked
+/// arithmetic against the slice; a read past the end is a typed
+/// [`FaultKind::Truncated`] fault naming the stream, never a panic or an
+/// out-of-bounds slice.
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// What is being parsed ("meta section", ".sqsh file", ...) — names the
+    /// stream in fault details.
+    what: &'static str,
 }
 
 impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], what: &'static str) -> Reader<'a> {
+        Reader { bytes, pos: 0, what }
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], SquashError> {
-        let s = self
-            .bytes
-            .get(self.pos..self.pos + n)
-            .ok_or(SquashError {
-                message: "truncated .sqsh file".into(),
-            })?;
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or_else(|| {
+            fault(
+                FaultKind::Truncated,
+                format!("{}: length overflows at byte {}", self.what, self.pos),
+            )
+        })?;
+        let s = self.bytes.get(self.pos..end).ok_or_else(|| {
+            fault(
+                FaultKind::Truncated,
+                format!(
+                    "{}: truncated ({} bytes needed at byte {}, {} available)",
+                    self.what,
+                    n,
+                    self.pos,
+                    self.bytes.len() - self.pos
+                ),
+            )
+        })?;
+        self.pos = end;
         Ok(s)
     }
 
+    fn u8(&mut self) -> Result<u8, SquashError> {
+        Ok(self.take(1)?[0])
+    }
+
     fn u32(&mut self) -> Result<u32, SquashError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("take(4) returns 4 bytes")))
     }
 
     fn u64(&mut self) -> Result<u64, SquashError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("take(8) returns 8 bytes")))
+    }
+
+    /// How many bytes remain — bounds `with_capacity` pre-allocation so a
+    /// forged count can never allocate more than the file's own size.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Requires the stream to be fully consumed (no trailing garbage).
+    fn done(&self) -> Result<(), SquashError> {
+        if self.pos != self.bytes.len() {
+            return Err(fault(
+                FaultKind::Truncated,
+                format!(
+                    "{}: {} trailing bytes after the last field",
+                    self.what,
+                    self.bytes.len() - self.pos
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
-/// Deserializes a `.sqsh` byte stream back into a runnable [`Squashed`].
+/// Deserializes a `.sqsh` byte stream back into a runnable [`Squashed`],
+/// accepting both the current `SQSH0003` format and the legacy `SQSH0002`.
 ///
-/// Pipeline statistics other than the footprint are not stored and come back
-/// zeroed.
+/// For v3 images the header checksum and the `meta`, `model`, `offsets` and
+/// `region_crcs` section checksums are verified before any content is
+/// trusted; the compressed blob is verified lazily per region at trap time.
+/// v2 images carry no integrity metadata (`Squashed::runtime.region_crcs`
+/// comes back empty, and the runtime verifies and charges nothing).
+///
+/// Pipeline statistics other than the footprint are not stored and come
+/// back zeroed.
 ///
 /// # Errors
 ///
-/// Fails on a bad magic, truncation, or corrupt embedded tables.
+/// Every failure is a typed machine check (`SquashError::fault` is always
+/// populated): bad magic, truncation or forged lengths, checksum
+/// mismatches, corrupt embedded tables.
 pub fn read(bytes: &[u8]) -> Result<Squashed, SquashError> {
-    let mut r = Reader { bytes, pos: 0 };
-    if r.take(8)? != MAGIC {
-        return err("not a .sqsh file (bad magic)");
+    match version(bytes) {
+        Some(3) => read_v3(bytes, false),
+        Some(2) => read_v2(bytes),
+        _ => Err(fault(
+            FaultKind::BadMagic,
+            "not a .sqsh file (bad magic; expected SQSH0003 or SQSH0002)",
+        )),
     }
-    let entry = r.u32()?;
+}
+
+/// Like [`read`], but fully strict: requires the `SQSH0003` format (v2 has
+/// no integrity metadata and is rejected) and verifies the blob section
+/// checksum eagerly at load instead of lazily per region.
+///
+/// # Errors
+///
+/// As [`read`], plus a [`FaultKind::BadMagic`] fault for v2 images and a
+/// [`FaultKind::SectionChecksum`] fault for a corrupt blob section.
+pub fn read_strict(bytes: &[u8]) -> Result<Squashed, SquashError> {
+    match version(bytes) {
+        Some(3) => read_v3(bytes, true),
+        Some(2) => Err(fault(
+            FaultKind::BadMagic,
+            "strict integrity requires SQSH0003 (this is a SQSH0002 image with no checksums)",
+        )),
+        _ => Err(fault(
+            FaultKind::BadMagic,
+            "not a .sqsh file (bad magic; expected SQSH0003)",
+        )),
+    }
+}
+
+/// The v3 section directory: five `(offset, len, stored_crc)` entries, in
+/// [`SECTIONS`] order, validated against the file length.
+fn read_directory(bytes: &[u8]) -> Result<[(usize, usize, u32); 5], SquashError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!(
+                ".sqsh header truncated ({} bytes, {} needed)",
+                bytes.len(),
+                HEADER_LEN + 4
+            ),
+        ));
+    }
+    // Verify the header checksum before trusting any header field — a
+    // flipped directory length must read as header damage, not whatever
+    // downstream inconsistency it happens to cause.
+    let stored = u32::from_le_bytes(
+        bytes[HEADER_LEN..HEADER_LEN + 4]
+            .try_into()
+            .expect("slice of 4 bytes"),
+    );
+    let actual = crc32c(&bytes[..HEADER_LEN]);
+    if stored != actual {
+        return Err(fault(
+            FaultKind::HeaderChecksum,
+            format!("header checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"),
+        ));
+    }
+    let mut r = Reader::new(bytes, ".sqsh header");
+    r.take(8)?; // magic, already checked
+    let file_len = r.u32()? as usize;
+    if file_len != bytes.len() {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!(
+                "declared file length {} disagrees with actual {} bytes",
+                file_len,
+                bytes.len()
+            ),
+        ));
+    }
+    let nsections = r.u32()? as usize;
+    if nsections != SECTIONS.len() {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!("expected {} sections, header declares {}", SECTIONS.len(), nsections),
+        ));
+    }
+    let mut dir = [(0usize, 0usize, 0u32); 5];
+    let mut offset = HEADER_LEN + 4; // sections start after the header CRC
+    for (i, entry) in dir.iter_mut().enumerate() {
+        let len = r.u32()? as usize;
+        let crc = r.u32()?;
+        *entry = (offset, len, crc);
+        offset = offset.checked_add(len).ok_or_else(|| {
+            fault(
+                FaultKind::Truncated,
+                format!("section {} length {} overflows the file offset", SECTIONS[i], len),
+            )
+        })?;
+        if offset > bytes.len() {
+            return Err(fault(
+                FaultKind::Truncated,
+                format!(
+                    "section {} (length {}) extends past the end of the file",
+                    SECTIONS[i], len
+                ),
+            ));
+        }
+    }
+    if offset != bytes.len() {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!("{} trailing bytes after the last section", bytes.len() - offset),
+        ));
+    }
+    Ok(dir)
+}
+
+fn read_v3(bytes: &[u8], strict: bool) -> Result<Squashed, SquashError> {
+    let dir = read_directory(bytes)?;
+    let section = |i: usize| &bytes[dir[i].0..dir[i].0 + dir[i].1];
+    // Verify section checksums before parsing a byte of them. The blob is
+    // deliberately lazy (verified per region at trap time) unless strict.
+    for i in 0..SECTIONS.len() {
+        if SECTIONS[i] == "blob" && !strict {
+            continue;
+        }
+        let actual = crc32c(section(i));
+        if actual != dir[i].2 {
+            return Err(fault(
+                FaultKind::SectionChecksum,
+                format!(
+                    "section {} checksum mismatch (stored {:#010x}, computed {actual:#010x})",
+                    SECTIONS[i], dir[i].2
+                ),
+            ));
+        }
+    }
+    let meta = parse_meta(section(0))?;
+    let model = StreamModel::deserialize(section(1))
+        .map_err(|e| fault(FaultKind::CodeTableCorrupt, format!("embedded model corrupt: {e}")))?;
+    let blob = section(2).to_vec();
+    let bit_offsets = parse_offsets(section(3), meta.regions)?;
+    let region_crcs = parse_region_crcs(section(4), meta.regions)?;
+    Ok(assemble(meta, model, blob, bit_offsets, region_crcs))
+}
+
+/// Everything in the v3 `meta` section (shared with the v2 prefix parser).
+struct Meta {
+    entry: u32,
+    segments: Vec<(u32, Vec<u8>)>,
+    decomp_base: u32,
+    decomp_bytes: u32,
+    buffer_base: u32,
+    buffer_bytes: u32,
+    cache_slots: usize,
+    stub_base: u32,
+    stub_slots: usize,
+    offset_table_addr: u32,
+    regions: usize,
+    cost: CostModel,
+    skip_if_current: bool,
+    footprint: Footprint,
+    baseline_bytes: u32,
+}
+
+fn parse_segments(r: &mut Reader<'_>) -> Result<Vec<(u32, Vec<u8>)>, SquashError> {
     let nsegs = r.u32()? as usize;
-    if nsegs > 64 {
-        return err("implausible segment count");
+    if nsegs > MAX_SEGMENTS {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!("implausible segment count {nsegs} (limit {MAX_SEGMENTS})"),
+        ));
     }
-    let mut segments = Vec::with_capacity(nsegs);
+    let mut segments = Vec::with_capacity(nsegs.min(r.remaining() / 8));
     for _ in 0..nsegs {
         let base = r.u32()?;
         let len = r.u32()? as usize;
         segments.push((base, r.take(len)?.to_vec()));
     }
+    Ok(segments)
+}
+
+/// The nine runtime u32 fields shared by both formats, sanity-capped.
+#[allow(clippy::type_complexity)]
+fn parse_runtime_fields(
+    r: &mut Reader<'_>,
+) -> Result<(u32, u32, u32, u32, usize, u32, usize, u32, usize), SquashError> {
     let decomp_base = r.u32()?;
     let decomp_bytes = r.u32()?;
     let buffer_base = r.u32()?;
     let buffer_bytes = r.u32()?;
     let cache_slots = r.u32()? as usize;
-    if cache_slots == 0 || cache_slots > 1 << 10 {
-        return err("implausible cache slot count");
+    if cache_slots == 0 || cache_slots > MAX_CACHE_SLOTS {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!("implausible cache slot count {cache_slots}"),
+        ));
     }
     let stub_base = r.u32()?;
     let stub_slots = r.u32()? as usize;
     let offset_table_addr = r.u32()?;
     let regions = r.u32()? as usize;
-    let cost = CostModel {
-        per_bit: r.u64()?,
-        per_inst: r.u64()?,
-        per_call: r.u64()?,
-        create_stub: r.u64()?,
-        cache_hit: r.u64()?,
-    };
-    let skip_if_current = r.take(1)?[0] != 0;
-    let model_len = r.u32()? as usize;
-    let model = StreamModel::deserialize(r.take(model_len)?).map_err(|e| SquashError {
-        message: format!("embedded model corrupt: {e}"),
-    })?;
-    let blob_len = r.u32()? as usize;
-    let blob = r.take(blob_len)?.to_vec();
-    let noffsets = r.u32()? as usize;
-    if noffsets != regions {
-        return err("offset table count disagrees with region count");
-    }
-    let mut bit_offsets = Vec::with_capacity(noffsets);
-    for _ in 0..noffsets {
-        bit_offsets.push(r.u64()?);
-    }
-    let footprint = Footprint {
+    Ok((
+        decomp_base,
+        decomp_bytes,
+        buffer_base,
+        buffer_bytes,
+        cache_slots,
+        stub_base,
+        stub_slots,
+        offset_table_addr,
+        regions,
+    ))
+}
+
+fn parse_footprint(r: &mut Reader<'_>) -> Result<Footprint, SquashError> {
+    Ok(Footprint {
         never_compressed: r.u32()?,
         entry_stubs: r.u32()?,
         static_stubs: r.u32()?,
@@ -192,34 +568,227 @@ pub fn read(bytes: &[u8]) -> Result<Squashed, SquashError> {
         compressed: r.u32()?,
         stub_area: r.u32()?,
         buffer: r.u32()?,
+    })
+}
+
+fn parse_meta(bytes: &[u8]) -> Result<Meta, SquashError> {
+    let mut r = Reader::new(bytes, "meta section");
+    let entry = r.u32()?;
+    let segments = parse_segments(&mut r)?;
+    let (
+        decomp_base,
+        decomp_bytes,
+        buffer_base,
+        buffer_bytes,
+        cache_slots,
+        stub_base,
+        stub_slots,
+        offset_table_addr,
+        regions,
+    ) = parse_runtime_fields(&mut r)?;
+    let cost = CostModel {
+        per_bit: r.u64()?,
+        per_inst: r.u64()?,
+        per_call: r.u64()?,
+        create_stub: r.u64()?,
+        cache_hit: r.u64()?,
+        per_check_byte: r.u64()?,
     };
+    let skip_if_current = r.u8()? != 0;
+    let footprint = parse_footprint(&mut r)?;
     let baseline_bytes = r.u32()?;
-    Ok(Squashed {
-        segments,
+    r.done()?;
+    Ok(Meta {
         entry,
+        segments,
+        decomp_base,
+        decomp_bytes,
+        buffer_base,
+        buffer_bytes,
+        cache_slots,
+        stub_base,
+        stub_slots,
+        offset_table_addr,
+        regions,
+        cost,
+        skip_if_current,
+        footprint,
+        baseline_bytes,
+    })
+}
+
+fn parse_offsets(bytes: &[u8], regions: usize) -> Result<Vec<u64>, SquashError> {
+    let mut r = Reader::new(bytes, "offsets section");
+    let noffsets = r.u32()? as usize;
+    if noffsets != regions {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!("offset table count {noffsets} disagrees with region count {regions}"),
+        ));
+    }
+    let mut bit_offsets = Vec::with_capacity(noffsets.min(r.remaining() / 8));
+    for _ in 0..noffsets {
+        bit_offsets.push(r.u64()?);
+    }
+    r.done()?;
+    Ok(bit_offsets)
+}
+
+fn parse_region_crcs(bytes: &[u8], regions: usize) -> Result<Vec<u32>, SquashError> {
+    let mut r = Reader::new(bytes, "region_crcs section");
+    let ncrcs = r.u32()? as usize;
+    if ncrcs != regions {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!("region checksum count {ncrcs} disagrees with region count {regions}"),
+        ));
+    }
+    let mut crcs = Vec::with_capacity(ncrcs.min(r.remaining() / 4));
+    for _ in 0..ncrcs {
+        crcs.push(r.u32()?);
+    }
+    r.done()?;
+    Ok(crcs)
+}
+
+fn assemble(
+    meta: Meta,
+    model: StreamModel,
+    blob: Vec<u8>,
+    bit_offsets: Vec<u64>,
+    region_crcs: Vec<u32>,
+) -> Squashed {
+    Squashed {
+        segments: meta.segments,
+        entry: meta.entry,
         runtime: RuntimeConfig {
-            decomp_base,
-            decomp_bytes,
-            buffer_base,
-            buffer_bytes,
-            cache_slots,
-            stub_base,
-            stub_slots,
-            offset_table_addr,
-            regions,
+            decomp_base: meta.decomp_base,
+            decomp_bytes: meta.decomp_bytes,
+            buffer_base: meta.buffer_base,
+            buffer_bytes: meta.buffer_bytes,
+            cache_slots: meta.cache_slots,
+            stub_base: meta.stub_base,
+            stub_slots: meta.stub_slots,
+            offset_table_addr: meta.offset_table_addr,
+            regions: meta.regions,
             model,
             blob,
             bit_offsets,
-            cost,
-            skip_if_current,
+            region_crcs,
+            cost: meta.cost,
+            skip_if_current: meta.skip_if_current,
         },
         stats: SquashStats {
-            footprint,
-            baseline_bytes,
-            regions,
+            footprint: meta.footprint,
+            baseline_bytes: meta.baseline_bytes,
+            regions: meta.regions,
             ..SquashStats::default()
         },
-    })
+    }
+}
+
+fn read_v2(bytes: &[u8]) -> Result<Squashed, SquashError> {
+    let mut r = Reader::new(bytes, ".sqsh file");
+    r.take(8)?; // magic, already checked
+    let entry = r.u32()?;
+    let segments = parse_segments(&mut r)?;
+    let (
+        decomp_base,
+        decomp_bytes,
+        buffer_base,
+        buffer_bytes,
+        cache_slots,
+        stub_base,
+        stub_slots,
+        offset_table_addr,
+        regions,
+    ) = parse_runtime_fields(&mut r)?;
+    let cost = CostModel {
+        per_bit: r.u64()?,
+        per_inst: r.u64()?,
+        per_call: r.u64()?,
+        create_stub: r.u64()?,
+        cache_hit: r.u64()?,
+        // v2 predates integrity metadata; no region is ever verified, so
+        // this rate is never charged. Carry the default for completeness.
+        per_check_byte: CostModel::default().per_check_byte,
+    };
+    let skip_if_current = r.u8()? != 0;
+    let model_len = r.u32()? as usize;
+    let model = StreamModel::deserialize(r.take(model_len)?)
+        .map_err(|e| fault(FaultKind::CodeTableCorrupt, format!("embedded model corrupt: {e}")))?;
+    let blob_len = r.u32()? as usize;
+    let blob = r.take(blob_len)?.to_vec();
+    let noffsets = r.u32()? as usize;
+    if noffsets != regions {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!("offset table count {noffsets} disagrees with region count {regions}"),
+        ));
+    }
+    let mut bit_offsets = Vec::with_capacity(noffsets.min(r.remaining() / 8));
+    for _ in 0..noffsets {
+        bit_offsets.push(r.u64()?);
+    }
+    let footprint = parse_footprint(&mut r)?;
+    let baseline_bytes = r.u32()?;
+    r.done()?;
+    let meta = Meta {
+        entry,
+        segments,
+        decomp_base,
+        decomp_bytes,
+        buffer_base,
+        buffer_bytes,
+        cache_slots,
+        stub_base,
+        stub_slots,
+        offset_table_addr,
+        regions,
+        cost,
+        skip_if_current,
+        footprint,
+        baseline_bytes,
+    };
+    // No integrity metadata in this format: empty region_crcs disables
+    // trap-time verification (and its cycle charge) entirely.
+    Ok(assemble(meta, model, blob, bit_offsets, Vec::new()))
+}
+
+/// The interesting truncation boundaries of a serialized image: every
+/// header-field edge and every section edge for v3, and the structural
+/// prefix edges for v2. Fault-injection tests cut the file at each of these
+/// (and at ±1) and require a typed fault, never a panic.
+pub fn boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut cuts = vec![0usize, 8, 12, 16];
+    match version(bytes) {
+        Some(3) => {
+            // Directory entry edges, header CRC edge, then section edges.
+            for i in 0..SECTIONS.len() {
+                cuts.push(16 + i * 8);
+            }
+            cuts.push(HEADER_LEN);
+            cuts.push(HEADER_LEN + 4);
+            if let Ok(dir) = read_directory(bytes) {
+                for (off, len, _) in dir {
+                    cuts.push(off);
+                    cuts.push(off + len);
+                }
+            }
+        }
+        _ => {
+            // v2 has no directory; cut at the fixed-field edges and at
+            // fractions of the stream so every parser phase sees a cut.
+            for f in 1..8 {
+                cuts.push(bytes.len() * f / 8);
+            }
+        }
+    }
+    cuts.push(bytes.len().saturating_sub(1));
+    cuts.retain(|&c| c <= bytes.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
 }
 
 #[cfg(test)]
@@ -245,14 +814,21 @@ mod tests {
             .unwrap()
     }
 
+    fn kind_of(e: &SquashError) -> FaultKind {
+        e.fault.as_ref().expect("loader errors carry a machine check").kind
+    }
+
     #[test]
     fn round_trip_preserves_everything_needed_to_run() {
         let squashed = squash_sample();
         let bytes = write(&squashed);
+        assert_eq!(version(&bytes), Some(3));
         let restored = read(&bytes).expect("read back");
         assert_eq!(restored.entry, squashed.entry);
         assert_eq!(restored.segments, squashed.segments);
         assert_eq!(restored.stats.footprint, squashed.stats.footprint);
+        assert_eq!(restored.runtime.region_crcs, squashed.runtime.region_crcs);
+        assert_eq!(restored.runtime.cost, squashed.runtime.cost);
         // Behaviour through the restored image matches the live one.
         for input in [&b"x"[..], &b"!"[..]] {
             let live = pipeline::run_squashed(&squashed, input).unwrap();
@@ -260,22 +836,151 @@ mod tests {
             assert_eq!(live.status, loaded.status);
             assert_eq!(live.output, loaded.output);
         }
+        // Strict mode accepts an uncorrupted image.
+        read_strict(&bytes).expect("strict read");
     }
 
     #[test]
-    fn bad_magic_rejected() {
+    fn v2_round_trip_still_reads_with_no_integrity_metadata() {
+        let squashed = squash_sample();
+        let bytes = write_v2(&squashed);
+        assert_eq!(version(&bytes), Some(2));
+        let restored = read(&bytes).expect("read back v2");
+        assert_eq!(restored.entry, squashed.entry);
+        assert_eq!(restored.segments, squashed.segments);
+        assert!(restored.runtime.region_crcs.is_empty());
+        let live = pipeline::run_squashed(&squashed, b"!").unwrap();
+        let loaded = pipeline::run_squashed(&restored, b"!").unwrap();
+        assert_eq!(live.output, loaded.output);
+        // But strict mode refuses it.
+        let err = read_strict(&bytes).unwrap_err();
+        assert_eq!(kind_of(&err), FaultKind::BadMagic);
+    }
+
+    #[test]
+    fn bad_magic_is_a_typed_fault() {
+        let squashed = squash_sample();
+        for writer in [write, write_v2] {
+            let mut bytes = writer(&squashed);
+            bytes[0] = b'X';
+            let err = read(&bytes).unwrap_err();
+            assert_eq!(kind_of(&err), FaultKind::BadMagic);
+        }
+        assert_eq!(kind_of(&read(b"").unwrap_err()), FaultKind::BadMagic);
+        assert_eq!(kind_of(&read(b"SQSH").unwrap_err()), FaultKind::BadMagic);
+        // Version 1 never existed in this codebase; reject by magic.
+        assert_eq!(kind_of(&read(b"SQSH0001rest").unwrap_err()), FaultKind::BadMagic);
+    }
+
+    #[test]
+    fn header_damage_is_a_header_checksum_fault() {
         let squashed = squash_sample();
         let mut bytes = write(&squashed);
-        bytes[0] = b'X';
-        assert!(read(&bytes).unwrap_err().message.contains("magic"));
+        // Flip a bit in the declared length of the model section: the
+        // header checksum catches it before any length is trusted.
+        bytes[16 + 8] ^= 1;
+        let err = read(&bytes).unwrap_err();
+        assert_eq!(kind_of(&err), FaultKind::HeaderChecksum);
     }
 
     #[test]
-    fn truncation_rejected_everywhere() {
+    fn section_damage_is_a_section_checksum_fault() {
         let squashed = squash_sample();
-        let bytes = write(&squashed);
-        for cut in [0, 7, 9, 40, bytes.len() / 2, bytes.len() - 1] {
-            assert!(read(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        let clean = write(&squashed);
+        let dir = read_directory(&clean).expect("directory");
+        for (i, name) in SECTIONS.iter().enumerate() {
+            if *name == "blob" {
+                continue; // lazy: verified per region at trap time
+            }
+            let (off, len, _) = dir[i];
+            if len == 0 {
+                continue;
+            }
+            let mut bytes = clean.clone();
+            bytes[off + len / 2] ^= 0x40;
+            let err = read(&bytes).unwrap_err();
+            assert_eq!(kind_of(&err), FaultKind::SectionChecksum, "section {name}");
+            assert!(err.message.contains(name), "fault should name {name}: {}", err.message);
         }
+    }
+
+    #[test]
+    fn blob_damage_loads_lazily_but_strict_mode_catches_it() {
+        let squashed = squash_sample();
+        let clean = write(&squashed);
+        let dir = read_directory(&clean).expect("directory");
+        let (off, len, _) = dir[2]; // blob
+        assert!(len > 0);
+        let mut bytes = clean;
+        bytes[off + len / 2] ^= 0x01;
+        // Default load succeeds — region verification happens at trap time.
+        read(&bytes).expect("lazy load tolerates blob damage until a trap");
+        let err = read_strict(&bytes).unwrap_err();
+        assert_eq!(kind_of(&err), FaultKind::SectionChecksum);
+        assert!(err.message.contains("blob"), "{}", err.message);
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_a_typed_fault() {
+        let squashed = squash_sample();
+        for writer in [write, write_v2] {
+            let bytes = writer(&squashed);
+            for cut in boundaries(&bytes) {
+                if cut == bytes.len() {
+                    continue;
+                }
+                let err = read(&bytes[..cut]).expect_err("truncated image accepted");
+                let kind = kind_of(&err);
+                assert!(
+                    matches!(kind, FaultKind::Truncated | FaultKind::BadMagic),
+                    "cut at {cut}: unexpected kind {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forged_huge_lengths_fault_without_overallocating() {
+        let squashed = squash_sample();
+        // v3: a forged section length is caught by the header checksum; a
+        // forged in-section count (e.g. segment count) by the meta parser.
+        let bytes = write(&squashed);
+        let dir = read_directory(&bytes).expect("directory");
+        let (meta_off, meta_len, _) = dir[0];
+        let mut forged = bytes.clone();
+        // entry(4) then nsegments(4): forge the segment count to u32::MAX
+        // and fix up the section checksum so the parser itself must reject.
+        forged[meta_off + 4..meta_off + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let crc = crc32c(&forged[meta_off..meta_off + meta_len]);
+        forged[16 + 4..16 + 8].copy_from_slice(&crc.to_le_bytes());
+        let hcrc = crc32c(&forged[..HEADER_LEN]);
+        forged[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&hcrc.to_le_bytes());
+        let err = read(&forged).unwrap_err();
+        assert_eq!(kind_of(&err), FaultKind::Truncated);
+
+        // v2 has no checksums, so forged lengths hit the parser directly:
+        // the segment count at byte 12 and the first segment's length at
+        // byte 20.
+        let v2 = write_v2(&squashed);
+        for field_off in [12usize, 20] {
+            let mut forged = v2.clone();
+            forged[field_off..field_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let err = read(&forged).expect_err("forged length accepted");
+            assert!(
+                matches!(kind_of(&err), FaultKind::Truncated | FaultKind::CodeTableCorrupt),
+                "forge at {field_off}: {:?}",
+                kind_of(&err)
+            );
+        }
+    }
+
+    #[test]
+    fn file_length_field_must_match() {
+        let squashed = squash_sample();
+        let mut bytes = write(&squashed);
+        // Append trailing garbage: file_len no longer matches.
+        bytes.push(0);
+        let err = read(&bytes).unwrap_err();
+        assert_eq!(kind_of(&err), FaultKind::Truncated);
     }
 }

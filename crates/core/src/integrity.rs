@@ -1,0 +1,139 @@
+//! Image integrity primitives: CRC32C checksums and region byte spans.
+//!
+//! `SQSH0003` images carry a header checksum, per-section checksums, and a
+//! per-compressed-region checksum table (see `DESIGN.md` §13). All of them
+//! use CRC32C (the Castagnoli polynomial, the same one iSCSI and ext4 use)
+//! computed by a table-driven software implementation — std-only, no
+//! dependencies, deterministic across hosts.
+//!
+//! Compressed regions are bit streams packed back to back in the blob, so a
+//! region's boundaries are bit offsets, not byte offsets. Each region is
+//! checksummed over its **byte span**: every blob byte containing at least
+//! one of its bits ([`region_byte_span`]). Spans of adjacent regions overlap
+//! by at most one byte, so any single corrupted blob byte fails at least one
+//! region's checksum and the spans jointly cover the whole blob (the last
+//! span absorbs the final padding byte).
+
+/// The CRC32C (Castagnoli) lookup table, built at compile time from the
+/// reflected polynomial 0x82F63B78.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0x82F6_3B78 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC32C checksum of `bytes`.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The byte span of region `i` within a blob of `blob_len` bytes: from the
+/// byte containing its first bit to the byte containing the last bit before
+/// the next region starts (for the final region, the end of the blob, which
+/// absorbs the padding bits).
+///
+/// Returns an empty span if `i` is out of range or the offsets are
+/// inconsistent with `blob_len` — callers checksum the span, and an empty
+/// span checksums to the CRC of nothing, which will not match a stored
+/// value by accident in any case we care about (the offsets themselves are
+/// covered by a section checksum).
+pub fn region_byte_span(bit_offsets: &[u64], i: usize, blob_len: usize) -> std::ops::Range<usize> {
+    let Some(&start_bit) = bit_offsets.get(i) else {
+        return 0..0;
+    };
+    let start = (start_bit / 8) as usize;
+    let end = match bit_offsets.get(i + 1) {
+        Some(&next_bit) => (next_bit.div_ceil(8) as usize).max(start),
+        None => blob_len,
+    };
+    let end = end.min(blob_len);
+    start.min(end)..end
+}
+
+/// The per-region CRC32C table for a blob: one checksum per region, each
+/// over that region's [`region_byte_span`].
+pub fn region_crcs(blob: &[u8], bit_offsets: &[u64]) -> Vec<u32> {
+    (0..bit_offsets.len())
+        .map(|i| crc32c(&blob[region_byte_span(bit_offsets, i, blob.len())]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // The classic check value for CRC32C.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // 32 zero bytes, per RFC 3720's CRC32C test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn single_bit_flip_always_detected() {
+        let data: Vec<u8> = (0u16..200).map(|i| (i * 7 % 251) as u8).collect();
+        let base = crc32c(&data);
+        let mut flipped = data.clone();
+        for byte in [0usize, 1, 99, 199] {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), base, "flip at {byte}.{bit} undetected");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn spans_cover_the_blob_and_overlap_at_most_one_byte() {
+        // Regions at bit offsets 0, 13, 40 in a 10-byte blob.
+        let offs = [0u64, 13, 40];
+        let spans: Vec<_> = (0..3).map(|i| region_byte_span(&offs, i, 10)).collect();
+        assert_eq!(spans[0], 0..2); // bits 0..13 live in bytes 0..=1
+        assert_eq!(spans[1], 1..5); // bits 13..40 live in bytes 1..=4
+        assert_eq!(spans[2], 5..10); // bits 40..end, plus padding
+        // Jointly cover every byte.
+        let mut covered = [false; 10];
+        for s in &spans {
+            for b in s.clone() {
+                covered[b] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn degenerate_spans_are_empty_not_panicking() {
+        assert_eq!(region_byte_span(&[], 0, 10), 0..0);
+        assert_eq!(region_byte_span(&[0], 5, 10), 0..0);
+        // Offsets past the blob clamp instead of slicing out of bounds.
+        assert_eq!(region_byte_span(&[1000], 0, 4), 4..4);
+        assert_eq!(region_byte_span(&[1000, 2000], 0, 4), 4..4);
+    }
+
+    #[test]
+    fn region_crc_table_matches_manual_computation() {
+        let blob: Vec<u8> = (0u8..20).collect();
+        let offs = [0u64, 37];
+        let crcs = region_crcs(&blob, &offs);
+        assert_eq!(crcs.len(), 2);
+        assert_eq!(crcs[0], crc32c(&blob[0..5]));
+        assert_eq!(crcs[1], crc32c(&blob[4..20]));
+    }
+}

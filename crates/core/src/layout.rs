@@ -371,7 +371,7 @@ pub(crate) fn geometry(
 }
 
 fn lerr(e: squash_cfg::link::LinkError) -> SquashError {
-    SquashError { message: e.message }
+    SquashError::msg(e.message)
 }
 
 /// Emits the never-compressed code words at the addresses fixed by
@@ -595,8 +595,8 @@ pub(crate) fn build_images(
                     }
                 } else {
                     let word = encode_reloc(pi, &|s| geo.sym_addr(s))?;
-                    image.push(Inst::decode(word).map_err(|e| SquashError {
-                        message: format!("re-decode of relocated instruction failed: {e}"),
+                    image.push(Inst::decode(word).map_err(|e| {
+                        SquashError::msg(format!("re-decode of relocated instruction failed: {e}"))
                     })?);
                 }
             }
@@ -688,6 +688,7 @@ pub(crate) fn assemble(
         blob,
         bit_offsets,
         payload_bits,
+        region_crcs,
     } = encoded;
     if geo.blob_base + blob.len() as u32 > DATA_BASE {
         return err("image overflows the fixed data base; enlarge DATA_BASE");
@@ -808,6 +809,7 @@ pub(crate) fn assemble(
         model,
         blob,
         bit_offsets,
+        region_crcs,
         cost: options.cost,
         skip_if_current: options.skip_if_current,
     };
@@ -922,8 +924,8 @@ fn patch_disp(inst: Inst, value: i16) -> Result<u32, SquashError> {
     match inst {
         Inst::Mem { op, ra, rb, disp } => {
             let total = disp as i32 + value as i32;
-            let disp = i16::try_from(total).map_err(|_| SquashError {
-                message: format!("relocated displacement {total} overflows"),
+            let disp = i16::try_from(total).map_err(|_| {
+                SquashError::msg(format!("relocated displacement {total} overflows"))
             })?;
             Ok(Inst::Mem { op, ra, rb, disp }.encode())
         }

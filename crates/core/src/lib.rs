@@ -56,11 +56,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod buffer_safe;
 pub mod cold;
 pub mod footprint;
 pub mod image_file;
+pub mod integrity;
 pub mod jumptables;
 pub mod layout;
 mod par;
@@ -74,6 +76,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use squash_cfg::Program;
+pub use squash_vm::{FaultKind, MachineCheck};
 
 /// How compressible regions are constructed from cold blocks (§4; the
 /// paper's conclusion names "other algorithms for constructing compressible
@@ -148,6 +151,13 @@ pub struct CostModel {
     /// cache reproduces the paper's single-buffer behaviour cycle for cycle;
     /// raise it to model the dispatch cost of the residency check.
     pub cache_hit: u64,
+    /// Cycles per blob byte checksummed when verifying a region's
+    /// compressed payload before decode (images with integrity metadata
+    /// only; a table-driven software CRC costs a few cycles per byte). Runs
+    /// of images without checksums charge nothing here, so an uncorrupted
+    /// `SQSH0003` run differs from its `SQSH0002` twin by exactly the
+    /// `checksum_cycles` the telemetry reports.
+    pub per_check_byte: u64,
 }
 
 impl Default for CostModel {
@@ -158,6 +168,7 @@ impl Default for CostModel {
             per_call: 250,
             create_stub: 30,
             cache_hit: 0,
+            per_check_byte: 4,
         }
     }
 }
@@ -248,10 +259,37 @@ impl Default for SquashOptions {
 }
 
 /// An error from the squash pipeline.
+///
+/// When the failure is an integrity fault (corrupt image, checksum
+/// mismatch, runtime machine check), `fault` carries the structured
+/// [`MachineCheck`] so front-ends can report region/site/cycle/kind and
+/// choose a distinct exit code instead of parsing the message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SquashError {
     /// Description of the problem.
     pub message: String,
+    /// The structured machine-check record, when the failure is a typed
+    /// integrity fault.
+    pub fault: Option<MachineCheck>,
+}
+
+impl SquashError {
+    /// An error with a message and no machine-check record.
+    pub fn msg(message: impl Into<String>) -> SquashError {
+        SquashError {
+            message: message.into(),
+            fault: None,
+        }
+    }
+}
+
+impl From<MachineCheck> for SquashError {
+    fn from(mc: MachineCheck) -> SquashError {
+        SquashError {
+            message: mc.to_string(),
+            fault: Some(mc),
+        }
+    }
 }
 
 impl fmt::Display for SquashError {
@@ -273,9 +311,7 @@ pub fn effective_jobs(requested: usize) -> usize {
 }
 
 pub(crate) fn err<T>(message: impl Into<String>) -> Result<T, SquashError> {
-    Err(SquashError {
-        message: message.into(),
-    })
+    Err(SquashError::msg(message))
 }
 
 /// Per-block execution frequencies of a program, plus the total executed
@@ -316,9 +352,11 @@ impl BlockProfile {
     pub fn deserialize(bytes: &[u8]) -> Result<BlockProfile, SquashError> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], SquashError> {
-            let s = bytes.get(*pos..*pos + n).ok_or(SquashError {
-                message: "truncated profile file".into(),
-            })?;
+            let s = bytes
+                .get(*pos..pos.checked_add(n).ok_or_else(|| {
+                    SquashError::msg("profile length arithmetic overflows")
+                })?)
+                .ok_or(SquashError::msg("truncated profile file"))?;
             *pos += n;
             Ok(s)
         };
@@ -326,8 +364,8 @@ impl BlockProfile {
             return err("not a squash profile (bad magic)");
         }
         let total_instructions =
-            u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-        let nfuncs = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("take(8) returns 8 bytes"));
+        let nfuncs = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("take(4) returns 4 bytes")) as usize;
         if nfuncs > 1 << 20 {
             return err("implausible function count in profile");
         }
@@ -339,7 +377,7 @@ impl BlockProfile {
         }
         let mut freq = Vec::with_capacity(nfuncs);
         for _ in 0..nfuncs {
-            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("take(4) returns 4 bytes")) as usize;
             if n > 1 << 24 {
                 return err("implausible block count in profile");
             }
@@ -349,7 +387,7 @@ impl BlockProfile {
             }
             let mut f = Vec::with_capacity(n);
             for _ in 0..n {
-                f.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+                f.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("take(8) returns 8 bytes")));
             }
             freq.push(f);
         }

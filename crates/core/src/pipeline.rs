@@ -74,7 +74,7 @@ pub fn profile_jobs(
     jobs: usize,
 ) -> Result<BlockProfile, SquashError> {
     let image = link::link(program, &LinkOptions::default())
-        .map_err(|e| SquashError { message: e.message })?;
+        .map_err(|e| SquashError::msg(e.message))?;
     let image = &image;
     let profiles: Vec<Result<squash_vm::Profile, SquashError>> =
         crate::par::map_indexed(jobs, inputs.len(), |i| {
@@ -85,9 +85,7 @@ pub fn profile_jobs(
             vm.set_pc(image.entry);
             vm.set_input(inputs[i].clone());
             vm.enable_profile(image.text_base, image.text_words());
-            vm.run().map_err(|e| SquashError {
-                message: format!("profiling run failed: {e}"),
-            })?;
+            vm.run().map_err(|e| SquashError::msg(format!("profiling run failed: {e}")))?;
             Ok(vm.take_profile().expect("profiling enabled"))
         });
     let mut merged: Option<squash_vm::Profile> = None;
@@ -128,7 +126,7 @@ pub fn run_original_with(
     icache: Option<ICacheConfig>,
 ) -> Result<RunResult, SquashError> {
     let image = link::link(program, &LinkOptions::default())
-        .map_err(|e| SquashError { message: e.message })?;
+        .map_err(|e| SquashError::msg(e.message))?;
     let mut vm = Vm::new(image.min_mem_size(1 << 18));
     for (base, bytes) in image.segments() {
         vm.write_bytes(base, &bytes);
@@ -138,9 +136,7 @@ pub fn run_original_with(
     if let Some(cfg) = icache {
         vm.enable_icache(cfg);
     }
-    let out = vm.run().map_err(|e| SquashError {
-        message: format!("original run failed: {e}"),
-    })?;
+    let out = vm.run().map_err(|e| SquashError::msg(format!("original run failed: {e}")))?;
     let icache_stats = vm.icache_stats();
     Ok(RunResult {
         status: out.status,
@@ -207,8 +203,15 @@ pub fn run_squashed_traced(
     if let Some(sink) = sink {
         service.set_sink(sink);
     }
-    let out = vm.run_with(&mut service).map_err(|e| SquashError {
-        message: format!("squashed run failed: {e}"),
+    let out = vm.run_with(&mut service).map_err(|e| {
+        // Keep the structured machine check (region, site, cycle, kind)
+        // alongside the human-readable message so `squashrun` can report a
+        // typed fault instead of a bare string.
+        let fault = match &e {
+            squash_vm::VmError::MachineCheck(mc) => Some(mc.clone()),
+            _ => None,
+        };
+        SquashError { message: format!("squashed run failed: {e}"), fault }
     })?;
     let icache_stats = vm.icache_stats();
     Ok(RunResult {

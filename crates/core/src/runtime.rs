@@ -38,11 +38,25 @@
 use std::collections::HashMap;
 use std::ops::Range;
 
-use squash_compress::StreamModel;
+use squash_compress::{CompressError, HuffmanError, StreamModel};
 use squash_isa::{BraOp, Inst, Reg};
-use squash_vm::{Service, TraceEvent, TraceSink, TrapKind, Vm, VmError};
+use squash_vm::{FaultKind, MachineCheck, Service, TraceEvent, TraceSink, TrapKind, Vm, VmError};
 
 use crate::CostModel;
+
+/// The [`FaultKind`] a trap-time decode failure maps to.
+fn decode_fault_kind(e: &CompressError) -> FaultKind {
+    match e {
+        CompressError::Huffman(HuffmanError::UnexpectedEof) => FaultKind::TruncatedStream,
+        CompressError::Huffman(_) => FaultKind::CodeTableCorrupt,
+        CompressError::BadOpcode { .. } | CompressError::OpcodeOutOfRange { .. } => {
+            FaultKind::BadOpcode
+        }
+        // Sentinel errors only arise when compressing; anything else a
+        // decoder reports means its tables and the stream disagree.
+        _ => FaultKind::CodeTableCorrupt,
+    }
+}
 
 /// Everything the runtime service needs, produced by layout.
 #[derive(Debug, Clone)]
@@ -75,6 +89,11 @@ pub struct RuntimeConfig {
     pub blob: Vec<u8>,
     /// Bit offset of each region within the blob (the offset table).
     pub bit_offsets: Vec<u64>,
+    /// CRC32C of each region's byte span in the blob, verified before every
+    /// decode ([`crate::integrity`]). Empty when the image carries no
+    /// integrity metadata (legacy `SQSH0002` files): nothing is verified and
+    /// nothing is charged for verification.
+    pub region_crcs: Vec<u32>,
     /// Cycle cost model.
     pub cost: CostModel,
     /// Skip decompression when the requested region is already resident.
@@ -115,6 +134,17 @@ pub struct RuntimeStats {
     pub misses: u64,
     /// Resident regions evicted to make room for another region.
     pub evictions: u64,
+    /// Region payloads checksum-verified before decode (one per miss when
+    /// the image carries integrity metadata; zero otherwise).
+    pub regions_verified: u64,
+    /// Cycles charged for payload checksum verification
+    /// ([`CostModel::per_check_byte`] × span bytes), included in
+    /// `cycles_charged`.
+    pub checksum_cycles: u64,
+    /// Times the fast two-tier decoder errored and the bit-by-bit reference
+    /// decoder succeeded (graceful degradation; 0 unless the decoders
+    /// diverge, which the differential suite otherwise hunts down).
+    pub ref_fallbacks: u64,
 }
 
 impl RuntimeConfig {
@@ -261,10 +291,11 @@ impl SquashRuntime {
         // points into.
         let cache_slot = self.slot_of(retaddr);
         let Some(region) = self.cache[cache_slot].region else {
-            return Err(VmError::Service {
-                pc,
-                message: "CreateStub with empty buffer".into(),
-            });
+            return Err(VmError::MachineCheck(MachineCheck {
+                pc: Some(pc),
+                cycle: Some(vm.cycles()),
+                ..MachineCheck::new(FaultKind::ServiceState, "CreateStub with empty buffer")
+            }));
         };
         // The call pair is [bsr @ X][branch @ X+4]; the return address the
         // program expects is X+8. Offsets are relative to the owning slot's
@@ -281,12 +312,17 @@ impl SquashRuntime {
             slot
         } else {
             self.stats.stub_allocs += 1;
-            let slot = self.free_slots.pop().ok_or_else(|| VmError::Service {
-                pc,
-                message: format!(
-                    "restore-stub area exhausted ({} slots)",
-                    self.cfg.stub_slots
-                ),
+            let slot = self.free_slots.pop().ok_or_else(|| {
+                VmError::MachineCheck(MachineCheck {
+                    pc: Some(pc),
+                    cycle: Some(vm.cycles()),
+                    region: Some(region as u32),
+                    site: Some(site),
+                    ..MachineCheck::new(
+                        FaultKind::StubExhausted,
+                        format!("restore-stub area exhausted ({} slots)", self.cfg.stub_slots),
+                    )
+                })
             })?;
             self.stubs.insert(key, slot);
             self.slot_key[slot] = Some(key);
@@ -356,13 +392,17 @@ impl SquashRuntime {
                 }
                 let new_disp = disp as i64 - delta_words;
                 if !(-(1 << 20)..1 << 20).contains(&new_disp) {
-                    return Err(VmError::Service {
-                        pc,
-                        message: format!(
-                            "region {region}: branch displacement overflows \
-                             relocating into cache slot {k}"
-                        ),
-                    });
+                    return Err(VmError::MachineCheck(MachineCheck {
+                        pc: Some(pc),
+                        region: Some(region as u32),
+                        ..MachineCheck::new(
+                            FaultKind::ServiceState,
+                            format!(
+                                "region {region}: branch displacement overflows \
+                                 relocating into cache slot {k}"
+                            ),
+                        )
+                    }));
                 }
                 *inst = Inst::Bra {
                     op,
@@ -424,28 +464,88 @@ impl SquashRuntime {
         // slot with the same region displaces nothing.
         let evicted = self.cache[k].region.filter(|&r| r != region);
         self.trace(vm, TraceEvent::DecompressStart { region });
+        let fault = |vm: &Vm, kind: FaultKind, detail: String| {
+            VmError::MachineCheck(MachineCheck {
+                pc: Some(pc),
+                cycle: Some(vm.cycles()),
+                region: Some(region as u32),
+                site: Some(((region as u32) << 16) | (offset & 0xFFFF)),
+                ..MachineCheck::new(kind, detail)
+            })
+        };
         let bit_off = *self.cfg.bit_offsets.get(region as usize).ok_or_else(|| {
-            VmError::Service {
-                pc,
-                message: format!("bad region index {region}"),
-            }
-        })?;
-        let (mut insts, bits) = self
-            .cfg
-            .model
-            .decompress_region(&self.cfg.blob, bit_off)
-            .map_err(|e| VmError::Service {
-                pc,
-                message: format!("decompression failed: {e}"),
-            })?;
-        if insts.len() as u32 * 4 > self.cfg.buffer_bytes {
-            return Err(VmError::Service {
-                pc,
-                message: format!(
-                    "region {region} ({} words) overflows the buffer",
-                    insts.len()
+            fault(
+                vm,
+                FaultKind::RegionOutOfRange,
+                format!(
+                    "region index {region} beyond the offset table ({} regions)",
+                    self.cfg.bit_offsets.len()
                 ),
-            });
+            )
+        })?;
+        // Verify the compressed payload before decoding, when the image
+        // carries integrity metadata. The work is charged through the cost
+        // model (`per_check_byte` × span bytes) so the verification cost is
+        // explicitly modeled and telemetry-visible, and the charge lands
+        // between `ServiceTrap` and `DecompressEnd` so per-region
+        // attribution still explains every cycle.
+        if let Some(&want) = self.cfg.region_crcs.get(region as usize) {
+            let span = crate::integrity::region_byte_span(
+                &self.cfg.bit_offsets,
+                region as usize,
+                self.cfg.blob.len(),
+            );
+            let cycles = span.len() as u64 * self.cfg.cost.per_check_byte;
+            self.stats.regions_verified += 1;
+            self.stats.checksum_cycles += cycles;
+            self.charge(vm, cycles);
+            let got = crate::integrity::crc32c(&self.cfg.blob[span]);
+            if got != want {
+                return Err(fault(
+                    vm,
+                    FaultKind::RegionChecksum,
+                    format!(
+                        "region {region} payload checksum mismatch \
+                         (stored {want:#010x}, computed {got:#010x})"
+                    ),
+                ));
+            }
+        }
+        // Decode through the fast two-tier table decoder; if it errors, fall
+        // back to the bit-by-bit reference decoder and count the event
+        // (graceful degradation: a payload that passed its checksum should
+        // decode, so a fast-decoder error there is a decoder defect, not
+        // corruption). Only when both decoders reject the stream is the
+        // region truly corrupt.
+        let decoded = match self.cfg.model.decompress_region(&self.cfg.blob, bit_off) {
+            Ok(ok) => ok,
+            Err(fast_err) => {
+                match self.cfg.model.decompress_region_reference(&self.cfg.blob, bit_off) {
+                    Ok(ok) => {
+                        self.stats.ref_fallbacks += 1;
+                        ok
+                    }
+                    Err(_) => {
+                        return Err(fault(
+                            vm,
+                            decode_fault_kind(&fast_err),
+                            format!("region {region} decompression failed: {fast_err}"),
+                        ))
+                    }
+                }
+            }
+        };
+        let (mut insts, bits) = decoded;
+        if insts.len() as u32 * 4 > self.cfg.buffer_bytes {
+            return Err(fault(
+                vm,
+                FaultKind::BufferOverflow,
+                format!(
+                    "region {region} ({} words) overflows the {}-byte buffer slot",
+                    insts.len(),
+                    self.cfg.buffer_bytes
+                ),
+            ));
         }
         self.relocate_for_slot(&mut insts, k, region, pc)?;
         let mut addr = self.slot_base(k);
@@ -516,18 +616,53 @@ impl Service for SquashRuntime {
         let region = (tag >> 16) as u16;
         let offset = tag & 0xFFFF;
         if is_restore {
-            // Restore stub: decrement its usage count; free at zero.
+            // Restore stub: decrement its usage count; free at zero. The
+            // return address must point at a stub's tag word (slot base + 4);
+            // anything else in the stub area is a corrupt or forged address,
+            // surfaced as a typed fault instead of indexing out of bounds.
             self.stats.restores += 1;
+            let stub_fault = |vm: &Vm, kind: FaultKind, detail: String| {
+                VmError::MachineCheck(MachineCheck {
+                    pc: Some(pc),
+                    cycle: Some(vm.cycles()),
+                    region: Some(region as u32),
+                    site: Some(tag),
+                    ..MachineCheck::new(kind, detail)
+                })
+            };
+            let stub_off = retaddr
+                .checked_sub(4)
+                .and_then(|a| a.checked_sub(self.cfg.stub_base))
+                .ok_or_else(|| {
+                    stub_fault(
+                        vm,
+                        FaultKind::StubTargetOutOfRange,
+                        format!("restore return address {retaddr:#010x} below the stub area"),
+                    )
+                })?;
+            let slot = (stub_off / crate::layout::STUB_SLOT_BYTES) as usize;
+            if stub_off % crate::layout::STUB_SLOT_BYTES != 0 || slot >= self.cfg.stub_slots {
+                return Err(stub_fault(
+                    vm,
+                    FaultKind::StubTargetOutOfRange,
+                    format!(
+                        "restore return address {retaddr:#010x} maps to no stub slot \
+                         ({} slots of {} bytes at {:#010x})",
+                        self.cfg.stub_slots,
+                        crate::layout::STUB_SLOT_BYTES,
+                        self.cfg.stub_base
+                    ),
+                ));
+            }
             let stub_addr = retaddr - 4;
-            let slot = ((stub_addr - self.cfg.stub_base) / crate::layout::STUB_SLOT_BYTES)
-                as usize;
             let count_addr = stub_addr + 8;
             let count = vm.read_word(count_addr);
             if count == 0 {
-                return Err(VmError::Service {
-                    pc,
-                    message: "restore stub fired with zero usage count".into(),
-                });
+                return Err(stub_fault(
+                    vm,
+                    FaultKind::ServiceState,
+                    "restore stub fired with zero usage count".into(),
+                ));
             }
             let count = count - 1;
             vm.write_bytes(count_addr, &count.to_le_bytes());
@@ -571,6 +706,7 @@ mod tests {
             model: StreamModel::train(&[&[][..]]),
             blob: Vec::new(),
             bit_offsets: vec![0],
+            region_crcs: Vec::new(),
             cost: CostModel::default(),
             skip_if_current: false,
         }
@@ -602,8 +738,10 @@ mod tests {
         vm.set_pc(0x8000 + 4 * Reg::RA.number() as u32);
         let err = rt.invoke(&mut vm).unwrap_err();
         match err {
-            VmError::Service { message, .. } => {
-                assert!(message.contains("empty buffer"), "{message}")
+            VmError::MachineCheck(mc) => {
+                assert_eq!(mc.kind, FaultKind::ServiceState);
+                assert!(mc.detail.contains("empty buffer"), "{}", mc.detail);
+                assert!(mc.pc.is_some());
             }
             other => panic!("unexpected error {other:?}"),
         }
@@ -654,9 +792,20 @@ mod tests {
             model,
             blob: w.into_bytes(),
             bit_offsets,
+            // No integrity metadata: the scripted tests below exercise the
+            // seed behaviour; the `integrity` tests add checksums.
+            region_crcs: Vec::new(),
             cost: CostModel::default(),
             skip_if_current: false,
         }
+    }
+
+    /// [`cached_config`] with per-region checksums, as a loaded `SQSH0003`
+    /// image (or a freshly squashed artifact) would carry.
+    fn checked_config(nregions: usize, cache_slots: usize) -> RuntimeConfig {
+        let mut cfg = cached_config(nregions, cache_slots);
+        cfg.region_crcs = crate::integrity::region_crcs(&cfg.blob, &cfg.bit_offsets);
+        cfg
     }
 
     #[test]
@@ -970,5 +1119,137 @@ mod tests {
                 "cache_hit",                                          // 1 hit
             ]
         );
+    }
+
+    /// With integrity metadata, every miss verifies the region's payload and
+    /// charges exactly `per_check_byte` × span bytes on top of the seed cost
+    /// model; hits verify nothing. The total equals the run without
+    /// checksums plus the reported `checksum_cycles`.
+    #[test]
+    fn verification_charges_exactly_the_modeled_cost() {
+        let seq: [u16; 6] = [0, 1, 0, 2, 1, 1];
+        let drive = |cfg: RuntimeConfig| {
+            let mut rt = SquashRuntime::new(cfg);
+            let mut vm = squash_vm::Vm::new(1 << 16);
+            for &r in &seq {
+                rt.decompress_to(&mut vm, r, 0).unwrap();
+            }
+            rt.stats
+        };
+        let plain = drive(cached_config(3, 2));
+        let checked = drive(checked_config(3, 2));
+        assert_eq!(plain.regions_verified, 0);
+        assert_eq!(plain.checksum_cycles, 0);
+        assert_eq!(checked.regions_verified, checked.misses);
+        assert_eq!(
+            (checked.hits, checked.misses, checked.evictions, checked.bits_read),
+            (plain.hits, plain.misses, plain.evictions, plain.bits_read),
+            "verification must not change cache behaviour"
+        );
+        // The charge is the independently computed span sum.
+        let cfg = checked_config(3, 2);
+        let mut expected = 0u64;
+        let mut rt2 = SquashRuntime::new(cached_config(3, 2));
+        let mut vm2 = squash_vm::Vm::new(1 << 16);
+        for &r in &seq {
+            let was_miss_before = rt2.stats.misses;
+            rt2.decompress_to(&mut vm2, r, 0).unwrap();
+            if rt2.stats.misses > was_miss_before {
+                let span = crate::integrity::region_byte_span(
+                    &cfg.bit_offsets,
+                    r as usize,
+                    cfg.blob.len(),
+                );
+                expected += span.len() as u64 * cfg.cost.per_check_byte;
+            }
+        }
+        assert_eq!(checked.checksum_cycles, expected);
+        assert_eq!(
+            checked.cycles_charged,
+            plain.cycles_charged + checked.checksum_cycles,
+            "verification is the only cycle difference"
+        );
+    }
+
+    /// A corrupted region faults with a typed `RegionChecksum` machine check
+    /// naming the region — and the rest of the image stays runnable: other
+    /// regions still decompress, and the service state is not poisoned.
+    #[test]
+    fn corrupt_region_faults_typed_and_leaves_others_runnable() {
+        let mut cfg = checked_config(3, 2);
+        // Flip a bit squarely inside region 1's span (regions 0 and 2 may
+        // share boundary bytes with it, so corrupt a middle byte).
+        let span = crate::integrity::region_byte_span(&cfg.bit_offsets, 1, cfg.blob.len());
+        let mid = (span.start + span.end) / 2;
+        cfg.blob[mid] ^= 0x10;
+        // Keep region 0's and 2's checksums valid if the flipped byte is
+        // theirs too: recompute which regions the byte belongs to.
+        let hit: Vec<usize> = (0..3)
+            .filter(|&i| {
+                crate::integrity::region_byte_span(&cfg.bit_offsets, i, cfg.blob.len())
+                    .contains(&mid)
+            })
+            .collect();
+        let mut rt = SquashRuntime::new(cfg);
+        let mut vm = squash_vm::Vm::new(1 << 16);
+        for r in 0..3u16 {
+            let result = rt.decompress_to(&mut vm, r, 0);
+            if hit.contains(&(r as usize)) {
+                let err = result.expect_err("corrupt region must fault");
+                let mc = match err {
+                    VmError::MachineCheck(mc) => mc,
+                    other => panic!("untyped error {other:?}"),
+                };
+                assert_eq!(mc.kind, FaultKind::RegionChecksum);
+                assert_eq!(mc.region, Some(r as u32));
+                assert!(mc.cycle.is_some() && mc.site.is_some());
+            } else {
+                result.expect("uncorrupted region must stay runnable");
+            }
+        }
+        assert!(hit.contains(&1), "the flipped byte belongs to region 1");
+        assert!(
+            rt.stats.decompressions >= 1,
+            "at least one clean region decompressed after the fault"
+        );
+    }
+
+    /// A request beyond the offset table is a typed `RegionOutOfRange`
+    /// fault, not a panic.
+    #[test]
+    fn region_index_out_of_range_is_typed() {
+        let mut rt = SquashRuntime::new(cached_config(2, 1));
+        let mut vm = squash_vm::Vm::new(1 << 16);
+        let err = rt.decompress_to(&mut vm, 7, 0).unwrap_err();
+        match err {
+            VmError::MachineCheck(mc) => {
+                assert_eq!(mc.kind, FaultKind::RegionOutOfRange);
+                assert_eq!(mc.region, Some(7));
+            }
+            other => panic!("untyped error {other:?}"),
+        }
+    }
+
+    /// A restore trap whose return address points into the stub area but at
+    /// no valid stub tag word (misaligned, or below the first tag) faults
+    /// with `StubTargetOutOfRange` instead of indexing out of bounds.
+    #[test]
+    fn forged_restore_address_is_typed_not_a_panic() {
+        let mut rt = SquashRuntime::new(cached_config(2, 1));
+        let mut vm = squash_vm::Vm::new(1 << 16);
+        rt.decompress_to(&mut vm, 0, 0).unwrap();
+        let decomp_base = rt.cfg.decomp_base;
+        // stub_base itself points at slot 0's *first* word, not its tag.
+        for bad in [rt.cfg.stub_base, rt.cfg.stub_base + 6] {
+            vm.set_reg(Reg::RA, bad as i64);
+            vm.set_pc(decomp_base + 4 * Reg::RA.number() as u32);
+            let err = rt.invoke(&mut vm).unwrap_err();
+            match err {
+                VmError::MachineCheck(mc) => {
+                    assert_eq!(mc.kind, FaultKind::StubTargetOutOfRange, "ra {bad:#x}");
+                }
+                other => panic!("untyped error {other:?} for ra {bad:#x}"),
+            }
+        }
     }
 }

@@ -18,8 +18,8 @@ use squash_isa::Inst;
 use crate::par;
 use crate::{err, SquashError};
 
-/// The encoding stage's artifact: the compressed blob and where each
-/// region's bit stream starts within it.
+/// The encoding stage's artifact: the compressed blob, where each region's
+/// bit stream starts within it, and each region's payload checksum.
 #[derive(Debug, Clone)]
 pub struct EncodedRegions {
     /// The compressed code blob (zero-padded to a whole byte at the end).
@@ -28,6 +28,10 @@ pub struct EncodedRegions {
     pub bit_offsets: Vec<u64>,
     /// Total compressed payload bits (excluding final-byte padding).
     pub payload_bits: u64,
+    /// CRC32C of each region's byte span in the blob
+    /// ([`crate::integrity::region_byte_span`]), verified by the runtime
+    /// before every decode and stored in the `SQSH0003` image.
+    pub region_crcs: Vec<u32>,
 }
 
 /// Compresses every region image against `model`, verifying each round
@@ -45,15 +49,15 @@ pub fn encode(
         par::map_indexed(jobs, images.len(), |ri| {
             let image = &images[ri];
             let mut w = BitWriter::new();
-            model.compress_region_into(image, &mut w).map_err(|e| SquashError {
-                message: format!("region {ri}: compression failed: {e}"),
+            model.compress_region_into(image, &mut w).map_err(|e| {
+                SquashError::msg(format!("region {ri}: compression failed: {e}"))
             })?;
             // Build-time self-check: the region must decompress back to
             // exactly the image just compressed (the paper's tool can rely
             // on its single codec; ours verifies before shipping the blob).
             let bytes = w.padded_bytes();
-            let (decoded, _) = model.decompress_region(&bytes, 0).map_err(|e| SquashError {
-                message: format!("region {ri} fails to decompress after compression: {e}"),
+            let (decoded, _) = model.decompress_region(&bytes, 0).map_err(|e| {
+                SquashError::msg(format!("region {ri} fails to decompress after compression: {e}"))
             })?;
             if &decoded != image {
                 return err(format!("region {ri} round-trip mismatch"));
@@ -67,9 +71,12 @@ pub fn encode(
         blob_writer.append(&w?);
     }
     let payload_bits = blob_writer.bit_len();
+    let blob = blob_writer.into_bytes();
+    let region_crcs = crate::integrity::region_crcs(&blob, &bit_offsets);
     Ok(EncodedRegions {
-        blob: blob_writer.into_bytes(),
+        blob,
         bit_offsets,
         payload_bits,
+        region_crcs,
     })
 }

@@ -357,7 +357,8 @@ pub mod json {
                     _ => break,
                 }
             }
-            let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+            let text = std::str::from_utf8(&self.b[start..self.i])
+                .expect("number scanner only accepts ASCII bytes");
             if !float {
                 if let Ok(n) = text.parse::<i64>() {
                     return Ok(Json::Int(n));
@@ -858,6 +859,17 @@ pub struct RunMetrics {
     pub output_bytes: u64,
 }
 
+/// One machine-check fault tally: how many faults of one kind a run (or a
+/// fault-injection sweep) observed. `kind` is [`crate::FaultKind::name`]'s
+/// snake_case string so the schema does not depend on the Rust enum layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCount {
+    /// Fault kind name (`"region_checksum"`, `"truncated_stream"`, ...).
+    pub kind: String,
+    /// Occurrences.
+    pub count: u64,
+}
+
 /// The unified telemetry report: everything the system counts, in one
 /// document with a stable JSON schema (see `DESIGN.md` §12).
 ///
@@ -878,6 +890,9 @@ pub struct Telemetry {
     pub stages: Vec<StageRecord>,
     /// Per-region attribution, if a trace sink was attached.
     pub attribution: Option<AttributionReport>,
+    /// Machine-check faults by kind, if any were observed (a faulting
+    /// `squashrun` emits exactly one; harnesses may aggregate more).
+    pub faults: Vec<FaultCount>,
 }
 
 impl Telemetry {
@@ -927,6 +942,9 @@ impl Telemetry {
                     ("hits", int(rt.hits)),
                     ("misses", int(rt.misses)),
                     ("evictions", int(rt.evictions)),
+                    ("regions_verified", int(rt.regions_verified)),
+                    ("checksum_cycles", int(rt.checksum_cycles)),
+                    ("ref_fallbacks", int(rt.ref_fallbacks)),
                 ]),
             ));
         }
@@ -954,6 +972,22 @@ impl Telemetry {
                                 ("items", int(s.items)),
                                 ("output_bytes", int(s.output_bytes)),
                                 ("note", Json::Str(s.note.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.faults.is_empty() {
+            fields.push((
+                "faults",
+                Json::Arr(
+                    self.faults
+                        .iter()
+                        .map(|f| {
+                            obj(vec![
+                                ("kind", Json::Str(f.kind.clone())),
+                                ("count", int(f.count)),
                             ])
                         })
                         .collect(),
@@ -999,6 +1033,7 @@ impl Telemetry {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("telemetry: missing or bad \"{key}\""))
         };
+        let opt = |j: &Json, key: &str| -> u64 { j.get(key).and_then(Json::as_u64).unwrap_or(0) };
         let mut t = Telemetry {
             name: v
                 .get("name")
@@ -1032,6 +1067,11 @@ impl Telemetry {
                 hits: req(rt, "hits")?,
                 misses: req(rt, "misses")?,
                 evictions: req(rt, "evictions")?,
+                // Integrity counters postdate the first schema; absent keys
+                // read as zero so old documents still parse.
+                regions_verified: opt(rt, "regions_verified"),
+                checksum_cycles: opt(rt, "checksum_cycles"),
+                ref_fallbacks: opt(rt, "ref_fallbacks"),
             });
         }
         if let Some(ic) = v.get("icache") {
@@ -1056,6 +1096,16 @@ impl Telemetry {
                     .and_then(Json::as_str)
                     .unwrap_or_default()
                     .to_string(),
+            });
+        }
+        for f in v.get("faults").and_then(Json::as_arr).unwrap_or(&[]) {
+            t.faults.push(FaultCount {
+                kind: f
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("telemetry: fault without a kind")?
+                    .to_string(),
+                count: req(f, "count")?,
             });
         }
         if let Some(attr) = v.get("attribution") {
@@ -1272,6 +1322,9 @@ mod tests {
             cycles_charged: 12345,
             hits: 3,
             misses: 7,
+            regions_verified: 7,
+            checksum_cycles: 640,
+            ref_fallbacks: 1,
             ..RuntimeStats::default()
         };
         // ICacheStats is #[non_exhaustive] in another crate, so it cannot be
@@ -1311,6 +1364,10 @@ mod tests {
                 note: "regions / blob bytes".into(),
             }],
             attribution: Some(attribution.finish(600)),
+            faults: vec![
+                FaultCount { kind: "region_checksum".into(), count: 2 },
+                FaultCount { kind: "truncated_stream".into(), count: 1 },
+            ],
         };
         let text = t.to_json_string();
         let back = Telemetry::from_json(&json::parse(&text).expect("parse")).expect("from_json");
@@ -1322,9 +1379,30 @@ mod tests {
             "\"miss_ratio\":0.1",
             "\"wall_ns\":1500000",
             "\"attributed_cycles\":490",
+            "\"regions_verified\"",
+            "\"checksum_cycles\"",
+            "\"ref_fallbacks\"",
+            "\"kind\":\"region_checksum\"",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }
+    }
+
+    #[test]
+    fn runtime_integrity_counters_default_to_zero_in_old_documents() {
+        // A schema-1 document written before the integrity counters existed
+        // must still parse, with the new counters reading as zero.
+        let doc = "{\"schema\":1,\"name\":\"old\",\"runtime\":{\
+                   \"decompressions\":1,\"skipped\":0,\"stub_hits\":0,\
+                   \"stub_allocs\":0,\"restores\":0,\"max_live_stubs\":0,\
+                   \"bits_read\":8,\"insts_written\":1,\"cycles_charged\":9,\
+                   \"hits\":0,\"misses\":1,\"evictions\":0}}";
+        let t = Telemetry::from_json(&json::parse(doc).unwrap()).unwrap();
+        let rt = t.runtime.unwrap();
+        assert_eq!(rt.regions_verified, 0);
+        assert_eq!(rt.checksum_cycles, 0);
+        assert_eq!(rt.ref_fallbacks, 0);
+        assert!(t.faults.is_empty());
     }
 
     #[test]

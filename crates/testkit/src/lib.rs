@@ -124,6 +124,130 @@ pub fn cases(seed: u64, n: u64, mut body: impl FnMut(&mut Rng)) {
     }
 }
 
+/// Deterministic fault injection: byte-level mutators for serialized
+/// images (or any untrusted byte format).
+///
+/// The fault-injection invariant the integrity tests enforce is: *every*
+/// mutation of a `.sqsh` image yields either a byte-identical run (the
+/// mutation hit dead bytes, e.g. a never-executed cold region) or a typed
+/// machine-check fault — never a panic, never silently divergent execution.
+/// This module supplies the mutations; the invariant lives in
+/// `tests/fault_injection.rs`.
+///
+/// All mutators are driven by [`Rng`], so a seed plus a case index
+/// reproduces any mutation exactly.
+pub mod fault {
+    use super::Rng;
+
+    /// One applied mutation: the mutated bytes plus a human-readable
+    /// description for failure reports ("flip bit 3 of byte 1042", ...).
+    #[derive(Debug, Clone)]
+    pub struct Mutation {
+        /// The mutated copy of the input.
+        pub bytes: Vec<u8>,
+        /// What was done, for failure messages.
+        pub desc: String,
+    }
+
+    /// Flips one uniformly chosen bit.
+    pub fn flip_bit(rng: &mut Rng, image: &[u8]) -> Mutation {
+        let mut bytes = image.to_vec();
+        if bytes.is_empty() {
+            return Mutation { bytes, desc: "flip bit in empty input (no-op)".into() };
+        }
+        let byte = rng.below(bytes.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
+        bytes[byte] ^= 1 << bit;
+        Mutation { bytes, desc: format!("flip bit {bit} of byte {byte}") }
+    }
+
+    /// Overwrites one uniformly chosen byte with a uniform value.
+    pub fn set_byte(rng: &mut Rng, image: &[u8]) -> Mutation {
+        let mut bytes = image.to_vec();
+        if bytes.is_empty() {
+            return Mutation { bytes, desc: "set byte in empty input (no-op)".into() };
+        }
+        let byte = rng.below(bytes.len() as u64) as usize;
+        let value = rng.u8();
+        bytes[byte] = value;
+        Mutation { bytes, desc: format!("set byte {byte} to {value:#04x}") }
+    }
+
+    /// Truncates at a uniformly chosen length in `[0, len)`.
+    pub fn truncate(rng: &mut Rng, image: &[u8]) -> Mutation {
+        let cut = rng.below(image.len().max(1) as u64) as usize;
+        Mutation {
+            bytes: image[..cut.min(image.len())].to_vec(),
+            desc: format!("truncate to {cut} bytes"),
+        }
+    }
+
+    /// Truncates at one of the given structural boundaries (and one byte to
+    /// either side of it), exercising every parser phase edge.
+    pub fn truncate_at_boundary(rng: &mut Rng, image: &[u8], boundaries: &[usize]) -> Mutation {
+        if boundaries.is_empty() {
+            return truncate(rng, image);
+        }
+        let b = *rng.pick(boundaries);
+        let cut = match rng.below(3) {
+            0 => b.saturating_sub(1),
+            1 => b,
+            _ => b + 1,
+        }
+        .min(image.len());
+        Mutation {
+            bytes: image[..cut].to_vec(),
+            desc: format!("truncate to {cut} bytes (boundary {b})"),
+        }
+    }
+
+    /// Overwrites a 4-byte aligned-on-nothing little-endian length field at
+    /// a uniform position with an adversarial value (`u32::MAX`, huge, or
+    /// small), forging a declared length.
+    pub fn forge_length(rng: &mut Rng, image: &[u8]) -> Mutation {
+        let mut bytes = image.to_vec();
+        if bytes.len() < 4 {
+            return Mutation { bytes, desc: "forge length in tiny input (no-op)".into() };
+        }
+        let pos = rng.below((bytes.len() - 3) as u64) as usize;
+        let value: u32 = match rng.below(4) {
+            0 => u32::MAX,
+            1 => u32::MAX / 2,
+            2 => rng.u32() | 0x8000_0000,
+            _ => rng.u32() & 0xFFFF,
+        };
+        bytes[pos..pos + 4].copy_from_slice(&value.to_le_bytes());
+        Mutation { bytes, desc: format!("forge u32 {value:#010x} at byte {pos}") }
+    }
+
+    /// Zeroes a uniformly chosen run of up to 64 bytes.
+    pub fn zero_range(rng: &mut Rng, image: &[u8]) -> Mutation {
+        let mut bytes = image.to_vec();
+        if bytes.is_empty() {
+            return Mutation { bytes, desc: "zero range in empty input (no-op)".into() };
+        }
+        let start = rng.below(bytes.len() as u64) as usize;
+        let len = (rng.below(64) as usize + 1).min(bytes.len() - start);
+        for b in &mut bytes[start..start + len] {
+            *b = 0;
+        }
+        Mutation { bytes, desc: format!("zero {len} bytes at byte {start}") }
+    }
+
+    /// One uniformly chosen mutation from the whole repertoire. `boundaries`
+    /// feeds [`truncate_at_boundary`]; pass the format's structural edges.
+    pub fn any(rng: &mut Rng, image: &[u8], boundaries: &[usize]) -> Mutation {
+        match rng.below(6) {
+            0 => flip_bit(rng, image),
+            1 => set_byte(rng, image),
+            2 => truncate(rng, image),
+            3 => truncate_at_boundary(rng, image, boundaries),
+            4 => forge_length(rng, image),
+            _ => zero_range(rng, image),
+        }
+    }
+}
+
 /// Micro-benchmark support replacing the `criterion` harness: each bench
 /// target is a plain `main` that calls [`bench::Timer`] methods and prints
 /// a fixed-format table line per measurement.
@@ -292,6 +416,34 @@ mod tests {
         let mut count = 0;
         cases(1234, 17, |_| count += 1);
         assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn fault_mutations_are_deterministic_and_in_bounds() {
+        let image: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        let boundaries = [0usize, 8, 60, 150, 300];
+        for case in 0..200u64 {
+            let m1 = fault::any(&mut Rng::new(case), &image, &boundaries);
+            let m2 = fault::any(&mut Rng::new(case), &image, &boundaries);
+            assert_eq!(m1.bytes, m2.bytes, "case {case} not deterministic");
+            assert_eq!(m1.desc, m2.desc);
+            assert!(m1.bytes.len() <= image.len() + 1, "case {case} grew the input");
+        }
+        // Mutations actually mutate (a flip or set on a nonempty input
+        // differs from the original; truncation shortens it).
+        let mut rng = Rng::new(99);
+        let flip = fault::flip_bit(&mut rng, &image);
+        assert_ne!(flip.bytes, image);
+        let trunc = fault::truncate(&mut rng, &image);
+        assert!(trunc.bytes.len() < image.len());
+        let forged = fault::forge_length(&mut rng, &image);
+        assert_eq!(forged.bytes.len(), image.len());
+        // Empty inputs are handled, not panicked on.
+        for f in [fault::flip_bit, fault::set_byte, fault::truncate, fault::zero_range] {
+            let m = f(&mut rng, &[]);
+            assert!(m.bytes.is_empty());
+        }
+        assert!(fault::forge_length(&mut rng, &[1, 2]).bytes.len() == 2);
     }
 
     #[test]

@@ -196,7 +196,11 @@ impl Vm {
     ///
     /// Panics if the range falls outside memory.
     pub fn read_word(&self, addr: u32) -> u32 {
-        u32::from_le_bytes(self.read_bytes(addr, 4).try_into().unwrap())
+        let bytes: [u8; 4] = self
+            .read_bytes(addr, 4)
+            .try_into()
+            .expect("read_bytes(addr, 4) returns exactly 4 bytes");
+        u32::from_le_bytes(bytes)
     }
 
     fn load(&self, addr: u32, len: u32, pc: u32) -> Result<u64, VmError> {

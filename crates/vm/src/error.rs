@@ -1,6 +1,148 @@
 //! VM fault and error types.
+//!
+//! Besides the classic machine faults ([`VmError::MemFault`],
+//! [`VmError::IllegalInstruction`], ...) this module defines the typed
+//! **machine-check** layer used by the integrity-checked image pipeline: a
+//! [`FaultKind`] taxonomy naming *what* integrity property was violated and
+//! a [`MachineCheck`] record carrying *where* (region, call site, simulated
+//! cycle, pc). Services raise [`VmError::MachineCheck`] instead of panicking
+//! so corrupt images surface as diagnosable faults, never process aborts.
 
 use std::fmt;
+
+/// What kind of integrity violation a [`MachineCheck`] reports.
+///
+/// The taxonomy spans the whole trust boundary: the `.sqsh` loader
+/// (`BadMagic` through `CodeTableCorrupt`), the trap-time decode path
+/// (`RegionChecksum` through `BufferOverflow`), and the runtime service's
+/// own state machine (`StubTargetOutOfRange` through `ServiceState`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The image does not start with a known `SQSH` magic/version.
+    BadMagic,
+    /// The image or one of its length fields is truncated, forged, or
+    /// internally inconsistent (declared sizes disagree with the bytes).
+    Truncated,
+    /// The image header failed its checksum.
+    HeaderChecksum,
+    /// A section failed its checksum at load time.
+    SectionChecksum,
+    /// A compressed region's payload failed its checksum at trap time.
+    RegionChecksum,
+    /// An embedded model or canonical-code table is invalid, or the decoder
+    /// hit a prefix that is no valid codeword.
+    CodeTableCorrupt,
+    /// The compressed bit stream ended in the middle of a codeword.
+    TruncatedStream,
+    /// Decompression produced an opcode with no known instruction format.
+    BadOpcode,
+    /// A region index beyond the offset table was requested.
+    RegionOutOfRange,
+    /// A restore trap carried a return address that maps to no valid
+    /// restore-stub slot.
+    StubTargetOutOfRange,
+    /// A decoded region is larger than a runtime buffer slot.
+    BufferOverflow,
+    /// The restore-stub area has no free slots.
+    StubExhausted,
+    /// The runtime service's own invariants were violated (for example a
+    /// `CreateStub` trap with no resident region, or a restore stub firing
+    /// with a zero usage count).
+    ServiceState,
+}
+
+impl FaultKind {
+    /// The stable machine-readable name of this kind (snake_case; the
+    /// `kind=` field of machine-check reports and the telemetry `faults`
+    /// section).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::BadMagic => "bad_magic",
+            FaultKind::Truncated => "truncated",
+            FaultKind::HeaderChecksum => "header_checksum",
+            FaultKind::SectionChecksum => "section_checksum",
+            FaultKind::RegionChecksum => "region_checksum",
+            FaultKind::CodeTableCorrupt => "code_table_corrupt",
+            FaultKind::TruncatedStream => "truncated_stream",
+            FaultKind::BadOpcode => "bad_opcode",
+            FaultKind::RegionOutOfRange => "region_out_of_range",
+            FaultKind::StubTargetOutOfRange => "stub_target_out_of_range",
+            FaultKind::BufferOverflow => "buffer_overflow",
+            FaultKind::StubExhausted => "stub_exhausted",
+            FaultKind::ServiceState => "service_state",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured integrity fault: what was violated and where.
+///
+/// Produced by the image loader and the runtime decompressor service;
+/// surfaced by `squashrun` as a one-line machine-check report (and a
+/// distinct exit code) instead of an abort. Location fields are optional
+/// because not every site knows them — load-time faults have no cycle, a
+/// bad header has no region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineCheck {
+    /// What integrity property was violated.
+    pub kind: FaultKind,
+    /// Human-readable description of the specific failure.
+    pub detail: String,
+    /// The simulated PC when the fault was raised, if executing.
+    pub pc: Option<u32>,
+    /// The simulated cycle count when the fault was raised, if executing.
+    pub cycle: Option<u64>,
+    /// The region involved, if any.
+    pub region: Option<u32>,
+    /// The call-site tag word involved (`(region << 16) | offset`), if any.
+    pub site: Option<u32>,
+}
+
+impl MachineCheck {
+    /// A machine check with no location information (loader faults).
+    pub fn new(kind: FaultKind, detail: impl Into<String>) -> MachineCheck {
+        MachineCheck {
+            kind,
+            detail: detail.into(),
+            pc: None,
+            cycle: None,
+            region: None,
+            site: None,
+        }
+    }
+
+    /// The one-line machine-readable report: `kind=… region=… site=…
+    /// cycle=… pc=… detail="…"`, with absent fields omitted.
+    pub fn report(&self) -> String {
+        let mut out = format!("kind={}", self.kind.name());
+        if let Some(region) = self.region {
+            out.push_str(&format!(" region={region}"));
+        }
+        if let Some(site) = self.site {
+            out.push_str(&format!(" site={site:#010x}"));
+        }
+        if let Some(cycle) = self.cycle {
+            out.push_str(&format!(" cycle={cycle}"));
+        }
+        if let Some(pc) = self.pc {
+            out.push_str(&format!(" pc={pc:#010x}"));
+        }
+        out.push_str(&format!(" detail={:?}", self.detail));
+        out
+    }
+}
+
+impl fmt::Display for MachineCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine check: {}", self.report())
+    }
+}
 
 /// A machine fault or harness error raised during execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +189,19 @@ pub enum VmError {
         /// Description from the service.
         message: String,
     },
+    /// A typed integrity fault (corrupt image, checksum mismatch, service
+    /// state violation) with structured location information.
+    MachineCheck(MachineCheck),
+}
+
+impl VmError {
+    /// The structured machine-check record, if this error is one.
+    pub fn machine_check(&self) -> Option<&MachineCheck> {
+        match self {
+            VmError::MachineCheck(mc) => Some(mc),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for VmError {
@@ -65,6 +220,7 @@ impl fmt::Display for VmError {
             VmError::Service { pc, message } => {
                 write!(f, "service fault at pc {pc:#010x}: {message}")
             }
+            VmError::MachineCheck(mc) => mc.fmt(f),
         }
     }
 }

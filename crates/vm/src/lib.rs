@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod cpu;
 mod error;
@@ -48,7 +49,7 @@ mod service;
 mod trace;
 
 pub use cpu::{RunOutcome, Vm, DEFAULT_STEP_LIMIT};
-pub use error::VmError;
+pub use error::{FaultKind, MachineCheck, VmError};
 pub use icache::{ICache, ICacheConfig, ICacheStats};
 pub use profile::Profile;
 pub use service::{NoService, Service};

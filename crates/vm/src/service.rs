@@ -45,7 +45,16 @@ impl Service for NoService {
         0..0
     }
 
-    fn invoke(&mut self, _vm: &mut Vm) -> Result<(), VmError> {
-        unreachable!("NoService has an empty range and can never be invoked")
+    fn invoke(&mut self, vm: &mut Vm) -> Result<(), VmError> {
+        // The empty range means this can never be reached through the
+        // interpreter; fault instead of panicking if a harness calls it
+        // directly.
+        Err(VmError::MachineCheck(crate::MachineCheck {
+            pc: Some(vm.pc()),
+            ..crate::MachineCheck::new(
+                crate::FaultKind::ServiceState,
+                "NoService invoked (it traps on nothing)",
+            )
+        }))
     }
 }

@@ -12,6 +12,8 @@
 //!   --load-profile <f> use a saved profile instead of profiling
 //!   --run <file>       run original + squashed on this input and compare
 //!   --emit <file>      write the squashed program as a .sqsh image
+//!   --emit-format <v>  .sqsh format version: 3 (default, integrity-checked)
+//!                      or 2 (legacy, no checksums)
 //!   --no-squeeze       skip the baseline compactor
 //!   --strategy <s>     regions: dfs | greedy (default dfs)
 //!   --jump-tables <m>  retarget | unswitch | exclude (default retarget)
@@ -52,6 +54,7 @@ struct Args {
     stage_stats: bool,
     metrics_json: Option<String>,
     dump_regions: bool,
+    emit_format: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         squeeze: true,
         strategy: RegionStrategy::DfsTree,
         jump_tables: JumpTableMode::Retarget,
+        emit_format: 3,
         jobs: 1,
         stage_stats: false,
         metrics_json: None,
@@ -93,6 +97,13 @@ fn parse_args() -> Result<Args, String> {
             "--profile" => args.profile = Some(value("--profile")?),
             "--run" => args.run = Some(value("--run")?),
             "--emit" => args.emit = Some(value("--emit")?),
+            "--emit-format" => {
+                args.emit_format = match value("--emit-format")?.as_str() {
+                    "2" => 2,
+                    "3" => 3,
+                    other => return Err(format!("--emit-format: unknown format `{other}` (2 or 3)")),
+                }
+            }
             "--save-profile" => args.save_profile = Some(value("--save-profile")?),
             "--load-profile" => args.load_profile = Some(value("--load-profile")?),
             "--no-squeeze" => args.squeeze = false,
@@ -126,7 +137,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: squashc <source.mc>... [--theta F] [--buffer N] \
-                            [--cache-slots N] [--profile FILE] [--run FILE] [--emit FILE] \
+                            [--cache-slots N] [--profile FILE] [--run FILE] [--emit FILE] [--emit-format 2|3] \
                             [--no-squeeze] [--strategy dfs|greedy] [--jump-tables MODE] \
                             [--jobs N] [--stage-stats] [--metrics-json FILE] [--dump-regions]"
                     .to_string())
@@ -246,7 +257,12 @@ fn run() -> Result<(), String> {
     );
 
     if let Some(path) = &args.emit {
-        let bytes = squash_repro::squash::image_file::write(&squashed);
+        // Format 3 (the default) is the integrity-checked sectioned layout;
+        // format 2 is the legacy flat layout kept for cost comparisons.
+        let bytes = match args.emit_format {
+            2 => squash_repro::squash::image_file::write_v2(&squashed),
+            _ => squash_repro::squash::image_file::write(&squashed),
+        };
         std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
         println!("\nwrote {} ({} bytes) — run it with `squashrun {}`", path, bytes.len(), path);
     }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! squashrun <image.sqsh> [--input FILE] [--icache] [--stats]
+//!           [--strict-integrity]
 //!           [--trace FILE] [--trace-last N] [--report] [--metrics-json FILE]
 //! ```
 //!
@@ -17,63 +18,106 @@
 //! Tracing never perturbs the simulation: cycle counts are identical with
 //! and without any of these flags.
 //!
-//! Exit status is the guest program's exit status.
+//! # Integrity
+//!
+//! `SQSH0003` images carry checksums: the header and metadata sections are
+//! verified at load, each compressed region's payload at first use (the
+//! verification cycles are part of the cost model and reported in
+//! telemetry). Legacy `SQSH0002` images still run but carry no checksums; a
+//! note (`integrity: none`) is printed to stderr. `--strict-integrity`
+//! additionally verifies the whole compressed blob at load and refuses v2
+//! images.
+//!
+//! # Exit status
+//!
+//! * Clean run: the guest program's exit status (0 for a conventional
+//!   success).
+//! * Typed integrity fault (corrupt image, checksum mismatch, machine
+//!   check): **70**, with a one-line machine-check report on stderr
+//!   (`kind=… region=… site=… cycle=…`) — never a panic or abort signal.
+//! * Usage or I/O errors: 1.
 
-use squash_repro::squash::telemetry::{Recorder, SharedRecorder};
-use squash_repro::squash::{image_file, pipeline};
+use squash_repro::squash::telemetry::{FaultCount, Recorder, SharedRecorder};
+use squash_repro::squash::{image_file, pipeline, SquashError};
 use squash_repro::vm::{ICacheConfig, JsonlRing};
 use std::process::ExitCode;
+
+/// The exit code for a typed machine-check fault (BSD `EX_SOFTWARE`),
+/// distinct from both guest statuses (masked to 0..=255 but conventionally
+/// small) and the generic failure code 1.
+const EXIT_MACHINE_CHECK: u8 = 70;
 
 fn main() -> ExitCode {
     match run() {
         Ok(status) => ExitCode::from((status & 0xFF) as u8),
-        Err(message) => {
-            eprintln!("squashrun: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            if let Some(mc) = &e.fault {
+                eprintln!("squashrun: machine check: {}", mc.report());
+                ExitCode::from(EXIT_MACHINE_CHECK)
+            } else {
+                eprintln!("squashrun: {}", e.message);
+                ExitCode::FAILURE
+            }
         }
     }
 }
 
-fn run() -> Result<i64, String> {
+fn usage() -> SquashError {
+    SquashError::msg(
+        "usage: squashrun <image.sqsh> [--input FILE] [--icache] [--stats] \
+         [--strict-integrity] [--trace FILE] [--trace-last N] [--report] \
+         [--metrics-json FILE]",
+    )
+}
+
+fn run() -> Result<i64, SquashError> {
     let mut image_path = None;
     let mut input_path = None;
     let mut icache = false;
     let mut stats = false;
+    let mut strict = false;
     let mut trace_path: Option<String> = None;
     let mut trace_last: Option<usize> = None;
     let mut report = false;
     let mut metrics_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| it.next().ok_or(format!("missing value for {name}"));
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| SquashError::msg(format!("missing value for {name}")))
+        };
         match a.as_str() {
             "--input" => input_path = Some(value("--input")?),
             "--icache" => icache = true,
             "--stats" => stats = true,
+            "--strict-integrity" => strict = true,
             "--trace" => trace_path = Some(value("--trace")?),
             "--trace-last" => {
                 trace_last = Some(
                     value("--trace-last")?
                         .parse()
-                        .map_err(|e| format!("bad --trace-last: {e}"))?,
+                        .map_err(|e| SquashError::msg(format!("bad --trace-last: {e}")))?,
                 )
             }
             "--report" => report = true,
             "--metrics-json" => metrics_path = Some(value("--metrics-json")?),
-            "--help" | "-h" => {
-                return Err("usage: squashrun <image.sqsh> [--input FILE] [--icache] [--stats] \
-                            [--trace FILE] [--trace-last N] [--report] [--metrics-json FILE]"
-                    .to_string())
-            }
+            "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') => image_path = Some(other.to_string()),
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(SquashError::msg(format!("unknown option `{other}`"))),
         }
     }
-    let image_path = image_path.ok_or("no image given (try --help)")?;
-    let bytes = std::fs::read(&image_path).map_err(|e| format!("{image_path}: {e}"))?;
-    let squashed = image_file::read(&bytes).map_err(|e| e.to_string())?;
+    let image_path = image_path.ok_or_else(|| SquashError::msg("no image given (try --help)"))?;
+    let bytes = std::fs::read(&image_path)
+        .map_err(|e| SquashError::msg(format!("{image_path}: {e}")))?;
+    let load = if strict { image_file::read_strict(&bytes) } else { image_file::read(&bytes) };
+    let squashed = match load {
+        Ok(s) => s,
+        Err(e) => return Err(on_fault(&metrics_path, &image_path, e)),
+    };
+    if image_file::version(&bytes) == Some(2) {
+        eprintln!("[squashrun] {image_path}: legacy SQSH0002 image, integrity: none");
+    }
     let input = match input_path {
-        Some(p) => std::fs::read(&p).map_err(|e| format!("{p}: {e}"))?,
+        Some(p) => std::fs::read(&p).map_err(|e| SquashError::msg(format!("{p}: {e}")))?,
         None => Vec::new(),
     };
     let cache = icache.then(ICacheConfig::default);
@@ -89,26 +133,29 @@ fn run() -> Result<i64, String> {
         SharedRecorder::new(Recorder { ring, attribution: Default::default() })
     });
 
-    let result = pipeline::run_squashed_traced(
+    let result = match pipeline::run_squashed_traced(
         &squashed,
         &input,
         cache,
         recorder.as_ref().map(|r| r.sink()),
-    )
-    .map_err(|e| e.to_string())?;
+    ) {
+        Ok(r) => r,
+        Err(e) => return Err(on_fault(&metrics_path, &image_path, e)),
+    };
     use std::io::Write as _;
     std::io::stdout()
         .write_all(&result.output)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| SquashError::msg(e.to_string()))?;
 
     let mut telemetry = result.telemetry(&image_path);
     if let Some(recorder) = recorder {
         let recorder = recorder.take();
         if let (Some(path), Some(ring)) = (&trace_path, &recorder.ring) {
-            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let file = std::fs::File::create(path)
+                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
             let mut w = std::io::BufWriter::new(file);
-            ring.write_to(&mut w).map_err(|e| format!("{path}: {e}"))?;
-            w.flush().map_err(|e| format!("{path}: {e}"))?;
+            ring.write_to(&mut w).map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+            w.flush().map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
             if ring.dropped() > 0 {
                 eprintln!(
                     "[squashrun] trace ring dropped {} oldest events (--trace-last {})",
@@ -121,7 +168,7 @@ fn run() -> Result<i64, String> {
     }
     if let Some(path) = &metrics_path {
         std::fs::write(path, telemetry.to_json_string() + "\n")
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
     }
 
     if stats {
@@ -140,6 +187,14 @@ fn run() -> Result<i64, String> {
             result.runtime.misses,
             result.runtime.evictions
         );
+        if !squashed.runtime.region_crcs.is_empty() {
+            eprintln!(
+                "[squashrun] integrity: {} regions verified, {} checksum cycles, {} reference-decoder fallbacks",
+                result.runtime.regions_verified,
+                result.runtime.checksum_cycles,
+                result.runtime.ref_fallbacks
+            );
+        }
         if let Some(ic) = result.icache {
             eprintln!(
                 "[squashrun] icache: {} hits, {} misses, {} flushes, {:.4} miss ratio",
@@ -155,4 +210,20 @@ fn run() -> Result<i64, String> {
         eprint!("{}", telemetry.report());
     }
     Ok(result.status)
+}
+
+/// On a typed fault, still honour `--metrics-json`: write a document whose
+/// `faults` section tallies the machine check, so harnesses get structured
+/// data even from corrupt images. Returns the error for `main` to exit on.
+fn on_fault(metrics_path: &Option<String>, image_path: &str, e: SquashError) -> SquashError {
+    if let (Some(path), Some(mc)) = (metrics_path, &e.fault) {
+        let telemetry = squash_repro::squash::telemetry::Telemetry {
+            name: image_path.to_string(),
+            faults: vec![FaultCount { kind: mc.kind.name().to_string(), count: 1 }],
+            ..Default::default()
+        };
+        // Best effort: the fault itself is the primary result.
+        let _ = std::fs::write(path, telemetry.to_json_string() + "\n");
+    }
+    e
 }

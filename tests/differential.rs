@@ -118,10 +118,24 @@ fn check_workload(name: &str) {
             rt.evictions <= rt.misses,
             "{name}: more evictions than misses with {slots} slots"
         );
+        // Integrity accounting: the squasher emits per-region checksums, so
+        // every miss verifies its region's payload — exactly once per miss,
+        // never on hits — and a well-formed image never needs the
+        // reference-decoder fallback.
+        assert_eq!(
+            rt.regions_verified, rt.misses,
+            "{name}: verification count diverged from misses with {slots} slots"
+        );
+        assert_eq!(
+            rt.ref_fallbacks, 0,
+            "{name}: clean image hit the reference-decoder fallback with {slots} slots"
+        );
         // The simulated cycle count must equal the calibrated per-call /
         // per-bit / per-inst model exactly — decompression cost is charged
         // from bits and instructions decoded, never from host decoder
-        // speed, so swapping in the fast decoder changes nothing here.
+        // speed, so swapping in the fast decoder changes nothing here. The
+        // checksum charge (per_check_byte × span bytes, totalled in
+        // checksum_cycles) is the only addition integrity makes.
         let cost = &options.cost;
         assert_eq!(
             rt.cycles_charged,
@@ -129,7 +143,8 @@ fn check_workload(name: &str) {
                 + rt.bits_read * cost.per_bit
                 + rt.insts_written * cost.per_inst
                 + rt.hits * cost.cache_hit
-                + (rt.stub_hits + rt.stub_allocs) * cost.create_stub,
+                + (rt.stub_hits + rt.stub_allocs) * cost.create_stub
+                + rt.checksum_cycles,
             "{name}: simulated cycles diverged from the cost model with {slots} slots"
         );
     }

@@ -1,0 +1,186 @@
+//! Deterministic fault-injection harness over every workload.
+//!
+//! The invariant (`DESIGN.md` §13): for a `SQSH0003` image, **every**
+//! mutation — bit flips, byte smashes, truncation at and around every
+//! structural boundary, forged length fields, zeroed ranges — yields either
+//!
+//! * a **typed machine-check fault** (at load or at trap time), or
+//! * a run **byte-identical** to the clean image's run (the mutation hit
+//!   bytes the input never exercises, e.g. a cold region's payload),
+//!
+//! and never a panic, never silently divergent execution. This holds
+//! because every byte of a v3 file is covered by a checksum: the header by
+//! `header_crc`, the metadata/model/offset/region-checksum sections by
+//! their directory checksums at load, and each compressed region's payload
+//! by its own checksum at first use — so undetected corruption can only
+//! sit in bytes that are never read.
+//!
+//! Each workload runs `FAULT_CASES` mutations (default 500) against images
+//! built at cache depths {1, 2, 4} (case `i` uses depth `[1,2,4][i % 3]`),
+//! seeded from the workload name — every failure report names the case
+//! index and mutation, and is exactly reproducible.
+//!
+//! Env knobs (for CI subsetting): `FAULT_CASES=N` overrides the per-workload
+//! case count; `FAULT_WORKLOADS=a,b,c` skips workloads not listed.
+
+use squash_repro::squash::{image_file, pipeline, SquashOptions, Squasher};
+use squash_testkit::{fault, Rng};
+
+const CACHE_SIZES: [usize; 3] = [1, 2, 4];
+
+/// Timing-input cap: enough to exercise the decompressor on every workload,
+/// small enough that the (rare) mutations surviving to a full run stay fast
+/// in debug builds.
+const INPUT_CAP: usize = 1_200;
+
+fn cases_per_workload() -> u64 {
+    std::env::var("FAULT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+fn workload_enabled(name: &str) -> bool {
+    match std::env::var("FAULT_WORKLOADS") {
+        Ok(list) => list.split(',').any(|w| w.trim() == name),
+        Err(_) => true,
+    }
+}
+
+/// FNV-1a of the workload name: a stable per-workload seed, independent of
+/// test execution order.
+fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+struct CleanImage {
+    bytes: Vec<u8>,
+    boundaries: Vec<usize>,
+    status: i64,
+    output: Vec<u8>,
+    cycles: u64,
+    instructions: u64,
+}
+
+fn check_workload(name: &str) {
+    if !workload_enabled(name) {
+        eprintln!("{name}: skipped by FAULT_WORKLOADS");
+        return;
+    }
+    let workload = squash_repro::workloads::by_name(name).expect("workload exists");
+    let (program, _) = workload.squeezed();
+    let profile = pipeline::profile(&program, &[workload.profiling_input()]).expect("profile");
+    let mut input = workload.timing_input();
+    input.truncate(INPUT_CAP);
+
+    let clean: Vec<CleanImage> = CACHE_SIZES
+        .iter()
+        .map(|&slots| {
+            let options = SquashOptions { theta: 1e-3, cache_slots: slots, ..Default::default() };
+            let squashed = Squasher::new(&program, &profile, &options)
+                .expect("setup")
+                .finish()
+                .expect("squash");
+            let bytes = image_file::write(&squashed);
+            let run = pipeline::run_squashed(&squashed, &input).expect("clean run");
+            CleanImage {
+                boundaries: image_file::boundaries(&bytes),
+                bytes,
+                status: run.status,
+                output: run.output,
+                cycles: run.cycles,
+                instructions: run.instructions,
+            }
+        })
+        .collect();
+
+    let seed = seed_of(name);
+    let n = cases_per_workload();
+    let mut faulted = 0u64;
+    let mut identical = 0u64;
+    for i in 0..n {
+        let mut rng = Rng::new(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
+        let img = &clean[(i % 3) as usize];
+        let m = fault::any(&mut rng, &img.bytes, &img.boundaries);
+        let ctx = |stage: &str| {
+            format!("{name}: case {i} (seed {seed:#x}, {}), {stage}", m.desc)
+        };
+        // Loading and running must never panic; a panic here fails the test
+        // through the harness with the case context printed below.
+        let loaded = match image_file::read(&m.bytes) {
+            Err(e) => {
+                assert!(
+                    e.fault.is_some(),
+                    "{}: load error is untyped: {}",
+                    ctx("load"),
+                    e.message
+                );
+                faulted += 1;
+                continue;
+            }
+            Ok(s) => s,
+        };
+        match pipeline::run_squashed(&loaded, &input) {
+            Err(e) => {
+                assert!(
+                    e.fault.is_some(),
+                    "{}: run error is untyped: {}",
+                    ctx("run"),
+                    e.message
+                );
+                faulted += 1;
+            }
+            Ok(run) => {
+                // No fault ⇒ the run must be byte-identical to the clean
+                // image's, including simulated cycles: every region the run
+                // decompressed passed its checksum, so nothing may differ.
+                assert_eq!(
+                    (run.status, &run.output, run.cycles, run.instructions),
+                    (img.status, &img.output, img.cycles, img.instructions),
+                    "{}: silently divergent execution",
+                    ctx("run")
+                );
+                identical += 1;
+            }
+        }
+    }
+    assert_eq!(faulted + identical, n);
+    // The harness must actually exercise both arms of the invariant: with
+    // hundreds of uniform mutations over a mostly-checksummed file, some
+    // must fault; and bit flips in never-executed cold payloads (or the
+    // final padding) must let some runs complete untouched. If `identical`
+    // is 0 for a workload, the laziness claim is untested — flag it.
+    assert!(faulted > 0, "{name}: no mutation faulted in {n} cases");
+    eprintln!("{name}: {n} mutations → {faulted} typed faults, {identical} identical runs");
+}
+
+macro_rules! fault_injection {
+    ($($test:ident => $name:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                check_workload($name);
+            }
+        )*
+    };
+}
+
+// One test per workload: failures name the program, and the suite spreads
+// across the harness's threads.
+fault_injection! {
+    adpcm => "adpcm",
+    epic => "epic",
+    g721_enc => "g721_enc",
+    g721_dec => "g721_dec",
+    gsm => "gsm",
+    jpeg_enc => "jpeg_enc",
+    jpeg_dec => "jpeg_dec",
+    mpeg2enc => "mpeg2enc",
+    mpeg2dec => "mpeg2dec",
+    pgp => "pgp",
+    rasta => "rasta",
+}
