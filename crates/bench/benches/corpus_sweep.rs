@@ -1,0 +1,85 @@
+//! Corpus sweep: compression-ratio and cycle-overhead distributions over
+//! the synthesized corpus (`squash-gencorpus`).
+//!
+//! The paper's Table 1 / Figure 6 numbers come from eleven hand-written
+//! programs; the corpus asks the same two questions across 100+ program
+//! shapes — how much smaller is the squashed image than the squeezed
+//! baseline, and how many extra simulated cycles does running out of the
+//! region cache cost — and reports each answer as a min/geomean/max
+//! distribution, so a program shape the compressor handles badly shows up
+//! as an outlying max rather than vanishing into a mean.
+//!
+//! Emits the `corpus_sweep` section of `BENCH_PR6.json`
+//! (`ratio_{min,geomean,max}`, `overhead_{min,geomean,max}`, `programs`).
+//! `BENCH_SMOKE=1` restricts the sweep to the pinned ~12-program CI sample;
+//! the default run covers the full corpus.
+
+use squash_bench::report;
+use squash_testkit::stats::Summary;
+
+/// The harnesses' operating point: cold enough that timing runs really
+/// exercise the decompressor.
+const THETA: f64 = 1e-3;
+
+fn main() {
+    let smoke = report::smoke();
+    let workloads = if smoke {
+        squash_workloads::corpus_sample()
+    } else {
+        squash_workloads::corpus()
+    };
+    let label = if smoke { "sample" } else { "full corpus" };
+    println!(
+        "Corpus sweep ({label}, {} programs, θ={THETA})",
+        workloads.len()
+    );
+    println!();
+    println!("| Program           | baseline (B) | squashed (B) | ratio | overhead |");
+    println!("|-------------------|-------------:|-------------:|------:|---------:|");
+
+    let mut ratios = Vec::new();
+    let mut overheads = Vec::new();
+    for b in squash_bench::prepare_benches(workloads) {
+        let squashed = b.squash(&squash_bench::opts(THETA));
+        let ratio = squashed.stats.footprint.total() as f64 / b.baseline_bytes() as f64;
+        let baseline_run = b.run_baseline();
+        let squashed_run = b.run_squashed(&squashed);
+        let overhead = squashed_run.cycles as f64 / baseline_run.cycles as f64;
+        println!(
+            "| {:17} | {:12} | {:12} | {:5.3} | {:8.3} |",
+            b.name,
+            b.baseline_bytes(),
+            squashed.stats.footprint.total(),
+            ratio,
+            overhead,
+        );
+        ratios.push(ratio);
+        overheads.push(overhead);
+    }
+
+    let ratio = Summary::of(&ratios).expect("ratios are positive and nonempty");
+    let overhead = Summary::of(&overheads).expect("overheads are positive and nonempty");
+    println!();
+    println!(
+        "ratio    min/geomean/max: {}   (squashed bytes / squeezed-baseline bytes)",
+        ratio.display(3)
+    );
+    println!(
+        "overhead min/geomean/max: {}   (squashed cycles / baseline cycles)",
+        overhead.display(3)
+    );
+
+    report::write_named(
+        "BENCH_PR6.json",
+        "corpus_sweep",
+        &[
+            ("programs".to_string(), ratio.n as f64),
+            ("ratio_min".to_string(), ratio.min),
+            ("ratio_geomean".to_string(), ratio.geomean),
+            ("ratio_max".to_string(), ratio.max),
+            ("overhead_min".to_string(), overhead.min),
+            ("overhead_geomean".to_string(), overhead.geomean),
+            ("overhead_max".to_string(), overhead.max),
+        ],
+    );
+}

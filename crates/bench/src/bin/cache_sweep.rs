@@ -128,7 +128,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for bench in squash_bench::load_benches(None) {
-        let row = sweep(bench.name, &bench.program, &bench.profile, &bench.timing_input);
+        let row = sweep(&bench.name, &bench.program, &bench.profile, &bench.timing_input);
         print_row(&row);
         rows.push(row);
     }

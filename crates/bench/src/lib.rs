@@ -33,7 +33,7 @@ use squash_cfg::Program;
 #[derive(Debug, Clone)]
 pub struct Bench {
     /// Benchmark name (Table 1 row).
-    pub name: &'static str,
+    pub name: String,
     /// Instruction words before squeeze (Table 1 "Input").
     pub input_words: u32,
     /// Instruction words after squeeze (Table 1 "Squeeze").
@@ -91,9 +91,24 @@ impl Bench {
 ///
 /// Panics if a workload fails to compile or profile — build-time bugs.
 pub fn load_benches(names: Option<&[&str]>) -> Vec<Bench> {
-    squash_workloads::all()
+    prepare_benches(
+        squash_workloads::all()
+            .into_iter()
+            .filter(|w| names.is_none_or(|ns| ns.contains(&w.name.as_str()))),
+    )
+}
+
+/// Prepares arbitrary workloads (e.g. the generated corpus) the same way
+/// [`load_benches`] prepares the paper's eleven.
+///
+/// # Panics
+///
+/// Panics if a workload fails to compile or profile — build-time bugs.
+pub fn prepare_benches(
+    workloads: impl IntoIterator<Item = squash_workloads::Workload>,
+) -> Vec<Bench> {
+    workloads
         .into_iter()
-        .filter(|w| names.is_none_or(|ns| ns.contains(&w.name)))
         .map(|w| {
             let raw = w.program();
             let input_words = raw.text_words();
@@ -102,6 +117,7 @@ pub fn load_benches(names: Option<&[&str]>) -> Vec<Bench> {
             let profiling_input = w.profiling_input();
             let profile = pipeline::profile(&program, std::slice::from_ref(&profiling_input))
                 .expect("profiling failed");
+            let timing_input = w.timing_input();
             Bench {
                 name: w.name,
                 input_words,
@@ -109,7 +125,7 @@ pub fn load_benches(names: Option<&[&str]>) -> Vec<Bench> {
                 program,
                 profile,
                 profiling_input,
-                timing_input: w.timing_input(),
+                timing_input,
             }
         })
         .collect()

@@ -1,0 +1,773 @@
+//! # squash-gencorpus — deterministic workload-corpus generator
+//!
+//! Eleven hand-written minicc workloads cannot span the space of program
+//! shapes the compression pipeline must handle: every performance and
+//! correctness claim in this repository would otherwise rest on the same
+//! eleven points. This crate synthesizes minicc source programs from a
+//! `(seed, GenConfig)` pair, sampling
+//!
+//! * **call-graph depth** — two towers (hot and cold) of `call_depth`
+//!   layers, every function calling into the next layer;
+//! * **CFG shape** — branchiness (`if`/`else` density), bounded counted
+//!   loops up to a configured nesting depth, and dense `switch` statements
+//!   (minicc compiles those to jump tables, the paper's §6.2 target);
+//! * **function-size distribution** — statements per function sampled from
+//!   a configured range;
+//! * **hot/cold split** — the cold tower is reachable only from a dispatch
+//!   on input bytes ≥ [`COLD_TRIGGER`], which the profiling input never
+//!   contains, so the cold tower profiles cold (and gets compressed) yet
+//!   runs on the timing input — exactly the reachable-but-cold structure
+//!   the paper's Figure 4 measures.
+//!
+//! Generation is **deterministic**: the same `(seed, GenConfig)` pair
+//! produces byte-identical source and byte-identical inputs on every
+//! invocation, and the pair is recorded in the emitted program's manifest
+//! (a comment header in the source itself, also available via
+//! [`GenProgram::manifest`]).
+//!
+//! Termination is guaranteed *by construction*: the only unbounded loop is
+//! `main`'s `getb()` loop (bounded by the input), every other loop is a
+//! counted `for` whose bound is a compile-time constant and whose counter
+//! is never written in the body, and the call graph is layered and acyclic.
+//! Division and modulo only ever appear with nonzero constant divisors.
+//!
+//! [`CorpusSpec::standard`] enumerates the standard 100+-program matrix
+//! (hot-ratio × jump-table-density × call-depth buckets × four shape
+//! variants, plus order-of-magnitude-larger programs that stress the
+//! squeeze/region-packing paths), and [`CorpusSpec::sample`] the pinned
+//! CI subset. `crates/workloads` wraps these as ordinary workloads behind
+//! its `corpus()` API.
+//!
+//! # Examples
+//!
+//! ```
+//! let spec = squash_gencorpus::CorpusSpec::standard();
+//! assert!(spec.entries.len() >= 100);
+//! let p = spec.entries[0].generate();
+//! assert!(p.source.contains("squash-gencorpus"));
+//! assert_eq!(p.source, spec.entries[0].generate().source); // deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use squash_testkit::Rng;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Input bytes at or above this value dispatch into the cold tower.
+/// Profiling inputs contain only bytes below it; timing inputs sprinkle
+/// trigger bytes in at roughly 2% so cold code really runs.
+pub const COLD_TRIGGER: u32 = 248;
+
+/// The shape parameters of one synthesized program. Everything is an
+/// integer so a config can be recorded exactly in the manifest and
+/// compared for equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Call-graph layers per tower (≥ 1); layer `L` calls only layer `L+1`.
+    pub call_depth: u32,
+    /// Functions per layer, split between the hot and cold towers (≥ 2).
+    pub funcs_per_layer: u32,
+    /// Percent of each layer's functions assigned to the hot tower (1–99).
+    pub hot_percent: u32,
+    /// Percent chance a statement slot becomes a dense `switch` (jump table).
+    pub jump_tables: u32,
+    /// Percent chance a statement slot becomes an `if`/`else`.
+    pub branchiness: u32,
+    /// Maximum counted-loop nesting depth (0 = no loops).
+    pub loop_nesting: u32,
+    /// Minimum statement slots per function body.
+    pub stmts_min: u32,
+    /// Maximum statement slots per function body.
+    pub stmts_max: u32,
+    /// Global scalar count.
+    pub globals: u32,
+    /// Global lookup-table count (power-of-two sizes, masked indexing).
+    pub arrays: u32,
+    /// Profiling-input length in bytes (hot bytes only).
+    pub profiling_len: u32,
+    /// Timing-input length in bytes (hot bytes plus cold triggers).
+    pub timing_len: u32,
+}
+
+impl fmt::Display for GenConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "call_depth={} funcs_per_layer={} hot_percent={} jump_tables={} \
+             branchiness={} loop_nesting={} stmts={}..{} globals={} arrays={} \
+             profiling_len={} timing_len={}",
+            self.call_depth,
+            self.funcs_per_layer,
+            self.hot_percent,
+            self.jump_tables,
+            self.branchiness,
+            self.loop_nesting,
+            self.stmts_min,
+            self.stmts_max,
+            self.globals,
+            self.arrays,
+            self.profiling_len,
+            self.timing_len,
+        )
+    }
+}
+
+/// One generated program: source (manifest header included) plus its
+/// deterministic profiling and timing inputs.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// The program's corpus name (also in the manifest).
+    pub name: String,
+    /// The generation seed.
+    pub seed: u64,
+    /// The generation config.
+    pub config: GenConfig,
+    /// Complete minicc source, starting with the manifest comment header.
+    pub source: String,
+    /// Profiling input: uniform bytes `< COLD_TRIGGER` (cold tower never runs).
+    pub profiling_input: Vec<u8>,
+    /// Timing input: mostly hot bytes with ~2% cold triggers.
+    pub timing_input: Vec<u8>,
+}
+
+impl GenProgram {
+    /// The manifest: the `(seed, GenConfig)` record reproducing this
+    /// program byte for byte. Identical to the source's comment header.
+    pub fn manifest(&self) -> String {
+        manifest_text(&self.name, self.seed, &self.config)
+    }
+}
+
+fn manifest_text(name: &str, seed: u64, config: &GenConfig) -> String {
+    format!(
+        "// squash-gencorpus v1 manifest\n// name={name} seed={seed:#018x}\n// {config}\n"
+    )
+}
+
+/// Generates one program from a `(seed, GenConfig)` pair. Deterministic:
+/// equal inputs give byte-identical output.
+pub fn generate(name: &str, seed: u64, config: &GenConfig) -> GenProgram {
+    let mut g = Gen::new(seed, config);
+    let source = g.program(name);
+    GenProgram {
+        name: name.to_string(),
+        seed,
+        config: config.clone(),
+        source,
+        profiling_input: profiling_input(seed, config),
+        timing_input: timing_input(seed, config),
+    }
+}
+
+/// The profiling input for `(seed, config)`: uniform bytes below
+/// [`COLD_TRIGGER`], so the cold tower never executes while profiling.
+pub fn profiling_input(seed: u64, config: &GenConfig) -> Vec<u8> {
+    let mut rng = Rng::new(seed ^ 0x50F1_1E5A_17ED_0001);
+    (0..config.profiling_len)
+        .map(|_| rng.below(COLD_TRIGGER as u64) as u8)
+        .collect()
+}
+
+/// The timing input for `(seed, config)`: different content, roughly one
+/// cold-trigger byte (≥ [`COLD_TRIGGER`]) in fifty, so every prefix longer
+/// than a few hundred bytes exercises the cold tower (the harnesses
+/// truncate timing inputs).
+pub fn timing_input(seed: u64, config: &GenConfig) -> Vec<u8> {
+    let mut rng = Rng::new(seed ^ 0x71D1_0000_0000_0002);
+    (0..config.timing_len)
+        .map(|_| {
+            if rng.below(50) == 0 {
+                (COLD_TRIGGER + rng.below((256 - COLD_TRIGGER) as u64) as u32) as u8
+            } else {
+                rng.below(COLD_TRIGGER as u64) as u8
+            }
+        })
+        .collect()
+}
+
+/// A tower side: hot functions are reachable on every input byte, cold
+/// functions only via the rare-trigger dispatch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Hot,
+    Cold,
+}
+
+impl Side {
+    fn prefix(self) -> &'static str {
+        match self {
+            Side::Hot => "h",
+            Side::Cold => "c",
+        }
+    }
+}
+
+/// The source synthesizer. All randomness flows through one [`Rng`], so
+/// the emitted text is a pure function of `(seed, config)`.
+struct Gen<'a> {
+    rng: Rng,
+    seed: u64,
+    cfg: &'a GenConfig,
+    /// Power-of-two sizes of the global lookup tables `t0..`.
+    table_sizes: Vec<u32>,
+    /// Locals in scope while emitting the current function body.
+    locals: Vec<String>,
+    /// Next loop-variable index within the current function.
+    next_loop_var: u32,
+    out: String,
+}
+
+impl<'a> Gen<'a> {
+    fn new(seed: u64, cfg: &'a GenConfig) -> Gen<'a> {
+        Gen {
+            rng: Rng::new(seed),
+            seed,
+            cfg,
+            table_sizes: Vec::new(),
+            locals: Vec::new(),
+            next_loop_var: 0,
+            out: String::new(),
+        }
+    }
+
+    fn hot_count(&self) -> u32 {
+        let h = (self.cfg.funcs_per_layer * self.cfg.hot_percent + 50) / 100;
+        h.clamp(1, self.cfg.funcs_per_layer.saturating_sub(1).max(1))
+    }
+
+    fn cold_count(&self) -> u32 {
+        (self.cfg.funcs_per_layer - self.hot_count()).max(1)
+    }
+
+    fn program(&mut self, name: &str) -> String {
+        let manifest = manifest_text(name, self.seed, self.cfg);
+        self.out.push_str(&manifest);
+        self.out.push('\n');
+        self.globals();
+        // Deepest layer first so the file reads leaves-to-roots; minicc
+        // resolves names across the whole unit, so order is cosmetic.
+        for layer in (0..self.cfg.call_depth).rev() {
+            for side in [Side::Hot, Side::Cold] {
+                let n = match side {
+                    Side::Hot => self.hot_count(),
+                    Side::Cold => self.cold_count(),
+                };
+                for i in 0..n {
+                    self.function(side, layer, i);
+                }
+            }
+        }
+        self.main();
+        std::mem::take(&mut self.out)
+    }
+
+    fn globals(&mut self) {
+        for i in 0..self.cfg.globals {
+            let init = self.rng.below(512);
+            let _ = writeln!(self.out, "int g{i} = {init};");
+        }
+        for i in 0..self.cfg.arrays {
+            let size = *self.rng.pick(&[16u32, 32, 64]);
+            self.table_sizes.push(size);
+            let vals: Vec<String> = (0..size)
+                .map(|_| self.rng.below(997).to_string())
+                .collect();
+            let _ = writeln!(self.out, "int t{i}[{size}] = {{{}}};", vals.join(", "));
+        }
+        self.out.push('\n');
+    }
+
+    /// Emits one tower function. Non-leaf functions always make at least
+    /// one unconditional call into the next layer, so the configured call
+    /// depth is realized on every invocation.
+    fn function(&mut self, side: Side, layer: u32, index: u32) {
+        let name = func_name(side, layer, index);
+        let _ = writeln!(self.out, "int {name}(int a, int b) {{");
+        self.locals.clear();
+        self.next_loop_var = 0;
+        let nlocals = self.rng.range(3, 5) as u32;
+        for l in 0..nlocals {
+            let c1 = self.rng.range(3, 61);
+            let c2 = self.rng.below(4096);
+            let src = if l == 0 { "a" } else { "b" };
+            let _ = writeln!(
+                self.out,
+                "    int x{l} = ((({src} * {c1}) + {c2}) & 8191);"
+            );
+            self.locals.push(format!("x{l}"));
+        }
+        if layer + 1 < self.cfg.call_depth {
+            // The mandatory next-layer call: round-robin so every function
+            // in the next layer is referenced by someone, keeping the whole
+            // tower reachable through squeeze.
+            let next_n = match side {
+                Side::Hot => self.hot_count(),
+                Side::Cold => self.cold_count(),
+            };
+            let callee = func_name(side, layer + 1, index % next_n);
+            let a1 = self.expr(1);
+            let a2 = self.expr(1);
+            let tgt = self.rng.below(self.locals.len() as u64) as usize;
+            let tgt = self.locals[tgt].clone();
+            let _ = writeln!(
+                self.out,
+                "    {tgt} = {tgt} + {callee}(({a1}) & 8191, ({a2}) & 8191);"
+            );
+            // At the dispatch layer only: occasionally a second, conditional
+            // call to a random next-layer member — call-graph fan-out without
+            // multiplying the per-byte invocation count down the tower.
+            if layer == 0 && self.rng.below(100) < 25 {
+                let extra = func_name(side, layer + 1, self.rng.below(next_n as u64) as u32);
+                let cond = self.cond();
+                let a1 = self.expr(1);
+                let tgt = self.locals[0].clone();
+                let _ = writeln!(
+                    self.out,
+                    "    if ({cond}) {tgt} = {tgt} ^ {extra}(({a1}) & 4095, {tgt} & 4095);"
+                );
+            }
+        }
+        let slots = self
+            .rng
+            .range(self.cfg.stmts_min as i64, self.cfg.stmts_max as i64)
+            as u32;
+        for _ in 0..slots {
+            self.stmt(1, 0);
+        }
+        let ret = self.fold_locals();
+        let _ = writeln!(self.out, "    return ({ret}) & 65535;");
+        self.out.push_str("}\n\n");
+    }
+
+    /// One statement slot at indentation `indent` (×4 spaces, starting
+    /// at 1) and loop depth `loop_depth`. Calls never appear here (only
+    /// in the dedicated call slots above), so loop bodies cost O(bound).
+    fn stmt(&mut self, indent: u32, loop_depth: u32) {
+        let pad = "    ".repeat(indent as usize);
+        let roll = self.rng.below(100) as u32;
+        if roll < self.cfg.jump_tables {
+            self.switch_stmt(indent);
+        } else if roll < self.cfg.jump_tables + self.cfg.branchiness {
+            let cond = self.cond();
+            let _ = writeln!(self.out, "{pad}if ({cond}) {{");
+            self.assign(indent + 1);
+            if self.rng.bool() {
+                let _ = writeln!(self.out, "{pad}}} else {{");
+                self.assign(indent + 1);
+            }
+            let _ = writeln!(self.out, "{pad}}}");
+        } else if roll < self.cfg.jump_tables + self.cfg.branchiness + 25
+            && loop_depth < self.cfg.loop_nesting
+        {
+            let v = self.next_loop_var;
+            self.next_loop_var += 1;
+            let bound = self.rng.range(2, 4);
+            let _ = writeln!(self.out, "{pad}{{");
+            let _ = writeln!(self.out, "{pad}    int i{v} = 0;");
+            let _ = writeln!(
+                self.out,
+                "{pad}    for (i{v} = 0; i{v} < {bound}; i{v} = i{v} + 1) {{"
+            );
+            self.stmt(indent + 2, loop_depth + 1);
+            let _ = writeln!(self.out, "{pad}    }}");
+            let _ = writeln!(self.out, "{pad}}}");
+        } else {
+            self.assign(indent);
+        }
+    }
+
+    /// A dense switch over a masked scrutinee: minicc compiles it to a
+    /// jump table (cases 0..n-1 with no gaps).
+    fn switch_stmt(&mut self, indent: u32) {
+        let pad = "    ".repeat(indent as usize);
+        let width = *self.rng.pick(&[4u32, 8, 16]);
+        let scrutinee = self.expr(1);
+        let _ = writeln!(self.out, "{pad}switch (({scrutinee}) & {}) {{", width - 1);
+        for v in 0..width {
+            let _ = writeln!(self.out, "{pad}case {v}:");
+            self.assign(indent + 1);
+        }
+        if self.rng.bool() {
+            let _ = writeln!(self.out, "{pad}default:");
+            self.assign(indent + 1);
+        }
+        let _ = writeln!(self.out, "{pad}}}");
+    }
+
+    /// A single assignment statement to a local, global or table cell.
+    fn assign(&mut self, indent: u32) {
+        let pad = "    ".repeat(indent as usize);
+        match self.rng.below(10) {
+            0..=5 => {
+                let tgt = self.locals[self.rng.below(self.locals.len() as u64) as usize].clone();
+                let e = self.expr(2);
+                let _ = writeln!(self.out, "{pad}{tgt} = ({e}) & 1048575;");
+            }
+            6..=7 if self.cfg.globals > 0 => {
+                let gi = self.rng.below(self.cfg.globals as u64);
+                let e = self.expr(2);
+                let _ = writeln!(self.out, "{pad}g{gi} = (g{gi} + ({e})) & 1048575;");
+            }
+            _ if !self.table_sizes.is_empty() => {
+                let ti = self.rng.below(self.table_sizes.len() as u64) as usize;
+                let mask = self.table_sizes[ti] - 1;
+                let idx = self.expr(1);
+                let e = self.expr(1);
+                let _ = writeln!(self.out, "{pad}t{ti}[({idx}) & {mask}] = ({e}) & 65535;");
+            }
+            _ => {
+                let tgt = self.locals[self.rng.below(self.locals.len() as u64) as usize].clone();
+                let e = self.expr(2);
+                let _ = writeln!(self.out, "{pad}{tgt} = ({e}) & 1048575;");
+            }
+        }
+    }
+
+    /// A comparison condition over two expressions.
+    fn cond(&mut self) -> String {
+        let a = self.expr(1);
+        let b = self.expr(1);
+        let op = *self.rng.pick(&["<", ">", "<=", ">=", "==", "!="]);
+        format!("({a}) {op} ({b})")
+    }
+
+    /// A fully parenthesized expression of the given depth over the
+    /// function's parameters, locals, globals and masked table reads.
+    /// Division and modulo only use nonzero constants.
+    fn expr(&mut self, depth: u32) -> String {
+        if depth == 0 {
+            return self.atom();
+        }
+        match self.rng.below(10) {
+            0..=4 => {
+                let a = self.expr(depth - 1);
+                let b = self.expr(depth - 1);
+                let op = *self.rng.pick(&["+", "-", "*", "&", "|", "^"]);
+                format!("({a} {op} {b})")
+            }
+            5 => {
+                let a = self.expr(depth - 1);
+                let k = self.rng.range(1, 7);
+                let op = *self.rng.pick(&[">>", "<<"]);
+                format!("({a} {op} {k})")
+            }
+            6 => {
+                let a = self.expr(depth - 1);
+                let m = *self.rng.pick(&[3i64, 5, 7, 9, 13, 31]);
+                format!("({a} % {m})")
+            }
+            7 => {
+                let a = self.expr(depth - 1);
+                let d = *self.rng.pick(&[2i64, 3, 4, 8]);
+                format!("({a} / {d})")
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> String {
+        match self.rng.below(10) {
+            0..=1 => "a".to_string(),
+            2..=3 => "b".to_string(),
+            4..=5 if !self.locals.is_empty() => {
+                self.locals[self.rng.below(self.locals.len() as u64) as usize].clone()
+            }
+            6 if self.cfg.globals > 0 => format!("g{}", self.rng.below(self.cfg.globals as u64)),
+            7..=8 if !self.table_sizes.is_empty() => {
+                let ti = self.rng.below(self.table_sizes.len() as u64) as usize;
+                let mask = self.table_sizes[ti] - 1;
+                let inner = self.atom();
+                format!("t{ti}[({inner}) & {mask}]")
+            }
+            _ => self.rng.below(1024).to_string(),
+        }
+    }
+
+    /// Folds all locals into one return expression.
+    fn fold_locals(&mut self) -> String {
+        let mut it = self.locals.clone().into_iter();
+        let mut acc = it.next().unwrap_or_else(|| "0".to_string());
+        for l in it {
+            let op = *self.rng.pick(&["+", "^", "-"]);
+            acc = format!("({acc} {op} {l})");
+        }
+        acc
+    }
+
+    /// `main`: init globals, then the input loop — per byte, dispatch into
+    /// the hot tower (or the cold tower on trigger bytes), run a dense
+    /// dispatch switch, and periodically emit output bytes.
+    fn main(&mut self) {
+        let hot_n = self.hot_count();
+        let cold_n = self.cold_count();
+        self.out.push_str("int main() {\n");
+        self.out.push_str("    int c = 0;\n");
+        self.out.push_str("    int n = 0;\n");
+        self.out.push_str("    int acc = 0;\n");
+        self.out.push_str("    while ((c = getb()) >= 0) {\n");
+        self.out.push_str("        n = n + 1;\n");
+        let _ = writeln!(self.out, "        if (c >= {COLD_TRIGGER}) {{");
+        let _ = writeln!(
+            self.out,
+            "            switch ((c - {COLD_TRIGGER}) % {cold_n}) {{"
+        );
+        for i in 0..cold_n {
+            let _ = writeln!(
+                self.out,
+                "            case {i}: acc = acc + {}(c & 4095, acc & 4095);",
+                func_name(Side::Cold, 0, i)
+            );
+        }
+        self.out.push_str("            }\n");
+        self.out.push_str("        } else {\n");
+        let _ = writeln!(self.out, "            switch (c % {hot_n}) {{");
+        for i in 0..hot_n {
+            let _ = writeln!(
+                self.out,
+                "            case {i}: acc = acc + {}(c, n & 8191);",
+                func_name(Side::Hot, 0, i)
+            );
+        }
+        self.out.push_str("            }\n");
+        self.out.push_str("        }\n");
+        // A main-level jump table keyed on the raw byte: touches the
+        // globals so the dispatch has data effects.
+        if self.cfg.jump_tables > 0 && self.cfg.globals > 0 {
+            self.out.push_str("        switch (c & 7) {\n");
+            for v in 0..8u32 {
+                let gi = self.rng.below(self.cfg.globals as u64);
+                let k = self.rng.range(1, 97);
+                let _ = writeln!(
+                    self.out,
+                    "        case {v}: g{gi} = (g{gi} + {k}) & 1048575;"
+                );
+            }
+            self.out.push_str("        }\n");
+        }
+        self.out.push_str("        if ((n & 63) == 0) putb(acc & 255);\n");
+        self.out.push_str("        acc = acc & 268435455;\n");
+        self.out.push_str("    }\n");
+        self.out.push_str("    putb(acc & 255);\n");
+        self.out.push_str("    putb((acc >> 8) & 255);\n");
+        self.out.push_str("    putb((acc >> 16) & 255);\n");
+        self.out.push_str("    putb(n & 255);\n");
+        for i in 0..self.cfg.globals.min(4) {
+            let _ = writeln!(self.out, "    putb(g{i} & 255);");
+        }
+        self.out.push_str("    return 0;\n");
+        self.out.push_str("}\n");
+    }
+}
+
+fn func_name(side: Side, layer: u32, index: u32) -> String {
+    format!("{}{layer}_{index}", side.prefix())
+}
+
+/// One named entry of a corpus: the `(name, seed, config)` triple that
+/// reproduces a program byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Corpus-unique program name (stable across releases).
+    pub name: String,
+    /// Generation seed.
+    pub seed: u64,
+    /// Generation config.
+    pub config: GenConfig,
+}
+
+impl CorpusEntry {
+    /// Generates this entry's program.
+    pub fn generate(&self) -> GenProgram {
+        generate(&self.name, self.seed, &self.config)
+    }
+}
+
+/// An enumerated corpus: a list of [`CorpusEntry`]s, standard or custom.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// The entries, in a stable order (names embed the index).
+    pub entries: Vec<CorpusEntry>,
+}
+
+/// Hot-percent buckets of the standard matrix.
+pub const HOT_BUCKETS: [u32; 3] = [25, 50, 80];
+/// Jump-table-density buckets of the standard matrix.
+pub const JT_BUCKETS: [u32; 3] = [0, 15, 35];
+/// Call-depth buckets of the standard matrix.
+pub const DEPTH_BUCKETS: [u32; 3] = [1, 3, 6];
+/// Shape variants per matrix cell (branchiness / nesting / size spread).
+pub const VARIANTS: u32 = 4;
+
+/// Pinned indices of the CI sample: a spread across the matrix plus one
+/// of the large programs. Changing these invalidates CI baselines, so
+/// treat them as frozen.
+pub const SAMPLE_INDICES: [usize; 12] = [0, 10, 21, 32, 43, 54, 65, 76, 87, 97, 107, 108];
+
+fn entry_seed(index: usize) -> u64 {
+    0x5EED_C0DE_2002_0000 ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl CorpusSpec {
+    /// The standard corpus: 3 hot-ratio × 3 jump-table × 3 call-depth
+    /// buckets × 4 shape variants (108 programs), plus 3 order-of-magnitude
+    /// larger programs stressing squeeze/region-packing scale — 111 total.
+    pub fn standard() -> CorpusSpec {
+        let mut entries = Vec::with_capacity(111);
+        let branchiness = [12u32, 25, 40, 55];
+        let loop_nesting = [1u32, 2, 2, 3];
+        let funcs_per_layer = [3u32, 4, 6, 8];
+        let stmts = [(4u32, 9u32), (6, 14), (8, 18), (5, 12)];
+        let globals = [4u32, 6, 8, 10];
+        let arrays = [2u32, 3, 4, 3];
+        let prof_len = [1200u32, 1400, 1600, 1800];
+        let timing_len = [3200u32, 4000, 4800, 5600];
+        for hot in HOT_BUCKETS {
+            for jt in JT_BUCKETS {
+                for depth in DEPTH_BUCKETS {
+                    for v in 0..VARIANTS as usize {
+                        let index = entries.len();
+                        entries.push(CorpusEntry {
+                            name: format!("g{index:03}h{hot}j{jt}d{depth}v{v}"),
+                            seed: entry_seed(index),
+                            config: GenConfig {
+                                call_depth: depth,
+                                funcs_per_layer: funcs_per_layer[v],
+                                hot_percent: hot,
+                                jump_tables: jt,
+                                branchiness: branchiness[v],
+                                loop_nesting: loop_nesting[v],
+                                stmts_min: stmts[v].0,
+                                stmts_max: stmts[v].1,
+                                globals: globals[v],
+                                arrays: arrays[v],
+                                profiling_len: prof_len[v],
+                                timing_len: timing_len[v],
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        // Order-of-magnitude-larger programs: ~120 functions with bigger
+        // bodies, stressing the O(n²)-risk paths in squeeze and region
+        // packing rather than runtime behaviour.
+        for (k, (depth, hot)) in [(3u32, 40u32), (5, 60), (6, 30)].into_iter().enumerate() {
+            let index = entries.len();
+            entries.push(CorpusEntry {
+                name: format!("g{index:03}large{k}"),
+                seed: entry_seed(index),
+                config: GenConfig {
+                    call_depth: depth,
+                    funcs_per_layer: 20,
+                    hot_percent: hot,
+                    jump_tables: 20,
+                    branchiness: 30,
+                    loop_nesting: 2,
+                    stmts_min: 18,
+                    stmts_max: 36,
+                    globals: 16,
+                    arrays: 6,
+                    profiling_len: 1600,
+                    timing_len: 3200,
+                },
+            });
+        }
+        CorpusSpec { entries }
+    }
+
+    /// The pinned CI sample: [`SAMPLE_INDICES`] of the standard corpus.
+    pub fn sample(&self) -> Vec<&CorpusEntry> {
+        SAMPLE_INDICES
+            .iter()
+            .filter_map(|&i| self.entries.get(i))
+            .collect()
+    }
+
+    /// Finds an entry by program name.
+    pub fn find(&self, name: &str) -> Option<&CorpusEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn standard_corpus_has_at_least_100_distinct_entries() {
+        let spec = CorpusSpec::standard();
+        assert!(spec.entries.len() >= 100, "only {}", spec.entries.len());
+        let names: HashSet<&str> = spec.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names.len(), spec.entries.len(), "duplicate names");
+        let seeds: HashSet<u64> = spec.entries.iter().map(|e| e.seed).collect();
+        assert_eq!(seeds.len(), spec.entries.len(), "duplicate seeds");
+    }
+
+    #[test]
+    fn sample_is_pinned_and_includes_a_large_program() {
+        let spec = CorpusSpec::standard();
+        let sample = spec.sample();
+        assert_eq!(sample.len(), SAMPLE_INDICES.len());
+        assert!(sample.iter().any(|e| e.name.contains("large")));
+        // Spread: at least two distinct values in every bucket dimension.
+        let hots: HashSet<u32> = sample.iter().map(|e| e.config.hot_percent).collect();
+        let depths: HashSet<u32> = sample.iter().map(|e| e.config.call_depth).collect();
+        assert!(hots.len() >= 2 && depths.len() >= 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CorpusSpec::standard();
+        for e in spec.sample() {
+            let p1 = e.generate();
+            let p2 = e.generate();
+            assert_eq!(p1.source, p2.source, "{}: source diverged", e.name);
+            assert_eq!(p1.profiling_input, p2.profiling_input);
+            assert_eq!(p1.timing_input, p2.timing_input);
+        }
+    }
+
+    #[test]
+    fn manifest_records_name_seed_and_config() {
+        let e = &CorpusSpec::standard().entries[5];
+        let p = e.generate();
+        let m = p.manifest();
+        assert!(p.source.starts_with(&m), "manifest must head the source");
+        assert!(m.contains(&format!("name={}", e.name)));
+        assert!(m.contains(&format!("seed={:#018x}", e.seed)));
+        assert!(m.contains(&format!("call_depth={}", e.config.call_depth)));
+    }
+
+    #[test]
+    fn inputs_respect_the_cold_trigger_split() {
+        let e = &CorpusSpec::standard().entries[1];
+        let p = e.generate();
+        assert!(p.profiling_input.iter().all(|&b| (b as u32) < COLD_TRIGGER));
+        let triggers = p
+            .timing_input
+            .iter()
+            .filter(|&&b| b as u32 >= COLD_TRIGGER)
+            .count();
+        assert!(triggers > 10, "timing input has only {triggers} cold triggers");
+        // Triggers appear early enough to survive harness truncation.
+        let early = p.timing_input[..1200]
+            .iter()
+            .filter(|&&b| b as u32 >= COLD_TRIGGER)
+            .count();
+        assert!(early > 0, "no cold trigger in the first 1200 bytes");
+        assert_eq!(p.profiling_input.len(), e.config.profiling_len as usize);
+        assert_eq!(p.timing_input.len(), e.config.timing_len as usize);
+    }
+
+    #[test]
+    fn sources_are_pairwise_distinct() {
+        let spec = CorpusSpec::standard();
+        let mut seen = HashSet::new();
+        for e in &spec.entries {
+            assert!(seen.insert(e.generate().source), "{} duplicates another", e.name);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! `squash-gencorpus` — emit, list and self-check the workload corpus.
+//!
+//! ```text
+//! squash-gencorpus --list                 # table of the standard corpus
+//! squash-gencorpus --check                # regenerate twice, verify byte equality
+//! squash-gencorpus --name g000h25j0d1v0   # print one program's source
+//! squash-gencorpus --emit-dir DIR [--sample]
+//!     # write <name>.mc, <name>.manifest, <name>.profiling.bin and
+//!     # <name>.timing.bin for every entry (or the pinned CI sample)
+//! ```
+
+use squash_gencorpus::{CorpusEntry, CorpusSpec};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut list = false;
+    let mut check = false;
+    let mut sample = false;
+    let mut emit_dir: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--check" => check = true,
+            "--sample" => sample = true,
+            "--emit-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => emit_dir = Some(d.clone()),
+                    None => return usage("--emit-dir needs a directory"),
+                }
+            }
+            "--name" => {
+                i += 1;
+                match args.get(i) {
+                    Some(n) => name = Some(n.clone()),
+                    None => return usage("--name needs a program name"),
+                }
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let spec = CorpusSpec::standard();
+    if let Some(name) = name {
+        return match spec.find(&name) {
+            Some(e) => {
+                print!("{}", e.generate().source);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("no corpus entry named `{name}`");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if list {
+        println!(
+            "{:<18} {:>18} {:>5} {:>4} {:>4} {:>4} {:>9} {:>9}",
+            "name", "seed", "depth", "fpl", "hot%", "jt%", "prof_len", "timing_len"
+        );
+        for e in &spec.entries {
+            let c = &e.config;
+            println!(
+                "{:<18} {:#018x} {:>5} {:>4} {:>4} {:>4} {:>9} {:>9}",
+                e.name,
+                e.seed,
+                c.call_depth,
+                c.funcs_per_layer,
+                c.hot_percent,
+                c.jump_tables,
+                c.profiling_len,
+                c.timing_len
+            );
+        }
+        println!("{} programs", spec.entries.len());
+        return ExitCode::SUCCESS;
+    }
+    if check {
+        for e in &spec.entries {
+            let p1 = e.generate();
+            let p2 = e.generate();
+            if p1.source != p2.source
+                || p1.profiling_input != p2.profiling_input
+                || p1.timing_input != p2.timing_input
+            {
+                eprintln!("{}: regeneration diverged", e.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "{} programs regenerate byte-identically",
+            spec.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(dir) = emit_dir {
+        let entries: Vec<&CorpusEntry> = if sample {
+            spec.sample()
+        } else {
+            spec.entries.iter().collect()
+        };
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for e in entries {
+            let p = e.generate();
+            let base = Path::new(&dir).join(&p.name);
+            let manifest = p.manifest();
+            let writes = [
+                (base.with_extension("mc"), p.source.into_bytes()),
+                (base.with_extension("manifest"), manifest.into_bytes()),
+                (base.with_extension("profiling.bin"), p.profiling_input),
+                (base.with_extension("timing.bin"), p.timing_input),
+            ];
+            for (path, bytes) in writes {
+                if let Err(err) = std::fs::write(&path, bytes) {
+                    eprintln!("cannot write {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!("{}", base.with_extension("mc").display());
+        }
+        return ExitCode::SUCCESS;
+    }
+    usage("nothing to do")
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: squash-gencorpus --list | --check | --name NAME | --emit-dir DIR [--sample]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests over the synthesized corpus.
+//!
+//! Every corpus program is a *generated artifact*, so the guarantees the
+//! harnesses lean on are checked here as properties of the generator
+//! itself:
+//!
+//! * each program **compiles and links** as a single minicc unit;
+//! * each program **runs to completion** on both of its inputs within a
+//!   cycle budget — loops are counted by construction, so termination must
+//!   not depend on input content;
+//! * the profiling input never reaches the cold tower (all bytes below
+//!   `COLD_TRIGGER`) while the timing input does;
+//! * regenerating from the same `(seed, GenConfig)` is **byte-identical**
+//!   all the way down: source, inputs, and the final `.sqsh` image.
+//!
+//! The pinned CI sample runs unconditionally (large programs in release
+//! builds only); `CORPUS_FULL=1` extends the compile/run property to all
+//! 111 programs.
+
+use squash_gencorpus::{CorpusEntry, CorpusSpec, COLD_TRIGGER};
+use squash::{image_file, pipeline, SquashOptions, Squasher};
+use squash_testkit::stats::Summary;
+
+/// Cycle ceiling per input byte. Debug-suite corpus runs simulate a few
+/// thousand cycles per byte; a runaway (uncounted) loop would blow past
+/// this in the first mutation of the generator that introduced it.
+const CYCLES_PER_INPUT_BYTE: u64 = 200_000;
+
+/// Timing-input truncation, as in the differential harness.
+const INPUT_CAP: usize = 4_000;
+
+fn skip_in_debug(entry: &CorpusEntry) -> bool {
+    if cfg!(debug_assertions) && entry.name.contains("large") {
+        eprintln!("{}: skipped in debug builds (release CI covers it)", entry.name);
+        return true;
+    }
+    false
+}
+
+/// The compile/link/run-to-completion property for one entry. Returns the
+/// timing run's cycles-per-input-byte, so callers can assert on the
+/// population's distribution, not just each point.
+fn check_runs_to_completion(entry: &CorpusEntry) -> f64 {
+    let p = entry.generate();
+    assert!(
+        p.source.starts_with(&p.manifest()),
+        "{}: source does not begin with its manifest",
+        p.name
+    );
+    assert!(
+        p.profiling_input.iter().all(|&b| (b as u32) < COLD_TRIGGER),
+        "{}: profiling input reaches the cold tower",
+        p.name
+    );
+    assert!(
+        p.timing_input.iter().any(|&b| (b as u32) >= COLD_TRIGGER),
+        "{}: timing input never reaches the cold tower",
+        p.name
+    );
+    let program = minicc::build_program(&[p.source.as_str()])
+        .unwrap_or_else(|e| panic!("{}: failed to compile: {e}", p.name));
+    let mut timing = p.timing_input.clone();
+    timing.truncate(INPUT_CAP);
+    let mut timing_cycles_per_byte = 0.0;
+    for (kind, input) in [("profiling", &p.profiling_input), ("timing", &timing)] {
+        let run = pipeline::run_original(&program, input)
+            .unwrap_or_else(|e| panic!("{}: {kind} run faulted: {e}", p.name));
+        assert_eq!(run.status, 0, "{}: {kind} run exited nonzero", p.name);
+        let budget = CYCLES_PER_INPUT_BYTE * input.len() as u64;
+        assert!(
+            run.cycles <= budget,
+            "{}: {kind} run used {} cycles for {} input bytes (budget {budget}) — \
+             an unbounded loop escaped the generator",
+            p.name,
+            run.cycles,
+            input.len()
+        );
+        if kind == "timing" {
+            timing_cycles_per_byte = run.cycles as f64 / input.len() as f64;
+        }
+    }
+    timing_cycles_per_byte
+}
+
+#[test]
+fn sampled_programs_compile_and_run_within_budget() {
+    let mut cycles_per_byte = Vec::new();
+    for entry in CorpusSpec::standard().sample() {
+        if skip_in_debug(entry) {
+            continue;
+        }
+        cycles_per_byte.push(check_runs_to_completion(entry));
+    }
+    // The population view, not just per-point bounds: the sample's whole
+    // cycles-per-byte distribution must sit inside the budget, and the
+    // spread stays printed in the test log for eyeballing drift.
+    let summary = Summary::of(&cycles_per_byte).expect("sample is nonempty");
+    eprintln!(
+        "timing cycles/byte over {} sampled programs (min/geomean/max): {}",
+        summary.n,
+        summary.display(1)
+    );
+    assert!(
+        summary.max <= CYCLES_PER_INPUT_BYTE as f64,
+        "sampled cycles-per-byte distribution exceeds budget: {}",
+        summary.display(1)
+    );
+}
+
+/// `CORPUS_FULL=1` extends the property to every program in the corpus.
+#[test]
+fn full_corpus_compiles_and_runs_within_budget() {
+    if !std::env::var("CORPUS_FULL").is_ok_and(|v| !v.is_empty() && v != "0") {
+        eprintln!("full corpus property: skipped (set CORPUS_FULL=1 to run)");
+        return;
+    }
+    for entry in &CorpusSpec::standard().entries {
+        if skip_in_debug(entry) {
+            continue;
+        }
+        check_runs_to_completion(entry);
+    }
+}
+
+/// Generator-determinism regression: the same `(seed, GenConfig)` must
+/// reproduce not just the same source bytes but the same **`.sqsh` image
+/// bytes** end to end — generate → compile → squeeze → profile → squash →
+/// serialize, twice, compared byte for byte. A generator (or pipeline)
+/// that consults anything beyond the seed breaks here.
+#[test]
+fn same_seed_and_config_give_byte_identical_source_and_image() {
+    let spec = CorpusSpec::standard();
+    // Two matrix programs from opposite corners of the matrix; the full
+    // corpus's source-level regeneration is covered by `--check` and the
+    // sampled harnesses.
+    for name in ["g000h25j0d1v0", "g107h80j35d6v3"] {
+        let entry = spec.find(name).expect("pinned corpus entry exists");
+        let build_image = || {
+            let p = entry.generate();
+            let program = minicc::build_program(&[p.source.as_str()]).expect("compiles");
+            let (squeezed, _) = squash_squeeze::squeeze(&program);
+            let profile =
+                pipeline::profile(&squeezed, std::slice::from_ref(&p.profiling_input))
+                    .expect("profile");
+            let options = SquashOptions { theta: 1e-3, ..Default::default() };
+            let squashed = Squasher::new(&squeezed, &profile, &options)
+                .expect("setup")
+                .finish()
+                .expect("squash");
+            (p.source, image_file::write(&squashed))
+        };
+        let (source_a, image_a) = build_image();
+        let (source_b, image_b) = build_image();
+        assert_eq!(source_a, source_b, "{name}: regenerated source diverged");
+        assert_eq!(image_a, image_b, "{name}: regenerated .sqsh image diverged");
+    }
+}
+
+/// The corpus satisfies its own spec: 100+ distinct, findable programs
+/// whose manifests round-trip the generating config.
+#[test]
+fn corpus_is_large_distinct_and_findable() {
+    let spec = CorpusSpec::standard();
+    assert!(
+        spec.entries.len() >= 100,
+        "corpus shrank to {} programs",
+        spec.entries.len()
+    );
+    let mut names: Vec<&str> = spec.entries.iter().map(|e| e.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), spec.entries.len(), "duplicate corpus names");
+    for entry in spec.sample() {
+        let found = spec.find(&entry.name).expect("sample entry findable");
+        assert_eq!(found.seed, entry.seed);
+        assert_eq!(found.config, entry.config);
+    }
+    // Distinctness of the artifacts, not just the names: every sampled
+    // program's source must differ (different seeds and shapes).
+    let sources: Vec<String> = spec
+        .sample()
+        .iter()
+        .map(|e| e.generate().source)
+        .collect();
+    for i in 0..sources.len() {
+        for j in i + 1..sources.len() {
+            assert_ne!(
+                sources[i], sources[j],
+                "sampled corpus programs {i} and {j} have identical source"
+            );
+        }
+    }
+}

@@ -364,9 +364,102 @@ pub mod bench {
     }
 }
 
+/// Distribution summaries for benchmark and harness reporting.
+///
+/// The corpus sweep and the corpus harness assertions both need the same
+/// three-number view of a distribution — min, geometric mean, max — so it
+/// lives here rather than being duplicated per caller.
+pub mod stats {
+    /// Min / geometric-mean / max summary of a sample.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Summary {
+        /// Number of samples.
+        pub n: usize,
+        /// Smallest sample.
+        pub min: f64,
+        /// Geometric mean (the paper reports ratios and overheads this way).
+        pub geomean: f64,
+        /// Largest sample.
+        pub max: f64,
+    }
+
+    impl Summary {
+        /// Summarizes a sample of positive values.
+        ///
+        /// Returns `None` for an empty sample or one containing a
+        /// non-positive or non-finite value (the geometric mean is not
+        /// defined there, and every quantity we summarize — ratios,
+        /// cycle counts, sizes — is strictly positive by construction).
+        pub fn of(samples: &[f64]) -> Option<Summary> {
+            if samples.is_empty() || samples.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+                return None;
+            }
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut log_sum = 0.0;
+            for &v in samples {
+                min = min.min(v);
+                max = max.max(v);
+                log_sum += v.ln();
+            }
+            Some(Summary {
+                n: samples.len(),
+                min,
+                geomean: (log_sum / samples.len() as f64).exp(),
+                max,
+            })
+        }
+
+        /// Renders as `min/geomean/max` with the given precision, e.g.
+        /// `0.72/0.81/0.95`.
+        pub fn display(&self, precision: usize) -> String {
+            format!(
+                "{:.p$}/{:.p$}/{:.p$}",
+                self.min,
+                self.geomean,
+                self.max,
+                p = precision
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = stats::Summary::of(&[2.0, 8.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+        assert!((s.geomean - 4.0).abs() < 1e-12, "geomean {}", s.geomean);
+        assert_eq!(s.display(2), "2.00/4.00/8.00");
+    }
+
+    #[test]
+    fn summary_of_single_value_is_that_value() {
+        let s = stats::Summary::of(&[3.5]).unwrap();
+        assert_eq!((s.min, s.geomean, s.max), (3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    fn summary_rejects_degenerate_samples() {
+        assert_eq!(stats::Summary::of(&[]), None);
+        assert_eq!(stats::Summary::of(&[1.0, 0.0]), None);
+        assert_eq!(stats::Summary::of(&[1.0, -2.0]), None);
+        assert_eq!(stats::Summary::of(&[1.0, f64::NAN]), None);
+        assert_eq!(stats::Summary::of(&[1.0, f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn summary_geomean_is_order_independent() {
+        let a = stats::Summary::of(&[1.5, 2.5, 9.0, 0.25]).unwrap();
+        let b = stats::Summary::of(&[9.0, 0.25, 2.5, 1.5]).unwrap();
+        assert!((a.geomean - b.geomean).abs() < 1e-12);
+        assert_eq!((a.min, a.max), (b.min, b.max));
+    }
 
     #[test]
     fn equal_seeds_give_equal_streams() {

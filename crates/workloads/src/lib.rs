@@ -15,6 +15,13 @@
 //! reachable only through rarely-taken dispatch paths: the reachable-but-
 //! cold code mass the paper's Figure 4 measures.
 //!
+//! Beyond the paper's eleven, [`corpus`] exposes the 100+-program
+//! synthesized population from `squash-gencorpus` through the same
+//! [`Workload`] interface, so the differential, determinism and
+//! fault-injection harnesses iterate hand-written and generated programs
+//! uniformly. [`corpus_sample`] is the pinned CI subset, and
+//! [`corpus_full_enabled`] gates opt-in full sweeps (`CORPUS_FULL=1`).
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -30,6 +37,7 @@
 
 use squash_cfg::Program;
 use squash_squeeze::SqueezeStats;
+use std::borrow::Cow;
 
 const SUPPORT: &str = include_str!("../mc/support.mc");
 const SUPPORT_MATH: &str = include_str!("../mc/support_math.mc");
@@ -55,6 +63,9 @@ enum InputKind {
     Video { mode: u8, frames: usize, seed: u64 },
     /// `mode` byte + 8 key bytes + `len` payload bytes.
     Sealed { mode: u8, len: usize, seed: u64 },
+    /// Pre-materialized bytes (used by the generated corpus, whose inputs
+    /// come from `squash-gencorpus`).
+    Raw(Vec<u8>),
     /// The *output* of another workload run on the given input (used for
     /// the decoders: the paper derives `clinton.g721` from `clinton.pcm`
     /// the same way). The mode byte replaces the producer's.
@@ -65,17 +76,19 @@ enum InputKind {
     },
 }
 
-/// One benchmark program with its profiling and timing inputs.
+/// One benchmark program with its profiling and timing inputs — either one
+/// of the paper's eleven hand-written codecs or a synthesized corpus
+/// program.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// The benchmark's name (matching the paper's Table 1 rows).
-    pub name: &'static str,
-    sources: Vec<&'static str>,
+    /// The benchmark's name (a paper Table 1 row, or a corpus entry name).
+    pub name: String,
+    sources: Vec<Cow<'static, str>>,
     profiling: InputKind,
     timing: InputKind,
     /// Display names for Figure 5's input table.
-    profiling_name: &'static str,
-    timing_name: &'static str,
+    profiling_name: String,
+    timing_name: String,
 }
 
 impl Workload {
@@ -85,7 +98,8 @@ impl Workload {
     ///
     /// Panics if the embedded sources fail to compile (a build-time bug).
     pub fn program(&self) -> Program {
-        minicc::build_program(&self.sources).unwrap_or_else(|e| {
+        let sources: Vec<&str> = self.sources.iter().map(|s| s.as_ref()).collect();
+        minicc::build_program(&sources).unwrap_or_else(|e| {
             panic!("workload {} failed to compile: {e}", self.name)
         })
     }
@@ -106,11 +120,11 @@ impl Workload {
     }
 
     /// `(profiling, timing)` input names and sizes for Figure 5.
-    pub fn input_table_row(&self) -> (&'static str, usize, &'static str, usize) {
+    pub fn input_table_row(&self) -> (&str, usize, &str, usize) {
         (
-            self.profiling_name,
+            &self.profiling_name,
             self.profiling_input().len(),
-            self.timing_name,
+            &self.timing_name,
             self.timing_input().len(),
         )
     }
@@ -120,24 +134,24 @@ impl Workload {
 pub fn all() -> Vec<Workload> {
     vec![
         Workload {
-            name: "adpcm",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, ADPCM],
+            name: "adpcm".into(),
+            sources: with_support(ADPCM),
             profiling: InputKind::Pcm { mode: b'e', samples: 12_000, seed: 11 },
             timing: InputKind::Pcm { mode: b'e', samples: 48_000, seed: 1911 },
-            profiling_name: "clinton.pcm",
-            timing_name: "mlk_IHaveADream.pcm",
+            profiling_name: "clinton.pcm".into(),
+            timing_name: "mlk_IHaveADream.pcm".into(),
         },
         Workload {
-            name: "epic",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, EPIC],
+            name: "epic".into(),
+            sources: with_support(EPIC),
             profiling: InputKind::Image { mode: b'c', count: 6, seed: 21 },
             timing: InputKind::Image { mode: b'c', count: 24, seed: 2121 },
-            profiling_name: "baboon.tif",
-            timing_name: "lena.tif",
+            profiling_name: "baboon.tif".into(),
+            timing_name: "lena.tif".into(),
         },
         Workload {
-            name: "g721_dec",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, G721],
+            name: "g721_dec".into(),
+            sources: with_support(G721),
             profiling: InputKind::EncodedBy {
                 producer: "g721_enc",
                 input: Box::new(InputKind::Pcm { mode: b'e', samples: 10_000, seed: 31 }),
@@ -148,28 +162,28 @@ pub fn all() -> Vec<Workload> {
                 input: Box::new(InputKind::Pcm { mode: b'e', samples: 40_000, seed: 3131 }),
                 mode: b'd',
             },
-            profiling_name: "clinton.g721",
-            timing_name: "mlk_IHaveADream.g721",
+            profiling_name: "clinton.g721".into(),
+            timing_name: "mlk_IHaveADream.g721".into(),
         },
         Workload {
-            name: "g721_enc",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, G721],
+            name: "g721_enc".into(),
+            sources: with_support(G721),
             profiling: InputKind::Pcm { mode: b'e', samples: 10_000, seed: 41 },
             timing: InputKind::Pcm { mode: b'e', samples: 40_000, seed: 4141 },
-            profiling_name: "clinton.pcm",
-            timing_name: "mlk_IHaveADream.pcm",
+            profiling_name: "clinton.pcm".into(),
+            timing_name: "mlk_IHaveADream.pcm".into(),
         },
         Workload {
-            name: "gsm",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, GSM],
+            name: "gsm".into(),
+            sources: with_support(GSM),
             profiling: InputKind::Pcm { mode: b'e', samples: 12_800, seed: 51 },
             timing: InputKind::Pcm { mode: b'e', samples: 51_200, seed: 5151 },
-            profiling_name: "clinton.pcm",
-            timing_name: "mlk_IHaveADream.pcm",
+            profiling_name: "clinton.pcm".into(),
+            timing_name: "mlk_IHaveADream.pcm".into(),
         },
         Workload {
-            name: "jpeg_dec",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, JPEG],
+            name: "jpeg_dec".into(),
+            sources: with_support(JPEG),
             profiling: InputKind::EncodedBy {
                 producer: "jpeg_enc",
                 input: Box::new(InputKind::Image { mode: b'e', count: 4, seed: 61 }),
@@ -180,20 +194,20 @@ pub fn all() -> Vec<Workload> {
                 input: Box::new(InputKind::Image { mode: b'e', count: 20, seed: 6161 }),
                 mode: b'd',
             },
-            profiling_name: "testimg.jpg",
-            timing_name: "roses17.jpg",
+            profiling_name: "testimg.jpg".into(),
+            timing_name: "roses17.jpg".into(),
         },
         Workload {
-            name: "jpeg_enc",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, JPEG],
+            name: "jpeg_enc".into(),
+            sources: with_support(JPEG),
             profiling: InputKind::Image { mode: b'e', count: 6, seed: 71 },
             timing: InputKind::Image { mode: b'e', count: 24, seed: 7171 },
-            profiling_name: "testimg.ppm",
-            timing_name: "roses17.ppm",
+            profiling_name: "testimg.ppm".into(),
+            timing_name: "roses17.ppm".into(),
         },
         Workload {
-            name: "mpeg2dec",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, MPEG2],
+            name: "mpeg2dec".into(),
+            sources: with_support(MPEG2),
             profiling: InputKind::EncodedBy {
                 producer: "mpeg2enc",
                 input: Box::new(InputKind::Video { mode: b'e', frames: 8, seed: 81 }),
@@ -204,39 +218,91 @@ pub fn all() -> Vec<Workload> {
                 input: Box::new(InputKind::Video { mode: b'e', frames: 20, seed: 8181 }),
                 mode: b'd',
             },
-            profiling_name: "sarnoff2.m2v",
-            timing_name: "tceh_v2.m2v",
+            profiling_name: "sarnoff2.m2v".into(),
+            timing_name: "tceh_v2.m2v".into(),
         },
         Workload {
-            name: "mpeg2enc",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, MPEG2],
+            name: "mpeg2enc".into(),
+            sources: with_support(MPEG2),
             profiling: InputKind::Video { mode: b'e', frames: 8, seed: 91 },
             timing: InputKind::Video { mode: b'e', frames: 20, seed: 9191 },
-            profiling_name: "sarnoff2.m2v",
-            timing_name: "tceh_v2.m2v",
+            profiling_name: "sarnoff2.m2v".into(),
+            timing_name: "tceh_v2.m2v".into(),
         },
         Workload {
-            name: "pgp",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, PGP],
+            name: "pgp".into(),
+            sources: with_support(PGP),
             profiling: InputKind::Sealed { mode: b's', len: 16_000, seed: 101 },
             timing: InputKind::Sealed { mode: b's', len: 64_000, seed: 10101 },
-            profiling_name: "compression.ps",
-            timing_name: "TI-320-user-manual.ps",
+            profiling_name: "compression.ps".into(),
+            timing_name: "TI-320-user-manual.ps".into(),
         },
         Workload {
-            name: "rasta",
-            sources: vec![SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, RASTA],
+            name: "rasta".into(),
+            sources: with_support(RASTA),
             profiling: InputKind::Pcm { mode: b'a', samples: 10_240, seed: 111 },
             timing: InputKind::Pcm { mode: b'a', samples: 46_080, seed: 11111 },
-            profiling_name: "ex5_c1.wav",
-            timing_name: "phone.pcmle.wav",
+            profiling_name: "ex5_c1.wav".into(),
+            timing_name: "phone.pcmle.wav".into(),
         },
     ]
 }
 
-/// Looks a workload up by name.
+/// The shared support library plus one benchmark's own source.
+fn with_support(main: &'static str) -> Vec<Cow<'static, str>> {
+    [SUPPORT, SUPPORT_MATH, SUPPORT_DATA, SUPPORT_UNUSED, main]
+        .into_iter()
+        .map(Cow::Borrowed)
+        .collect()
+}
+
+/// Looks a workload up by name: first the paper's eleven, then the
+/// generated corpus (corpus names start with `g` and embed their matrix
+/// coordinates, e.g. `g021h25j15d6v1`).
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    if let Some(w) = all().into_iter().find(|w| w.name == name) {
+        return Some(w);
+    }
+    let spec = squash_gencorpus::CorpusSpec::standard();
+    spec.find(name).map(corpus_workload)
+}
+
+/// The full generated corpus (100+ programs) as ordinary workloads, in
+/// spec order. Generation is deterministic and cheap (string synthesis);
+/// compilation happens lazily in [`Workload::program`].
+pub fn corpus() -> Vec<Workload> {
+    squash_gencorpus::CorpusSpec::standard()
+        .entries
+        .iter()
+        .map(corpus_workload)
+        .collect()
+}
+
+/// The pinned ~12-program CI sample of the corpus (seeds and indices are
+/// frozen in `squash_gencorpus::SAMPLE_INDICES`).
+pub fn corpus_sample() -> Vec<Workload> {
+    squash_gencorpus::CorpusSpec::standard()
+        .sample()
+        .into_iter()
+        .map(corpus_workload)
+        .collect()
+}
+
+/// Whether opt-in full-corpus sweeps are enabled (`CORPUS_FULL=1`).
+pub fn corpus_full_enabled() -> bool {
+    std::env::var("CORPUS_FULL").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn corpus_workload(entry: &squash_gencorpus::CorpusEntry) -> Workload {
+    let p = entry.generate();
+    Workload {
+        profiling_name: format!("{}.profiling.bin", p.name),
+        timing_name: format!("{}.timing.bin", p.name),
+        name: p.name,
+        sources: vec![Cow::Owned(p.source)],
+        profiling: InputKind::Raw(p.profiling_input),
+        timing: InputKind::Raw(p.timing_input),
+    }
 }
 
 fn materialize(kind: &InputKind) -> Vec<u8> {
@@ -269,6 +335,7 @@ fn materialize(kind: &InputKind) -> Vec<u8> {
             out.extend(synth_text(*len, seed.wrapping_add(7)));
             out
         }
+        InputKind::Raw(bytes) => bytes.clone(),
         InputKind::EncodedBy { producer, input, mode } => {
             let w = by_name(producer).expect("producer workload exists");
             let produced = run_to_output(&w, &materialize(input));
@@ -409,7 +476,8 @@ mod tests {
 
     #[test]
     fn eleven_workloads_in_paper_order() {
-        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        let all = all();
+        let names: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
         assert_eq!(
             names,
             vec![

@@ -95,6 +95,67 @@ determinism! {
     rasta => "rasta",
 }
 
+// ---------------------------------------------------------------------------
+// Synthesized corpus (squash-gencorpus): the pinned CI sample runs
+// unconditionally (split into parts for harness-thread parallelism);
+// `CORPUS_FULL=1` sweeps all 111 programs. Large programs are
+// release-build-only, as in the differential harness.
+// ---------------------------------------------------------------------------
+
+const CORPUS_PARTS: usize = 4;
+
+fn check_corpus_part(part: usize) {
+    for (i, entry) in squash_repro::gencorpus::CorpusSpec::standard()
+        .sample()
+        .iter()
+        .enumerate()
+    {
+        if i % CORPUS_PARTS != part {
+            continue;
+        }
+        if cfg!(debug_assertions) && entry.name.contains("large") {
+            eprintln!("{}: skipped in debug builds (release CI covers it)", entry.name);
+            continue;
+        }
+        check_workload(&entry.name);
+    }
+}
+
+#[test]
+fn corpus_sampled_part_0() {
+    check_corpus_part(0);
+}
+
+#[test]
+fn corpus_sampled_part_1() {
+    check_corpus_part(1);
+}
+
+#[test]
+fn corpus_sampled_part_2() {
+    check_corpus_part(2);
+}
+
+#[test]
+fn corpus_sampled_part_3() {
+    check_corpus_part(3);
+}
+
+/// Full 111-program sweep, opt-in via `CORPUS_FULL=1`.
+#[test]
+fn corpus_full_sweep() {
+    if !squash_repro::workloads::corpus_full_enabled() {
+        eprintln!("corpus_full_sweep: skipped (set CORPUS_FULL=1 to run)");
+        return;
+    }
+    for entry in &squash_repro::gencorpus::CorpusSpec::standard().entries {
+        if cfg!(debug_assertions) && entry.name.contains("large") {
+            continue;
+        }
+        check_workload(&entry.name);
+    }
+}
+
 /// Every workload in the crate must be covered here, as in the
 /// differential harness.
 #[test]
@@ -105,7 +166,7 @@ fn every_workload_is_covered() {
     ];
     for w in squash_repro::workloads::all() {
         assert!(
-            covered.contains(&w.name),
+            covered.contains(&w.name.as_str()),
             "workload {} has no determinism test",
             w.name
         );

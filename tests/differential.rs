@@ -177,6 +177,71 @@ differential! {
     rasta => "rasta",
 }
 
+// ---------------------------------------------------------------------------
+// Synthesized corpus (squash-gencorpus)
+//
+// The pinned CI sample runs unconditionally, split into parts so the harness
+// threads spread the work; `CORPUS_FULL=1` additionally sweeps all 111
+// programs. The order-of-magnitude-larger programs only run in release
+// builds (debug-mode VM speed makes them minutes each); CI covers them in
+// the release corpus-smoke job.
+// ---------------------------------------------------------------------------
+
+const CORPUS_PARTS: usize = 4;
+
+fn check_corpus_part(part: usize) {
+    for (i, entry) in squash_repro::gencorpus::CorpusSpec::standard()
+        .sample()
+        .iter()
+        .enumerate()
+    {
+        if i % CORPUS_PARTS != part {
+            continue;
+        }
+        if cfg!(debug_assertions) && entry.name.contains("large") {
+            eprintln!("{}: skipped in debug builds (release CI covers it)", entry.name);
+            continue;
+        }
+        check_workload(&entry.name);
+    }
+}
+
+#[test]
+fn corpus_sampled_part_0() {
+    check_corpus_part(0);
+}
+
+#[test]
+fn corpus_sampled_part_1() {
+    check_corpus_part(1);
+}
+
+#[test]
+fn corpus_sampled_part_2() {
+    check_corpus_part(2);
+}
+
+#[test]
+fn corpus_sampled_part_3() {
+    check_corpus_part(3);
+}
+
+/// Full 111-program sweep, opt-in via `CORPUS_FULL=1` (hours in debug,
+/// minutes in release).
+#[test]
+fn corpus_full_sweep() {
+    if !squash_repro::workloads::corpus_full_enabled() {
+        eprintln!("corpus_full_sweep: skipped (set CORPUS_FULL=1 to run)");
+        return;
+    }
+    for entry in &squash_repro::gencorpus::CorpusSpec::standard().entries {
+        if cfg!(debug_assertions) && entry.name.contains("large") {
+            continue;
+        }
+        check_workload(&entry.name);
+    }
+}
+
 /// The harness covers the whole suite: if a workload is added to the crate
 /// without a differential test, this fails and names it.
 #[test]
@@ -187,7 +252,7 @@ fn every_workload_is_covered() {
     ];
     for w in squash_repro::workloads::all() {
         assert!(
-            covered.contains(&w.name),
+            covered.contains(&w.name.as_str()),
             "workload {} has no differential test",
             w.name
         );

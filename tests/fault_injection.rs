@@ -67,6 +67,10 @@ struct CleanImage {
 }
 
 fn check_workload(name: &str) {
+    check_workload_cases(name, cases_per_workload());
+}
+
+fn check_workload_cases(name: &str, n: u64) {
     if !workload_enabled(name) {
         eprintln!("{name}: skipped by FAULT_WORKLOADS");
         return;
@@ -99,7 +103,6 @@ fn check_workload(name: &str) {
         .collect();
 
     let seed = seed_of(name);
-    let n = cases_per_workload();
     let mut faulted = 0u64;
     let mut identical = 0u64;
     for i in 0..n {
@@ -183,4 +186,78 @@ fault_injection! {
     mpeg2dec => "mpeg2dec",
     pgp => "pgp",
     rasta => "rasta",
+}
+
+// ---------------------------------------------------------------------------
+// Synthesized corpus (squash-gencorpus): the pinned CI sample runs with a
+// reduced per-program case count (`FAULT_CASES` still overrides) so the
+// added coverage stays within the debug-suite budget; `CORPUS_FULL=1`
+// sweeps all 111 programs. Large programs are release-build-only, as in
+// the differential harness.
+// ---------------------------------------------------------------------------
+
+const CORPUS_PARTS: usize = 4;
+
+/// Mutations per corpus program: fewer than the hand-written eleven (the
+/// corpus adds breadth across image shapes, not depth per image), still
+/// overridable through `FAULT_CASES`.
+fn cases_per_corpus_program() -> u64 {
+    std::env::var("FAULT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120)
+}
+
+fn check_corpus_part(part: usize) {
+    let n = cases_per_corpus_program();
+    for (i, entry) in squash_repro::gencorpus::CorpusSpec::standard()
+        .sample()
+        .iter()
+        .enumerate()
+    {
+        if i % CORPUS_PARTS != part {
+            continue;
+        }
+        if cfg!(debug_assertions) && entry.name.contains("large") {
+            eprintln!("{}: skipped in debug builds (release CI covers it)", entry.name);
+            continue;
+        }
+        check_workload_cases(&entry.name, n);
+    }
+}
+
+#[test]
+fn corpus_sampled_part_0() {
+    check_corpus_part(0);
+}
+
+#[test]
+fn corpus_sampled_part_1() {
+    check_corpus_part(1);
+}
+
+#[test]
+fn corpus_sampled_part_2() {
+    check_corpus_part(2);
+}
+
+#[test]
+fn corpus_sampled_part_3() {
+    check_corpus_part(3);
+}
+
+/// Full 111-program sweep, opt-in via `CORPUS_FULL=1`.
+#[test]
+fn corpus_full_sweep() {
+    if !squash_repro::workloads::corpus_full_enabled() {
+        eprintln!("corpus_full_sweep: skipped (set CORPUS_FULL=1 to run)");
+        return;
+    }
+    let n = cases_per_corpus_program();
+    for entry in &squash_repro::gencorpus::CorpusSpec::standard().entries {
+        if cfg!(debug_assertions) && entry.name.contains("large") {
+            continue;
+        }
+        check_workload_cases(&entry.name, n);
+    }
 }
