@@ -10,7 +10,7 @@ fn main() {
     let benches = squash_bench::load_benches(Some(&["jpeg_enc"]));
     let b = &benches[0];
     let options = squash_bench::opts(1.0);
-    let cs = cold::identify(&b.program, &b.profile, options.theta);
+    let cs = cold::identify(&b.program, &b.profile, options.theta).unwrap();
     let comp = regions::compressible_blocks(&b.program, &cs, &options);
 
     timer.time("form_regions_theta1_packed", || {

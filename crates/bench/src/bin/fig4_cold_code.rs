@@ -19,7 +19,7 @@ fn main() {
         let mut cold_fracs = Vec::new();
         let mut comp_fracs = Vec::new();
         for b in &benches {
-            let cs = cold::identify(&b.program, &b.profile, theta);
+            let cs = cold::identify(&b.program, &b.profile, theta).unwrap();
             cold_fracs.push(cs.cold_fraction());
             let comp = regions::compressible_blocks(&b.program, &cs, &options);
             let regs = regions::form_regions(&b.program, &comp, &options);

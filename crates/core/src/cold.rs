@@ -10,7 +10,7 @@
 use squash_cfg::link::block_emitted_words;
 use squash_cfg::Program;
 
-use crate::BlockProfile;
+use crate::{BlockProfile, SquashError};
 
 /// The result of cold-code identification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,10 +32,48 @@ impl ColdSet {
     pub fn cold_fraction(&self) -> f64 {
         self.cold_words as f64 / self.total_words.max(1) as f64
     }
+
+    /// Removes one block from the cold set (feedback-directed demotion: the
+    /// block turned out hot in practice), keeping the word accounting
+    /// consistent. `words` must be the block's emitted size, as counted by
+    /// [`identify`]. A no-op for blocks that are not cold or out of range.
+    pub fn demote(&mut self, func: usize, block: usize, words: u32) {
+        if let Some(flag) = self.cold.get_mut(func).and_then(|f| f.get_mut(block)) {
+            if *flag {
+                *flag = false;
+                self.cold_words = self.cold_words.saturating_sub(words);
+            }
+        }
+    }
+}
+
+/// The weight budget for threshold `theta`: `⌊θ · total⌋` instruction
+/// executions, computed in `f64` and floored explicitly (never the implicit
+/// truncate-toward-zero of an `as` cast on an unclamped product), then
+/// clamped to `total` so θ = 1 admits exactly everything regardless of
+/// floating-point rounding.
+fn weight_budget(theta: f64, total_instructions: u64) -> u64 {
+    let total = total_instructions as f64;
+    (theta * total).floor().min(total).max(0.0) as u64
 }
 
 /// Identifies cold blocks under threshold `theta`.
-pub fn identify(program: &Program, profile: &BlockProfile, theta: f64) -> ColdSet {
+///
+/// # Errors
+///
+/// Rejects a non-finite θ (NaN, ±∞). A NaN in particular survives `clamp`
+/// unchanged and would otherwise cast to a silent budget of 0 — behaving
+/// like θ = 0 with no indication anything was wrong.
+pub fn identify(
+    program: &Program,
+    profile: &BlockProfile,
+    theta: f64,
+) -> Result<ColdSet, SquashError> {
+    if !theta.is_finite() {
+        return Err(SquashError::msg(format!(
+            "cold threshold θ must be finite, got {theta}"
+        )));
+    }
     let theta = theta.clamp(0.0, 1.0);
     // Collect (frequency, weight) per block.
     let mut entries: Vec<(u64, u64)> = Vec::new();
@@ -47,7 +85,7 @@ pub fn identify(program: &Program, profile: &BlockProfile, theta: f64) -> ColdSe
         }
     }
     entries.sort_unstable();
-    let budget = (theta * profile.total_instructions as f64) as u64;
+    let budget = weight_budget(theta, profile.total_instructions);
     // Largest N such that the summed weight of all blocks with freq <= N
     // stays within the budget. Blocks sharing a frequency stand or fall
     // together.
@@ -86,12 +124,12 @@ pub fn identify(program: &Program, profile: &BlockProfile, theta: f64) -> ColdSe
         }
         cold.push(flags);
     }
-    ColdSet {
+    Ok(ColdSet {
         cold,
         cutoff,
         total_words,
         cold_words,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +157,7 @@ mod tests {
     #[test]
     fn theta_zero_marks_only_unexecuted_code() {
         let (program, profile) = fixture();
-        let cs = identify(&program, &profile, 0.0);
+        let cs = identify(&program, &profile, 0.0).unwrap();
         assert_eq!(cs.cutoff, 0);
         // `never` is reachable but unexecuted: all its blocks are cold.
         let never = program.func_by_name("never").unwrap();
@@ -133,7 +171,7 @@ mod tests {
     #[test]
     fn theta_one_marks_everything() {
         let (program, profile) = fixture();
-        let cs = identify(&program, &profile, 1.0);
+        let cs = identify(&program, &profile, 1.0).unwrap();
         assert!(cs.cold.iter().flatten().all(|&c| c));
         assert_eq!(cs.cold_words, cs.total_words);
     }
@@ -143,7 +181,7 @@ mod tests {
         let (program, profile) = fixture();
         let mut last = -1.0;
         for theta in [0.0, 1e-5, 1e-3, 1e-2, 0.5, 1.0] {
-            let cs = identify(&program, &profile, theta);
+            let cs = identify(&program, &profile, theta).unwrap();
             let frac = cs.cold_fraction();
             assert!(
                 frac >= last,
@@ -157,7 +195,7 @@ mod tests {
     fn weight_budget_is_respected() {
         let (program, profile) = fixture();
         for theta in [0.0, 1e-4, 1e-2, 0.3] {
-            let cs = identify(&program, &profile, theta);
+            let cs = identify(&program, &profile, theta).unwrap();
             // Recompute the weight of cold blocks; must be within budget.
             let mut weight = 0u64;
             for (fi, f) in program.funcs.iter().enumerate() {
@@ -168,7 +206,7 @@ mod tests {
                     }
                 }
             }
-            let budget = (theta * profile.total_instructions as f64) as u64;
+            let budget = super::weight_budget(theta, profile.total_instructions);
             assert!(
                 weight <= budget || cs.cutoff == 0,
                 "θ={theta}: weight {weight} exceeds budget {budget}"
@@ -176,13 +214,57 @@ mod tests {
         }
     }
 
+    /// NaN previously survived `clamp` and cast to a silent budget of 0;
+    /// infinities clamped quietly. All non-finite thresholds are now typed
+    /// errors at the API boundary.
+    #[test]
+    fn non_finite_theta_is_rejected() {
+        let (program, profile) = fixture();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = identify(&program, &profile, bad).unwrap_err();
+            assert!(err.to_string().contains("finite"), "θ={bad}: {err}");
+        }
+    }
+
+    /// The budget is an explicit floor, clamped to the total: θ = 1 admits
+    /// exactly everything, θ = 0 exactly nothing, and fractional products
+    /// round down.
+    #[test]
+    fn weight_budget_rounding_is_floor_and_clamped() {
+        assert_eq!(weight_budget(0.0, 1000), 0);
+        assert_eq!(weight_budget(1.0, 1000), 1000);
+        assert_eq!(weight_budget(0.5, 1001), 500, "⌊500.5⌋");
+        assert_eq!(weight_budget(1e-3, 1999), 1, "⌊1.999⌋");
+        assert_eq!(weight_budget(1e-3, 999), 0, "⌊0.999⌋");
+        // Out-of-range θ reaches the helper pre-clamped by identify(), but
+        // the helper itself still clamps its output.
+        assert_eq!(weight_budget(1.0, u64::MAX), u64::MAX);
+    }
+
+    /// Demotion clears the flag exactly once, keeps `cold_words` consistent,
+    /// and ignores out-of-range coordinates.
+    #[test]
+    fn demote_keeps_word_accounting_consistent() {
+        let (program, profile) = fixture();
+        let mut cs = identify(&program, &profile, 1.0).unwrap();
+        let words = block_emitted_words(&program.funcs[0].blocks[0], 0);
+        let before = cs.cold_words;
+        cs.demote(0, 0, words);
+        assert!(!cs.cold[0][0]);
+        assert_eq!(cs.cold_words, before - words);
+        cs.demote(0, 0, words); // second demotion is a no-op
+        assert_eq!(cs.cold_words, before - words);
+        cs.demote(999, 999, 10); // out of range is a no-op
+        assert_eq!(cs.cold_words, before - words);
+    }
+
     #[test]
     fn once_executed_code_needs_positive_theta() {
         let (program, profile) = fixture();
         // `rare` runs exactly once; pick θ generous enough to admit
         // frequency-1 blocks.
-        let cs0 = identify(&program, &profile, 0.0);
-        let cs1 = identify(&program, &profile, 0.5);
+        let cs0 = identify(&program, &profile, 0.0).unwrap();
+        let cs1 = identify(&program, &profile, 0.5).unwrap();
         let rare = program.func_by_name("rare").unwrap();
         assert!(cs0.cold[rare.0].iter().any(|&c| !c), "executed => not cold at 0");
         assert!(cs1.cold[rare.0].iter().all(|&c| c), "θ=0.5 admits freq-1 blocks");

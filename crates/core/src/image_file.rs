@@ -16,10 +16,11 @@
 //! ```text
 //! "SQSH0003"                        magic + version        (8 bytes)
 //! u32 file_len                      total file length
-//! u32 nsections                     always 5
-//! { u32 len, u32 crc }×5            section directory:
+//! u32 nsections                     5, or 6 with provenance
+//! { u32 len, u32 crc }×nsections    section directory:
 //!                                   meta, model, blob, offsets, region_crcs
-//! u32 header_crc                    CRC32C of bytes [0, 56)
+//!                                   [, provenance]
+//! u32 header_crc                    CRC32C of bytes [0, 16 + 8·nsections)
 //! ...sections, back to back...
 //! ```
 //!
@@ -40,7 +41,15 @@
 //! blob:        the compressed code blob
 //! offsets:     u32 count { u64 bit_offset }*
 //! region_crcs: u32 count { u32 crc }*    (per-region payload checksums)
+//! provenance:  [`Provenance`] bytes      (optional sixth section: which
+//!                                        profile/telemetry tuned the image)
 //! ```
+//!
+//! Images without provenance (every static-profile squash) keep the
+//! five-section layout byte for byte, so adding the section changed nothing
+//! about existing images; retuned images append it under the same CRC
+//! discipline as every other section (verified eagerly at load — it is a
+//! few dozen bytes).
 //!
 //! The loader verifies the header checksum and the `meta`, `model`,
 //! `offsets` and `region_crcs` section checksums before trusting a byte of
@@ -73,11 +82,17 @@ use crate::{CostModel, FaultKind, MachineCheck, SquashError};
 const MAGIC_V3: &[u8; 8] = b"SQSH0003";
 const MAGIC_V2: &[u8; 8] = b"SQSH0002";
 
-/// Section count and order in a `SQSH0003` directory.
-const SECTIONS: [&str; 5] = ["meta", "model", "blob", "offsets", "region_crcs"];
-/// Byte length of the v3 header: magic + file_len + nsections + directory.
-/// The u32 header checksum follows, covering exactly these bytes.
-const HEADER_LEN: usize = 8 + 4 + 4 + SECTIONS.len() * 8;
+/// Section order in a `SQSH0003` directory. The first [`BASE_SECTIONS`] are
+/// always present; `provenance` is optional and, when present, last.
+const SECTION_NAMES: [&str; 6] = ["meta", "model", "blob", "offsets", "region_crcs", "provenance"];
+/// Sections every v3 image carries.
+const BASE_SECTIONS: usize = 5;
+/// Byte length of a v3 header with `nsections` directory entries: magic +
+/// file_len + nsections + directory. The u32 header checksum follows,
+/// covering exactly these bytes.
+const fn header_len(nsections: usize) -> usize {
+    8 + 4 + 4 + nsections * 8
+}
 
 /// Upper bound on the segment count — a sanity cap, far above anything the
 /// pipeline emits, protecting the loader from forged counts.
@@ -101,27 +116,193 @@ pub fn version(bytes: &[u8]) -> Option<u32> {
     }
 }
 
+/// Layout version of the serialized `provenance` section.
+const PROVENANCE_VERSION: u32 = 1;
+
+/// How an image was tuned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvenanceKind {
+    /// Tuned from the static profile alone (no runtime feedback).
+    Static,
+    /// Re-tuned from measured runtime telemetry (`squashc --retune`).
+    Retuned,
+}
+
+/// The provenance record of a tuned image: which profile and how much
+/// telemetry evidence produced it, and what the tuner decided. Stored as
+/// the optional sixth section of a SQSH0003 image and surfaced by
+/// `squashrun --report` / `--stats`, so a fleet operator can always answer
+/// "which profile is this image running on?" from the image alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// What produced the image.
+    pub kind: ProvenanceKind,
+    /// CRC-32C of the serialized [`crate::BlockProfile`] the compressor ran
+    /// on (the *original* profile, before the jump-table transformation).
+    pub profile_crc: u32,
+    /// Run documents merged into the telemetry that drove the retune
+    /// (≥ 1 for retuned images, 0 for static ones).
+    pub telemetry_docs: u32,
+    /// `name` of the (merged) telemetry document, or empty.
+    pub source: String,
+    /// Measured cycles of the run(s) the telemetry describes.
+    pub measured_cycles: u64,
+    /// The tuner's cost-model prediction for this image on those runs.
+    pub predicted_cycles: u64,
+    /// The cold threshold θ the image was built with.
+    pub theta: f64,
+    /// The region size bound K the image was built with.
+    pub buffer_limit: u32,
+    /// Baseline regions demoted out of the compressed set as hot-in-practice.
+    pub demoted_regions: u32,
+    /// Candidate images the tuner scored.
+    pub candidates: u32,
+    /// Index of the winning candidate (0 = the static configuration).
+    pub winner: u32,
+}
+
+impl Provenance {
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&PROVENANCE_VERSION.to_le_bytes());
+        out.push(match self.kind {
+            ProvenanceKind::Static => 0,
+            ProvenanceKind::Retuned => 1,
+        });
+        out.extend_from_slice(&self.profile_crc.to_le_bytes());
+        out.extend_from_slice(&self.telemetry_docs.to_le_bytes());
+        out.extend_from_slice(&self.measured_cycles.to_le_bytes());
+        out.extend_from_slice(&self.predicted_cycles.to_le_bytes());
+        out.extend_from_slice(&self.theta.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.buffer_limit.to_le_bytes());
+        out.extend_from_slice(&self.demoted_regions.to_le_bytes());
+        out.extend_from_slice(&self.candidates.to_le_bytes());
+        out.extend_from_slice(&self.winner.to_le_bytes());
+        out.extend_from_slice(&(self.source.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.source.as_bytes());
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<Provenance, SquashError> {
+        let mut r = Reader::new(bytes, "provenance section");
+        let version = r.u32()?;
+        if version != PROVENANCE_VERSION {
+            return Err(fault(
+                FaultKind::Truncated,
+                format!("unsupported provenance version {version} (expected {PROVENANCE_VERSION})"),
+            ));
+        }
+        let kind = match r.u8()? {
+            0 => ProvenanceKind::Static,
+            1 => ProvenanceKind::Retuned,
+            k => {
+                return Err(fault(
+                    FaultKind::Truncated,
+                    format!("unknown provenance kind {k}"),
+                ))
+            }
+        };
+        let profile_crc = r.u32()?;
+        let telemetry_docs = r.u32()?;
+        let measured_cycles = r.u64()?;
+        let predicted_cycles = r.u64()?;
+        let theta = f64::from_bits(r.u64()?);
+        if !theta.is_finite() {
+            return Err(fault(
+                FaultKind::Truncated,
+                format!("provenance θ is not finite ({theta})"),
+            ));
+        }
+        let buffer_limit = r.u32()?;
+        let demoted_regions = r.u32()?;
+        let candidates = r.u32()?;
+        let winner = r.u32()?;
+        let source_len = r.u32()? as usize;
+        let source = std::str::from_utf8(r.take(source_len)?)
+            .map_err(|_| fault(FaultKind::Truncated, "provenance source is not UTF-8"))?
+            .to_string();
+        r.done()?;
+        Ok(Provenance {
+            kind,
+            profile_crc,
+            telemetry_docs,
+            source,
+            measured_cycles,
+            predicted_cycles,
+            theta,
+            buffer_limit,
+            demoted_regions,
+            candidates,
+            winner,
+        })
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            ProvenanceKind::Static => {
+                writeln!(f, "provenance: static profile (crc32c {:#010x})", self.profile_crc)?;
+            }
+            ProvenanceKind::Retuned => {
+                writeln!(f, "provenance: retuned from measured telemetry")?;
+                writeln!(
+                    f,
+                    "  profile:    crc32c {:#010x}",
+                    self.profile_crc
+                )?;
+                writeln!(
+                    f,
+                    "  telemetry:  {} ({} document{}, {} measured cycles)",
+                    if self.source.is_empty() { "<unnamed>" } else { &self.source },
+                    self.telemetry_docs,
+                    if self.telemetry_docs == 1 { "" } else { "s" },
+                    self.measured_cycles
+                )?;
+                writeln!(
+                    f,
+                    "  tuned:      θ={} K={} ({} of {} candidates, {} regions demoted, \
+                     {} predicted cycles)",
+                    self.theta,
+                    self.buffer_limit,
+                    self.winner + 1,
+                    self.candidates,
+                    self.demoted_regions,
+                    self.predicted_cycles
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Serializes a squashed program to the current (`SQSH0003`,
 /// integrity-checked) `.sqsh` format.
 pub fn write(squashed: &Squashed) -> Vec<u8> {
     let rt = &squashed.runtime;
-    let sections: [Vec<u8>; 5] = [
+    let mut sections: Vec<Vec<u8>> = vec![
         write_meta(squashed),
         rt.model.serialize(),
         rt.blob.clone(),
         write_offsets(&rt.bit_offsets),
         write_region_crcs(&rt.region_crcs),
     ];
-    let file_len = HEADER_LEN + 4 + sections.iter().map(Vec::len).sum::<usize>();
+    // Static images stay byte-identical to the pre-provenance format: the
+    // sixth section exists only when there is provenance to record.
+    if let Some(prov) = &squashed.provenance {
+        sections.push(prov.serialize());
+    }
+    let header_len = header_len(sections.len());
+    let file_len = header_len + 4 + sections.iter().map(Vec::len).sum::<usize>();
     let mut out = Vec::with_capacity(file_len);
     out.extend_from_slice(MAGIC_V3);
     out.extend_from_slice(&(file_len as u32).to_le_bytes());
-    out.extend_from_slice(&(SECTIONS.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
     for s in &sections {
         out.extend_from_slice(&(s.len() as u32).to_le_bytes());
         out.extend_from_slice(&crc32c(s).to_le_bytes());
     }
-    debug_assert_eq!(out.len(), HEADER_LEN);
+    debug_assert_eq!(out.len(), header_len);
     out.extend_from_slice(&crc32c(&out).to_le_bytes());
     for s in &sections {
         out.extend_from_slice(s);
@@ -380,28 +561,53 @@ pub fn read_strict(bytes: &[u8]) -> Result<Squashed, SquashError> {
     }
 }
 
-/// The v3 section directory: five `(offset, len, stored_crc)` entries, in
-/// [`SECTIONS`] order, validated against the file length.
-fn read_directory(bytes: &[u8]) -> Result<[(usize, usize, u32); 5], SquashError> {
-    if bytes.len() < HEADER_LEN + 4 {
+/// The v3 section directory: one `(offset, len, stored_crc)` entry per
+/// section, in [`SECTION_NAMES`] order, validated against the file length.
+/// Five or six entries ([`BASE_SECTIONS`], plus `provenance` when present).
+fn read_directory(bytes: &[u8]) -> Result<Vec<(usize, usize, u32)>, SquashError> {
+    // The header's own length depends on the section count at bytes
+    // [12, 16), so that field is read before the checksum can be located.
+    // Only two counts are valid; anything else — including a corrupted
+    // count byte — is a typed fault here, and a *valid-looking* corrupted
+    // count still fails the header checksum below because the checksum was
+    // computed over the other header length.
+    let Some(count_bytes) = bytes.get(12..16) else {
         return Err(fault(
             FaultKind::Truncated,
             format!(
                 ".sqsh header truncated ({} bytes, {} needed)",
                 bytes.len(),
-                HEADER_LEN + 4
+                header_len(BASE_SECTIONS) + 4
+            ),
+        ));
+    };
+    let nsections =
+        u32::from_le_bytes(count_bytes.try_into().expect("slice of 4 bytes")) as usize;
+    if nsections != BASE_SECTIONS && nsections != BASE_SECTIONS + 1 {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!(
+                "unsupported section count {nsections} (expected {BASE_SECTIONS} or {})",
+                BASE_SECTIONS + 1
             ),
         ));
     }
-    // Verify the header checksum before trusting any header field — a
+    let header_len = header_len(nsections);
+    if bytes.len() < header_len + 4 {
+        return Err(fault(
+            FaultKind::Truncated,
+            format!(".sqsh header truncated ({} bytes, {} needed)", bytes.len(), header_len + 4),
+        ));
+    }
+    // Verify the header checksum before trusting any other header field — a
     // flipped directory length must read as header damage, not whatever
     // downstream inconsistency it happens to cause.
     let stored = u32::from_le_bytes(
-        bytes[HEADER_LEN..HEADER_LEN + 4]
+        bytes[header_len..header_len + 4]
             .try_into()
             .expect("slice of 4 bytes"),
     );
-    let actual = crc32c(&bytes[..HEADER_LEN]);
+    let actual = crc32c(&bytes[..header_len]);
     if stored != actual {
         return Err(fault(
             FaultKind::HeaderChecksum,
@@ -421,15 +627,9 @@ fn read_directory(bytes: &[u8]) -> Result<[(usize, usize, u32); 5], SquashError>
             ),
         ));
     }
-    let nsections = r.u32()? as usize;
-    if nsections != SECTIONS.len() {
-        return Err(fault(
-            FaultKind::Truncated,
-            format!("expected {} sections, header declares {}", SECTIONS.len(), nsections),
-        ));
-    }
-    let mut dir = [(0usize, 0usize, 0u32); 5];
-    let mut offset = HEADER_LEN + 4; // sections start after the header CRC
+    r.u32()?; // nsections, already read and validated
+    let mut dir = vec![(0usize, 0usize, 0u32); nsections];
+    let mut offset = header_len + 4; // sections start after the header CRC
     for (i, entry) in dir.iter_mut().enumerate() {
         let len = r.u32()? as usize;
         let crc = r.u32()?;
@@ -437,7 +637,7 @@ fn read_directory(bytes: &[u8]) -> Result<[(usize, usize, u32); 5], SquashError>
         offset = offset.checked_add(len).ok_or_else(|| {
             fault(
                 FaultKind::Truncated,
-                format!("section {} length {} overflows the file offset", SECTIONS[i], len),
+                format!("section {} length {} overflows the file offset", SECTION_NAMES[i], len),
             )
         })?;
         if offset > bytes.len() {
@@ -445,7 +645,7 @@ fn read_directory(bytes: &[u8]) -> Result<[(usize, usize, u32); 5], SquashError>
                 FaultKind::Truncated,
                 format!(
                     "section {} (length {}) extends past the end of the file",
-                    SECTIONS[i], len
+                    SECTION_NAMES[i], len
                 ),
             ));
         }
@@ -463,9 +663,10 @@ fn read_v3(bytes: &[u8], strict: bool) -> Result<Squashed, SquashError> {
     let dir = read_directory(bytes)?;
     let section = |i: usize| &bytes[dir[i].0..dir[i].0 + dir[i].1];
     // Verify section checksums before parsing a byte of them. The blob is
-    // deliberately lazy (verified per region at trap time) unless strict.
-    for i in 0..SECTIONS.len() {
-        if SECTIONS[i] == "blob" && !strict {
+    // deliberately lazy (verified per region at trap time) unless strict;
+    // provenance is tiny and verified eagerly like the other sections.
+    for i in 0..dir.len() {
+        if SECTION_NAMES[i] == "blob" && !strict {
             continue;
         }
         let actual = crc32c(section(i));
@@ -474,7 +675,7 @@ fn read_v3(bytes: &[u8], strict: bool) -> Result<Squashed, SquashError> {
                 FaultKind::SectionChecksum,
                 format!(
                     "section {} checksum mismatch (stored {:#010x}, computed {actual:#010x})",
-                    SECTIONS[i], dir[i].2
+                    SECTION_NAMES[i], dir[i].2
                 ),
             ));
         }
@@ -485,7 +686,13 @@ fn read_v3(bytes: &[u8], strict: bool) -> Result<Squashed, SquashError> {
     let blob = section(2).to_vec();
     let bit_offsets = parse_offsets(section(3), meta.regions)?;
     let region_crcs = parse_region_crcs(section(4), meta.regions)?;
-    Ok(assemble(meta, model, blob, bit_offsets, region_crcs))
+    let provenance = match dir.len() {
+        n if n > BASE_SECTIONS => Some(Provenance::parse(section(BASE_SECTIONS))?),
+        _ => None,
+    };
+    let mut squashed = assemble(meta, model, blob, bit_offsets, region_crcs);
+    squashed.provenance = provenance;
+    Ok(squashed)
 }
 
 /// Everything in the v3 `meta` section (shared with the v2 prefix parser).
@@ -684,6 +891,7 @@ fn assemble(
             regions: meta.regions,
             ..SquashStats::default()
         },
+        provenance: None,
     }
 }
 
@@ -764,11 +972,18 @@ pub fn boundaries(bytes: &[u8]) -> Vec<usize> {
     match version(bytes) {
         Some(3) => {
             // Directory entry edges, header CRC edge, then section edges.
-            for i in 0..SECTIONS.len() {
+            // The section count comes from the (untrusted) header; clamp it
+            // to the valid range so forged counts still yield sane cuts.
+            let n = bytes
+                .get(12..16)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                .unwrap_or(BASE_SECTIONS)
+                .clamp(BASE_SECTIONS, BASE_SECTIONS + 1);
+            for i in 0..n {
                 cuts.push(16 + i * 8);
             }
-            cuts.push(HEADER_LEN);
-            cuts.push(HEADER_LEN + 4);
+            cuts.push(header_len(n));
+            cuts.push(header_len(n) + 4);
             if let Ok(dir) = read_directory(bytes) {
                 for (off, len, _) in dir {
                     cuts.push(off);
@@ -888,7 +1103,7 @@ mod tests {
         let squashed = squash_sample();
         let clean = write(&squashed);
         let dir = read_directory(&clean).expect("directory");
-        for (i, name) in SECTIONS.iter().enumerate() {
+        for (i, name) in SECTION_NAMES.iter().take(dir.len()).enumerate() {
             if *name == "blob" {
                 continue; // lazy: verified per region at trap time
             }
@@ -953,8 +1168,9 @@ mod tests {
         forged[meta_off + 4..meta_off + 8].copy_from_slice(&u32::MAX.to_le_bytes());
         let crc = crc32c(&forged[meta_off..meta_off + meta_len]);
         forged[16 + 4..16 + 8].copy_from_slice(&crc.to_le_bytes());
-        let hcrc = crc32c(&forged[..HEADER_LEN]);
-        forged[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&hcrc.to_le_bytes());
+        let hlen = header_len(BASE_SECTIONS);
+        let hcrc = crc32c(&forged[..hlen]);
+        forged[hlen..hlen + 4].copy_from_slice(&hcrc.to_le_bytes());
         let err = read(&forged).unwrap_err();
         assert_eq!(kind_of(&err), FaultKind::Truncated);
 
@@ -969,6 +1185,89 @@ mod tests {
             assert!(
                 matches!(kind_of(&err), FaultKind::Truncated | FaultKind::CodeTableCorrupt),
                 "forge at {field_off}: {:?}",
+                kind_of(&err)
+            );
+        }
+    }
+
+    fn sample_provenance() -> Provenance {
+        Provenance {
+            kind: ProvenanceKind::Retuned,
+            profile_crc: 0xDEAD_BEEF,
+            telemetry_docs: 3,
+            source: "adpcm+gsm".into(),
+            measured_cycles: 123_456_789,
+            predicted_cycles: 98_765_432,
+            theta: 2e-3,
+            buffer_limit: 1024,
+            demoted_regions: 4,
+            candidates: 9,
+            winner: 5,
+        }
+    }
+
+    /// A provenance-carrying image round-trips as a six-section file; the
+    /// same image without provenance keeps the historical five-section
+    /// bytes, so static images are unchanged by the format extension.
+    #[test]
+    fn provenance_round_trips_and_absence_keeps_old_bytes() {
+        let mut squashed = squash_sample();
+        let static_bytes = write(&squashed);
+        squashed.provenance = Some(sample_provenance());
+        let bytes = write(&squashed);
+        assert_ne!(static_bytes.len(), bytes.len());
+        assert_eq!(u32::from_le_bytes(static_bytes[12..16].try_into().unwrap()), 5);
+        assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 6);
+        let restored = read(&bytes).expect("read back");
+        assert_eq!(restored.provenance, Some(sample_provenance()));
+        assert_eq!(restored.segments, squashed.segments);
+        read_strict(&bytes).expect("strict accepts provenance images");
+        // Behaviour is identical through either form.
+        let a = pipeline::run_squashed(&read(&static_bytes).unwrap(), b"!").unwrap();
+        let b = pipeline::run_squashed(&restored, b"!").unwrap();
+        assert_eq!((a.status, a.output, a.cycles), (b.status, b.output, b.cycles));
+    }
+
+    /// Provenance lives under the same CRC discipline as every section:
+    /// damage is a section-checksum fault at load, and truncation at every
+    /// boundary of the six-section layout stays a typed fault.
+    #[test]
+    fn provenance_damage_and_truncation_are_typed_faults() {
+        let mut squashed = squash_sample();
+        squashed.provenance = Some(sample_provenance());
+        let clean = write(&squashed);
+        let dir = read_directory(&clean).expect("directory");
+        let (off, len, _) = dir[BASE_SECTIONS];
+        assert!(len > 0);
+        let mut bytes = clean.clone();
+        bytes[off + len / 2] ^= 0x10;
+        let err = read(&bytes).unwrap_err();
+        assert_eq!(kind_of(&err), FaultKind::SectionChecksum);
+        assert!(err.message.contains("provenance"), "{}", err.message);
+        for cut in boundaries(&clean) {
+            if cut == clean.len() {
+                continue;
+            }
+            let err = read(&clean[..cut]).expect_err("truncated image accepted");
+            let kind = kind_of(&err);
+            assert!(
+                matches!(kind, FaultKind::Truncated | FaultKind::BadMagic),
+                "cut at {cut}: unexpected kind {kind:?}"
+            );
+        }
+        // A forged section count (5 → 6 with no sixth section, or an
+        // implausible count) is typed, never a panic.
+        let five = write(&squash_sample());
+        for forged_count in [4u32, 6, 7, u32::MAX] {
+            let mut forged = five.clone();
+            forged[12..16].copy_from_slice(&forged_count.to_le_bytes());
+            let err = read(&forged).expect_err("forged section count accepted");
+            assert!(
+                matches!(
+                    kind_of(&err),
+                    FaultKind::Truncated | FaultKind::HeaderChecksum | FaultKind::BadMagic
+                ),
+                "count {forged_count}: {:?}",
                 kind_of(&err)
             );
         }

@@ -109,6 +109,10 @@ pub struct Squashed {
     pub runtime: RuntimeConfig,
     /// Pipeline statistics.
     pub stats: SquashStats,
+    /// How the image was tuned (`None` for a plain static-profile squash;
+    /// filled in by [`crate::retune`]). Serialized as the optional
+    /// `provenance` section of a SQSH0003 image.
+    pub provenance: Option<crate::image_file::Provenance>,
 }
 
 impl Squashed {
@@ -819,6 +823,7 @@ pub(crate) fn assemble(
         entry: geo.func_addr(program.entry)?,
         runtime,
         stats,
+        provenance: None,
     })
 }
 

@@ -68,6 +68,7 @@ pub mod layout;
 mod par;
 pub mod pipeline;
 pub mod regions;
+pub mod retune;
 pub mod runtime;
 pub mod stages;
 pub mod telemetry;
@@ -413,7 +414,8 @@ impl Squasher {
     ///
     /// # Errors
     ///
-    /// Fails if the profile does not match the program's shape.
+    /// Fails if the profile does not match the program's shape or the cold
+    /// threshold is non-finite.
     pub fn new(
         program: &Program,
         profile: &BlockProfile,
@@ -430,13 +432,32 @@ impl Squasher {
         }
         let (program, profile, table_stats) =
             jumptables::apply(program, profile, options.jump_tables);
-        let cold = cold::identify(&program, &profile, options.theta);
+        let cold = cold::identify(&program, &profile, options.theta)?;
         Ok(Squasher {
             program,
             options: options.clone(),
             cold,
             table_stats,
         })
+    }
+
+    /// Builds a squasher from already-prepared parts: a jump-table-
+    /// transformed program and a (possibly feedback-adjusted) cold set.
+    /// Used by [`retune`] to emit candidate images from cold sets it has
+    /// demoted blocks out of, without re-running the jump-table transform
+    /// per candidate.
+    pub(crate) fn from_parts(
+        program: Program,
+        options: SquashOptions,
+        cold: cold::ColdSet,
+        table_stats: jumptables::JumpTableStats,
+    ) -> Squasher {
+        Squasher {
+            program,
+            options,
+            cold,
+            table_stats,
+        }
     }
 
     /// The (possibly jump-table-transformed) program being squashed.

@@ -703,7 +703,7 @@ mod tests {
     fn regions_cover_only_compressible_blocks() {
         let (program, profile) = fixture();
         let opts = options();
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         let regions = form_regions(&program, &comp, &opts);
         assert!(!regions.is_empty(), "cold functions should form regions");
@@ -718,7 +718,7 @@ mod tests {
     fn regions_are_disjoint() {
         let (program, profile) = fixture();
         let opts = options();
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         let regions = form_regions(&program, &comp, &opts);
         let mut seen = HashSet::new();
@@ -738,7 +738,7 @@ mod tests {
                 buffer_limit: k,
                 ..SquashOptions::default()
             };
-            let cold = crate::cold::identify(&program, &profile, opts.theta);
+            let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
             let comp = compressible_blocks(&program, &cold, &opts);
             let regions = form_regions(&program, &comp, &opts);
             for r in &regions {
@@ -758,7 +758,7 @@ mod tests {
             theta: 1.0,
             ..SquashOptions::default()
         };
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         assert!(comp[program.entry.0].iter().all(|&c| !c));
     }
@@ -771,7 +771,7 @@ mod tests {
             ..SquashOptions::default()
         };
         opts.exclude.insert("cold1".into());
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         let f = program.func_by_name("cold1").unwrap();
         assert!(comp[f.0].iter().all(|&c| !c));
@@ -785,7 +785,7 @@ mod tests {
             pack_regions: false,
             ..SquashOptions::default()
         };
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         let unpacked = form_regions(&program, &comp, &opts);
         let packed_opts = SquashOptions {
@@ -804,7 +804,7 @@ mod tests {
         let (program, profile) = fixture();
         let opts = options();
         let sizing = SizingTable::build(&program);
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         let regions = form_regions(&program, &comp, &opts);
         assert!(!regions.is_empty());
@@ -853,7 +853,7 @@ mod tests {
         let (program, profile) = fixture();
         let opts = options();
         let refs = ref_info(&program);
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         let regions = form_regions(
             &program,
@@ -896,7 +896,7 @@ mod tests {
     fn form_regions_is_independent_of_jobs() {
         let (program, profile) = fixture();
         let opts = options();
-        let cold = crate::cold::identify(&program, &profile, opts.theta);
+        let cold = crate::cold::identify(&program, &profile, opts.theta).unwrap();
         let comp = compressible_blocks(&program, &cold, &opts);
         let serial = form_regions(&program, &comp, &opts);
         for jobs in [2, 3, 8] {

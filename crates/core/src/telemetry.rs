@@ -41,7 +41,12 @@ use crate::stages::StageStats;
 /// Consumers reject documents with a larger major version; fields may be
 /// added within a version (all structs behind the schema are
 /// `#[non_exhaustive]` or crate-local for exactly this reason).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 = PR4 (runtime/attribution sections, integrity counters added
+/// in PR5 without a bump — absent keys parse as zero); 2 = fleet merging
+/// ([`Telemetry::merge`], the `"docs"` document count). Version-1 documents
+/// still parse.
+pub const SCHEMA_VERSION: u32 = 2;
 
 pub mod json {
     //! A minimal JSON value: emit, parse, and accessors.
@@ -383,6 +388,15 @@ pub mod json {
 
 use json::{int, obj, Json};
 
+/// Checked narrowing for integers parsed out of untrusted JSON documents: a
+/// value that does not fit the target counter type is a typed parse error,
+/// never a silent `as` truncation (the retune path feeds these documents
+/// straight into indexing, so a truncated region id would alias another
+/// region's counters).
+fn narrow<T: TryFrom<u64>>(v: u64, what: &str) -> Result<T, String> {
+    T::try_from(v).map_err(|_| format!("telemetry: \"{what}\" out of range ({v})"))
+}
+
 /// Attribution totals for one region: what its decompressions, cache hits
 /// and restore-stub traffic cost, and how long it stayed resident.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -708,7 +722,7 @@ impl AttributionReport {
         let mut report = AttributionReport::default();
         for r in v.get("regions").and_then(Json::as_arr).unwrap_or(&[]) {
             report.regions.push(RegionRow {
-                region: req(r, "region")? as u16,
+                region: narrow(req(r, "region")?, "region")?,
                 decompressions: req(r, "decompressions")?,
                 hits: req(r, "hits")?,
                 evictions: req(r, "evictions")?,
@@ -721,7 +735,7 @@ impl AttributionReport {
         }
         for s in v.get("sites").and_then(Json::as_arr).unwrap_or(&[]) {
             report.sites.push(SiteRow {
-                site: req(s, "site")? as u32,
+                site: narrow(req(s, "site")?, "site")?,
                 creates: req(s, "creates")?,
                 reuses: req(s, "reuses")?,
                 frees: req(s, "frees")?,
@@ -893,6 +907,11 @@ pub struct Telemetry {
     /// Machine-check faults by kind, if any were observed (a faulting
     /// `squashrun` emits exactly one; harnesses may aggregate more).
     pub faults: Vec<FaultCount>,
+    /// How many run documents were folded into this one by
+    /// [`Telemetry::merge`]. `0` means an ordinary single-run document (the
+    /// field is omitted from its JSON form); merged fleets carry the count so
+    /// retune provenance can record how much evidence produced an image.
+    pub docs: u64,
 }
 
 impl Telemetry {
@@ -909,12 +928,155 @@ impl Telemetry {
         (attributed, charged, charged - attributed)
     }
 
+    /// Folds a fleet of run documents into one aggregate document (what
+    /// `squashc --retune a.json --retune b.json` feeds the retuner).
+    ///
+    /// Counters sum (saturating, so forged documents cannot overflow);
+    /// high-water marks (`max_live_stubs`, `end_cycle`) and the exit status
+    /// take the maximum; attribution rows merge by region index / site tag;
+    /// stage records merge by stage name; fault tallies merge by kind; names
+    /// are deduplicated, sorted and joined with `+`. Every rule is symmetric,
+    /// so the result is independent of document order (asserted by
+    /// `tests/determinism.rs`). An empty slice merges to the default
+    /// document.
+    pub fn merge(docs: &[Telemetry]) -> Telemetry {
+        fn sat(acc: &mut u64, n: u64) {
+            *acc = acc.saturating_add(n);
+        }
+        let mut names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut stages: BTreeMap<String, StageRecord> = BTreeMap::new();
+        let mut faults: BTreeMap<String, u64> = BTreeMap::new();
+        let mut regions: BTreeMap<u16, RegionRow> = BTreeMap::new();
+        let mut sites: BTreeMap<u32, SiteRow> = BTreeMap::new();
+        let mut attr: Option<AttributionReport> = None;
+        let mut out = Telemetry::default();
+        for d in docs {
+            if !d.name.is_empty() {
+                names.insert(&d.name);
+            }
+            // A previously-merged input counts for the documents behind it.
+            sat(&mut out.docs, d.docs.max(1));
+            if let Some(run) = d.run {
+                match &mut out.run {
+                    None => out.run = Some(run),
+                    Some(acc) => {
+                        acc.status = acc.status.max(run.status);
+                        sat(&mut acc.instructions, run.instructions);
+                        sat(&mut acc.cycles, run.cycles);
+                        sat(&mut acc.output_bytes, run.output_bytes);
+                    }
+                }
+            }
+            if let Some(rt) = d.runtime {
+                match &mut out.runtime {
+                    None => out.runtime = Some(rt),
+                    Some(acc) => {
+                        sat(&mut acc.decompressions, rt.decompressions);
+                        sat(&mut acc.skipped, rt.skipped);
+                        sat(&mut acc.stub_hits, rt.stub_hits);
+                        sat(&mut acc.stub_allocs, rt.stub_allocs);
+                        sat(&mut acc.restores, rt.restores);
+                        acc.max_live_stubs = acc.max_live_stubs.max(rt.max_live_stubs);
+                        sat(&mut acc.bits_read, rt.bits_read);
+                        sat(&mut acc.insts_written, rt.insts_written);
+                        sat(&mut acc.cycles_charged, rt.cycles_charged);
+                        sat(&mut acc.hits, rt.hits);
+                        sat(&mut acc.misses, rt.misses);
+                        sat(&mut acc.evictions, rt.evictions);
+                        sat(&mut acc.regions_verified, rt.regions_verified);
+                        sat(&mut acc.checksum_cycles, rt.checksum_cycles);
+                        sat(&mut acc.ref_fallbacks, rt.ref_fallbacks);
+                    }
+                }
+            }
+            if let Some(ic) = d.icache {
+                match &mut out.icache {
+                    None => out.icache = Some(ic),
+                    Some(acc) => {
+                        sat(&mut acc.hits, ic.hits);
+                        sat(&mut acc.misses, ic.misses);
+                        sat(&mut acc.flushes, ic.flushes);
+                    }
+                }
+            }
+            for s in &d.stages {
+                match stages.get_mut(&s.name) {
+                    None => {
+                        stages.insert(s.name.clone(), s.clone());
+                    }
+                    Some(acc) => {
+                        sat(&mut acc.wall_ns, s.wall_ns);
+                        sat(&mut acc.items, s.items);
+                        sat(&mut acc.output_bytes, s.output_bytes);
+                        // Smallest non-empty note wins: symmetric, so merge
+                        // order cannot change the result.
+                        if !s.note.is_empty() && (acc.note.is_empty() || s.note < acc.note) {
+                            acc.note = s.note.clone();
+                        }
+                    }
+                }
+            }
+            for f in &d.faults {
+                sat(faults.entry(f.kind.clone()).or_insert(0), f.count);
+            }
+            if let Some(a) = &d.attribution {
+                let acc = attr.get_or_insert_with(AttributionReport::default);
+                for r in &a.regions {
+                    let row = regions
+                        .entry(r.region)
+                        .or_insert_with(|| RegionRow { region: r.region, ..RegionRow::default() });
+                    sat(&mut row.decompressions, r.decompressions);
+                    sat(&mut row.hits, r.hits);
+                    sat(&mut row.evictions, r.evictions);
+                    sat(&mut row.decomp_cycles, r.decomp_cycles);
+                    sat(&mut row.hit_cycles, r.hit_cycles);
+                    sat(&mut row.stub_cycles, r.stub_cycles);
+                    sat(&mut row.residency_cycles, r.residency_cycles);
+                    sat(&mut row.residency_intervals, r.residency_intervals);
+                }
+                for s in &a.sites {
+                    let row = sites
+                        .entry(s.site)
+                        .or_insert_with(|| SiteRow { site: s.site, ..SiteRow::default() });
+                    sat(&mut row.creates, s.creates);
+                    sat(&mut row.reuses, s.reuses);
+                    sat(&mut row.frees, s.frees);
+                    sat(&mut row.cycles, s.cycles);
+                }
+                if acc.interarrival.len() < a.interarrival.len() {
+                    acc.interarrival.resize(a.interarrival.len(), 0);
+                }
+                for (bucket, &n) in a.interarrival.iter().enumerate() {
+                    sat(&mut acc.interarrival[bucket], n);
+                }
+                sat(&mut acc.traps.create_stub, a.traps.create_stub);
+                sat(&mut acc.traps.entry, a.traps.entry);
+                sat(&mut acc.traps.restore, a.traps.restore);
+                sat(&mut acc.attributed_cycles, a.attributed_cycles);
+                acc.end_cycle = acc.end_cycle.max(a.end_cycle);
+            }
+        }
+        if let Some(mut a) = attr {
+            a.regions = regions.into_values().collect();
+            a.sites = sites.into_values().collect();
+            out.attribution = Some(a);
+        }
+        out.stages = stages.into_values().collect();
+        out.faults =
+            faults.into_iter().map(|(kind, count)| FaultCount { kind, count }).collect();
+        out.name = names.into_iter().collect::<Vec<_>>().join("+");
+        out
+    }
+
     /// Serializes the report to its stable JSON schema.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("schema", int(SCHEMA_VERSION as u64)),
             ("name", Json::Str(self.name.clone())),
         ];
+        if self.docs > 0 {
+            fields.push(("docs", int(self.docs)));
+        }
         if let Some(run) = self.run {
             fields.push((
                 "run",
@@ -1040,6 +1202,9 @@ impl Telemetry {
                 .and_then(Json::as_str)
                 .unwrap_or_default()
                 .to_string(),
+            // Absent in every pre-merge (schema 1) document and in plain
+            // single-run documents: both read back as 0.
+            docs: v.get("docs").and_then(Json::as_u64).unwrap_or(0),
             ..Telemetry::default()
         };
         if let Some(run) = v.get("run") {
@@ -1060,7 +1225,7 @@ impl Telemetry {
                 stub_hits: req(rt, "stub_hits")?,
                 stub_allocs: req(rt, "stub_allocs")?,
                 restores: req(rt, "restores")?,
-                max_live_stubs: req(rt, "max_live_stubs")? as usize,
+                max_live_stubs: narrow(req(rt, "max_live_stubs")?, "max_live_stubs")?,
                 bits_read: req(rt, "bits_read")?,
                 insts_written: req(rt, "insts_written")?,
                 cycles_charged: req(rt, "cycles_charged")?,
@@ -1186,7 +1351,12 @@ impl Telemetry {
                     0 => "0".to_string(),
                     i => format!("[2^{}, 2^{})", i - 1, i),
                 };
-                let bar = "#".repeat((count * 40).div_ceil(max) as usize);
+                // Widened to u128: `count * 40` overflows u64 for the huge
+                // counters fleet-merged documents can carry. `count <= max`
+                // keeps the quotient in 1..=40; `.min(40)` guards forged
+                // documents where it does not.
+                let width = (count as u128 * 40).div_ceil(max as u128).min(40) as usize;
+                let bar = "#".repeat(width);
                 let _ = writeln!(out, "{label:>14} {count:>8} {bar}");
             }
         }
@@ -1368,13 +1538,14 @@ mod tests {
                 FaultCount { kind: "region_checksum".into(), count: 2 },
                 FaultCount { kind: "truncated_stream".into(), count: 1 },
             ],
+            docs: 0,
         };
         let text = t.to_json_string();
         let back = Telemetry::from_json(&json::parse(&text).expect("parse")).expect("from_json");
         assert_eq!(back, t, "document: {text}");
         // Spot-check stable schema keys.
         for key in [
-            "\"schema\":1",
+            "\"schema\":2",
             "\"cycles_charged\":12345",
             "\"miss_ratio\":0.1",
             "\"wall_ns\":1500000",
@@ -1403,6 +1574,139 @@ mod tests {
         assert_eq!(rt.checksum_cycles, 0);
         assert_eq!(rt.ref_fallbacks, 0);
         assert!(t.faults.is_empty());
+    }
+
+    /// Narrowed fields (`region: u16`, `site: u32`, `max_live_stubs: usize`)
+    /// must reject out-of-range values with a typed error, never truncate —
+    /// a forged region id that wrapped would alias another region's counters
+    /// once retune indexes by it.
+    #[test]
+    fn out_of_range_narrow_fields_are_rejected() {
+        let attr_doc = |region: u64, site: u64| {
+            format!(
+                "{{\"schema\":2,\"name\":\"x\",\"attribution\":{{\"regions\":[{{\
+                 \"region\":{region},\"decompressions\":1,\"hits\":0,\"evictions\":0,\
+                 \"decomp_cycles\":1,\"hit_cycles\":0,\"stub_cycles\":0,\
+                 \"residency_cycles\":0,\"residency_intervals\":0}}],\"sites\":[{{\
+                 \"site\":{site},\"creates\":1,\"reuses\":0,\"frees\":0,\"cycles\":1}}],\
+                 \"attributed_cycles\":1,\"end_cycle\":1}}}}"
+            )
+        };
+        // In range on both axes: parses.
+        let ok = Telemetry::from_json(&json::parse(&attr_doc(65535, 4294967295)).unwrap());
+        assert!(ok.is_ok(), "{ok:?}");
+        // One past each bound: typed errors naming the field.
+        let err = Telemetry::from_json(&json::parse(&attr_doc(65536, 0)).unwrap()).unwrap_err();
+        assert!(err.contains("\"region\" out of range"), "{err}");
+        let err =
+            Telemetry::from_json(&json::parse(&attr_doc(0, 4294967296)).unwrap()).unwrap_err();
+        assert!(err.contains("\"site\" out of range"), "{err}");
+        // max_live_stubs > usize::MAX cannot be represented on 64-bit hosts,
+        // but the checked path is the same helper; prove it is wired by
+        // round-tripping a legitimate value through it.
+        let doc = "{\"schema\":2,\"name\":\"x\",\"runtime\":{\
+                   \"decompressions\":0,\"skipped\":0,\"stub_hits\":0,\
+                   \"stub_allocs\":0,\"restores\":0,\"max_live_stubs\":77,\
+                   \"bits_read\":0,\"insts_written\":0,\"cycles_charged\":0,\
+                   \"hits\":0,\"misses\":0,\"evictions\":0}}";
+        let t = Telemetry::from_json(&json::parse(doc).unwrap()).unwrap();
+        assert_eq!(t.runtime.unwrap().max_live_stubs, 77);
+    }
+
+    /// Near-`u64::MAX` histogram counters (a long fleet-merged run) must
+    /// render without overflowing the `count * 40` bar arithmetic.
+    #[test]
+    fn report_histogram_survives_huge_counters() {
+        let t = Telemetry {
+            name: "fleet".into(),
+            runtime: Some(RuntimeStats::default()),
+            attribution: Some(AttributionReport {
+                interarrival: vec![u64::MAX - 1, u64::MAX, 1],
+                ..AttributionReport::default()
+            }),
+            ..Telemetry::default()
+        };
+        let rendered = t.report();
+        let bars: Vec<&str> = rendered
+            .lines()
+            .filter(|l| l.trim_start().starts_with('[') || l.trim_start().starts_with("0 "))
+            .collect();
+        assert!(rendered.contains(&"#".repeat(40)), "full bucket renders 40 marks:\n{rendered}");
+        for line in bars {
+            let width = line.chars().filter(|&c| c == '#').count();
+            assert!((1..=40).contains(&width), "bar width {width} out of range: {line}");
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_is_commutative() {
+        let mk = |name: &str, cycles: u64, region: u16, status: i64| {
+            let mut attribution = Attribution::new();
+            attribution.emit(
+                0,
+                &TraceEvent::ServiceTrap { kind: TrapKind::Entry, pc: 0, ra: 0 },
+            );
+            attribution.emit(
+                cycles,
+                &TraceEvent::DecompressEnd { region, bits: 8, insts: 2, slot: 0, evicted: None },
+            );
+            Telemetry {
+                name: name.into(),
+                run: Some(RunMetrics {
+                    status,
+                    instructions: 100,
+                    cycles,
+                    output_bytes: 3,
+                }),
+                runtime: Some(RuntimeStats {
+                    decompressions: 1,
+                    cycles_charged: cycles,
+                    max_live_stubs: (cycles / 100) as usize % 10,
+                    ..RuntimeStats::default()
+                }),
+                stages: vec![StageRecord {
+                    name: "encode".into(),
+                    wall_ns: 10,
+                    items: 2,
+                    output_bytes: 64,
+                    note: "regions".into(),
+                }],
+                faults: vec![FaultCount { kind: "region_checksum".into(), count: 1 }],
+                attribution: Some(attribution.finish(cycles)),
+                ..Telemetry::default()
+            }
+        };
+        let a = mk("a", 500, 1, 0);
+        let b = mk("b", 700, 1, 3);
+        let c = mk("c", 900, 4, -1);
+        let ab_c = Telemetry::merge(&[a.clone(), b.clone(), c.clone()]);
+        let c_ba = Telemetry::merge(&[c, b, a]);
+        assert_eq!(ab_c, c_ba, "merge must be order-independent");
+        assert_eq!(ab_c.docs, 3);
+        assert_eq!(ab_c.name, "a+b+c");
+        let run = ab_c.run.unwrap();
+        assert_eq!(run.cycles, 500 + 700 + 900);
+        assert_eq!(run.status, 3, "worst status wins");
+        let rt = ab_c.runtime.unwrap();
+        assert_eq!(rt.decompressions, 3);
+        assert_eq!(rt.max_live_stubs, 9, "high-water mark takes the max");
+        let attr = ab_c.attribution.as_ref().unwrap();
+        assert_eq!(attr.regions.len(), 2, "rows merged by region index");
+        let r1 = attr.regions.iter().find(|r| r.region == 1).unwrap();
+        assert_eq!(r1.decompressions, 2);
+        assert_eq!(r1.decomp_cycles, 500 + 700);
+        assert_eq!(attr.end_cycle, 900, "end_cycle is a high-water mark");
+        assert_eq!(ab_c.stages.len(), 1);
+        assert_eq!(ab_c.stages[0].items, 6);
+        assert_eq!(ab_c.faults, vec![FaultCount { kind: "region_checksum".into(), count: 3 }]);
+        // A merged document round-trips its own JSON, docs count included.
+        let text = ab_c.to_json_string();
+        assert!(text.contains("\"docs\":3"), "{text}");
+        let back = Telemetry::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ab_c);
+        // Merging a merged document preserves the evidence count.
+        let again = Telemetry::merge(&[ab_c, mk("d", 10, 0, 0)]);
+        assert_eq!(again.docs, 4);
     }
 
     #[test]

@@ -410,7 +410,7 @@ fn strategies_produce_disjoint_k_bounded_regions() {
             buffer_limit: 256,
             ..SquashOptions::default()
         };
-        let cs = cold::identify(&p, &prof, o.theta);
+        let cs = cold::identify(&p, &prof, o.theta).unwrap();
         let comp = regions::compressible_blocks(&p, &cs, &o);
         let regs = regions::form_regions(&p, &comp, &o);
         let mut seen = std::collections::HashSet::new();

@@ -24,6 +24,10 @@
 //!   --metrics-json <f> write the unified telemetry report (stage records,
 //!                      plus run/runtime counters when --run is given) as
 //!                      one JSON document (stable schema, DESIGN.md §12)
+//!   --retune <file>    feedback-directed recompression: re-tune against a
+//!                      telemetry document from `squashrun --metrics-json`
+//!                      (repeat the flag to merge a fleet of documents);
+//!                      the emitted image records its provenance
 //!   --dump-regions     print the region map
 //! ```
 //!
@@ -53,6 +57,7 @@ struct Args {
     jobs: usize,
     stage_stats: bool,
     metrics_json: Option<String>,
+    retune: Vec<String>,
     dump_regions: bool,
     emit_format: u32,
 }
@@ -75,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         stage_stats: false,
         metrics_json: None,
+        retune: Vec::new(),
         dump_regions: false,
     };
     let mut it = std::env::args().skip(1);
@@ -84,7 +90,14 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("missing value for {name}"))
         };
         match a.as_str() {
-            "--theta" => args.theta = value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?,
+            "--theta" => {
+                args.theta = value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?;
+                // `"nan".parse::<f64>()` succeeds; reject it here so a typo
+                // cannot silently behave like θ = 0 deep in the pipeline.
+                if !args.theta.is_finite() {
+                    return Err(format!("--theta must be finite, got {}", args.theta));
+                }
+            }
             "--buffer" => args.buffer = value("--buffer")?.parse().map_err(|e| format!("--buffer: {e}"))?,
             "--cache-slots" => {
                 args.cache_slots = value("--cache-slots")?
@@ -110,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
             "--dump-regions" => args.dump_regions = true,
             "--stage-stats" => args.stage_stats = true,
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
+            "--retune" => args.retune.push(value("--retune")?),
             "--jobs" => {
                 let requested: usize =
                     value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
@@ -139,7 +153,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: squashc <source.mc>... [--theta F] [--buffer N] \
                             [--cache-slots N] [--profile FILE] [--run FILE] [--emit FILE] [--emit-format 2|3] \
                             [--no-squeeze] [--strategy dfs|greedy] [--jump-tables MODE] \
-                            [--jobs N] [--stage-stats] [--metrics-json FILE] [--dump-regions]"
+                            [--jobs N] [--stage-stats] [--metrics-json FILE] \
+                            [--retune FILE]... [--dump-regions]"
                     .to_string())
             }
             other if !other.starts_with('-') => args.sources.push(other.to_string()),
@@ -215,33 +230,45 @@ fn run() -> Result<(), String> {
         jobs: args.jobs,
         ..Default::default()
     };
-    let squasher = Squasher::new(&program, &profile, &options).map_err(|e| e.to_string())?;
-    if args.dump_regions {
-        let cold = squasher.cold();
-        println!("\ncold blocks (θ = {}):", args.theta);
-        for (fid, f) in squasher.program().iter_funcs() {
-            let cold_count = cold.cold[fid.0].iter().filter(|&&c| c).count();
-            if cold_count > 0 {
-                println!("  {:24} {:3}/{} blocks cold", f.name, cold_count, f.blocks.len());
-            }
-        }
-    }
-    let mut stage_observer = squash_repro::squash::stages::CollectObserver::default();
-    let squashed = squasher
-        .finish_observed(&mut stage_observer)
-        .map_err(|e| e.to_string())?;
-    if args.stage_stats {
-        println!("\npipeline stages ({} job{}):", args.jobs, if args.jobs == 1 { "" } else { "s" });
-        println!("{stage_observer}");
-    }
     let mut telemetry = squash_repro::squash::telemetry::Telemetry {
         name: args.sources.join(" "),
-        stages: stage_observer
+        ..Default::default()
+    };
+    let squashed = if args.retune.is_empty() {
+        let squasher = Squasher::new(&program, &profile, &options).map_err(|e| e.to_string())?;
+        if args.dump_regions {
+            let cold = squasher.cold();
+            println!("\ncold blocks (θ = {}):", args.theta);
+            for (fid, f) in squasher.program().iter_funcs() {
+                let cold_count = cold.cold[fid.0].iter().filter(|&&c| c).count();
+                if cold_count > 0 {
+                    println!("  {:24} {:3}/{} blocks cold", f.name, cold_count, f.blocks.len());
+                }
+            }
+        }
+        let mut stage_observer = squash_repro::squash::stages::CollectObserver::default();
+        let squashed = squasher
+            .finish_observed(&mut stage_observer)
+            .map_err(|e| e.to_string())?;
+        if args.stage_stats {
+            println!("\npipeline stages ({} job{}):", args.jobs, if args.jobs == 1 { "" } else { "s" });
+            println!("{stage_observer}");
+        }
+        telemetry.stages = stage_observer
             .stages
             .iter()
             .map(squash_repro::squash::telemetry::StageRecord::from)
-            .collect(),
-        ..Default::default()
+            .collect();
+        squashed
+    } else {
+        if args.emit_format == 2 {
+            return Err(
+                "--retune records provenance, which the legacy format 2 cannot carry; \
+                 drop --emit-format 2"
+                    .to_string(),
+            );
+        }
+        retune_image(&args, &program, &profile, &options)?
     };
     let stats = &squashed.stats;
     println!(
@@ -310,4 +337,55 @@ fn run() -> Result<(), String> {
         println!("metrics:   wrote {path}");
     }
     Ok(())
+}
+
+/// Loads and merges the `--retune` telemetry documents, runs the
+/// feedback-directed retuner, and prints the candidate-ladder report.
+fn retune_image(
+    args: &Args,
+    program: &squash_repro::cfg::Program,
+    profile: &squash_repro::squash::BlockProfile,
+    options: &SquashOptions,
+) -> Result<squash_repro::squash::layout::Squashed, String> {
+    use squash_repro::squash::telemetry::{json, Telemetry};
+    let mut docs = Vec::with_capacity(args.retune.len());
+    for path in &args.retune {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        docs.push(Telemetry::from_json(&doc).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let count = docs.len();
+    let merged = match docs.len() {
+        1 => docs.remove(0),
+        _ => Telemetry::merge(&docs),
+    };
+    println!(
+        "retune:    {} telemetry document{} from {} ({} measured cycles)",
+        count,
+        if count == 1 { "" } else { "s" },
+        merged.name,
+        merged.run.as_ref().map_or(0, |r| r.cycles),
+    );
+    let retuned = squash_repro::squash::retune::retune(program, profile, options, &merged)
+        .map_err(|e| e.to_string())?;
+    let report = &retuned.report;
+    println!(
+        "retune:    {} hot region{} measured, base {} cycles",
+        report.hot_regions,
+        if report.hot_regions == 1 { "" } else { "s" },
+        report.base_cycles,
+    );
+    for (i, c) in report.candidates.iter().enumerate() {
+        println!(
+            "retune:    {} candidate {i:2}: θ={:<8} K={:<5} {}  {:>10} predicted cycles, {} regions, {} B",
+            if i == report.winner { "→" } else { " " },
+            c.theta,
+            c.buffer_limit,
+            if c.demoted { "demoted" } else { "static " },
+            c.predicted_cycles,
+            c.regions,
+            c.footprint,
+        );
+    }
+    Ok(retuned.squashed)
 }

@@ -208,6 +208,10 @@ fn run() -> Result<i64, SquashError> {
     }
     if report {
         eprint!("{}", telemetry.report());
+        match &squashed.provenance {
+            Some(p) => eprintln!("{p}"),
+            None => eprintln!("provenance: none (static-profile image)"),
+        }
     }
     Ok(result.status)
 }

@@ -116,7 +116,7 @@ fn squashrun_trace_report_and_metrics() {
         .expect("squashc runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
     let doc = std::fs::read_to_string(&compile_metrics).unwrap();
-    assert!(doc.contains("\"schema\":1"), "{doc}");
+    assert!(doc.contains("\"schema\":2"), "{doc}");
     assert!(doc.contains("\"stages\""), "{doc}");
     for stage in ["plan", "layout", "train", "encode", "assemble"] {
         assert!(doc.contains(&format!("\"name\":\"{stage}\"")), "{doc}");
@@ -182,11 +182,164 @@ fn squashrun_trace_report_and_metrics() {
 
     // Metrics document: documented sections present.
     let doc = std::fs::read_to_string(&metrics).unwrap();
-    for key in ["\"schema\":1", "\"run\"", "\"runtime\"", "\"icache\"", "\"attribution\"", "\"coverage\""]
+    for key in ["\"schema\":2", "\"run\"", "\"runtime\"", "\"icache\"", "\"attribution\"", "\"coverage\""]
     {
         assert!(doc.contains(key), "missing {key} in {doc}");
     }
     assert!(doc.contains("\"untracked_cycles\":0"), "{doc}");
+}
+
+/// The closed loop at the CLI surface: squash, run with `--metrics-json`,
+/// feed the document back through `--retune` (twice, to check the flag
+/// repeats and merging works), and verify the retuned image runs no slower
+/// and reports its provenance.
+#[test]
+fn squashc_retune_closes_the_loop() {
+    let dir = temp_dir();
+    let src = dir.join("loop.mc");
+    let timing = dir.join("loop-timing.bin");
+    let image = dir.join("loop.sqsh");
+    let metrics = dir.join("loop-metrics.json");
+    let retuned = dir.join("loop-retuned.sqsh");
+    std::fs::write(&src, PROGRAM).unwrap();
+    std::fs::write(&timing, b"timing \xf0\xff\xee bytes").unwrap();
+
+    // Static image with everything cold, so the run has traffic to react to.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([src.to_str().unwrap(), "--theta", "1.0", "--emit", image.to_str().unwrap()])
+        .output()
+        .expect("squashc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let cycles_of = |stderr: &str| -> u64 {
+        let line = stderr.lines().find(|l| l.contains(" cycles,")).unwrap();
+        let f = line.split(", ").find(|f| f.ends_with("cycles")).unwrap();
+        f.split_whitespace().next().unwrap().parse().unwrap()
+    };
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([
+            image.to_str().unwrap(),
+            "--input",
+            timing.to_str().unwrap(),
+            "--stats",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashrun runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let static_cycles = cycles_of(&String::from_utf8_lossy(&out.stderr));
+    let static_output = out.stdout.clone();
+
+    // Feed the telemetry back; repeating --retune merges the fleet.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([
+            src.to_str().unwrap(),
+            "--theta",
+            "1.0",
+            "--retune",
+            metrics.to_str().unwrap(),
+            "--retune",
+            metrics.to_str().unwrap(),
+            "--emit",
+            retuned.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashc retunes");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "squashc --retune failed:\n{stdout}");
+    assert!(stdout.contains("2 telemetry documents"), "{stdout}");
+    assert!(stdout.contains("candidate"), "{stdout}");
+
+    // The retuned image behaves identically, runs no slower, and reports
+    // its provenance.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([
+            retuned.to_str().unwrap(),
+            "--input",
+            timing.to_str().unwrap(),
+            "--stats",
+            "--report",
+        ])
+        .output()
+        .expect("squashrun runs retuned image");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(out.stdout, static_output, "retuning changed guest output");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let retuned_cycles = cycles_of(&stderr);
+    assert!(
+        retuned_cycles <= static_cycles,
+        "retuned image slower: {retuned_cycles} > {static_cycles}"
+    );
+    assert!(stderr.contains("provenance: retuned from measured telemetry"), "{stderr}");
+    assert!(stderr.contains("2 documents"), "{stderr}");
+
+    // A static image reports the absence of provenance rather than nothing.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([image.to_str().unwrap(), "--input", timing.to_str().unwrap(), "--report"])
+        .output()
+        .expect("squashrun runs static image");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("provenance: none (static-profile image)"), "{stderr}");
+}
+
+/// `--retune` usage errors exit 1 with a clear message: unreadable or
+/// unparseable telemetry, and a non-finite θ is rejected at the CLI
+/// boundary before any work happens.
+#[test]
+fn squashc_retune_rejects_bad_inputs() {
+    let dir = temp_dir();
+    let src = dir.join("bad-retune.mc");
+    std::fs::write(&src, PROGRAM).unwrap();
+
+    // Missing telemetry file.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([src.to_str().unwrap(), "--retune", "/nonexistent/telemetry.json"])
+        .output()
+        .expect("squashc runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "usage errors exit 1");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("squashc:"));
+
+    // Unparseable telemetry.
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, "{ not json").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([src.to_str().unwrap(), "--retune", junk.to_str().unwrap()])
+        .output()
+        .expect("squashc runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+
+    // Non-finite θ dies at argument parsing.
+    for bad in ["nan", "inf", "-inf"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+            .args([src.to_str().unwrap(), "--theta", bad])
+            .output()
+            .expect("squashc runs");
+        assert!(!out.status.success(), "--theta {bad} accepted");
+        assert_eq!(out.status.code(), Some(1));
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("finite"), "--theta {bad}: {err}");
+    }
+
+    // Provenance cannot ride in the legacy format.
+    let junk_ok = dir.join("empty-telemetry.json");
+    std::fs::write(&junk_ok, "{\"schema\":2,\"name\":\"x\"}").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([
+            src.to_str().unwrap(),
+            "--retune",
+            junk_ok.to_str().unwrap(),
+            "--emit-format",
+            "2",
+        ])
+        .output()
+        .expect("squashc runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("format"), "format-2 clash unexplained");
 }
 
 #[test]

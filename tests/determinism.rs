@@ -156,6 +156,95 @@ fn corpus_full_sweep() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry merging and feedback-directed retuning must be as deterministic
+// as the pipeline itself: merge is commutative and survives the JSON round
+// trip, and a merged fleet retunes to byte-identical images every time.
+// ---------------------------------------------------------------------------
+
+/// Measures one squashed run with an attribution sink, as `squashrun
+/// --metrics-json` does.
+fn measure_doc(
+    squashed: &squash_repro::squash::layout::Squashed,
+    input: &[u8],
+    name: &str,
+) -> squash_repro::squash::telemetry::Telemetry {
+    use squash_repro::squash::telemetry::{Recorder, SharedRecorder};
+    let recorder = SharedRecorder::new(Recorder {
+        ring: None,
+        attribution: Default::default(),
+    });
+    let run = pipeline::run_squashed_traced(squashed, input, None, Some(recorder.sink()))
+        .expect("measured run");
+    let mut telemetry = run.telemetry(name);
+    telemetry.attribution = Some(recorder.take().attribution.finish(run.cycles));
+    telemetry
+}
+
+/// A two-document fleet from the adpcm workload: the timing input split in
+/// half, each half measured as its own run document.
+fn fleet() -> (
+    squash_repro::cfg::Program,
+    squash_repro::squash::BlockProfile,
+    SquashOptions,
+    Vec<squash_repro::squash::telemetry::Telemetry>,
+) {
+    let workload = squash_repro::workloads::by_name("adpcm").expect("workload");
+    let (program, _) = workload.squeezed();
+    let profile =
+        pipeline::profile(&program, &[workload.profiling_input()]).expect("profile");
+    let options = SquashOptions { theta: 1e-3, ..Default::default() };
+    let squashed = Squasher::new(&program, &profile, &options)
+        .expect("setup")
+        .finish()
+        .expect("squash");
+    let mut input = workload.timing_input();
+    input.truncate(INPUT_CAP);
+    let mid = input.len() / 2;
+    let docs = vec![
+        measure_doc(&squashed, &input[..mid], "run-a"),
+        measure_doc(&squashed, &input[mid..], "run-b"),
+    ];
+    (program, profile, options, docs)
+}
+
+/// Merge is commutative on real run documents and the merged document
+/// survives the JSON round trip unchanged.
+#[test]
+fn telemetry_merge_is_commutative_and_round_trips() {
+    use squash_repro::squash::telemetry::{json, Telemetry};
+    let (_, _, _, docs) = fleet();
+    let ab = Telemetry::merge(&docs);
+    let ba = Telemetry::merge(&[docs[1].clone(), docs[0].clone()]);
+    assert_eq!(ab, ba, "merge is order-sensitive on real run documents");
+    assert_eq!(ab.docs, 2);
+    let text = ab.to_json_string();
+    let back = Telemetry::from_json(&json::parse(&text).expect("parse")).expect("from_json");
+    assert_eq!(ab, back, "merged telemetry does not survive the JSON round trip");
+}
+
+/// Retuning against a merged fleet is deterministic: merge, retune twice,
+/// byte-identical images — and the provenance records the fleet size.
+#[test]
+fn fleet_retune_is_byte_deterministic() {
+    use squash_repro::squash::telemetry::Telemetry;
+    let (program, profile, options, docs) = fleet();
+    let merged = Telemetry::merge(&docs);
+    let a = squash_repro::squash::retune::retune(&program, &profile, &options, &merged)
+        .expect("retune");
+    let b = squash_repro::squash::retune::retune(&program, &profile, &options, &merged)
+        .expect("retune again");
+    let bytes_a = image_file::write(&a.squashed);
+    assert_eq!(
+        bytes_a,
+        image_file::write(&b.squashed),
+        "fleet retune produced different image bytes on identical input"
+    );
+    let prov = a.squashed.provenance.as_ref().expect("provenance");
+    assert_eq!(prov.telemetry_docs, 2, "provenance lost the fleet size");
+    assert_eq!(prov.source, "run-a+run-b", "provenance lost the merged sources");
+}
+
 /// Every workload in the crate must be covered here, as in the
 /// differential harness.
 #[test]
