@@ -24,6 +24,8 @@ fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "cache_hit" => &["region", "slot"],
         "stub_create" | "stub_hit" | "stub_free" => &["site", "live"],
         "icache_flush" => &[],
+        "verify_start" => &["region"],
+        "verify_end" => &["region", "bytes"],
         _ => return None,
     })
 }
@@ -128,6 +130,8 @@ mod tests {
             ),
             (r#"{"cycle":1,"kind":"decompress_start","region":0}"#, "decompress_start"),
             (r#"{"cycle":2,"kind":"icache_flush"}"#, "icache_flush"),
+            (r#"{"cycle":3,"kind":"verify_start","region":0}"#, "verify_start"),
+            (r#"{"cycle":7,"kind":"verify_end","region":0,"bytes":12}"#, "verify_end"),
             (
                 r#"{"cycle":9,"kind":"decompress_end","region":0,"bits":8,"insts":2,"slot":0,"evicted":null}"#,
                 "decompress_end",

@@ -1,0 +1,147 @@
+//! Estimator-accuracy audit: does the retuner's cycle prediction hold up?
+//!
+//! A retuned image's [`Provenance`] records the cycle count the candidate
+//! simulation predicted (`predicted_cycles`) for the workload it was tuned
+//! against. Re-running the image and comparing against the measured cycles
+//! tells us whether the estimator — and therefore every retune decision
+//! built on it — can be trusted. `squashmon --audit` runs this check and
+//! exits nonzero when the relative error exceeds a drift threshold, so CI
+//! catches estimator rot the day it lands rather than releases later.
+//!
+//! Drift is expected to be *zero* when the audited run replays the exact
+//! tuning workload (the simulator is deterministic); nonzero drift means
+//! the workload shifted, the cost model changed since tuning, or the
+//! estimator has a bug. The default threshold leaves headroom for the
+//! first two while still catching the third.
+
+use crate::image_file::{Provenance, ProvenanceKind};
+use crate::telemetry::Telemetry;
+
+/// Default tolerated relative error between predicted and measured cycles.
+///
+/// The retune simulation replays the same deterministic machine the runtime
+/// uses, so on the tuning workload the error is nearly zero — the
+/// `drift_audit` bench bin measures under 0.01% across all workloads
+/// (`EXPERIMENTS.md`); the residue is the estimator's per-region spreading
+/// of measured service cycles. 5% of headroom tolerates modest workload
+/// drift without letting a broken estimator through.
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.05;
+
+/// One audited image: predicted vs. measured cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRow {
+    /// The image audited (file name or label).
+    pub image: String,
+    /// The tuning source recorded in the image's provenance.
+    pub source: String,
+    /// Cycles the retune estimator predicted.
+    pub predicted: u64,
+    /// Cycles the audited run actually consumed.
+    pub measured: u64,
+}
+
+impl DriftRow {
+    /// `|predicted - measured| / measured`. A zero-cycle measurement with a
+    /// nonzero prediction reports infinite error; zero against zero is 0.
+    pub fn rel_error(&self) -> f64 {
+        let diff = self.predicted.abs_diff(self.measured) as f64;
+        if self.measured == 0 {
+            if self.predicted == 0 { 0.0 } else { f64::INFINITY }
+        } else {
+            diff / self.measured as f64
+        }
+    }
+
+    /// Whether the row's error exceeds `threshold`.
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        self.rel_error() > threshold
+    }
+}
+
+/// Builds the drift row for one image/telemetry pair, or explains why it
+/// cannot be audited (no provenance, not retuned, telemetry without a run
+/// block).
+pub fn drift(
+    image: &str,
+    provenance: Option<&Provenance>,
+    telemetry: &Telemetry,
+) -> Result<DriftRow, String> {
+    let p = provenance
+        .ok_or_else(|| format!("{image}: no provenance section (static image?)"))?;
+    if p.kind != ProvenanceKind::Retuned {
+        return Err(format!("{image}: provenance is not a retune record"));
+    }
+    let run = telemetry
+        .run
+        .ok_or_else(|| format!("{image}: telemetry has no run block"))?;
+    Ok(DriftRow {
+        image: image.to_string(),
+        source: p.source.clone(),
+        predicted: p.predicted_cycles,
+        measured: run.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::RunMetrics;
+
+    fn provenance(predicted: u64) -> Provenance {
+        Provenance {
+            kind: ProvenanceKind::Retuned,
+            profile_crc: 0xDEAD_BEEF,
+            telemetry_docs: 1,
+            source: "adpcm".into(),
+            measured_cycles: predicted,
+            predicted_cycles: predicted,
+            theta: 1e-3,
+            buffer_limit: 2,
+            demoted_regions: 0,
+            candidates: 4,
+            winner: 0,
+        }
+    }
+
+    fn telemetry(cycles: u64) -> Telemetry {
+        Telemetry {
+            run: Some(RunMetrics { status: 0, instructions: 1, cycles, output_bytes: 0 }),
+            ..Telemetry::default()
+        }
+    }
+
+    #[test]
+    fn exact_match_has_zero_error() {
+        let row = drift("a.sqsh", Some(&provenance(1000)), &telemetry(1000)).unwrap();
+        assert_eq!(row.rel_error(), 0.0);
+        assert!(!row.exceeds(0.0));
+    }
+
+    #[test]
+    fn skew_is_measured_relative_to_the_run() {
+        let row = drift("a.sqsh", Some(&provenance(1100)), &telemetry(1000)).unwrap();
+        assert!((row.rel_error() - 0.1).abs() < 1e-12);
+        assert!(row.exceeds(DEFAULT_DRIFT_THRESHOLD));
+        assert!(!row.exceeds(0.2));
+    }
+
+    #[test]
+    fn zero_measured_cycles_is_infinite_error_unless_predicted_zero() {
+        let row = drift("a.sqsh", Some(&provenance(5)), &telemetry(0)).unwrap();
+        assert!(row.rel_error().is_infinite());
+        let zero = DriftRow { predicted: 0, measured: 0, ..row };
+        assert_eq!(zero.rel_error(), 0.0);
+    }
+
+    #[test]
+    fn unauditable_inputs_are_explained() {
+        let err = drift("a.sqsh", None, &telemetry(1)).unwrap_err();
+        assert!(err.contains("no provenance"), "{err}");
+        let mut p = provenance(1);
+        p.kind = ProvenanceKind::Static;
+        let err = drift("a.sqsh", Some(&p), &telemetry(1)).unwrap_err();
+        assert!(err.contains("not a retune record"), "{err}");
+        let err = drift("a.sqsh", Some(&provenance(1)), &Telemetry::default()).unwrap_err();
+        assert!(err.contains("no run block"), "{err}");
+    }
+}

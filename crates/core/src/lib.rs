@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod audit;
 pub mod buffer_safe;
 pub mod cold;
 pub mod footprint;
@@ -65,6 +66,7 @@ pub mod image_file;
 pub mod integrity;
 pub mod jumptables;
 pub mod layout;
+pub mod monitor;
 mod par;
 pub mod pipeline;
 pub mod regions;

@@ -190,6 +190,28 @@ pub fn run_squashed_traced(
     icache: Option<ICacheConfig>,
     sink: Option<Box<dyn TraceSink>>,
 ) -> Result<RunResult, SquashError> {
+    run_squashed_observed(squashed, input, icache, sink, None).map(|(run, _)| run)
+}
+
+/// [`run_squashed_traced`] plus an optional deterministic sampling profiler:
+/// with `sample_every = Some(n)`, the VM records the executing pc at every
+/// n-th simulated cycle and the filled [`squash_vm::Sampler`] is returned
+/// alongside the run. Sampling shares tracing's zero-perturbation contract —
+/// it reads the cycle counter, never advances it — and
+/// `tests/differential.rs` asserts byte- and cycle-identity on every
+/// workload with both attached. Collapse the samples with
+/// [`crate::monitor::collapse_samples`].
+///
+/// # Errors
+///
+/// Fails on machine faults or runtime-decompressor errors.
+pub fn run_squashed_observed(
+    squashed: &Squashed,
+    input: &[u8],
+    icache: Option<ICacheConfig>,
+    sink: Option<Box<dyn TraceSink>>,
+    sample_every: Option<u64>,
+) -> Result<(RunResult, Option<squash_vm::Sampler>), SquashError> {
     let mut vm = Vm::new(squashed.min_mem_size(1 << 18));
     for (base, bytes) in &squashed.segments {
         vm.write_bytes(*base, bytes);
@@ -198,6 +220,9 @@ pub fn run_squashed_traced(
     vm.set_input(input.to_vec());
     if let Some(cfg) = icache {
         vm.enable_icache(cfg);
+    }
+    if let Some(period) = sample_every {
+        vm.enable_sampling(period);
     }
     let mut service = SquashRuntime::new(squashed.runtime.clone());
     if let Some(sink) = sink {
@@ -214,14 +239,18 @@ pub fn run_squashed_traced(
         SquashError { message: format!("squashed run failed: {e}"), fault }
     })?;
     let icache_stats = vm.icache_stats();
-    Ok(RunResult {
-        status: out.status,
-        output: vm.take_output(),
-        instructions: out.instructions,
-        cycles: out.cycles,
-        runtime: *service.stats(),
-        icache: icache_stats,
-    })
+    let samples = vm.take_samples();
+    Ok((
+        RunResult {
+            status: out.status,
+            output: vm.take_output(),
+            instructions: out.instructions,
+            cycles: out.cycles,
+            runtime: *service.stats(),
+            icache: icache_stats,
+        },
+        samples,
+    ))
 }
 
 /// Convenience: profile on `profile_inputs`, squash at the given options,

@@ -416,6 +416,7 @@ mod tests {
         let recorder = SharedRecorder::new(Recorder {
             ring: None,
             attribution: Default::default(),
+            ..Recorder::default()
         });
         let run =
             pipeline::run_squashed_traced(&squashed, &[], None, Some(recorder.sink()))

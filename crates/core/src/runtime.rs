@@ -495,7 +495,9 @@ impl SquashRuntime {
                 region as usize,
                 self.cfg.blob.len(),
             );
-            let cycles = span.len() as u64 * self.cfg.cost.per_check_byte;
+            let span_bytes = span.len() as u64;
+            let cycles = span_bytes * self.cfg.cost.per_check_byte;
+            self.trace(vm, TraceEvent::VerifyStart { region });
             self.stats.regions_verified += 1;
             self.stats.checksum_cycles += cycles;
             self.charge(vm, cycles);
@@ -510,6 +512,9 @@ impl SquashRuntime {
                     ),
                 ));
             }
+            // Post-charge, so the VerifyStart→VerifyEnd stamp delta is the
+            // full verification charge (span tracing brackets rely on it).
+            self.trace(vm, TraceEvent::VerifyEnd { region, bytes: span_bytes });
         }
         // Decode through the fast two-tier table decoder; if it errors, fall
         // back to the bit-by-bit reference decoder and count the event

@@ -758,14 +758,20 @@ impl AttributionReport {
     }
 }
 
-/// A [`TraceSink`] that both buffers JSONL lines (for `--trace`) and folds
-/// events into [`Attribution`] (for `--report` / `--metrics-json`).
+/// A [`TraceSink`] fanning events out to every consumer one run can want:
+/// a JSONL line buffer (`--trace`), [`Attribution`] (`--report` /
+/// `--metrics-json`), a hierarchical span builder (`--spans`), and a
+/// buffer-slot residency timeline (sample attribution for `--samples`).
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     /// The JSONL buffer, if line output was requested.
     pub ring: Option<JsonlRing>,
     /// The attribution sink.
     pub attribution: Attribution,
+    /// Cycle-domain span building, if span output was requested.
+    pub spans: Option<crate::monitor::SpanBuilder>,
+    /// Slot-residency tracking, if sample attribution was requested.
+    pub timeline: Option<crate::monitor::SlotTimeline>,
 }
 
 impl Recorder {
@@ -778,7 +784,7 @@ impl Recorder {
     pub fn with_ring(ring: JsonlRing) -> Recorder {
         Recorder {
             ring: Some(ring),
-            attribution: Attribution::new(),
+            ..Recorder::default()
         }
     }
 }
@@ -789,6 +795,12 @@ impl TraceSink for Recorder {
             ring.emit(cycle, event);
         }
         self.attribution.emit(cycle, event);
+        if let Some(spans) = self.spans.as_mut() {
+            spans.emit(cycle, event);
+        }
+        if let Some(timeline) = self.timeline.as_mut() {
+            timeline.emit(cycle, event);
+        }
     }
 }
 
@@ -912,6 +924,11 @@ pub struct Telemetry {
     /// field is omitted from its JSON form); merged fleets carry the count so
     /// retune provenance can record how much evidence produced an image.
     pub docs: u64,
+    /// Trace events the bounded JSONL ring (`--trace-last N`) discarded.
+    /// `0` — also what every pre-existing document parses as — means either
+    /// "nothing dropped" or "no bounded ring attached"; nonzero warns the
+    /// consumer that the trace file is a tail, not the whole run.
+    pub trace_drops: u64,
 }
 
 impl Telemetry {
@@ -956,6 +973,7 @@ impl Telemetry {
             }
             // A previously-merged input counts for the documents behind it.
             sat(&mut out.docs, d.docs.max(1));
+            sat(&mut out.trace_drops, d.trace_drops);
             if let Some(run) = d.run {
                 match &mut out.run {
                     None => out.run = Some(run),
@@ -1076,6 +1094,11 @@ impl Telemetry {
         ];
         if self.docs > 0 {
             fields.push(("docs", int(self.docs)));
+        }
+        // Additive (schema-compatible) field: omitted when zero, so every
+        // pre-drop-count document and byte-for-byte golden test still holds.
+        if self.trace_drops > 0 {
+            fields.push(("trace_drops", int(self.trace_drops)));
         }
         if let Some(run) = self.run {
             fields.push((
@@ -1205,6 +1228,8 @@ impl Telemetry {
             // Absent in every pre-merge (schema 1) document and in plain
             // single-run documents: both read back as 0.
             docs: v.get("docs").and_then(Json::as_u64).unwrap_or(0),
+            // Additive field: absent in old documents, reads as zero.
+            trace_drops: v.get("trace_drops").and_then(Json::as_u64).unwrap_or(0),
             ..Telemetry::default()
         };
         if let Some(run) = v.get("run") {
@@ -1285,6 +1310,13 @@ impl Telemetry {
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        if self.trace_drops > 0 {
+            let _ = writeln!(
+                out,
+                "trace ring dropped {} oldest events (trace is a tail, not the whole run)",
+                self.trace_drops
+            );
+        }
         let Some(attr) = &self.attribution else {
             out.push_str("no attribution data (run with tracing enabled)\n");
             return out;
@@ -1539,6 +1571,7 @@ mod tests {
                 FaultCount { kind: "truncated_stream".into(), count: 1 },
             ],
             docs: 0,
+            trace_drops: 0,
         };
         let text = t.to_json_string();
         let back = Telemetry::from_json(&json::parse(&text).expect("parse")).expect("from_json");
@@ -1707,6 +1740,27 @@ mod tests {
         // Merging a merged document preserves the evidence count.
         let again = Telemetry::merge(&[ab_c, mk("d", 10, 0, 0)]);
         assert_eq!(again.docs, 4);
+    }
+
+    #[test]
+    fn trace_drops_field_is_additive() {
+        // Old documents (no trace_drops) parse as zero, a zero count is
+        // omitted on write (so pre-PR9 golden docs stay byte-identical),
+        // and a nonzero count round-trips, merges, and shows in the report.
+        let old = json::parse("{\"schema\":2,\"name\":\"x\"}").unwrap();
+        assert_eq!(Telemetry::from_json(&old).unwrap().trace_drops, 0);
+        let zero = Telemetry { name: "x".into(), ..Telemetry::default() };
+        assert!(!zero.to_json_string().contains("trace_drops"));
+        let some = Telemetry { trace_drops: 7, ..zero.clone() };
+        let text = some.to_json_string();
+        assert!(text.contains("\"trace_drops\":7"), "{text}");
+        let round = Telemetry::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(round.trace_drops, 7);
+        let merged = Telemetry::merge(&[some.clone(), some]);
+        assert_eq!(merged.trace_drops, 14);
+        let report = merged.report();
+        assert!(report.contains("trace ring dropped 14"), "{report}");
+        assert!(!zero.report().contains("trace ring"), "zero drops must stay quiet");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Aggregated stack samples in the collapsed ("folded") flamegraph format.
+//!
+//! Each line is `frame;frame;frame count` — the format `flamegraph.pl`,
+//! `inferno` and speedscope all consume. Frames are sanitized on entry
+//! (the separator and whitespace cannot appear inside a frame), and the
+//! rendering is sorted, so equal sample sets render byte-identically.
+
+use std::collections::BTreeMap;
+
+/// A multiset of sampled stacks.
+#[derive(Debug, Clone, Default)]
+pub struct Stacks {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Stacks {
+    /// An empty sample set.
+    pub fn new() -> Stacks {
+        Stacks::default()
+    }
+
+    /// Adds `count` samples of the stack `frames` (root first).
+    pub fn add(&mut self, frames: &[&str], count: u64) {
+        if frames.is_empty() || count == 0 {
+            return;
+        }
+        let key = frames.iter().map(|f| sanitize(f)).collect::<Vec<_>>().join(";");
+        let c = self.counts.entry(key).or_insert(0);
+        *c = c.saturating_add(count);
+    }
+
+    /// Distinct stacks recorded.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total samples across all stacks.
+    pub fn total(&self) -> u64 {
+        self.counts.values().fold(0u64, |a, &c| a.saturating_add(c))
+    }
+
+    /// Iterates `(stack, count)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders the collapsed-stack file (one `stack count` line per entry,
+    /// sorted by stack).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.counts {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Replaces the frame separator and whitespace, which would corrupt the
+/// folded format, with underscores.
+fn sanitize(frame: &str) -> String {
+    frame
+        .chars()
+        .map(|c| if c == ';' || c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_folded_lines() {
+        let mut s = Stacks::new();
+        s.add(&["prog", "text"], 10);
+        s.add(&["prog", "buffer", "region_3"], 4);
+        s.add(&["prog", "text"], 2);
+        assert_eq!(s.render(), "prog;buffer;region_3 4\nprog;text 12\n");
+        assert_eq!(s.total(), 16);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn frames_are_sanitized() {
+        let mut s = Stacks::new();
+        s.add(&["a;b", "c d\te"], 1);
+        assert_eq!(s.render(), "a_b;c_d_e 1\n");
+    }
+
+    #[test]
+    fn empty_frames_and_zero_counts_are_ignored() {
+        let mut s = Stacks::new();
+        s.add(&[], 5);
+        s.add(&["x"], 0);
+        assert!(s.is_empty());
+        assert_eq!(s.render(), "");
+    }
+}

@@ -5,6 +5,7 @@ use squash_isa::{AluOp, BraOp, Inst, MemOp, PalOp, Reg};
 use crate::error::VmError;
 use crate::icache::{ICache, ICacheConfig, ICacheStats};
 use crate::profile::Profile;
+use crate::sample::Sampler;
 use crate::service::{NoService, Service};
 
 /// Default cap on executed instructions before a run aborts with
@@ -38,6 +39,7 @@ pub struct Vm {
     step_limit: u64,
     profile: Option<Profile>,
     icache: Option<ICache>,
+    sampler: Option<Sampler>,
 }
 
 impl Vm {
@@ -58,6 +60,7 @@ impl Vm {
             step_limit: DEFAULT_STEP_LIMIT,
             profile: None,
             icache: None,
+            sampler: None,
         }
     }
 
@@ -96,6 +99,23 @@ impl Vm {
     /// Takes the recorded profile, if profiling was enabled.
     pub fn take_profile(&mut self) -> Option<Profile> {
         self.profile.take()
+    }
+
+    /// Starts deterministic pc sampling: the pc is recorded at every
+    /// `period`-cycle tick of the simulated clock (see [`Sampler`]).
+    /// Sampling never perturbs the run — instruction and cycle counts are
+    /// identical with and without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn enable_sampling(&mut self, period: u64) {
+        self.sampler = Some(Sampler::new(period));
+    }
+
+    /// Takes the recorded samples, if sampling was enabled.
+    pub fn take_samples(&mut self) -> Option<Sampler> {
+        self.sampler.take()
     }
 
     /// Enables the instruction-cache model (see [`ICacheConfig`]); every
@@ -158,6 +178,13 @@ impl Vm {
     /// decompressor's per-bit decode cost).
     pub fn charge_cycles(&mut self, n: u64) {
         self.cycles += n;
+        // A multi-cycle charge can cover several sample ticks; they all
+        // record at the current pc (inside a service, the trap-window pc),
+        // so charged time weighs proportionally in sampling profiles.
+        let pc = self.pc;
+        if let Some(s) = self.sampler.as_mut() {
+            s.record(self.cycles, pc);
+        }
     }
 
     /// Copies `bytes` into memory at `addr`.
@@ -286,6 +313,9 @@ impl Vm {
         }
         if let Some(p) = self.profile.as_mut() {
             p.record(pc);
+        }
+        if let Some(s) = self.sampler.as_mut() {
+            s.record(self.cycles, pc);
         }
         let mut next = pc.wrapping_add(4);
         match inst {
@@ -615,6 +645,74 @@ mod tests {
         assert_eq!(p.count_at(0x1004), 5);
         assert_eq!(p.count_at(0x1008), 5);
         assert_eq!(p.count_at(0x100C), 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_free() {
+        // t0 = 500; loop: t0 -= 1; bne t0, loop; exit
+        let prog = [
+            lda(Reg::T0, 500, Reg::ZERO),
+            Inst::Imm { func: AluOp::Sub, ra: Reg::T0, lit: 1, rc: Reg::T0 },
+            Inst::Bra { op: BraOp::Bne, ra: Reg::T0, disp: -2 },
+            lda(Reg::A0, 0, Reg::ZERO),
+            exit(),
+        ];
+        let run = |period: Option<u64>| {
+            let mut vm = Vm::new(1 << 16);
+            vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+            vm.set_pc(0x1000);
+            if let Some(p) = period {
+                vm.enable_sampling(p);
+            }
+            let out = vm.run().unwrap();
+            (out, vm.take_samples())
+        };
+        let (plain, none) = run(None);
+        let (sampled, samples) = run(Some(7));
+        assert!(none.is_none());
+        // Zero perturbation: identical counters with and without sampling.
+        assert_eq!(plain, sampled);
+        let s = samples.unwrap();
+        assert_eq!(s.ticks(), plain.cycles / 7);
+        assert_eq!(s.dropped(), 0);
+        // Deterministic: a second run records the identical sample set.
+        let (_, again) = run(Some(7));
+        assert_eq!(s.samples(), again.unwrap().samples());
+        // Every tick is a period multiple and pcs are in-program.
+        for x in s.samples() {
+            assert_eq!(x.cycle % 7, 0);
+            assert!((0x1000..0x1000 + 4 * prog.len() as u32).contains(&x.pc));
+        }
+    }
+
+    #[test]
+    fn charged_cycles_sample_at_the_trap_pc() {
+        struct Charge;
+        impl Service for Charge {
+            fn range(&self) -> std::ops::Range<u32> {
+                0x8000..0x8010
+            }
+            fn invoke(&mut self, vm: &mut Vm) -> Result<(), VmError> {
+                vm.charge_cycles(100);
+                let ra = vm.reg(Reg::RA) as u32;
+                vm.set_pc(ra);
+                Ok(())
+            }
+        }
+        let prog = [
+            Inst::Bra { op: BraOp::Bsr, ra: Reg::RA, disp: ((0x8000 - 0x1004) / 4) },
+            lda(Reg::A0, 0, Reg::ZERO),
+            exit(),
+        ];
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        vm.enable_sampling(10);
+        vm.run_with(&mut Charge).unwrap();
+        let s = vm.take_samples().unwrap();
+        // The 100-cycle charge covers ten ticks, all at the trap-window pc.
+        let in_trap = s.samples().iter().filter(|x| x.pc == 0x8000).count();
+        assert_eq!(in_trap, 10, "{:?}", s.samples());
     }
 
     #[test]

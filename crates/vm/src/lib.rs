@@ -17,7 +17,10 @@
 //! * a [`TraceSink`] event-tracing interface: services emit typed,
 //!   cycle-stamped [`TraceEvent`]s (decompressions, cache hits, stub churn,
 //!   flushes) into an optional sink. Tracing never charges cycles, so
-//!   simulated time is identical with and without a sink attached.
+//!   simulated time is identical with and without a sink attached;
+//! * a deterministic cycle-driven pc [`Sampler`]: every N simulated cycles
+//!   the current pc is recorded, giving flamegraph-style profiles with the
+//!   same zero-perturbation contract as tracing.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ mod cpu;
 mod error;
 mod icache;
 mod profile;
+mod sample;
 mod service;
 mod trace;
 
@@ -52,5 +56,6 @@ pub use cpu::{RunOutcome, Vm, DEFAULT_STEP_LIMIT};
 pub use error::{FaultKind, MachineCheck, VmError};
 pub use icache::{ICache, ICacheConfig, ICacheStats};
 pub use profile::Profile;
+pub use sample::{Sample, Sampler, DEFAULT_SAMPLE_CAP};
 pub use service::{NoService, Service};
 pub use trace::{JsonlRing, TraceEvent, TraceSink, TrapKind};

@@ -1,0 +1,134 @@
+//! Deterministic cycle-driven pc sampling (the VM's profiler-lite).
+//!
+//! A [`Sampler`] records the program counter at every `period`-cycle tick of
+//! the simulated clock. Ticks fall at exact multiples of the period, so the
+//! sample set is a pure function of `(program, input, period)` — two runs of
+//! the same image produce byte-identical profiles, and CI can diff them.
+//!
+//! Sampling is purely observational: the machine's cycle and instruction
+//! counters never change because a sampler is attached (the same
+//! zero-perturbation contract as [`crate::TraceSink`]). When one cycle
+//! charge spans several ticks — a long decompression charged in one call —
+//! every covered tick records a sample at the charging pc, so cycle-heavy
+//! services weigh proportionally in the profile, exactly as a hardware
+//! timer interrupt would observe them.
+
+/// One recorded sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// The cycle tick the sample accounts for (an exact multiple of the
+    /// period).
+    pub cycle: u64,
+    /// The program counter on (simulated) cpu at that tick.
+    pub pc: u32,
+}
+
+/// Default cap on buffered samples; past it, further ticks are counted in
+/// [`Sampler::dropped`] instead of stored.
+pub const DEFAULT_SAMPLE_CAP: usize = 1 << 20;
+
+/// A bounded buffer of deterministic cycle samples.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    period: u64,
+    next_due: u64,
+    cap: usize,
+    samples: Vec<Sample>,
+    dropped: u64,
+}
+
+impl Sampler {
+    /// A sampler firing every `period` cycles with the default buffer cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64) -> Sampler {
+        Sampler::with_cap(period, DEFAULT_SAMPLE_CAP)
+    }
+
+    /// A sampler with an explicit buffer cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `cap` is zero.
+    pub fn with_cap(period: u64, cap: usize) -> Sampler {
+        assert!(period > 0, "sample period must be positive");
+        assert!(cap > 0, "sample cap must be positive");
+        Sampler {
+            period,
+            next_due: period,
+            cap,
+            samples: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The configured period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Records every due tick up to `cycles` at `pc`. Called by the machine
+    /// after each cycle-count advance; a no-op when no tick is due.
+    pub(crate) fn record(&mut self, cycles: u64, pc: u32) {
+        while cycles >= self.next_due {
+            if self.samples.len() < self.cap {
+                self.samples.push(Sample { cycle: self.next_due, pc });
+            } else {
+                self.dropped = self.dropped.saturating_add(1);
+            }
+            self.next_due += self.period;
+        }
+    }
+
+    /// The buffered samples, in tick order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Ticks discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total ticks observed (buffered + dropped).
+    pub fn ticks(&self) -> u64 {
+        self.samples.len() as u64 + self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_fall_on_period_multiples() {
+        let mut s = Sampler::new(10);
+        s.record(5, 0x100); // before the first tick: nothing
+        assert!(s.samples().is_empty());
+        s.record(10, 0x104); // exactly on the tick
+        s.record(19, 0x108); // between ticks
+        s.record(45, 0x10C); // one charge covering ticks 20, 30, 40
+        let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
+        assert_eq!(cycles, vec![10, 20, 30, 40]);
+        let pcs: Vec<u32> = s.samples().iter().map(|x| x.pc).collect();
+        assert_eq!(pcs, vec![0x104, 0x10C, 0x10C, 0x10C]);
+        assert_eq!(s.ticks(), 4);
+    }
+
+    #[test]
+    fn cap_counts_drops() {
+        let mut s = Sampler::with_cap(1, 3);
+        s.record(10, 0x2000);
+        assert_eq!(s.samples().len(), 3);
+        assert_eq!(s.dropped(), 7);
+        assert_eq!(s.ticks(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = Sampler::new(0);
+    }
+}

@@ -105,6 +105,21 @@ pub enum TraceEvent {
     },
     /// The instruction cache was invalidated (post-fill flush).
     ICacheFlush,
+    /// A compressed region's payload checksum verification is starting
+    /// (emitted before the verification cycles are charged).
+    VerifyStart {
+        /// The region being verified.
+        region: u16,
+    },
+    /// A payload checksum verification passed (emitted after its cycles are
+    /// charged, so `end.cycle - start.cycle` is the full verification
+    /// charge). A failed verification faults instead of emitting this.
+    VerifyEnd {
+        /// The region verified.
+        region: u16,
+        /// Compressed bytes covered by the checksum.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -119,6 +134,8 @@ impl TraceEvent {
             TraceEvent::StubHit { .. } => "stub_hit",
             TraceEvent::StubFree { .. } => "stub_free",
             TraceEvent::ICacheFlush => "icache_flush",
+            TraceEvent::VerifyStart { .. } => "verify_start",
+            TraceEvent::VerifyEnd { .. } => "verify_end",
         }
     }
 
@@ -154,6 +171,12 @@ impl TraceEvent {
                 let _ = write!(s, ",\"site\":{site},\"live\":{live}");
             }
             TraceEvent::ICacheFlush => {}
+            TraceEvent::VerifyStart { region } => {
+                let _ = write!(s, ",\"region\":{region}");
+            }
+            TraceEvent::VerifyEnd { region, bytes } => {
+                let _ = write!(s, ",\"region\":{region},\"bytes\":{bytes}");
+            }
         }
         s.push('}');
         s
@@ -303,6 +326,14 @@ mod tests {
                 r#"{"cycle":7,"kind":"stub_free","site":16,"live":1}"#,
             ),
             (TraceEvent::ICacheFlush, r#"{"cycle":7,"kind":"icache_flush"}"#),
+            (
+                TraceEvent::VerifyStart { region: 4 },
+                r#"{"cycle":7,"kind":"verify_start","region":4}"#,
+            ),
+            (
+                TraceEvent::VerifyEnd { region: 4, bytes: 120 },
+                r#"{"cycle":7,"kind":"verify_end","region":4,"bytes":120}"#,
+            ),
         ];
         for (event, expect) in cases {
             assert_eq!(event.to_jsonl(7), expect);

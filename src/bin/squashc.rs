@@ -23,7 +23,12 @@
 //!   --stage-stats      print per-stage wall-clock and artifact sizes
 //!   --metrics-json <f> write the unified telemetry report (stage records,
 //!                      plus run/runtime counters when --run is given) as
-//!                      one JSON document (stable schema, DESIGN.md §12)
+//!                      one JSON document (stable schema, DESIGN.md §12);
+//!                      `-` writes it to stdout and moves the progress
+//!                      chatter to stderr
+//!   --spans <f>        write the compile pipeline's stage timeline as
+//!                      Chrome trace-event JSON (wall-clock ns; load in
+//!                      Perfetto), one span per pipeline stage
 //!   --retune <file>    feedback-directed recompression: re-tune against a
 //!                      telemetry document from `squashrun --metrics-json`
 //!                      (repeat the flag to merge a fleet of documents);
@@ -41,6 +46,15 @@
 use squash_repro::squash::{pipeline, JumpTableMode, RegionStrategy, SquashOptions, Squasher};
 use std::process::ExitCode;
 
+/// Progress chatter normally goes to stdout; with `--metrics-json -` the
+/// telemetry document owns stdout, so the chatter moves to stderr and the
+/// output stays machine-parseable.
+macro_rules! say {
+    ($quiet:expr, $($arg:tt)*) => {
+        if $quiet { eprintln!($($arg)*) } else { println!($($arg)*) }
+    };
+}
+
 struct Args {
     sources: Vec<String>,
     theta: f64,
@@ -57,9 +71,17 @@ struct Args {
     jobs: usize,
     stage_stats: bool,
     metrics_json: Option<String>,
+    spans: Option<String>,
     retune: Vec<String>,
     dump_regions: bool,
     emit_format: u32,
+}
+
+impl Args {
+    /// Whether stdout is reserved for the telemetry document.
+    fn quiet(&self) -> bool {
+        self.metrics_json.as_deref() == Some("-")
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         stage_stats: false,
         metrics_json: None,
+        spans: None,
         retune: Vec::new(),
         dump_regions: false,
     };
@@ -123,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
             "--dump-regions" => args.dump_regions = true,
             "--stage-stats" => args.stage_stats = true,
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
+            "--spans" => args.spans = Some(value("--spans")?),
             "--retune" => args.retune.push(value("--retune")?),
             "--jobs" => {
                 let requested: usize =
@@ -153,8 +177,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: squashc <source.mc>... [--theta F] [--buffer N] \
                             [--cache-slots N] [--profile FILE] [--run FILE] [--emit FILE] [--emit-format 2|3] \
                             [--no-squeeze] [--strategy dfs|greedy] [--jump-tables MODE] \
-                            [--jobs N] [--stage-stats] [--metrics-json FILE] \
-                            [--retune FILE]... [--dump-regions]"
+                            [--jobs N] [--stage-stats] [--metrics-json FILE|-] \
+                            [--spans FILE] [--retune FILE]... [--dump-regions]"
                     .to_string())
             }
             other if !other.starts_with('-') => args.sources.push(other.to_string()),
@@ -179,16 +203,17 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    let q = args.quiet();
     let mut texts = Vec::new();
     for path in &args.sources {
         texts.push(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?);
     }
     let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
     let program = squash_repro::minicc::build_program(&refs)?;
-    println!("compiled:  {} instructions", program.text_words());
+    say!(q, "compiled:  {} instructions", program.text_words());
     let program = if args.squeeze {
         let (p, stats) = squash_repro::squeeze::squeeze(&program);
-        println!(
+        say!(q, 
             "squeezed:  {} instructions ({} dead functions, {} dead blocks removed)",
             stats.output_words, stats.funcs_removed, stats.blocks_removed
         );
@@ -202,7 +227,7 @@ fn run() -> Result<(), String> {
             let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
             let p = squash_repro::squash::BlockProfile::deserialize(&bytes)
                 .map_err(|e| e.to_string())?;
-            println!("profile:   loaded from {path} ({} instructions)", p.total_instructions);
+            say!(q, "profile:   loaded from {path} ({} instructions)", p.total_instructions);
             p
         }
         None => {
@@ -212,13 +237,13 @@ fn run() -> Result<(), String> {
             };
             let p = pipeline::profile_jobs(&program, &[profile_input], args.jobs)
                 .map_err(|e| e.to_string())?;
-            println!("profiled:  {} instructions executed", p.total_instructions);
+            say!(q, "profiled:  {} instructions executed", p.total_instructions);
             p
         }
     };
     if let Some(path) = &args.save_profile {
         std::fs::write(path, profile.serialize()).map_err(|e| format!("{path}: {e}"))?;
-        println!("profile:   saved to {path}");
+        say!(q, "profile:   saved to {path}");
     }
 
     let options = SquashOptions {
@@ -238,11 +263,11 @@ fn run() -> Result<(), String> {
         let squasher = Squasher::new(&program, &profile, &options).map_err(|e| e.to_string())?;
         if args.dump_regions {
             let cold = squasher.cold();
-            println!("\ncold blocks (θ = {}):", args.theta);
+            say!(q, "\ncold blocks (θ = {}):", args.theta);
             for (fid, f) in squasher.program().iter_funcs() {
                 let cold_count = cold.cold[fid.0].iter().filter(|&&c| c).count();
                 if cold_count > 0 {
-                    println!("  {:24} {:3}/{} blocks cold", f.name, cold_count, f.blocks.len());
+                    say!(q, "  {:24} {:3}/{} blocks cold", f.name, cold_count, f.blocks.len());
                 }
             }
         }
@@ -251,8 +276,8 @@ fn run() -> Result<(), String> {
             .finish_observed(&mut stage_observer)
             .map_err(|e| e.to_string())?;
         if args.stage_stats {
-            println!("\npipeline stages ({} job{}):", args.jobs, if args.jobs == 1 { "" } else { "s" });
-            println!("{stage_observer}");
+            say!(q, "\npipeline stages ({} job{}):", args.jobs, if args.jobs == 1 { "" } else { "s" });
+            say!(q, "{stage_observer}");
         }
         telemetry.stages = stage_observer
             .stages
@@ -271,12 +296,12 @@ fn run() -> Result<(), String> {
         retune_image(&args, &program, &profile, &options)?
     };
     let stats = &squashed.stats;
-    println!(
+    say!(q, 
         "squashed:  {} regions / {} blocks / {} entry stubs",
         stats.regions, stats.compressed_blocks, stats.entry_stubs
     );
-    println!("\n{}", stats.footprint);
-    println!(
+    say!(q, "\n{}", stats.footprint);
+    say!(q, 
         "\nbaseline {} B → squashed {} B  ({:+.1}% code size)",
         stats.baseline_bytes,
         stats.footprint.total(),
@@ -291,7 +316,7 @@ fn run() -> Result<(), String> {
             _ => squash_repro::squash::image_file::write(&squashed),
         };
         std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
-        println!("\nwrote {} ({} bytes) — run it with `squashrun {}`", path, bytes.len(), path);
+        say!(q, "\nwrote {} ({} bytes) — run it with `squashrun {}`", path, bytes.len(), path);
     }
 
     if let Some(path) = &args.run {
@@ -307,7 +332,7 @@ fn run() -> Result<(), String> {
                 compressed.output.len()
             ));
         }
-        println!(
+        say!(q, 
             "\nrun: outputs identical ✓  exit {}  cycles {} → {} ({:+.2}%)  \
              {} decompressions, {} restore stubs",
             original.status,
@@ -317,7 +342,7 @@ fn run() -> Result<(), String> {
             compressed.runtime.decompressions,
             compressed.runtime.stub_allocs,
         );
-        println!(
+        say!(q, 
             "run: region cache ({} slot{}): {} hits, {} misses, {} evictions",
             args.cache_slots,
             if args.cache_slots == 1 { "" } else { "s" },
@@ -331,10 +356,20 @@ fn run() -> Result<(), String> {
         telemetry.icache = run_telemetry.icache;
     }
 
-    if let Some(path) = &args.metrics_json {
-        std::fs::write(path, telemetry.to_json_string() + "\n")
+    if let Some(path) = &args.spans {
+        let log = squash_repro::squash::monitor::stage_spans(&telemetry.stages);
+        std::fs::write(path, log.to_chrome_json() + "\n")
             .map_err(|e| format!("{path}: {e}"))?;
-        println!("metrics:   wrote {path}");
+        say!(q, "spans:     wrote {path} ({} stage spans)", log.len());
+    }
+    if let Some(path) = &args.metrics_json {
+        let doc = telemetry.to_json_string() + "\n";
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(path, doc).map_err(|e| format!("{path}: {e}"))?;
+            say!(q, "metrics:   wrote {path}");
+        }
     }
     Ok(())
 }
@@ -348,6 +383,7 @@ fn retune_image(
     options: &SquashOptions,
 ) -> Result<squash_repro::squash::layout::Squashed, String> {
     use squash_repro::squash::telemetry::{json, Telemetry};
+    let q = args.quiet();
     let mut docs = Vec::with_capacity(args.retune.len());
     for path in &args.retune {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -359,7 +395,7 @@ fn retune_image(
         1 => docs.remove(0),
         _ => Telemetry::merge(&docs),
     };
-    println!(
+    say!(q, 
         "retune:    {} telemetry document{} from {} ({} measured cycles)",
         count,
         if count == 1 { "" } else { "s" },
@@ -369,14 +405,14 @@ fn retune_image(
     let retuned = squash_repro::squash::retune::retune(program, profile, options, &merged)
         .map_err(|e| e.to_string())?;
     let report = &retuned.report;
-    println!(
+    say!(q, 
         "retune:    {} hot region{} measured, base {} cycles",
         report.hot_regions,
         if report.hot_regions == 1 { "" } else { "s" },
         report.base_cycles,
     );
     for (i, c) in report.candidates.iter().enumerate() {
-        println!(
+        say!(q, 
             "retune:    {} candidate {i:2}: θ={:<8} K={:<5} {}  {:>10} predicted cycles, {} regions, {} B",
             if i == report.winner { "→" } else { " " },
             c.theta,

@@ -5,6 +5,7 @@
 //! squashrun <image.sqsh> [--input FILE] [--icache] [--stats]
 //!           [--strict-integrity]
 //!           [--trace FILE] [--trace-last N] [--report] [--metrics-json FILE]
+//!           [--spans FILE] [--samples FILE] [--sample-every N]
 //! ```
 //!
 //! `--trace FILE` streams every runtime event as one JSON line (JSONL) into
@@ -13,10 +14,20 @@
 //! regions by attributed cost, and the trap inter-arrival histogram) to
 //! stderr. `--metrics-json FILE` writes the unified telemetry report — run,
 //! runtime, instruction-cache and attribution sections — as one JSON
-//! document with a stable schema (`DESIGN.md` §12).
+//! document with a stable schema (`DESIGN.md` §12); `-` writes it to stdout
+//! after the guest's output.
 //!
-//! Tracing never perturbs the simulation: cycle counts are identical with
-//! and without any of these flags.
+//! `--spans FILE` writes the run's hierarchical spans — every service trap
+//! bracketed to its terminal event, with decompress and verify spans nested
+//! inside, stamped in simulated cycles — as Chrome trace-event JSON
+//! (load it in Perfetto or `chrome://tracing`). `--samples FILE` enables the
+//! deterministic sampling profiler (pc recorded every `--sample-every` N
+//! cycles, default 4096) and writes flamegraph-compatible collapsed stacks
+//! attributing samples to text / decompressor / restore stubs / buffer
+//! regions (`DESIGN.md` §16).
+//!
+//! Observability never perturbs the simulation: cycle counts are identical
+//! with and without any of these flags.
 //!
 //! # Integrity
 //!
@@ -37,10 +48,16 @@
 //!   (`kind=… region=… site=… cycle=…`) — never a panic or abort signal.
 //! * Usage or I/O errors: 1.
 
+use squash_repro::squash::monitor::{self, AreaMap, SlotTimeline, SpanBuilder};
 use squash_repro::squash::telemetry::{FaultCount, Recorder, SharedRecorder};
 use squash_repro::squash::{image_file, pipeline, SquashError};
 use squash_repro::vm::{ICacheConfig, JsonlRing};
 use std::process::ExitCode;
+
+/// Default sampling period when `--samples` is given without
+/// `--sample-every`: coarse enough to keep sample files small on the
+/// largest workloads, fine enough to see the decompressor on hot runs.
+const DEFAULT_SAMPLE_PERIOD: u64 = 4096;
 
 /// The exit code for a typed machine-check fault (BSD `EX_SOFTWARE`),
 /// distinct from both guest statuses (masked to 0..=255 but conventionally
@@ -66,7 +83,8 @@ fn usage() -> SquashError {
     SquashError::msg(
         "usage: squashrun <image.sqsh> [--input FILE] [--icache] [--stats] \
          [--strict-integrity] [--trace FILE] [--trace-last N] [--report] \
-         [--metrics-json FILE]",
+         [--metrics-json FILE|-] [--spans FILE] [--samples FILE] \
+         [--sample-every N]",
     )
 }
 
@@ -80,6 +98,9 @@ fn run() -> Result<i64, SquashError> {
     let mut trace_last: Option<usize> = None;
     let mut report = false;
     let mut metrics_path: Option<String> = None;
+    let mut spans_path: Option<String> = None;
+    let mut samples_path: Option<String> = None;
+    let mut sample_every: Option<u64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -100,6 +121,17 @@ fn run() -> Result<i64, SquashError> {
             }
             "--report" => report = true,
             "--metrics-json" => metrics_path = Some(value("--metrics-json")?),
+            "--spans" => spans_path = Some(value("--spans")?),
+            "--samples" => samples_path = Some(value("--samples")?),
+            "--sample-every" => {
+                let n: u64 = value("--sample-every")?
+                    .parse()
+                    .map_err(|e| SquashError::msg(format!("bad --sample-every: {e}")))?;
+                if n == 0 {
+                    return Err(SquashError::msg("--sample-every must be nonzero"));
+                }
+                sample_every = Some(n);
+            }
             "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') => image_path = Some(other.to_string()),
             other => return Err(SquashError::msg(format!("unknown option `{other}`"))),
@@ -123,21 +155,31 @@ fn run() -> Result<i64, SquashError> {
     let cache = icache.then(ICacheConfig::default);
 
     // One shared recorder serves every telemetry flag: the ring buffers
-    // JSONL lines for --trace, attribution feeds --report / --metrics-json.
-    let tracing = trace_path.is_some() || report || metrics_path.is_some();
+    // JSONL lines for --trace, attribution feeds --report / --metrics-json,
+    // the span builder feeds --spans, the slot timeline feeds --samples.
+    let sampling = samples_path.is_some() || sample_every.is_some();
+    let tracing = trace_path.is_some() || report || metrics_path.is_some()
+        || spans_path.is_some()
+        || sampling;
     let recorder = tracing.then(|| {
         let ring = trace_path.as_ref().map(|_| match trace_last {
             Some(n) => JsonlRing::last(n),
             None => JsonlRing::unbounded(),
         });
-        SharedRecorder::new(Recorder { ring, attribution: Default::default() })
+        SharedRecorder::new(Recorder {
+            ring,
+            attribution: Default::default(),
+            spans: spans_path.as_ref().map(|_| SpanBuilder::new()),
+            timeline: sampling.then(SlotTimeline::new),
+        })
     });
 
-    let result = match pipeline::run_squashed_traced(
+    let (result, sampler) = match pipeline::run_squashed_observed(
         &squashed,
         &input,
         cache,
         recorder.as_ref().map(|r| r.sink()),
+        sampling.then(|| sample_every.unwrap_or(DEFAULT_SAMPLE_PERIOD)),
     ) {
         Ok(r) => r,
         Err(e) => return Err(on_fault(&metrics_path, &image_path, e)),
@@ -163,12 +205,42 @@ fn run() -> Result<i64, SquashError> {
                     trace_last.unwrap_or(0)
                 );
             }
+            telemetry.trace_drops = ring.dropped();
+        }
+        if let (Some(path), Some(spans)) = (&spans_path, recorder.spans) {
+            std::fs::write(path, spans.finish().to_chrome_json() + "\n")
+                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+        }
+        if let Some(path) = &samples_path {
+            let sampler = sampler.as_ref().expect("sampling was enabled");
+            let map = AreaMap::from_runtime(&squashed.runtime);
+            let timeline = recorder.timeline.as_ref().expect("timeline recorded");
+            let stacks =
+                monitor::collapse_samples(&image_path, sampler.samples(), &map, timeline);
+            std::fs::write(path, stacks.render())
+                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+            if sampler.dropped() > 0 {
+                eprintln!(
+                    "[squashrun] sampler dropped {} samples past its buffer cap",
+                    sampler.dropped()
+                );
+            }
         }
         telemetry.attribution = Some(recorder.attribution.finish(result.cycles));
     }
     if let Some(path) = &metrics_path {
-        std::fs::write(path, telemetry.to_json_string() + "\n")
-            .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+        let doc = telemetry.to_json_string() + "\n";
+        if path == "-" {
+            // The guest's bytes already went to stdout; keep the document on
+            // its own line so `squashmon -` can find it.
+            if !result.output.is_empty() && !result.output.ends_with(b"\n") {
+                println!();
+            }
+            print!("{doc}");
+        } else {
+            std::fs::write(path, doc)
+                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+        }
     }
 
     if stats {
@@ -227,7 +299,11 @@ fn on_fault(metrics_path: &Option<String>, image_path: &str, e: SquashError) -> 
             ..Default::default()
         };
         // Best effort: the fault itself is the primary result.
-        let _ = std::fs::write(path, telemetry.to_json_string() + "\n");
+        if path == "-" {
+            println!("{}", telemetry.to_json_string());
+        } else {
+            let _ = std::fs::write(path, telemetry.to_json_string() + "\n");
+        }
     }
     e
 }

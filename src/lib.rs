@@ -8,6 +8,7 @@
 pub use minicc;
 pub use squash;
 pub use squash_gencorpus as gencorpus;
+pub use squash_obs as obs;
 pub use squash_cfg as cfg;
 pub use squash_compress as compress;
 pub use squash_isa as isa;

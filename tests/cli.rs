@@ -377,3 +377,324 @@ fn squashrun_rejects_garbage_images() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("magic"), "{err}");
 }
+
+/// The observability surface of `squashrun`: `--spans` writes loadable
+/// Chrome trace JSON, `--samples` writes collapsed stacks that conserve the
+/// sample count, `--metrics-json -` puts the document on stdout after the
+/// guest bytes, and none of it changes the simulated cycle count.
+#[test]
+fn squashrun_spans_samples_and_stdout_metrics() {
+    let dir = temp_dir();
+    let src = dir.join("obs.mc");
+    let timing = dir.join("obs-timing.bin");
+    let image = dir.join("obs.sqsh");
+    let spans = dir.join("obs-spans.json");
+    let samples = dir.join("obs-samples.txt");
+    std::fs::write(&src, PROGRAM).unwrap();
+    std::fs::write(&timing, b"timing \xf0\xff\xee bytes").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([src.to_str().unwrap(), "--theta", "1.0", "--emit", image.to_str().unwrap()])
+        .output()
+        .expect("squashc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let cycles_of = |stderr: &str| -> u64 {
+        let line = stderr.lines().find(|l| l.contains(" cycles,")).unwrap();
+        let f = line.split(", ").find(|f| f.ends_with("cycles")).unwrap();
+        f.split_whitespace().next().unwrap().parse().unwrap()
+    };
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([image.to_str().unwrap(), "--input", timing.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("squashrun runs");
+    assert!(out.status.success());
+    let plain_cycles = cycles_of(&String::from_utf8_lossy(&out.stderr));
+    let guest_output = out.stdout.clone();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([
+            image.to_str().unwrap(),
+            "--input",
+            timing.to_str().unwrap(),
+            "--stats",
+            "--spans",
+            spans.to_str().unwrap(),
+            "--samples",
+            samples.to_str().unwrap(),
+            "--sample-every",
+            "100",
+            "--metrics-json",
+            "-",
+        ])
+        .output()
+        .expect("squashrun runs instrumented");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(cycles_of(&stderr), plain_cycles, "observability changed cycles");
+
+    // stdout = guest bytes, then the telemetry document on its own line.
+    let stdout = out.stdout;
+    assert!(stdout.starts_with(&guest_output), "guest bytes must come first");
+    let text = String::from_utf8_lossy(&stdout);
+    let doc = text.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
+    assert!(doc.starts_with("{\"schema\":2"), "no telemetry on stdout: {doc}");
+    assert!(doc.contains("\"attribution\""), "{doc}");
+
+    // Spans: Chrome trace JSON in the cycle domain with service + verify
+    // brackets (θ = 1.0 guarantees decompressor traffic).
+    let spans_text = std::fs::read_to_string(&spans).unwrap();
+    assert!(spans_text.starts_with("{\"traceEvents\":["), "{spans_text}");
+    for needle in ["\"name\":\"service/entry\"", "\"name\":\"decompress/r", "\"name\":\"verify/r", "\"clock\":\"cycles\""] {
+        assert!(spans_text.contains(needle), "missing {needle} in {spans_text}");
+    }
+
+    // Samples: collapsed stacks, every line `frames count`, counts summing
+    // to cycles / period.
+    let samples_text = std::fs::read_to_string(&samples).unwrap();
+    let mut total = 0u64;
+    for line in samples_text.lines() {
+        let (stack, count) = line.rsplit_once(' ').unwrap();
+        assert!(stack.contains(';'), "unframed stack line: {line}");
+        total += count.parse::<u64>().unwrap();
+    }
+    assert_eq!(total, plain_cycles / 100, "sample count must be cycles/period");
+}
+
+/// `squashc --metrics-json -` reserves stdout for the document and moves
+/// the progress chatter to stderr; `--spans` writes the stage timeline.
+#[test]
+fn squashc_stdout_metrics_and_stage_spans() {
+    let dir = temp_dir();
+    let src = dir.join("cobs.mc");
+    let timing = dir.join("cobs-timing.bin");
+    let spans = dir.join("cobs-spans.json");
+    std::fs::write(&src, PROGRAM).unwrap();
+    std::fs::write(&timing, b"timing \xf0\xff\xee bytes").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([
+            src.to_str().unwrap(),
+            "--theta",
+            "1.0",
+            "--run",
+            timing.to_str().unwrap(),
+            "--spans",
+            spans.to_str().unwrap(),
+            "--metrics-json",
+            "-",
+        ])
+        .output()
+        .expect("squashc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stdout is exactly the telemetry document; the chatter moved to stderr.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1, "stdout not a single document:\n{stdout}");
+    assert!(stdout.starts_with("{\"schema\":2"), "{stdout}");
+    for key in ["\"stages\"", "\"run\"", "\"runtime\""] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("outputs identical"), "chatter lost: {stderr}");
+
+    // Stage spans: wall-ns clock, one span per pipeline stage.
+    let spans_text = std::fs::read_to_string(&spans).unwrap();
+    assert!(spans_text.contains("\"clock\":\"ns\""), "{spans_text}");
+    for stage in ["plan", "layout", "train", "encode", "assemble"] {
+        assert!(spans_text.contains(&format!("\"name\":\"stage/{stage}\"")), "{spans_text}");
+    }
+}
+
+/// `squashrun --report` and the telemetry document surface trace-ring drops
+/// when `--trace-last` truncates, and old documents without the field still
+/// parse (the satellite's additive-schema contract is covered in the
+/// library tests; here the flag surface).
+#[test]
+fn squashrun_surfaces_trace_drops() {
+    let dir = temp_dir();
+    let src = dir.join("drops.mc");
+    let timing = dir.join("drops-timing.bin");
+    let image = dir.join("drops.sqsh");
+    let trace = dir.join("drops.jsonl");
+    std::fs::write(&src, PROGRAM).unwrap();
+    std::fs::write(&timing, b"timing \xf0\xff\xee bytes").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([src.to_str().unwrap(), "--theta", "1.0", "--emit", image.to_str().unwrap()])
+        .output()
+        .expect("squashc runs");
+    assert!(out.status.success());
+
+    // A 2-event ring on a θ=1.0 run is guaranteed to drop events.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([
+            image.to_str().unwrap(),
+            "--input",
+            timing.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-last",
+            "2",
+            "--report",
+            "--metrics-json",
+            "-",
+        ])
+        .output()
+        .expect("squashrun runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace ring dropped"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = stdout.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
+    assert!(doc.contains("\"trace_drops\":"), "drops missing from document: {doc}");
+}
+
+/// `squashmon`: summary and merge over a two-document fleet, Prometheus
+/// rendering, stdin input, and the audit exit-code contract — 0 in
+/// tolerance, 3 on drift, 1 on unauditable input.
+#[test]
+fn squashmon_merges_renders_and_audits() {
+    let dir = temp_dir();
+    let src = dir.join("mon.mc");
+    let timing = dir.join("mon-timing.bin");
+    let image = dir.join("mon.sqsh");
+    let retuned = dir.join("mon-retuned.sqsh");
+    let tel_a = dir.join("mon-a.json");
+    let tel_b = dir.join("mon-b.json");
+    std::fs::write(&src, PROGRAM).unwrap();
+    std::fs::write(&timing, b"timing \xf0\xff\xee bytes").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([src.to_str().unwrap(), "--theta", "1.0", "--emit", image.to_str().unwrap()])
+        .output()
+        .expect("squashc runs");
+    assert!(out.status.success());
+    for tel in [&tel_a, &tel_b] {
+        let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+            .args([
+                image.to_str().unwrap(),
+                "--input",
+                timing.to_str().unwrap(),
+                "--metrics-json",
+                tel.to_str().unwrap(),
+            ])
+            .output()
+            .expect("squashrun runs");
+        assert!(out.status.success());
+    }
+
+    // Summary table over the fleet.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args([tel_a.to_str().unwrap(), tel_b.to_str().unwrap()])
+        .output()
+        .expect("squashmon runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("merged (2 docs)"), "{stdout}");
+    assert!(stdout.contains("Per-region attribution"), "{stdout}");
+
+    // --merge emits one JSON document suitable for squashc --retune.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args(["--merge", tel_a.to_str().unwrap(), tel_b.to_str().unwrap()])
+        .output()
+        .expect("squashmon merges");
+    assert!(out.status.success());
+    let merged = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(merged.lines().count(), 1, "{merged}");
+    assert!(merged.contains("\"docs\":2"), "{merged}");
+
+    // --prom renders Prometheus text exposition; `-` reads stdin.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args(["--prom", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("squashmon spawns");
+    {
+        use std::io::Write as _;
+        let doc = std::fs::read(&tel_a).unwrap();
+        child.stdin.as_mut().unwrap().write_all(&doc).unwrap();
+    }
+    let out = child.wait_with_output().expect("squashmon finishes");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let prom = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "# TYPE squash_run_cycles_total counter",
+        "squash_runtime_decompressions_total",
+        "squash_trap_interarrival_cycles_bucket{le=\"+Inf\"}",
+        "squash_info{name=",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in {prom}");
+    }
+
+    // Close the loop so the image carries retune provenance, re-measure it,
+    // and audit: the estimator replays the measured workload, so drift is
+    // within the default threshold → exit 0.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([
+            src.to_str().unwrap(),
+            "--theta",
+            "1.0",
+            "--retune",
+            tel_a.to_str().unwrap(),
+            "--emit",
+            retuned.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashc retunes");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let tel_tuned = dir.join("mon-tuned.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([
+            retuned.to_str().unwrap(),
+            "--input",
+            timing.to_str().unwrap(),
+            "--metrics-json",
+            tel_tuned.to_str().unwrap(),
+        ])
+        .output()
+        .expect("squashrun runs retuned");
+    assert!(out.status.success());
+
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args(["--audit", retuned.to_str().unwrap(), tel_tuned.to_str().unwrap()])
+        .output()
+        .expect("squashmon audits");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "in-tolerance audit must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+
+    // Synthetically skewed telemetry (measured cycles ×10) must trip the
+    // threshold with exit code 3, distinct from usage errors.
+    let text = std::fs::read_to_string(&tel_tuned).unwrap();
+    let (head, tail) = text.split_once("\"cycles\":").unwrap();
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    let skewed = format!(
+        "{head}\"cycles\":{}{}",
+        digits.parse::<u64>().unwrap() * 10,
+        &tail[digits.len()..]
+    );
+    let tel_skewed = dir.join("mon-skewed.json");
+    std::fs::write(&tel_skewed, skewed).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args(["--audit", retuned.to_str().unwrap(), tel_skewed.to_str().unwrap()])
+        .output()
+        .expect("squashmon audits skew");
+    assert_eq!(out.status.code(), Some(3), "drift must exit 3");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("DRIFT"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("drift"));
+
+    // A static image has no provenance to audit: usage error, exit 1.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args(["--audit", image.to_str().unwrap(), tel_a.to_str().unwrap()])
+        .output()
+        .expect("squashmon audits static");
+    assert_eq!(out.status.code(), Some(1), "unauditable input must exit 1");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no provenance"));
+}

@@ -173,6 +173,7 @@ fn measure_doc(
     let recorder = SharedRecorder::new(Recorder {
         ring: None,
         attribution: Default::default(),
+        ..Recorder::default()
     });
     let run = pipeline::run_squashed_traced(squashed, input, None, Some(recorder.sink()))
         .expect("measured run");

@@ -20,7 +20,14 @@
 //! tracing observes, never charges. The sink's per-region attribution must
 //! also explain at least 99% of all service-charged cycles (in practice:
 //! 100%), with any remainder reported as untracked rather than lost.
+//!
+//! Since PR 9 the observed run carries the full observability complement:
+//! attribution *plus* the span builder, the buffer-slot timeline and the
+//! cycle-driven sampling profiler, all at once. The zero-perturbation
+//! assertion covers them all, every span must find its terminal event, and
+//! the sample→area collapse must conserve the sample count.
 
+use squash_repro::squash::monitor::{self, SlotTimeline, SpanBuilder};
 use squash_repro::squash::telemetry::{Recorder, SharedRecorder};
 use squash_repro::squash::{pipeline, SquashOptions, Squasher};
 
@@ -72,12 +79,25 @@ fn check_workload(name: &str) {
             original.output, compressed.output,
             "{name}: output diverged with {slots} cache slots"
         );
-        // Zero-overhead tracing: the identical run with a recording sink
-        // attached must not perturb the simulation in any observable way.
-        let recorder = SharedRecorder::new(Recorder::attribution_only());
-        let traced =
-            pipeline::run_squashed_traced(&squashed, &input, None, Some(recorder.sink()))
-                .unwrap_or_else(|e| panic!("{name} traced with {slots} cache slots: {e}"));
+        // Zero-overhead observability: the identical run with the full
+        // observer complement attached — attribution, span building, the
+        // slot timeline, and the sampling profiler (prime period so ticks
+        // interleave oddly with service charges) — must not perturb the
+        // simulation in any observable way.
+        let recorder = SharedRecorder::new(Recorder {
+            attribution: Default::default(),
+            spans: Some(SpanBuilder::new()),
+            timeline: Some(SlotTimeline::new()),
+            ..Recorder::default()
+        });
+        let (traced, sampler) = pipeline::run_squashed_observed(
+            &squashed,
+            &input,
+            None,
+            Some(recorder.sink()),
+            Some(257),
+        )
+        .unwrap_or_else(|e| panic!("{name} traced with {slots} cache slots: {e}"));
         assert_eq!(
             (compressed.cycles, compressed.instructions, &compressed.output, compressed.status),
             (traced.cycles, traced.instructions, &traced.output, traced.status),
@@ -87,10 +107,39 @@ fn check_workload(name: &str) {
             compressed.runtime, traced.runtime,
             "{name}: tracing perturbed the runtime counters with {slots} slots"
         );
+        // The observers must actually have observed: every sample tick up
+        // to the final cycle, spans all closed (every trap found its
+        // terminal event), and the sample↔timeline join accounts for every
+        // sample.
+        let sampler = sampler.expect("sampling was enabled");
+        assert_eq!(
+            sampler.samples().len() as u64,
+            traced.cycles / 257,
+            "{name}: sample count diverged from the cycle count with {slots} slots"
+        );
+        let recorder = recorder.take();
+        let spans = recorder.spans.expect("span builder attached").finish();
+        assert_eq!(
+            spans.open(),
+            0,
+            "{name}: unclosed spans with {slots} slots"
+        );
+        let map = monitor::AreaMap::from_runtime(&squashed.runtime);
+        let stacks = monitor::collapse_samples(
+            name,
+            sampler.samples(),
+            &map,
+            recorder.timeline.as_ref().expect("timeline attached"),
+        );
+        assert_eq!(
+            stacks.total(),
+            sampler.samples().len() as u64,
+            "{name}: collapsed stacks lost samples with {slots} slots"
+        );
         // Attribution coverage: ≥ 99% of service-charged cycles must land in
         // a per-region row (the remainder is surfaced as untracked).
         let mut telemetry = traced.telemetry(name);
-        telemetry.attribution = Some(recorder.take().attribution.finish(traced.cycles));
+        telemetry.attribution = Some(recorder.attribution.finish(traced.cycles));
         let (attributed, charged, untracked) = telemetry.coverage();
         assert!(
             attributed * 100 >= charged * 99,

@@ -38,6 +38,7 @@ fn measure(
     let recorder = SharedRecorder::new(Recorder {
         ring: None,
         attribution: Default::default(),
+        ..Recorder::default()
     });
     let run = pipeline::run_squashed_traced(squashed, input, None, Some(recorder.sink()))
         .expect("static run");
