@@ -1,0 +1,118 @@
+//! Fleet chaos/soak harness: seeded hostile-multi-tenancy scenarios
+//! against `squash::fleet` (the `squashd` runtime), checking the
+//! robustness contract — every scenario ends in a typed fleet error or a
+//! run byte/cycle-identical to the solo reference, never a panic, never
+//! cross-tenant perturbation.
+//!
+//! ```text
+//! CHAOS_SCENARIOS=200 CHAOS_SEED=0xC0FFEE cargo run --release \
+//!     -p squash-bench --bin fleet_chaos
+//! ```
+//!
+//! Scenarios come from `squash_testkit::chaos::plan` over the pinned
+//! 12-program corpus sample; `CHAOS_SCENARIOS` (default 200) and
+//! `CHAOS_SEED` pick the plan. The first 24 scenarios additionally run at
+//! three worker-pool widths and the reports must agree — the determinism
+//! bridge: results never depend on scheduling.
+//!
+//! Exits 0 on a clean bill, 1 with every violation (scenario index + seed,
+//! reproducible) on stderr.
+
+use squash_bench::fleet::ChaosWorld;
+use squash_testkit::chaos;
+use std::process::ExitCode;
+
+const THETA: f64 = 1e-3;
+const DEFAULT_SCENARIOS: u64 = 200;
+const DEFAULT_SEED: u64 = 0x5143_4841_4F53_0A01;
+/// Plan prefix re-run at several worker counts for the determinism bridge.
+const BRIDGE_PREFIX: usize = 24;
+const BRIDGE_WORKERS: [usize; 3] = [1, 2, 8];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or_else(|e| panic!("bad {name}={v}: {e}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let scenarios = env_u64("CHAOS_SCENARIOS", DEFAULT_SCENARIOS);
+    let seed = env_u64("CHAOS_SEED", DEFAULT_SEED);
+
+    let benches = squash_bench::prepare_benches(squash_workloads::corpus_sample());
+    println!(
+        "Fleet chaos soak: {scenarios} scenarios, seed {seed:#x}, {} corpus programs, θ={THETA}",
+        benches.len()
+    );
+    let world = ChaosWorld::build(&benches, THETA);
+    let plan = chaos::plan(seed, scenarios, world.images().len());
+
+    let report = world.run_plan(&plan, 4);
+    println!(
+        "clean {}  corrupt {} ({} faulted)  deadline {} ({} fired)  \
+         overload {} ({} shed)  quarantine {}",
+        report.clean,
+        report.corrupt,
+        report.corrupt_faulted,
+        report.deadline,
+        report.deadline_faulted,
+        report.overload,
+        report.shed,
+        report.quarantine,
+    );
+
+    // Determinism bridge: the same plan prefix at three pool widths must
+    // produce the same outcomes — scheduling never leaks into results.
+    let prefix = &plan[..BRIDGE_PREFIX.min(plan.len())];
+    let mut bridge_ok = true;
+    let baseline = world.run_plan(prefix, BRIDGE_WORKERS[0]);
+    for &workers in &BRIDGE_WORKERS[1..] {
+        let other = world.run_plan(prefix, workers);
+        let same = (
+            other.clean,
+            other.corrupt_faulted,
+            other.deadline_faulted,
+            other.shed,
+            &other.violations,
+        ) == (
+            baseline.clean,
+            baseline.corrupt_faulted,
+            baseline.deadline_faulted,
+            baseline.shed,
+            &baseline.violations,
+        );
+        if !same {
+            eprintln!(
+                "fleet_chaos: determinism bridge broke between workers={} and workers={workers}",
+                BRIDGE_WORKERS[0]
+            );
+            bridge_ok = false;
+        }
+    }
+    if bridge_ok {
+        println!(
+            "determinism bridge: {} scenarios identical across workers {BRIDGE_WORKERS:?}",
+            prefix.len()
+        );
+    }
+
+    let mut failed = !bridge_ok;
+    for v in report.violations.iter().chain(&baseline.violations) {
+        eprintln!("fleet_chaos: VIOLATION: {v}");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("no violations: every fault typed, every clean run byte-identical");
+        ExitCode::SUCCESS
+    }
+}

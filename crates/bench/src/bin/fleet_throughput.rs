@@ -1,0 +1,93 @@
+//! Fleet throughput: requests/second through the `squashd` worker pool at
+//! several pool widths, over the pinned corpus sample.
+//!
+//! Each measurement submits one gated batch of `tenants × repeats`
+//! requests (every tenant cycling through every image) and times the
+//! drain. Scaling is expected to flatten quickly — the VM is
+//! compute-light and the shared decode cache removes most duplicate
+//! decompression work — so the interesting numbers are the single-worker
+//! baseline, the knee, and the cache hit rate.
+//!
+//! Emits the `fleet_throughput` section of `BENCH_PR10.json`
+//! (`req_per_s_workers{N}`, `cache_hit_rate`, `requests`). `BENCH_SMOKE=1`
+//! shrinks the batch for CI.
+
+use squash_bench::fleet::ChaosWorld;
+use squash_bench::report;
+use squash::fleet::{Fleet, FleetConfig, ImageStore, Request, RetryPolicy};
+use std::time::Instant;
+
+const THETA: f64 = 1e-3;
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let smoke = report::smoke();
+    let (tenants, repeats, runs) = if smoke { (4, 2, 1) } else { (8, 8, 3) };
+
+    let benches = squash_bench::prepare_benches(squash_workloads::corpus_sample());
+    let world = ChaosWorld::build(&benches, THETA);
+    let requests: Vec<Request> = (0..tenants)
+        .flat_map(|t| {
+            world.images().iter().flat_map(move |img| {
+                (0..repeats).map(move |_| Request {
+                    tenant: format!("tenant{t}"),
+                    image: img.name.clone(),
+                    input: img.input.clone(),
+                    deadline: None,
+                })
+            })
+        })
+        .collect();
+    println!(
+        "Fleet throughput: {} requests ({tenants} tenants × {} images × {repeats}), \
+         min of {runs} runs, θ={THETA}",
+        requests.len(),
+        world.images().len()
+    );
+    println!();
+    println!("| workers | req/s | speedup | cache hit rate |");
+    println!("|--------:|------:|--------:|---------------:|");
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut base = 0.0f64;
+    for &workers in &WORKERS {
+        let mut best = 0.0f64;
+        let mut hit_rate = 0.0f64;
+        for _ in 0..runs {
+            let cfg = FleetConfig {
+                workers,
+                queue_limit: requests.len().max(1),
+                ..FleetConfig::default()
+            };
+            let store = ImageStore::in_memory(RetryPolicy::default());
+            for img in world.images() {
+                store.add_bytes(&img.name, img.bytes.clone());
+            }
+            let fleet = Fleet::new(store, cfg);
+            let t = Instant::now();
+            let results = fleet.run_batch(requests.clone());
+            let secs = t.elapsed().as_secs_f64();
+            assert!(
+                results.iter().all(|r| r.is_ok()),
+                "throughput batch must run clean"
+            );
+            best = best.max(results.len() as f64 / secs);
+            let c = fleet.metrics().cache;
+            let looked = c.hits + c.misses;
+            if looked > 0 {
+                hit_rate = c.hits as f64 / looked as f64;
+            }
+        }
+        if workers == WORKERS[0] {
+            base = best;
+        }
+        println!(
+            "| {workers:7} | {best:5.0} | {:6.2}× | {:13.1}% |",
+            best / base,
+            hit_rate * 100.0
+        );
+        entries.push((format!("req_per_s_workers{workers}"), best));
+    }
+    entries.push(("requests".to_string(), requests.len() as f64));
+    report::write_named("BENCH_PR10.json", "fleet_throughput", &entries);
+}

@@ -1,0 +1,422 @@
+//! Deterministic chaos/soak driver for the fleet runtime (`squashd`).
+//!
+//! [`squash_testkit::chaos`] plans *what* each scenario does (clean run,
+//! seeded image corruption, deadline violation, overload burst, quarantine
+//! escalation) from one master seed; this module applies a plan to a real
+//! [`Fleet`] built over corpus images and checks the robustness contract
+//! after every scenario:
+//!
+//! * a hostile tenant's request ends in a **typed** fleet error or a run
+//!   **byte/cycle-identical** to the solo `pipeline::run_squashed`
+//!   reference — never a panic, never a hang, never silent divergence;
+//! * every *background* tenant sharing the fleet stays byte- and
+//!   cycle-identical to its solo reference, whatever the hostile tenant
+//!   did (graceful degradation);
+//! * overload sheds exactly the requests past the queue bound, and
+//!   quarantine trips after exactly the configured number of machine
+//!   checks, both as typed errors.
+//!
+//! Violations are collected (not panicked) so the soak binary can report
+//! the scenario index and seed that reproduce each one.
+
+use crate::Bench;
+use squash::fleet::{Fleet, FleetConfig, FleetError, ImageStore, Request, RetryPolicy};
+use squash::pipeline::{self, RunResult};
+use squash::{image_file, FaultKind};
+use squash_testkit::chaos::{Kind, Scenario};
+use squash_testkit::{fault, Rng};
+
+/// One corpus image prepared for chaos runs: serialized bytes, the
+/// section boundaries mutations aim at, and the solo reference run every
+/// fleet result is compared against.
+pub struct ChaosImage {
+    /// Image name (the store key tenants request).
+    pub name: String,
+    /// Serialized `.sqsh` bytes (`image_file::write`).
+    pub bytes: Vec<u8>,
+    /// Section boundaries for boundary-aimed mutations.
+    pub boundaries: Vec<usize>,
+    /// Solo `run_squashed` result on `input` — the determinism anchor.
+    pub reference: RunResult,
+    /// The timing input the reference ran on.
+    pub input: Vec<u8>,
+}
+
+/// The prepared world a chaos plan runs against.
+pub struct ChaosWorld {
+    images: Vec<ChaosImage>,
+}
+
+/// Outcome of applying a chaos plan.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Scenarios executed.
+    pub scenarios: u64,
+    /// Clean scenarios run.
+    pub clean: u64,
+    /// Corruption scenarios run.
+    pub corrupt: u64,
+    /// Corruption scenarios whose mutation surfaced as a typed fault
+    /// (the rest ran byte-identically — dead-byte mutations).
+    pub corrupt_faulted: u64,
+    /// Deadline scenarios run.
+    pub deadline: u64,
+    /// Deadline scenarios that tripped the typed `deadline_exceeded` fault.
+    pub deadline_faulted: u64,
+    /// Overload scenarios run.
+    pub overload: u64,
+    /// Requests shed with the typed `overloaded` error across them.
+    pub shed: u64,
+    /// Quarantine scenarios run.
+    pub quarantine: u64,
+    /// Contract violations: `scenario INDEX (seed 0xSEED): what`.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// True when every scenario upheld the robustness contract.
+    pub fn clean_bill(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl ChaosWorld {
+    /// Squashes every bench at threshold `theta`, serializes the images and
+    /// records the solo reference runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pristine image fails to round-trip or run — that is a
+    /// build bug, not a chaos finding.
+    pub fn build(benches: &[Bench], theta: f64) -> Self {
+        Self::build_with_input_cap(benches, theta, usize::MAX)
+    }
+
+    /// [`ChaosWorld::build`] with timing inputs truncated to `cap` bytes —
+    /// keeps debug-build test plans fast while still driving the
+    /// decompressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pristine image fails to round-trip or run.
+    pub fn build_with_input_cap(benches: &[Bench], theta: f64, cap: usize) -> Self {
+        let images = benches
+            .iter()
+            .map(|b| {
+                let squashed = b.squash(&crate::opts(theta));
+                let bytes = image_file::write(&squashed);
+                let boundaries = image_file::boundaries(&bytes);
+                let parsed = image_file::read(&bytes).expect("pristine image parses");
+                let mut input = b.timing_input.clone();
+                input.truncate(cap);
+                let reference =
+                    pipeline::run_squashed(&parsed, &input).expect("pristine image runs");
+                ChaosImage { name: b.name.clone(), bytes, boundaries, reference, input }
+            })
+            .collect();
+        Self { images }
+    }
+
+    /// The prepared images.
+    pub fn images(&self) -> &[ChaosImage] {
+        &self.images
+    }
+
+    /// Applies a chaos plan with the given worker-pool width, returning the
+    /// violation report. Deterministic: same plan + same workers (or any
+    /// workers — results never depend on pool width) → same report.
+    pub fn run_plan(&self, plan: &[Scenario], workers: usize) -> ChaosReport {
+        let mut report = ChaosReport::default();
+        for sc in plan {
+            report.scenarios += 1;
+            self.run_scenario(sc, workers, &mut report);
+        }
+        report
+    }
+
+    /// Runs one scenario on a fresh fleet (so quarantine ledgers and cache
+    /// state never leak between scenarios) and records violations.
+    fn run_scenario(&self, sc: &Scenario, workers: usize, report: &mut ChaosReport) {
+        let mut rng = Rng::new(sc.seed);
+        let img = &self.images[sc.program % self.images.len()];
+        // Two background tenants on other images ride along with every
+        // scenario; whatever the hostile tenant does, they must stay
+        // byte/cycle-identical to their solo references.
+        let bg: Vec<&ChaosImage> = (0..2.min(self.images.len().saturating_sub(1)))
+            .map(|_| {
+                let mut pick = rng.below(self.images.len() as u64) as usize;
+                if self.images[pick].name == img.name {
+                    pick = (pick + 1) % self.images.len();
+                }
+                &self.images[pick]
+            })
+            .collect();
+
+        let mut cfg = FleetConfig {
+            workers,
+            retry: RetryPolicy { seed: sc.seed, ..RetryPolicy::default() },
+            ..FleetConfig::default()
+        };
+        let mut violate = |report: &mut ChaosReport, what: String| {
+            report.violations.push(format!(
+                "scenario {} (seed {:#x}, {:?} on {}): {what}",
+                sc.index, sc.seed, sc.kind, img.name
+            ));
+        };
+
+        match sc.kind {
+            Kind::Clean => {
+                report.clean += 1;
+                let fleet = self.fleet(&cfg, &[]);
+                let results = fleet.run_batch(chain_requests(img, &bg));
+                if let Some(w) = check_identical("clean", &results[0], &img.reference) {
+                    violate(report, w);
+                }
+                check_background(report, &bg, &results[1..], &mut violate);
+            }
+            Kind::Corrupt => {
+                report.corrupt += 1;
+                let m = fault::any(&mut rng, &img.bytes, &img.boundaries);
+                let hostile = format!("{}#corrupt", img.name);
+                let fleet = self.fleet(&cfg, &[(hostile.clone(), m.bytes)]);
+                let mut reqs = vec![request("hostile", &hostile, &img.input, None)];
+                reqs.extend(background_requests(&bg));
+                let results = fleet.run_batch(reqs);
+                match &results[0] {
+                    Ok(_) => {
+                        // A mutation the parser and VM never observed must
+                        // leave the run byte-identical — anything else is
+                        // silent corruption.
+                        if let Some(w) =
+                            check_identical(&format!("corrupt ({})", m.desc), &results[0], &img.reference)
+                        {
+                            violate(report, w);
+                        }
+                    }
+                    Err(FleetError::Fault(_)) | Err(FleetError::Run { .. }) => {
+                        report.corrupt_faulted += 1;
+                    }
+                    Err(other) => violate(
+                        report,
+                        format!("corrupt ({}) surfaced untyped/wrong error: {other}", m.desc),
+                    ),
+                }
+                check_background(report, &bg, &results[1..], &mut violate);
+            }
+            Kind::Deadline { permille } => {
+                report.deadline += 1;
+                let budget = ((u128::from(img.reference.cycles) * u128::from(permille)) / 1000)
+                    .max(1) as u64;
+                let fleet = self.fleet(&cfg, &[]);
+                let mut reqs = vec![request("hostile", &img.name, &img.input, Some(budget))];
+                reqs.extend(background_requests(&bg));
+                let results = fleet.run_batch(reqs);
+                match &results[0] {
+                    Ok(_) => {
+                        // Complete runs must be identical whatever the
+                        // budget; a sub-reference budget may still complete
+                        // when it lands inside the final instruction's
+                        // cycle cost (checks run at step boundaries).
+                        if let Some(w) = check_identical(
+                            &format!("deadline (budget {budget} of {})", img.reference.cycles),
+                            &results[0],
+                            &img.reference,
+                        ) {
+                            violate(report, w);
+                        }
+                    }
+                    Err(FleetError::Fault(mc)) if mc.kind == FaultKind::DeadlineExceeded => {
+                        report.deadline_faulted += 1;
+                        if budget >= img.reference.cycles {
+                            violate(
+                                report,
+                                format!(
+                                    "deadline fired with budget {budget} >= solo cycles {}",
+                                    img.reference.cycles
+                                ),
+                            );
+                        }
+                    }
+                    Err(other) => violate(
+                        report,
+                        format!("deadline (budget {budget}) surfaced wrong error: {other}"),
+                    ),
+                }
+                check_background(report, &bg, &results[1..], &mut violate);
+            }
+            Kind::Overload { burst } => {
+                report.overload += 1;
+                // A queue bound smaller than the burst: gated admission
+                // makes the shed count exact, not racy.
+                let limit = (burst as usize / 2).max(1);
+                cfg.queue_limit = limit;
+                let fleet = self.fleet(&cfg, &[]);
+                let reqs: Vec<Request> = (0..burst)
+                    .map(|_| request("hostile", &img.name, &img.input, None))
+                    .collect();
+                let results = fleet.run_batch(reqs);
+                let mut shed = 0u64;
+                for r in &results {
+                    match r {
+                        Ok(_) => {
+                            if let Some(w) = check_identical("overload admit", r, &img.reference) {
+                                violate(report, w);
+                            }
+                        }
+                        Err(FleetError::Overloaded { .. }) => shed += 1,
+                        Err(other) => {
+                            violate(report, format!("overload surfaced wrong error: {other}"))
+                        }
+                    }
+                }
+                let expect = u64::from(burst).saturating_sub(limit as u64);
+                if shed != expect {
+                    violate(
+                        report,
+                        format!("overload shed {shed} of {burst}, expected exactly {expect}"),
+                    );
+                }
+                report.shed += shed;
+                // Background tenants run in a follow-up batch: after the
+                // burst drains they must be untouched by the shed storm.
+                let bg_results = fleet.run_batch(background_requests(&bg));
+                check_background(report, &bg, &bg_results, &mut violate);
+            }
+            Kind::Quarantine => {
+                report.quarantine += 1;
+                let Some(m) = faulting_mutation(&mut rng, img) else {
+                    // Statistically unreachable (forged lengths always
+                    // fault); counted, not hidden, if it ever happens.
+                    violate(report, "no faulting mutation found in 32 tries".to_string());
+                    return;
+                };
+                let hostile = format!("{}#quarantine", img.name);
+                let fleet = self.fleet(&cfg, &[(hostile.clone(), m)]);
+                let threshold = cfg.quarantine_threshold;
+                // One gated batch of exactly `threshold` faulting requests
+                // trips the ledger...
+                let reqs: Vec<Request> = (0..threshold)
+                    .map(|_| request("hostile", &hostile, &img.input, None))
+                    .collect();
+                for (i, r) in fleet.run_batch(reqs).iter().enumerate() {
+                    match r {
+                        Err(FleetError::Fault(_)) | Err(FleetError::Run { .. }) => {}
+                        other => violate(
+                            report,
+                            format!("quarantine warm-up {i} was not a typed fault: {other:?}"),
+                        ),
+                    }
+                }
+                // ...and the next request must fail fast, typed, without
+                // reaching a worker.
+                let mut reqs = vec![request("hostile", &hostile, &img.input, None)];
+                reqs.extend(background_requests(&bg));
+                let results = fleet.run_batch(reqs);
+                match &results[0] {
+                    Err(FleetError::Quarantined { .. }) => {}
+                    other => violate(
+                        report,
+                        format!("post-threshold request was not quarantined: {other:?}"),
+                    ),
+                }
+                check_background(report, &bg, &results[1..], &mut violate);
+            }
+        }
+    }
+
+    /// Builds a fresh in-memory fleet holding every pristine image plus the
+    /// scenario's extra (usually mutated) images.
+    fn fleet(&self, cfg: &FleetConfig, extra: &[(String, Vec<u8>)]) -> Fleet {
+        let store = ImageStore::in_memory(cfg.retry);
+        for img in &self.images {
+            store.add_bytes(&img.name, img.bytes.clone());
+        }
+        for (name, bytes) in extra {
+            store.add_bytes(name, bytes.clone());
+        }
+        Fleet::new(store, cfg.clone())
+    }
+}
+
+/// Finds a deterministic mutation of `img` that actually faults when run
+/// solo (some mutations land in dead bytes); `None` after 32 tries.
+fn faulting_mutation(rng: &mut Rng, img: &ChaosImage) -> Option<Vec<u8>> {
+    for _ in 0..32 {
+        let m = fault::any(rng, &img.bytes, &img.boundaries);
+        let faults = match image_file::read(&m.bytes) {
+            Err(_) => true,
+            Ok(parsed) => pipeline::run_squashed(&parsed, &img.input).is_err(),
+        };
+        if faults {
+            return Some(m.bytes);
+        }
+    }
+    None
+}
+
+/// A request for `tenant` against `image`.
+fn request(tenant: &str, image: &str, input: &[u8], deadline: Option<u64>) -> Request {
+    Request {
+        tenant: tenant.to_string(),
+        image: image.to_string(),
+        input: input.to_vec(),
+        deadline,
+    }
+}
+
+/// The hostile request followed by one request per background tenant.
+fn chain_requests(img: &ChaosImage, bg: &[&ChaosImage]) -> Vec<Request> {
+    let mut reqs = vec![request("hostile", &img.name, &img.input, None)];
+    reqs.extend(background_requests(bg));
+    reqs
+}
+
+/// One clean request per background tenant (`bg0`, `bg1`, ...).
+fn background_requests(bg: &[&ChaosImage]) -> Vec<Request> {
+    bg.iter()
+        .enumerate()
+        .map(|(i, img)| request(&format!("bg{i}"), &img.name, &img.input, None))
+        .collect()
+}
+
+/// Checks a fleet result against the solo reference: `Ok` and
+/// byte/cycle/instruction-identical. Returns the violation text if not.
+fn check_identical(
+    what: &str,
+    result: &Result<RunResult, FleetError>,
+    reference: &RunResult,
+) -> Option<String> {
+    match result {
+        Ok(run) => {
+            if run.output != reference.output {
+                Some(format!("{what}: output diverged from solo run"))
+            } else if run.cycles != reference.cycles || run.instructions != reference.instructions {
+                Some(format!(
+                    "{what}: cycle drift (fleet {}/{} vs solo {}/{})",
+                    run.cycles, run.instructions, reference.cycles, reference.instructions
+                ))
+            } else if run.status != reference.status {
+                Some(format!("{what}: status drift"))
+            } else {
+                None
+            }
+        }
+        Err(e) => Some(format!("{what}: expected clean run, got {e}")),
+    }
+}
+
+/// Asserts every background tenant's result is identical to its solo
+/// reference — the graceful-degradation half of the contract.
+fn check_background(
+    report: &mut ChaosReport,
+    bg: &[&ChaosImage],
+    results: &[Result<RunResult, FleetError>],
+    violate: &mut impl FnMut(&mut ChaosReport, String),
+) {
+    for (img, result) in bg.iter().zip(results) {
+        if let Some(w) = check_identical(&format!("background tenant on {}", img.name), result, &img.reference)
+        {
+            violate(report, w);
+        }
+    }
+}

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
+
 use squash::layout::Squashed;
 use squash::pipeline::{self, RunResult};
 use squash::{BlockProfile, SquashOptions, Squasher};

@@ -61,6 +61,7 @@
 pub mod audit;
 pub mod buffer_safe;
 pub mod cold;
+pub mod fleet;
 pub mod footprint;
 pub mod image_file;
 pub mod integrity;

@@ -297,6 +297,14 @@ pub fn registry(t: &Telemetry) -> Registry {
             t.trace_drops,
         );
     }
+    if t.sampler_drops > 0 {
+        r.add_counter(
+            "squash_sampler_drops_total",
+            "Samples the bounded sampling profiler discarded",
+            &[],
+            t.sampler_drops,
+        );
+    }
     if let Some(run) = t.run {
         r.set_gauge("squash_run_status", "Guest exit status", &[], run.status as f64);
         r.add_counter(
@@ -430,6 +438,91 @@ pub fn registry(t: &Telemetry) -> Registry {
                 Histogram::from_parts(&bounds, counts, sum),
             );
         }
+    }
+    r
+}
+
+/// Mirrors a fleet metrics snapshot onto a [`Registry`]: per-tenant request
+/// counters (labelled by tenant and outcome), per-tenant simulated work,
+/// the shared decode-cache counters, the quarantine ledger, and the image
+/// store's backoff count. Like [`registry`], a read-only projection.
+pub fn fleet_registry(m: &crate::fleet::FleetMetrics) -> Registry {
+    let mut r = Registry::new();
+    for t in &m.tenants {
+        let labels: &[(&str, &str)] = &[("tenant", &t.tenant)];
+        r.add_counter("squashd_requests_total", "Requests submitted", labels, t.submitted);
+        for (outcome, v) in [
+            ("ok", t.ok),
+            ("machine_check", t.faults),
+            ("shed", t.shed),
+            ("quarantined", t.quarantine_rejected),
+            ("load_error", t.load_errors),
+            ("run_error", t.run_errors),
+            ("internal", t.internal_errors),
+        ] {
+            if v > 0 {
+                r.add_counter(
+                    "squashd_outcomes_total",
+                    "Request outcomes by tenant",
+                    &[("tenant", &t.tenant), ("outcome", outcome)],
+                    v,
+                );
+            }
+        }
+        if t.deadline_faults > 0 {
+            r.add_counter(
+                "squashd_deadline_faults_total",
+                "Cycle-budget deadline machine checks",
+                labels,
+                t.deadline_faults,
+            );
+        }
+        r.add_counter("squashd_tenant_cycles_total", "Simulated cycles per tenant", labels, t.cycles);
+        r.add_counter(
+            "squashd_tenant_instructions_total",
+            "Instructions per tenant",
+            labels,
+            t.instructions,
+        );
+    }
+    let c = &m.cache;
+    for (name, v) in [
+        ("squashd_cache_hits_total", c.hits),
+        ("squashd_cache_misses_total", c.misses),
+        ("squashd_cache_evictions_total", c.evictions),
+        ("squashd_cache_bypasses_total", c.bypasses),
+        ("squashd_cache_acquires_total", c.acquires),
+        ("squashd_cache_releases_total", c.releases),
+    ] {
+        r.add_counter(name, "Shared decode-cache counter", &[], v);
+    }
+    r.set_gauge(
+        "squashd_cache_live_entries",
+        "Entries resident in the shared decode cache",
+        &[],
+        c.live_entries as f64,
+    );
+    for (image, faults, quarantined) in &m.quarantine {
+        r.add_counter(
+            "squashd_image_faults_total",
+            "Machine checks recorded against an image",
+            &[("image", image)],
+            *faults as u64,
+        );
+        r.set_gauge(
+            "squashd_image_quarantined",
+            "1 when the image is quarantined",
+            &[("image", image)],
+            if *quarantined { 1.0 } else { 0.0 },
+        );
+    }
+    if m.load_retries > 0 {
+        r.add_counter(
+            "squashd_load_retries_total",
+            "Backoff sleeps taken loading images",
+            &[],
+            m.load_retries,
+        );
     }
     r
 }

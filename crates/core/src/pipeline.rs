@@ -212,6 +212,41 @@ pub fn run_squashed_observed(
     sink: Option<Box<dyn TraceSink>>,
     sample_every: Option<u64>,
 ) -> Result<(RunResult, Option<squash_vm::Sampler>), SquashError> {
+    run_squashed_inner(squashed, input, icache, sink, sample_every, None, None)
+}
+
+/// The fleet entry point: [`run_squashed`] under a cycle-budget deadline
+/// and (optionally) a shared decode-cache handle.
+///
+/// The deadline is enforced inside the VM step loop and surfaces as a typed
+/// `deadline_exceeded` machine check (`SquashError::fault`), never a hang;
+/// a budget the run does not reach is zero-perturbation. The cache handle
+/// shares *host-side* decode work between instances of the same image —
+/// simulated cycle charges and per-instance runtime stats are unchanged, so
+/// a fleet run is byte/cycle-identical to a solo one (`tests/fleet.rs`).
+///
+/// # Errors
+///
+/// Fails on machine faults (including `DeadlineExceeded`) or
+/// runtime-decompressor errors.
+pub fn run_squashed_budgeted(
+    squashed: &Squashed,
+    input: &[u8],
+    deadline: Option<u64>,
+    cache: Option<crate::fleet::cache::CacheHandle>,
+) -> Result<RunResult, SquashError> {
+    run_squashed_inner(squashed, input, None, None, None, deadline, cache).map(|(run, _)| run)
+}
+
+fn run_squashed_inner(
+    squashed: &Squashed,
+    input: &[u8],
+    icache: Option<ICacheConfig>,
+    sink: Option<Box<dyn TraceSink>>,
+    sample_every: Option<u64>,
+    deadline: Option<u64>,
+    cache: Option<crate::fleet::cache::CacheHandle>,
+) -> Result<(RunResult, Option<squash_vm::Sampler>), SquashError> {
     let mut vm = Vm::new(squashed.min_mem_size(1 << 18));
     for (base, bytes) in &squashed.segments {
         vm.write_bytes(*base, bytes);
@@ -224,9 +259,13 @@ pub fn run_squashed_observed(
     if let Some(period) = sample_every {
         vm.enable_sampling(period);
     }
+    vm.set_deadline(deadline);
     let mut service = SquashRuntime::new(squashed.runtime.clone());
     if let Some(sink) = sink {
         service.set_sink(sink);
+    }
+    if let Some(handle) = cache {
+        service.set_decode_cache(handle);
     }
     let out = vm.run_with(&mut service).map_err(|e| {
         // Keep the structured machine check (region, site, cycle, kind)

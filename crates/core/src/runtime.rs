@@ -58,6 +58,33 @@ fn decode_fault_kind(e: &CompressError) -> FaultKind {
     }
 }
 
+/// One region decode with the fast/reference fallback ladder: the fast
+/// two-tier table decoder first; if it errors, the bit-by-bit reference
+/// decoder (graceful degradation — a payload that passed its checksum
+/// should decode, so a fast-decoder error there is a decoder defect, not
+/// corruption), with the fallback recorded in the result. Only when both
+/// decoders reject the stream does the *fast* decoder's error propagate.
+/// A free function over the config so the fleet's shared cache can run it
+/// outside the service's mutable borrow.
+fn decode_region_uncached(
+    cfg: &RuntimeConfig,
+    bit_off: u64,
+) -> Result<crate::fleet::cache::Decoded, CompressError> {
+    match cfg.model.decompress_region(&cfg.blob, bit_off) {
+        Ok((insts, bits)) => {
+            Ok(crate::fleet::cache::Decoded { insts, bits, ref_fallback: false })
+        }
+        Err(fast_err) => {
+            match cfg.model.decompress_region_reference(&cfg.blob, bit_off) {
+                Ok((insts, bits)) => {
+                    Ok(crate::fleet::cache::Decoded { insts, bits, ref_fallback: true })
+                }
+                Err(_) => Err(fast_err),
+            }
+        }
+    }
+}
+
 /// Everything the runtime service needs, produced by layout.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -194,6 +221,11 @@ pub struct SquashRuntime {
     /// observes: it never charges cycles or touches simulated memory, so
     /// cycle counts are identical with and without a sink.
     sink: SinkSlot,
+    /// Fleet-shared decode cache, if attached. Sharing saves *host* decode
+    /// work only: the simulated charge is a pure function of the cached
+    /// `(bits, insts)`, so cycles are identical with and without the cache
+    /// (asserted by `tests/fleet.rs`).
+    decode_cache: Option<crate::fleet::cache::CacheHandle>,
 }
 
 impl SquashRuntime {
@@ -211,7 +243,17 @@ impl SquashRuntime {
             mru: None,
             stats: RuntimeStats::default(),
             sink: SinkSlot(None),
+            decode_cache: None,
         }
+    }
+
+    /// Attaches a fleet-shared decode cache handle: region decodes consult
+    /// the shared cache before running the decoder, and successful local
+    /// decodes populate it (subject to the handle's tenant quota). Purely a
+    /// host-side optimization — simulated cycle counts, stats and guest
+    /// output are identical with and without a cache attached.
+    pub fn set_decode_cache(&mut self, handle: crate::fleet::cache::CacheHandle) {
+        self.decode_cache = Some(handle);
     }
 
     /// Attaches a trace sink; every subsequent runtime event is emitted into
@@ -516,31 +558,34 @@ impl SquashRuntime {
             // full verification charge (span tracing brackets rely on it).
             self.trace(vm, TraceEvent::VerifyEnd { region, bytes: span_bytes });
         }
-        // Decode through the fast two-tier table decoder; if it errors, fall
-        // back to the bit-by-bit reference decoder and count the event
-        // (graceful degradation: a payload that passed its checksum should
-        // decode, so a fast-decoder error there is a decoder defect, not
-        // corruption). Only when both decoders reject the stream is the
-        // region truly corrupt.
-        let decoded = match self.cfg.model.decompress_region(&self.cfg.blob, bit_off) {
-            Ok(ok) => ok,
-            Err(fast_err) => {
-                match self.cfg.model.decompress_region_reference(&self.cfg.blob, bit_off) {
-                    Ok(ok) => {
-                        self.stats.ref_fallbacks += 1;
-                        ok
-                    }
-                    Err(_) => {
-                        return Err(fault(
-                            vm,
-                            decode_fault_kind(&fast_err),
-                            format!("region {region} decompression failed: {fast_err}"),
-                        ))
-                    }
-                }
+        // Decode, consulting the fleet-shared cache first when one is
+        // attached (decode errors are never cached, so they surface fresh
+        // from the decoder either way).
+        let decoded = {
+            let cfg = &self.cfg;
+            match &self.decode_cache {
+                Some(handle) => handle
+                    .get_or_decode(region, || decode_region_uncached(cfg, bit_off))
+                    .map(|r| (*r).clone()),
+                None => decode_region_uncached(cfg, bit_off),
             }
         };
-        let (mut insts, bits) = decoded;
+        let decoded = match decoded {
+            Ok(d) => d,
+            Err(fast_err) => {
+                return Err(fault(
+                    vm,
+                    decode_fault_kind(&fast_err),
+                    format!("region {region} decompression failed: {fast_err}"),
+                ))
+            }
+        };
+        if decoded.ref_fallback {
+            // Replayed per instance even when the decode was shared, so
+            // per-tenant attribution of the fallback event stays exact.
+            self.stats.ref_fallbacks += 1;
+        }
+        let crate::fleet::cache::Decoded { mut insts, bits, .. } = decoded;
         if insts.len() as u32 * 4 > self.cfg.buffer_bytes {
             return Err(fault(
                 vm,

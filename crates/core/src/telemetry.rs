@@ -929,6 +929,14 @@ pub struct Telemetry {
     /// "nothing dropped" or "no bounded ring attached"; nonzero warns the
     /// consumer that the trace file is a tail, not the whole run.
     pub trace_drops: u64,
+    /// Samples the bounded sampling profiler discarded once its buffer
+    /// filled (`squashrun --sample-every` with `--sample-max`). Same
+    /// additive-schema contract as `trace_drops`: `0` parses from (and
+    /// writes as) an absent field, so old documents are unaffected; nonzero
+    /// means the flame data is a prefix, not the whole run. Merge sums, so
+    /// a fleet document keeps per-tenant drops attributable when the
+    /// per-tenant documents are kept alongside it.
+    pub sampler_drops: u64,
 }
 
 impl Telemetry {
@@ -974,6 +982,7 @@ impl Telemetry {
             // A previously-merged input counts for the documents behind it.
             sat(&mut out.docs, d.docs.max(1));
             sat(&mut out.trace_drops, d.trace_drops);
+            sat(&mut out.sampler_drops, d.sampler_drops);
             if let Some(run) = d.run {
                 match &mut out.run {
                     None => out.run = Some(run),
@@ -1099,6 +1108,9 @@ impl Telemetry {
         // pre-drop-count document and byte-for-byte golden test still holds.
         if self.trace_drops > 0 {
             fields.push(("trace_drops", int(self.trace_drops)));
+        }
+        if self.sampler_drops > 0 {
+            fields.push(("sampler_drops", int(self.sampler_drops)));
         }
         if let Some(run) = self.run {
             fields.push((
@@ -1230,6 +1242,7 @@ impl Telemetry {
             docs: v.get("docs").and_then(Json::as_u64).unwrap_or(0),
             // Additive field: absent in old documents, reads as zero.
             trace_drops: v.get("trace_drops").and_then(Json::as_u64).unwrap_or(0),
+            sampler_drops: v.get("sampler_drops").and_then(Json::as_u64).unwrap_or(0),
             ..Telemetry::default()
         };
         if let Some(run) = v.get("run") {
@@ -1315,6 +1328,13 @@ impl Telemetry {
                 out,
                 "trace ring dropped {} oldest events (trace is a tail, not the whole run)",
                 self.trace_drops
+            );
+        }
+        if self.sampler_drops > 0 {
+            let _ = writeln!(
+                out,
+                "sampler dropped {} samples past its buffer (flame data is a prefix, not the whole run)",
+                self.sampler_drops
             );
         }
         let Some(attr) = &self.attribution else {
@@ -1572,6 +1592,7 @@ mod tests {
             ],
             docs: 0,
             trace_drops: 0,
+            sampler_drops: 0,
         };
         let text = t.to_json_string();
         let back = Telemetry::from_json(&json::parse(&text).expect("parse")).expect("from_json");
@@ -1761,6 +1782,26 @@ mod tests {
         let report = merged.report();
         assert!(report.contains("trace ring dropped 14"), "{report}");
         assert!(!zero.report().contains("trace ring"), "zero drops must stay quiet");
+    }
+
+    #[test]
+    fn sampler_drops_field_is_additive() {
+        // Same contract as trace_drops: absent parses as zero, zero writes
+        // as absent (old golden documents stay byte-identical), nonzero
+        // round-trips, merges by saturating sum, and shows in the report.
+        let old = json::parse("{\"schema\":2,\"name\":\"x\"}").unwrap();
+        assert_eq!(Telemetry::from_json(&old).unwrap().sampler_drops, 0);
+        let zero = Telemetry { name: "x".into(), ..Telemetry::default() };
+        assert!(!zero.to_json_string().contains("sampler_drops"));
+        let some = Telemetry { sampler_drops: 5, ..zero.clone() };
+        let text = some.to_json_string();
+        assert!(text.contains("\"sampler_drops\":5"), "{text}");
+        let round = Telemetry::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(round.sampler_drops, 5);
+        let merged = Telemetry::merge(&[some.clone(), some, Telemetry { sampler_drops: u64::MAX, ..Telemetry::default() }]);
+        assert_eq!(merged.sampler_drops, u64::MAX, "merge saturates, never wraps");
+        assert!(merged.report().contains("sampler dropped"), "{}", merged.report());
+        assert!(!zero.report().contains("sampler dropped"), "zero drops must stay quiet");
     }
 
     #[test]

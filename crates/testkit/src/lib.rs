@@ -248,6 +248,92 @@ pub mod fault {
     }
 }
 
+/// Deterministic chaos/soak scenario planning for the fleet runtime.
+///
+/// A chaos *plan* is pure data — which corpus program, which hostile
+/// behaviour (image corruption, deadline violation, overload burst,
+/// quarantine escalation), and a per-scenario seed — derived entirely from
+/// one master seed. The driver that applies a plan to a real fleet lives in
+/// `squash-bench` (`fleet` module), because it needs the core crate; the
+/// plan itself lives here so the seed → scenario mapping is shared between
+/// the CI soak binary and the integration tests, and any failure report
+/// (`scenario 137 of 200, seed 0x…`) is reproducible from either.
+pub mod chaos {
+    use super::Rng;
+
+    /// What one scenario does to the fleet.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Kind {
+        /// A clean run: one tenant, one program, untouched image. Must be
+        /// byte/cycle-identical to a solo run.
+        Clean,
+        /// A seeded image mutation (`fault::any`) submitted under its own
+        /// image name. Must surface as a typed machine check or run
+        /// byte-identically (dead-byte mutation) — never a panic.
+        Corrupt,
+        /// A cycle-budget deadline at `permille`/1000 of the program's
+        /// known solo cycle count. Below 1000 the run must fault with
+        /// `deadline_exceeded`; at or above it must complete identically.
+        Deadline {
+            /// Budget as a fraction of solo cycles, in thousandths.
+            permille: u16,
+        },
+        /// An overload burst of `burst` requests into a small-bounded
+        /// queue: exactly `burst - limit` must shed as `overloaded`
+        /// (submission is gated, so the count is deterministic).
+        Overload {
+            /// Requests in the burst.
+            burst: u16,
+        },
+        /// Repeated corrupt submissions to one image until it trips the
+        /// quarantine threshold; the next submission must fail fast as
+        /// `quarantined` without reaching a worker.
+        Quarantine,
+    }
+
+    /// One deterministic scenario of a chaos plan.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Scenario {
+        /// Position in the plan (for failure reports).
+        pub index: u64,
+        /// Seed driving this scenario's mutations and choices.
+        pub seed: u64,
+        /// Index into the driver's program list.
+        pub program: usize,
+        /// The hostile behaviour to apply.
+        pub kind: Kind,
+    }
+
+    /// Builds the deterministic plan: `n` scenarios over `programs`
+    /// entries, from one master seed. Every scenario kind appears with
+    /// fixed proportions (3 clean : 3 corrupt : 2 deadline : 1 overload :
+    /// 1 quarantine per 10) so short plans still cover the repertoire.
+    pub fn plan(seed: u64, n: u64, programs: usize) -> Vec<Scenario> {
+        assert!(programs > 0, "chaos plan needs at least one program");
+        (0..n)
+            .map(|index| {
+                let mut rng = Rng::new(seed ^ index.wrapping_mul(0x9E6D_62CC_8BD5_3A2D));
+                let program = rng.below(programs as u64) as usize;
+                let kind = match rng.below(10) {
+                    0..=2 => Kind::Clean,
+                    3..=5 => Kind::Corrupt,
+                    6 | 7 => Kind::Deadline {
+                        // 1..=1500 thousandths: both violating and
+                        // satisfying budgets, including the ==cycles edge.
+                        permille: match rng.below(4) {
+                            0 => 1000,
+                            _ => (rng.below(1500) + 1) as u16,
+                        },
+                    },
+                    8 => Kind::Overload { burst: (rng.below(24) + 8) as u16 },
+                    _ => Kind::Quarantine,
+                };
+                Scenario { index, seed: rng.u64(), program, kind }
+            })
+            .collect()
+    }
+}
+
 /// Micro-benchmark support replacing the `criterion` harness: each bench
 /// target is a plain `main` that calls [`bench::Timer`] methods and prints
 /// a fixed-format table line per measurement.

@@ -2,7 +2,7 @@
 
 use squash_isa::{AluOp, BraOp, Inst, MemOp, PalOp, Reg};
 
-use crate::error::VmError;
+use crate::error::{FaultKind, MachineCheck, VmError};
 use crate::icache::{ICache, ICacheConfig, ICacheStats};
 use crate::profile::Profile;
 use crate::sample::Sampler;
@@ -37,6 +37,7 @@ pub struct Vm {
     instructions: u64,
     cycles: u64,
     step_limit: u64,
+    deadline: Option<u64>,
     profile: Option<Profile>,
     icache: Option<ICache>,
     sampler: Option<Sampler>,
@@ -58,6 +59,7 @@ impl Vm {
             instructions: 0,
             cycles: 0,
             step_limit: DEFAULT_STEP_LIMIT,
+            deadline: None,
             profile: None,
             icache: None,
             sampler: None,
@@ -88,6 +90,48 @@ impl Vm {
     /// Sets the maximum number of instructions a run may execute.
     pub fn set_step_limit(&mut self, limit: u64) {
         self.step_limit = limit;
+    }
+
+    /// Arms (or with `None` disarms) a **cycle-budget deadline**: once the
+    /// simulated cycle counter reaches `budget`, the next instruction
+    /// boundary raises a typed [`FaultKind::DeadlineExceeded`] machine check
+    /// instead of fetching. Multi-tenant schedulers use this to bound a
+    /// runaway instance — the guest surfaces as a diagnosable fault carrying
+    /// pc and cycle, never a hang.
+    ///
+    /// The check only *reads* the cycle counter: a run that finishes under
+    /// budget is instruction- and cycle-identical to one with no deadline
+    /// armed (the same zero-perturbation contract as tracing and sampling).
+    pub fn set_deadline(&mut self, budget: Option<u64>) {
+        self.deadline = budget;
+    }
+
+    /// The armed cycle-budget deadline, if any.
+    pub fn deadline(&self) -> Option<u64> {
+        self.deadline
+    }
+
+    /// The deadline fault for the current machine state, if the budget has
+    /// expired. Checked at every instruction boundary (and before every
+    /// service trap, so a service that never returns control to guest code
+    /// cannot dodge it).
+    fn deadline_check(&self) -> Result<(), VmError> {
+        match self.deadline {
+            Some(budget) if self.cycles >= budget => {
+                Err(VmError::MachineCheck(MachineCheck {
+                    pc: Some(self.pc),
+                    cycle: Some(self.cycles),
+                    ..MachineCheck::new(
+                        FaultKind::DeadlineExceeded,
+                        format!(
+                            "cycle budget of {budget} exhausted ({} cycles consumed)",
+                            self.cycles
+                        ),
+                    )
+                }))
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Starts recording a per-PC execution profile over `words` instruction
@@ -275,6 +319,10 @@ impl Vm {
         let range = service.range();
         loop {
             if !range.is_empty() && range.contains(&self.pc) {
+                // The deadline is also enforced here: a service sets the pc
+                // before returning, so a trap loop that never reaches guest
+                // code still terminates with the typed fault.
+                self.deadline_check()?;
                 service.invoke(self)?;
                 continue;
             }
@@ -300,6 +348,7 @@ impl Vm {
                 limit: self.step_limit,
             });
         }
+        self.deadline_check()?;
         let pc = self.pc;
         if !pc.is_multiple_of(4) || (pc as usize) + 4 > self.mem.len() {
             return Err(VmError::BadPc { pc });
@@ -623,6 +672,58 @@ mod tests {
         vm.set_pc(0x1000);
         vm.set_step_limit(1000);
         assert_eq!(vm.run(), Err(VmError::StepLimit { limit: 1000 }));
+    }
+
+    #[test]
+    fn deadline_fires_as_typed_machine_check() {
+        // Infinite loop: without a deadline this would run to the step
+        // limit; with one it must surface as a typed fault carrying the
+        // cycle the budget expired at.
+        let prog = [Inst::Bra { op: BraOp::Br, ra: Reg::ZERO, disp: -1 }];
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        vm.set_deadline(Some(100));
+        match vm.run() {
+            Err(VmError::MachineCheck(mc)) => {
+                assert_eq!(mc.kind, crate::FaultKind::DeadlineExceeded);
+                assert_eq!(mc.cycle, Some(100));
+                assert_eq!(mc.pc, Some(0x1000));
+            }
+            other => panic!("expected deadline machine check, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unexpired_deadline_is_zero_perturbation() {
+        // t0 = 50; loop: t0 -= 1; bne t0, loop; exit
+        let prog = [
+            lda(Reg::T0, 50, Reg::ZERO),
+            Inst::Imm { func: AluOp::Sub, ra: Reg::T0, lit: 1, rc: Reg::T0 },
+            Inst::Bra { op: BraOp::Bne, ra: Reg::T0, disp: -2 },
+            lda(Reg::A0, 3, Reg::ZERO),
+            exit(),
+        ];
+        let run = |deadline: Option<u64>| {
+            let mut vm = Vm::new(1 << 16);
+            vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+            vm.set_pc(0x1000);
+            vm.set_deadline(deadline);
+            vm.run().unwrap()
+        };
+        let plain = run(None);
+        // A budget of exactly the run's cycles never fires: the check uses
+        // `>=` at the *next* fetch, and the program exits first.
+        assert_eq!(run(Some(plain.cycles)), plain);
+        assert_eq!(run(Some(u64::MAX)), plain);
+        // One cycle short fails — and deterministically at the same spot.
+        let mut vm = Vm::new(1 << 16);
+        vm.load_words(0x1000, prog.iter().map(|i| i.encode()));
+        vm.set_pc(0x1000);
+        vm.set_deadline(Some(plain.cycles - 1));
+        let e1 = vm.run().unwrap_err();
+        assert!(matches!(&e1, VmError::MachineCheck(mc)
+            if mc.kind == crate::FaultKind::DeadlineExceeded));
     }
 
     #[test]

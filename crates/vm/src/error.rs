@@ -50,6 +50,12 @@ pub enum FaultKind {
     /// `CreateStub` trap with no resident region, or a restore stub firing
     /// with a zero usage count).
     ServiceState,
+    /// The instance's cycle-budget deadline expired ([`crate::Vm::set_deadline`]).
+    /// Raised at an instruction boundary, so a runaway guest surfaces as a
+    /// typed fault, never a hang. Unlike the other kinds this reports a
+    /// *resource-policy* violation, not image corruption — fleet schedulers
+    /// should not treat it as evidence the image is bad.
+    DeadlineExceeded,
 }
 
 impl FaultKind {
@@ -71,6 +77,7 @@ impl FaultKind {
             FaultKind::BufferOverflow => "buffer_overflow",
             FaultKind::StubExhausted => "stub_exhausted",
             FaultKind::ServiceState => "service_state",
+            FaultKind::DeadlineExceeded => "deadline_exceeded",
         }
     }
 }

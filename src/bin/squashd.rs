@@ -1,0 +1,322 @@
+//! `squashd` — the multi-tenant fleet server: load a store of `.sqsh`
+//! images and drive many concurrent VM instances over a worker pool, with
+//! per-tenant budgets, admission control, and fault quarantine
+//! (`core::fleet`, `DESIGN.md` §17).
+//!
+//! ```text
+//! squashd --store DIR [--script FILE|-] [--workers N] [--queue-limit N]
+//!         [--deadline N] [--quarantine-after K] [--cache-quota N]
+//!         [--summary] [--metrics-json FILE|-] [--metrics-dir DIR]
+//!         [--prom FILE|-]
+//! ```
+//!
+//! # Request script
+//!
+//! `--script` reads requests one per line (`-` = stdin):
+//!
+//! ```text
+//! # tenant image [input=TEXT | input=@FILE] [deadline=CYCLES] [repeat=N]
+//! alice  fib     input=abc
+//! bob    matmul  deadline=200000 repeat=8
+//! ---
+//! alice  fib     repeat=64
+//! ```
+//!
+//! Blank lines and `#` comments are skipped. `---` separates **batches**:
+//! each batch is submitted gated (admission decisions settle before any
+//! work starts, so shed-vs-admit is deterministic) and drained before the
+//! next begins. Without `--script`, every image in the store runs once for
+//! the tenant `default` — a smoke pass over the whole store.
+//!
+//! One result line per request goes to stdout, in request order:
+//!
+//! ```text
+//! alice fib ok status=0 cycles=124631
+//! bob matmul error kind=deadline_exceeded detail=machine check: ...
+//! carol evil error kind=quarantined detail=image `evil` is quarantined (3 machine checks)
+//! ```
+//!
+//! # Telemetry
+//!
+//! `--summary` prints a per-tenant table (requests, outcomes, cycles) and
+//! the cache/quarantine counters to stderr. `--metrics-json` writes the
+//! all-tenants merged telemetry document (`squashmon`-ready);
+//! `--metrics-dir` writes one `TENANT.json` document per tenant so a fleet
+//! can be inspected per tenant (`squashmon DIR/*.json`). `--prom` renders
+//! the fleet registry — per-tenant request/outcome counters, shared-cache
+//! counters, the quarantine ledger — as Prometheus text exposition.
+//!
+//! # Exit status
+//!
+//! The shared runtime contract (`squash_repro::cli`): **2** usage, **74**
+//! host I/O, **70** when any request ended in a typed machine check
+//! (including deadlines), 0 otherwise. Shed (`overloaded`) and
+//! `quarantined` rejections are policy outcomes, not failures — they do
+//! not affect the exit code. A panic is never an acceptable outcome.
+
+use squash_repro::cli::CliError;
+use squash_repro::squash::fleet::{Fleet, FleetConfig, FleetError, ImageStore, Request};
+use squash_repro::squash::monitor;
+use squash_repro::squash::telemetry::Telemetry;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("squashd: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn usage() -> CliError {
+    CliError::Usage(
+        "usage: squashd --store DIR [--script FILE|-] [--workers N] \
+         [--queue-limit N] [--deadline N] [--quarantine-after K] \
+         [--cache-quota N] [--summary] [--metrics-json FILE|-] \
+         [--metrics-dir DIR] [--prom FILE|-]"
+            .to_string(),
+    )
+}
+
+fn run() -> Result<ExitCode, CliError> {
+    let mut store_dir: Option<String> = None;
+    let mut script_path: Option<String> = None;
+    let mut summary = false;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_dir: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut cfg = FleetConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| CliError::Usage(format!("missing value for {name}")))
+        };
+        let parse_num = |name: &str, v: String| {
+            v.parse::<u64>().map_err(|e| CliError::Usage(format!("bad {name}: {e}")))
+        };
+        match a.as_str() {
+            "--store" => store_dir = Some(value("--store")?),
+            "--script" => script_path = Some(value("--script")?),
+            "--workers" => cfg.workers = parse_num("--workers", value("--workers")?)?.max(1) as usize,
+            "--queue-limit" => {
+                cfg.queue_limit = parse_num("--queue-limit", value("--queue-limit")?)?.max(1) as usize
+            }
+            "--deadline" => cfg.default_deadline = Some(parse_num("--deadline", value("--deadline")?)?),
+            "--quarantine-after" => {
+                cfg.quarantine_threshold =
+                    parse_num("--quarantine-after", value("--quarantine-after")?)?.max(1) as u32
+            }
+            "--cache-quota" => {
+                cfg.cache_quota = parse_num("--cache-quota", value("--cache-quota")?)? as usize
+            }
+            "--summary" => summary = true,
+            "--metrics-json" => metrics_path = Some(value("--metrics-json")?),
+            "--metrics-dir" => metrics_dir = Some(value("--metrics-dir")?),
+            "--prom" => prom_path = Some(value("--prom")?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let store_dir = store_dir.ok_or_else(|| CliError::Usage("no --store given (try --help)".into()))?;
+    // Surface an unreadable store as an I/O error before any worker starts.
+    std::fs::read_dir(&store_dir).map_err(|e| CliError::io(&store_dir, &e))?;
+    let store = ImageStore::open(&store_dir, cfg.retry);
+
+    let batches: Vec<Vec<Request>> = match &script_path {
+        Some(path) => {
+            let text = if path == "-" {
+                use std::io::Read as _;
+                let mut s = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut s)
+                    .map_err(|e| CliError::io("stdin", &e))?;
+                s
+            } else {
+                std::fs::read_to_string(path).map_err(|e| CliError::io(path, &e))?
+            };
+            parse_script(&text)?
+        }
+        None => {
+            // Smoke pass: every image once, tenant `default`.
+            let names = store.names().map_err(|e| CliError::io(&store_dir, &e))?;
+            if names.is_empty() {
+                return Err(CliError::Usage(format!("store `{store_dir}` holds no .sqsh images")));
+            }
+            vec![names
+                .into_iter()
+                .map(|image| Request {
+                    tenant: "default".to_string(),
+                    image,
+                    input: Vec::new(),
+                    deadline: None,
+                })
+                .collect()]
+        }
+    };
+
+    let fleet = Fleet::new(store, cfg);
+    let mut any_fault = false;
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for batch in batches {
+        let labels: Vec<(String, String)> =
+            batch.iter().map(|r| (r.tenant.clone(), r.image.clone())).collect();
+        let results = fleet.run_batch(batch);
+        for ((tenant, image), result) in labels.into_iter().zip(results) {
+            let line = match &result {
+                Ok(run) => {
+                    format!("{tenant} {image} ok status={} cycles={}", run.status, run.cycles)
+                }
+                Err(e) => {
+                    if matches!(e, FleetError::Fault(_)) {
+                        any_fault = true;
+                    }
+                    format!("{tenant} {image} error kind={} detail={e}", e.kind())
+                }
+            };
+            writeln!(out, "{line}").map_err(|e| CliError::io("stdout", &e))?;
+        }
+    }
+    drop(out);
+
+    let metrics = fleet.metrics();
+    if summary {
+        print_summary(&metrics);
+    }
+    if metrics_path.is_some() || metrics_dir.is_some() {
+        let docs = fleet.tenant_telemetry();
+        if let Some(path) = &metrics_path {
+            let merged = Telemetry::merge(&docs).to_json_string() + "\n";
+            if path == "-" {
+                print!("{merged}");
+            } else {
+                std::fs::write(path, merged).map_err(|e| CliError::io(path, &e))?;
+            }
+        }
+        if let Some(dir) = &metrics_dir {
+            std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, &e))?;
+            for doc in &docs {
+                let path = format!("{dir}/{}.json", doc.name);
+                std::fs::write(&path, doc.to_json_string() + "\n")
+                    .map_err(|e| CliError::io(&path, &e))?;
+            }
+        }
+    }
+    if let Some(path) = &prom_path {
+        let text = monitor::fleet_registry(&metrics).to_prometheus();
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, text).map_err(|e| CliError::io(path, &e))?;
+        }
+    }
+
+    Ok(if any_fault {
+        ExitCode::from(squash_repro::cli::EXIT_MACHINE_CHECK)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Parses the request script into `---`-separated batches.
+fn parse_script(text: &str) -> Result<Vec<Vec<Request>>, CliError> {
+    let mut batches = Vec::new();
+    let mut batch: Vec<Request> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "---" {
+            if !batch.is_empty() {
+                batches.push(std::mem::take(&mut batch));
+            }
+            continue;
+        }
+        let bad = |what: &str| CliError::Usage(format!("script line {}: {what}", lineno + 1));
+        let mut fields = line.split_whitespace();
+        let tenant = fields.next().ok_or_else(|| bad("missing tenant"))?.to_string();
+        let image = fields.next().ok_or_else(|| bad("missing image"))?.to_string();
+        let mut input = Vec::new();
+        let mut deadline = None;
+        let mut repeat = 1usize;
+        for field in fields {
+            let (key, val) =
+                field.split_once('=').ok_or_else(|| bad(&format!("bad field `{field}`")))?;
+            match key {
+                "input" => {
+                    input = match val.strip_prefix('@') {
+                        Some(path) => std::fs::read(path).map_err(|e| CliError::io(path, &e))?,
+                        None => val.as_bytes().to_vec(),
+                    }
+                }
+                "deadline" => {
+                    deadline = Some(
+                        val.parse::<u64>()
+                            .map_err(|e| bad(&format!("bad deadline `{val}`: {e}")))?,
+                    )
+                }
+                "repeat" => {
+                    repeat = val
+                        .parse::<usize>()
+                        .map_err(|e| bad(&format!("bad repeat `{val}`: {e}")))?
+                        .max(1)
+                }
+                other => return Err(bad(&format!("unknown field `{other}`"))),
+            }
+        }
+        for _ in 0..repeat {
+            batch.push(Request {
+                tenant: tenant.clone(),
+                image: image.clone(),
+                input: input.clone(),
+                deadline,
+            });
+        }
+    }
+    if !batch.is_empty() {
+        batches.push(batch);
+    }
+    if batches.is_empty() {
+        return Err(CliError::Usage("script holds no requests".into()));
+    }
+    Ok(batches)
+}
+
+/// The per-tenant table plus cache and quarantine counters, on stderr.
+fn print_summary(m: &squash_repro::squash::fleet::FleetMetrics) {
+    eprintln!(
+        "[squashd] {:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>12}",
+        "tenant", "subm", "ok", "fault", "dline", "shed", "quar", "cycles"
+    );
+    for t in &m.tenants {
+        eprintln!(
+            "[squashd] {:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>12}",
+            t.tenant,
+            t.submitted,
+            t.ok,
+            t.faults,
+            t.deadline_faults,
+            t.shed,
+            t.quarantine_rejected,
+            t.cycles
+        );
+    }
+    let c = &m.cache;
+    eprintln!(
+        "[squashd] cache: {} hits, {} misses, {} evictions, {} bypasses, {} live",
+        c.hits, c.misses, c.evictions, c.bypasses, c.live_entries
+    );
+    for (image, faults, quarantined) in &m.quarantine {
+        eprintln!(
+            "[squashd] image {image}: {faults} machine checks{}",
+            if *quarantined { " — QUARANTINED" } else { "" }
+        );
+    }
+    if m.load_retries > 0 {
+        eprintln!("[squashd] image store: {} load retries", m.load_retries);
+    }
+}

@@ -7,9 +7,12 @@
 //! squashmon --audit [--threshold F] <image.sqsh> <telemetry.json> ...
 //! ```
 //!
-//! Default mode prints a per-document summary table plus the merged
-//! attribution report. `--merge` writes the merged document as one JSON line
-//! to stdout (pipe it straight into `squashc --retune`). `--prom` renders
+//! Default mode prints a per-document summary table (including trace and
+//! sampler drop counts per document) plus the merged attribution report.
+//! `--merge` writes the merged document as one JSON line to stdout (pipe it
+//! straight into `squashc --retune`); because merging sums drop counters,
+//! merge mode additionally attributes nonzero trace/sampler drops to their
+//! source documents on stderr, so a skewed fleet is not silently flattened. `--prom` renders
 //! the merged document as Prometheus text exposition for scrape-style
 //! collection. `FILE` may be `-` for stdin; in every mode the parser takes
 //! the **last** non-empty line of each input, so `squashrun --metrics-json -`
@@ -91,7 +94,14 @@ fn run() -> Result<ExitCode, String> {
                 files.iter().map(|f| load_doc(f)).collect::<Result<_, _>>()?;
             let merged = if docs.len() == 1 { docs[0].clone() } else { Telemetry::merge(&docs) };
             match mode {
-                Mode::Merge => println!("{}", merged.to_json_string()),
+                Mode::Merge => {
+                    // Merging sums drop counters, which silently erases
+                    // *which* tenant's trace or flame data is truncated —
+                    // attribute them per document on stderr (stdout stays
+                    // one JSON line for `squashc --retune`).
+                    report_drops(&files, &docs);
+                    println!("{}", merged.to_json_string());
+                }
                 Mode::Prom => print!("{}", monitor::registry(&merged).to_prometheus()),
                 _ => summary(&files, &docs, &merged),
             }
@@ -123,33 +133,51 @@ fn load_doc(path: &str) -> Result<Telemetry, String> {
     Telemetry::from_json(&doc).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Per-document drop attribution for `--merge` (stderr): a merged total is
+/// a fleet-wide sum, so a skewed fleet — one tenant dropping everything,
+/// the rest clean — would otherwise be indistinguishable from uniform
+/// truncation. Quiet when nothing dropped.
+fn report_drops(files: &[String], docs: &[Telemetry]) {
+    for (file, d) in files.iter().zip(docs) {
+        if d.trace_drops > 0 || d.sampler_drops > 0 {
+            let who = if d.name.is_empty() { file.clone() } else { format!("{file} ({})", d.name) };
+            eprintln!(
+                "squashmon: drops in {who}: trace={} sampler={}",
+                d.trace_drops, d.sampler_drops
+            );
+        }
+    }
+}
+
 /// The default mode: one row per document, a merged-totals row when the
 /// fleet has more than one, then the merged attribution report.
 fn summary(files: &[String], docs: &[Telemetry], merged: &Telemetry) {
     println!(
-        "{:<24} {:>14} {:>14} {:>10} {:>8} {:>8}",
-        "document", "instructions", "cycles", "decomp", "faults", "drops"
+        "{:<24} {:>14} {:>14} {:>10} {:>8} {:>8} {:>8}",
+        "document", "instructions", "cycles", "decomp", "faults", "t_drops", "s_drops"
     );
     for (file, d) in files.iter().zip(docs) {
         println!(
-            "{:<24} {:>14} {:>14} {:>10} {:>8} {:>8}",
+            "{:<24} {:>14} {:>14} {:>10} {:>8} {:>8} {:>8}",
             file,
             d.run.map_or(0, |r| r.instructions),
             d.run.map_or(0, |r| r.cycles),
             d.runtime.map_or(0, |r| r.decompressions),
             d.faults.iter().map(|f| f.count).sum::<u64>(),
             d.trace_drops,
+            d.sampler_drops,
         );
     }
     if docs.len() > 1 {
         println!(
-            "{:<24} {:>14} {:>14} {:>10} {:>8} {:>8}",
+            "{:<24} {:>14} {:>14} {:>10} {:>8} {:>8} {:>8}",
             format!("merged ({} docs)", merged.docs),
             merged.run.map_or(0, |r| r.instructions),
             merged.run.map_or(0, |r| r.cycles),
             merged.runtime.map_or(0, |r| r.decompressions),
             merged.faults.iter().map(|f| f.count).sum::<u64>(),
             merged.trace_drops,
+            merged.sampler_drops,
         );
     }
     println!();

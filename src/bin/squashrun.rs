@@ -41,13 +41,20 @@
 //!
 //! # Exit status
 //!
+//! The runtime exit-code contract (`squash_repro::cli`, shared with
+//! `squashd`):
+//!
 //! * Clean run: the guest program's exit status (0 for a conventional
 //!   success).
 //! * Typed integrity fault (corrupt image, checksum mismatch, machine
-//!   check): **70**, with a one-line machine-check report on stderr
-//!   (`kind=… region=… site=… cycle=…`) — never a panic or abort signal.
-//! * Usage or I/O errors: 1.
+//!   check, deadline): **70**, with a one-line machine-check report on
+//!   stderr (`kind=… region=… site=… cycle=…`) — never a panic or abort
+//!   signal.
+//! * Usage errors (bad flags, missing arguments): **2**.
+//! * Host I/O errors (unreadable image or input, unwritable output): **74**.
+//! * Any other (untyped) failure: 1.
 
+use squash_repro::cli::CliError;
 use squash_repro::squash::monitor::{self, AreaMap, SlotTimeline, SpanBuilder};
 use squash_repro::squash::telemetry::{FaultCount, Recorder, SharedRecorder};
 use squash_repro::squash::{image_file, pipeline, SquashError};
@@ -59,36 +66,27 @@ use std::process::ExitCode;
 /// largest workloads, fine enough to see the decompressor on hot runs.
 const DEFAULT_SAMPLE_PERIOD: u64 = 4096;
 
-/// The exit code for a typed machine-check fault (BSD `EX_SOFTWARE`),
-/// distinct from both guest statuses (masked to 0..=255 but conventionally
-/// small) and the generic failure code 1.
-const EXIT_MACHINE_CHECK: u8 = 70;
-
 fn main() -> ExitCode {
     match run() {
         Ok(status) => ExitCode::from((status & 0xFF) as u8),
         Err(e) => {
-            if let Some(mc) = &e.fault {
-                eprintln!("squashrun: machine check: {}", mc.report());
-                ExitCode::from(EXIT_MACHINE_CHECK)
-            } else {
-                eprintln!("squashrun: {}", e.message);
-                ExitCode::FAILURE
-            }
+            eprintln!("squashrun: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn usage() -> SquashError {
-    SquashError::msg(
+fn usage() -> CliError {
+    CliError::Usage(
         "usage: squashrun <image.sqsh> [--input FILE] [--icache] [--stats] \
          [--strict-integrity] [--trace FILE] [--trace-last N] [--report] \
          [--metrics-json FILE|-] [--spans FILE] [--samples FILE] \
-         [--sample-every N]",
+         [--sample-every N]"
+            .to_string(),
     )
 }
 
-fn run() -> Result<i64, SquashError> {
+fn run() -> Result<i64, CliError> {
     let mut image_path = None;
     let mut input_path = None;
     let mut icache = false;
@@ -104,7 +102,7 @@ fn run() -> Result<i64, SquashError> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
-            it.next().ok_or_else(|| SquashError::msg(format!("missing value for {name}")))
+            it.next().ok_or_else(|| CliError::Usage(format!("missing value for {name}")))
         };
         match a.as_str() {
             "--input" => input_path = Some(value("--input")?),
@@ -116,7 +114,7 @@ fn run() -> Result<i64, SquashError> {
                 trace_last = Some(
                     value("--trace-last")?
                         .parse()
-                        .map_err(|e| SquashError::msg(format!("bad --trace-last: {e}")))?,
+                        .map_err(|e| CliError::Usage(format!("bad --trace-last: {e}")))?,
                 )
             }
             "--report" => report = true,
@@ -126,20 +124,20 @@ fn run() -> Result<i64, SquashError> {
             "--sample-every" => {
                 let n: u64 = value("--sample-every")?
                     .parse()
-                    .map_err(|e| SquashError::msg(format!("bad --sample-every: {e}")))?;
+                    .map_err(|e| CliError::Usage(format!("bad --sample-every: {e}")))?;
                 if n == 0 {
-                    return Err(SquashError::msg("--sample-every must be nonzero"));
+                    return Err(CliError::Usage("--sample-every must be nonzero".into()));
                 }
                 sample_every = Some(n);
             }
             "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') => image_path = Some(other.to_string()),
-            other => return Err(SquashError::msg(format!("unknown option `{other}`"))),
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
         }
     }
-    let image_path = image_path.ok_or_else(|| SquashError::msg("no image given (try --help)"))?;
-    let bytes = std::fs::read(&image_path)
-        .map_err(|e| SquashError::msg(format!("{image_path}: {e}")))?;
+    let image_path =
+        image_path.ok_or_else(|| CliError::Usage("no image given (try --help)".into()))?;
+    let bytes = std::fs::read(&image_path).map_err(|e| CliError::io(&image_path, &e))?;
     let load = if strict { image_file::read_strict(&bytes) } else { image_file::read(&bytes) };
     let squashed = match load {
         Ok(s) => s,
@@ -149,7 +147,7 @@ fn run() -> Result<i64, SquashError> {
         eprintln!("[squashrun] {image_path}: legacy SQSH0002 image, integrity: none");
     }
     let input = match input_path {
-        Some(p) => std::fs::read(&p).map_err(|e| SquashError::msg(format!("{p}: {e}")))?,
+        Some(p) => std::fs::read(&p).map_err(|e| CliError::io(&p, &e))?,
         None => Vec::new(),
     };
     let cache = icache.then(ICacheConfig::default);
@@ -187,17 +185,16 @@ fn run() -> Result<i64, SquashError> {
     use std::io::Write as _;
     std::io::stdout()
         .write_all(&result.output)
-        .map_err(|e| SquashError::msg(e.to_string()))?;
+        .map_err(|e| CliError::io("stdout", &e))?;
 
     let mut telemetry = result.telemetry(&image_path);
     if let Some(recorder) = recorder {
         let recorder = recorder.take();
         if let (Some(path), Some(ring)) = (&trace_path, &recorder.ring) {
-            let file = std::fs::File::create(path)
-                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+            let file = std::fs::File::create(path).map_err(|e| CliError::io(path, &e))?;
             let mut w = std::io::BufWriter::new(file);
-            ring.write_to(&mut w).map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
-            w.flush().map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+            ring.write_to(&mut w).map_err(|e| CliError::io(path, &e))?;
+            w.flush().map_err(|e| CliError::io(path, &e))?;
             if ring.dropped() > 0 {
                 eprintln!(
                     "[squashrun] trace ring dropped {} oldest events (--trace-last {})",
@@ -209,7 +206,7 @@ fn run() -> Result<i64, SquashError> {
         }
         if let (Some(path), Some(spans)) = (&spans_path, recorder.spans) {
             std::fs::write(path, spans.finish().to_chrome_json() + "\n")
-                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+                .map_err(|e| CliError::io(path, &e))?;
         }
         if let Some(path) = &samples_path {
             let sampler = sampler.as_ref().expect("sampling was enabled");
@@ -217,14 +214,18 @@ fn run() -> Result<i64, SquashError> {
             let timeline = recorder.timeline.as_ref().expect("timeline recorded");
             let stacks =
                 monitor::collapse_samples(&image_path, sampler.samples(), &map, timeline);
-            std::fs::write(path, stacks.render())
-                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+            std::fs::write(path, stacks.render()).map_err(|e| CliError::io(path, &e))?;
             if sampler.dropped() > 0 {
                 eprintln!(
                     "[squashrun] sampler dropped {} samples past its buffer cap",
                     sampler.dropped()
                 );
             }
+        }
+        // Sampler drops ride in the telemetry document (not just stderr), so
+        // fleet merges can attribute truncated flame data per run.
+        if let Some(sampler) = &sampler {
+            telemetry.sampler_drops = sampler.dropped();
         }
         telemetry.attribution = Some(recorder.attribution.finish(result.cycles));
     }
@@ -238,8 +239,7 @@ fn run() -> Result<i64, SquashError> {
             }
             print!("{doc}");
         } else {
-            std::fs::write(path, doc)
-                .map_err(|e| SquashError::msg(format!("{path}: {e}")))?;
+            std::fs::write(path, doc).map_err(|e| CliError::io(path, &e))?;
         }
     }
 
@@ -291,7 +291,7 @@ fn run() -> Result<i64, SquashError> {
 /// On a typed fault, still honour `--metrics-json`: write a document whose
 /// `faults` section tallies the machine check, so harnesses get structured
 /// data even from corrupt images. Returns the error for `main` to exit on.
-fn on_fault(metrics_path: &Option<String>, image_path: &str, e: SquashError) -> SquashError {
+fn on_fault(metrics_path: &Option<String>, image_path: &str, e: SquashError) -> CliError {
     if let (Some(path), Some(mc)) = (metrics_path, &e.fault) {
         let telemetry = squash_repro::squash::telemetry::Telemetry {
             name: image_path.to_string(),
@@ -305,5 +305,5 @@ fn on_fault(metrics_path: &Option<String>, image_path: &str, e: SquashError) -> 
             let _ = std::fs::write(path, telemetry.to_json_string() + "\n");
         }
     }
-    e
+    CliError::from_squash(e)
 }

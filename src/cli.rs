@@ -1,0 +1,117 @@
+//! Shared command-line plumbing for the runtime front-ends (`squashrun`,
+//! `squashd`): one exit-code contract and one error type that carries it.
+//!
+//! # Exit codes
+//!
+//! The runtime binaries distinguish failure classes by exit code, following
+//! BSD `sysexits.h` where a fitting code exists:
+//!
+//! | code | constant | meaning |
+//! |------|----------|---------|
+//! | 0..=255 | — | clean run: the guest's exit status |
+//! | [`EXIT_USAGE`] (2) | `EX_USAGE`-style | bad flags, missing arguments |
+//! | [`EXIT_MACHINE_CHECK`] (70) | `EX_SOFTWARE` | typed integrity fault |
+//! | [`EXIT_IO`] (74) | `EX_IOERR` | host I/O failure (unreadable image, unwritable output) |
+//! | 1 | — | any other (untyped) failure |
+//!
+//! `squashmon` keeps its own narrower contract — [`EXIT_DRIFT`] (3) for a
+//! failed provenance audit, 1 for everything else — because its exit codes
+//! predate this module and CI pins them. `squashc` likewise keeps plain
+//! 0/1: it is a compiler driver, not a runtime surface.
+
+use squash::{MachineCheck, SquashError};
+
+/// Usage errors: unknown flags, missing values, unparseable numbers.
+pub const EXIT_USAGE: u8 = 2;
+
+/// `squashmon --audit` drift verdict (predates this module; kept stable).
+pub const EXIT_DRIFT: u8 = 3;
+
+/// A typed machine-check fault (BSD `EX_SOFTWARE`): corrupt image,
+/// checksum mismatch, runtime integrity violation, deadline exceeded.
+pub const EXIT_MACHINE_CHECK: u8 = 70;
+
+/// Host I/O failure (BSD `EX_IOERR`): the run never started or its output
+/// could not be persisted.
+pub const EXIT_IO: u8 = 74;
+
+/// A classified front-end error: what went wrong, with the exit code it
+/// maps to under the contract above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself was wrong (exit [`EXIT_USAGE`]).
+    Usage(String),
+    /// A host I/O operation failed (exit [`EXIT_IO`]).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error text.
+        error: String,
+    },
+    /// A typed machine check (exit [`EXIT_MACHINE_CHECK`]).
+    Fault(MachineCheck),
+    /// Anything else — untyped run failures keep the generic exit 1.
+    Other(String),
+}
+
+impl CliError {
+    /// Classifies a pipeline error: typed faults become [`CliError::Fault`],
+    /// the rest stay untyped.
+    pub fn from_squash(e: SquashError) -> CliError {
+        match e.fault {
+            Some(mc) => CliError::Fault(mc),
+            None => CliError::Other(e.message),
+        }
+    }
+
+    /// An I/O error tagged with the path it touched.
+    pub fn io(path: impl Into<String>, e: &std::io::Error) -> CliError {
+        CliError::Io { path: path.into(), error: e.to_string() }
+    }
+
+    /// The exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Io { .. } => EXIT_IO,
+            CliError::Fault(_) => EXIT_MACHINE_CHECK,
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Other(msg) => f.write_str(msg),
+            CliError::Io { path, error } => write!(f, "{path}: {error}"),
+            CliError::Fault(mc) => write!(f, "machine check: {}", mc.report()),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squash::FaultKind;
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(CliError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Io { path: "x.sqsh".into(), error: "denied".into() }.exit_code(),
+            74
+        );
+        let mc = MachineCheck::new(FaultKind::BadMagic, "nope");
+        assert_eq!(CliError::Fault(mc).exit_code(), 70);
+        assert_eq!(CliError::Other("misc".into()).exit_code(), 1);
+        assert_eq!(
+            CliError::from_squash(SquashError::msg("plain")).exit_code(),
+            1
+        );
+        let typed = SquashError::from(MachineCheck::new(FaultKind::Truncated, "cut"));
+        assert_eq!(CliError::from_squash(typed).exit_code(), 70);
+    }
+}

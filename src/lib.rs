@@ -5,6 +5,8 @@
 //! repository `README.md` for an architectural overview and `DESIGN.md` for
 //! the paper-to-implementation map.
 
+pub mod cli;
+
 pub use minicc;
 pub use squash;
 pub use squash_gencorpus as gencorpus;

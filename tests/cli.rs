@@ -698,3 +698,203 @@ fn squashmon_merges_renders_and_audits() {
     assert_eq!(out.status.code(), Some(1), "unauditable input must exit 1");
     assert!(String::from_utf8_lossy(&out.stderr).contains("no provenance"));
 }
+
+/// Compiles `PROGRAM` into `dir/<name>.sqsh` and returns the image path.
+fn emit_image(dir: &std::path::Path, name: &str) -> PathBuf {
+    let src = dir.join(format!("{name}.mc"));
+    let image = dir.join(format!("{name}.sqsh"));
+    std::fs::write(&src, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashc"))
+        .args([src.to_str().unwrap(), "--theta", "1.0", "--emit", image.to_str().unwrap()])
+        .output()
+        .expect("squashc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    image
+}
+
+/// The runtime exit-code contract (`src/cli.rs`): `squashrun` exits 2 on
+/// usage errors, 74 on host I/O errors, 70 on a typed machine check — each
+/// distinct, each diagnosed on stderr.
+#[test]
+fn squashrun_exit_codes_follow_the_sysexits_contract() {
+    let dir = temp_dir();
+    let image = emit_image(&dir, "codes");
+
+    // Usage: unknown flag.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .args([image.to_str().unwrap(), "--no-such-flag"])
+        .output()
+        .expect("squashrun runs");
+    assert_eq!(out.status.code(), Some(2), "usage error must exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no-such-flag"));
+
+    // I/O: image file does not exist.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .arg(dir.join("missing.sqsh").to_str().unwrap())
+        .output()
+        .expect("squashrun runs");
+    assert_eq!(out.status.code(), Some(74), "I/O error must exit 74");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing.sqsh"));
+
+    // Machine check: truncated image fails its checksums, typed, exit 70.
+    let bytes = std::fs::read(&image).unwrap();
+    let corrupt = dir.join("codes-corrupt.sqsh");
+    std::fs::write(&corrupt, &bytes[..bytes.len() / 2]).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashrun"))
+        .arg(corrupt.to_str().unwrap())
+        .output()
+        .expect("squashrun runs");
+    assert_eq!(out.status.code(), Some(70), "machine check must exit 70");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("machine check"));
+}
+
+/// `squashd` end to end: a store smoke pass, a multi-tenant script with
+/// per-tenant metrics consumed by `squashmon`, and the exit-code contract
+/// (0 clean, 70 on any machine check, 2 usage, 74 bad store).
+#[test]
+fn squashd_runs_a_store_and_honors_the_exit_contract() {
+    let dir = temp_dir();
+    let store = dir.join("store-ok");
+    std::fs::create_dir_all(&store).unwrap();
+    let image = emit_image(&dir, "fleetimg");
+    std::fs::copy(&image, store.join("fleetimg.sqsh")).unwrap();
+
+    // Smoke pass: no script → every image once, tenant `default`, exit 0.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashd"))
+        .args(["--store", store.to_str().unwrap(), "--summary"])
+        .output()
+        .expect("squashd runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("default fleetimg ok status=0"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cache:"));
+
+    // Scripted multi-tenant run with per-tenant telemetry; a deadline=1
+    // request is a typed machine check → exit 70, while other tenants
+    // stay clean.
+    let script = dir.join("fleet.script");
+    std::fs::write(
+        &script,
+        "alice fleetimg input=abc repeat=2\nbob fleetimg deadline=1\n---\nalice fleetimg input=abc\n",
+    )
+    .unwrap();
+    let tenant_dir = dir.join("tenants");
+    let out = Command::new(env!("CARGO_BIN_EXE_squashd"))
+        .args([
+            "--store",
+            store.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+            "--metrics-dir",
+            tenant_dir.to_str().unwrap(),
+            "--prom",
+            "-",
+        ])
+        .output()
+        .expect("squashd runs");
+    assert_eq!(out.status.code(), Some(70), "a deadline fault must exit 70");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bob fleetimg error kind=machine_check"), "{stdout}");
+    assert!(stdout.contains("deadline_exceeded"), "{stdout}");
+    assert_eq!(stdout.matches("alice fleetimg ok status=0").count(), 3, "{stdout}");
+    assert!(stdout.contains("squashd_outcomes_total{outcome=\"machine_check\",tenant=\"bob\"} 1"), "{stdout}");
+
+    // Per-tenant documents feed straight into squashmon.
+    let alice = tenant_dir.join("alice.json");
+    let bob = tenant_dir.join("bob.json");
+    assert!(alice.exists() && bob.exists());
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args(["--merge", alice.to_str().unwrap(), bob.to_str().unwrap()])
+        .output()
+        .expect("squashmon runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let mon = String::from_utf8_lossy(&out.stdout);
+    assert!(mon.contains("\"deadline_exceeded\""), "bob's fault survives the merge: {mon}");
+
+    // Usage: no --store.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashd")).output().expect("squashd runs");
+    assert_eq!(out.status.code(), Some(2), "missing --store must exit 2");
+
+    // I/O: store directory does not exist.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashd"))
+        .args(["--store", dir.join("no-such-store").to_str().unwrap()])
+        .output()
+        .expect("squashd runs");
+    assert_eq!(out.status.code(), Some(74), "unreadable store must exit 74");
+
+    // Quarantine at the CLI surface: a corrupt store image machine-checks
+    // (exit 70) and trips the ledger after the configured threshold; the
+    // clean image is untouched.
+    let bytes = std::fs::read(&image).unwrap();
+    std::fs::write(store.join("rotten.sqsh"), &bytes[..bytes.len() / 3]).unwrap();
+    let script = dir.join("quarantine.script");
+    std::fs::write(
+        &script,
+        "mallory rotten\n---\nmallory rotten\n---\nmallory rotten\nalice fleetimg input=abc\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_squashd"))
+        .args([
+            "--store",
+            store.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+            "--quarantine-after",
+            "2",
+            "--summary",
+        ])
+        .output()
+        .expect("squashd runs");
+    assert_eq!(out.status.code(), Some(70), "machine checks must exit 70");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("kind=machine_check").count(), 2, "{stdout}");
+    assert!(stdout.contains("kind=quarantined"), "third request fails fast: {stdout}");
+    assert!(stdout.contains("alice fleetimg ok status=0"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("QUARANTINED"));
+}
+
+/// `squashmon --merge` on a skewed fleet: drop counters are summed into
+/// the merged document, but each source document's trace/sampler drops are
+/// attributed on stderr — a regression gate for silent aggregation.
+#[test]
+fn squashmon_merge_attributes_drops_per_document() {
+    let dir = temp_dir();
+    let clean = dir.join("drops-clean.json");
+    let lossy = dir.join("drops-lossy.json");
+    std::fs::write(
+        &clean,
+        "{\"schema\":2,\"name\":\"quiet\",\"run\":{\"status\":0,\"instructions\":10,\"cycles\":20,\"output_bytes\":0}}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &lossy,
+        "{\"schema\":2,\"name\":\"noisy\",\"run\":{\"status\":0,\"instructions\":10,\"cycles\":20,\"output_bytes\":0},\
+         \"trace_drops\":7,\"sampler_drops\":3}\n",
+    )
+    .unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args(["--merge", clean.to_str().unwrap(), lossy.to_str().unwrap()])
+        .output()
+        .expect("squashmon merges");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"trace_drops\":7"), "merged sum survives: {stdout}");
+    assert!(stdout.contains("\"sampler_drops\":3"), "merged sum survives: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("(noisy): trace=7 sampler=3"),
+        "the lossy document must be named: {stderr}"
+    );
+    assert!(!stderr.contains("quiet"), "clean documents stay silent: {stderr}");
+
+    // The summary table carries both drop columns per document.
+    let out = Command::new(env!("CARGO_BIN_EXE_squashmon"))
+        .args([clean.to_str().unwrap(), lossy.to_str().unwrap()])
+        .output()
+        .expect("squashmon summarizes");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("t_drops"), "{stdout}");
+    assert!(stdout.contains("s_drops"), "{stdout}");
+}

@@ -1,0 +1,40 @@
+//! Seeded chaos scenarios against the fleet runtime, via the shared
+//! driver (`squash_bench::fleet`): every scenario must end in a typed
+//! fleet error or a run byte/cycle-identical to the solo reference —
+//! never a panic, never cross-tenant perturbation.
+//!
+//! The CI soak (`fleet_chaos` bench binary) runs 200 scenarios over the
+//! 12-program corpus sample in release; this test keeps a smaller
+//! debug-friendly plan over two paper workloads wired into `cargo test`.
+//! `CHAOS_SCENARIOS=N` scales it up.
+
+use squash_bench::fleet::ChaosWorld;
+use squash_testkit::chaos;
+
+#[test]
+fn chaos_plan_upholds_the_robustness_contract() {
+    let n = std::env::var("CHAOS_SCENARIOS").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
+    let benches = squash_bench::load_benches(Some(&["adpcm", "gsm"]));
+    let world = ChaosWorld::build_with_input_cap(&benches, 1e-3, 1_200);
+    let plan = chaos::plan(0x46C3_3D0C_0CFA_0501, n, world.images().len());
+    let report = world.run_plan(&plan, 2);
+    assert_eq!(report.scenarios, n);
+    assert!(
+        report.clean_bill(),
+        "chaos contract violations:\n{}",
+        report.violations.join("\n")
+    );
+}
+
+/// The plan itself is a pure function of the seed — the reproduction
+/// handle printed in a soak failure is trustworthy.
+#[test]
+fn chaos_plans_are_deterministic() {
+    let a = chaos::plan(7, 50, 12);
+    let b = chaos::plan(7, 50, 12);
+    assert_eq!(a, b);
+    assert_ne!(a, chaos::plan(8, 50, 12), "different seed, different plan");
+    let kinds: std::collections::HashSet<_> =
+        a.iter().map(|s| std::mem::discriminant(&s.kind)).collect();
+    assert_eq!(kinds.len(), 5, "50 scenarios must cover all five kinds");
+}
